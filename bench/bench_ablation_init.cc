@@ -1,0 +1,55 @@
+// Ablation (DESIGN.md §5.4) — the Case-3 replacement strategy, i.e. the
+// design choice §I motivates LTC with: Space-Saving's immediate
+// replace-at-min+1 vs decrement-and-admit-at-1 vs Long-tail Replacement.
+// Frequent items (α=1, β=0), k=100, CAIDA + Network, precision and ARE
+// vs memory.
+
+#include "bench_common.h"
+
+namespace ltc {
+namespace bench {
+namespace {
+
+constexpr size_t kK = 100;
+
+RunResult RunPolicy(const Dataset& data, size_t memory_bytes,
+                    InitPolicy policy) {
+  LtcConfig config;
+  config.memory_bytes = memory_bytes;
+  config.alpha = 1.0;
+  config.beta = 0.0;
+  config.init_policy = policy;
+  LtcReporter reporter(config, data.stream.num_periods(),
+                       data.stream.duration());
+  return RunReporter(reporter, data.stream, data.truth, kK, 1.0, 0.0);
+}
+
+void RunDataset(const Dataset& data) {
+  TextTable table({"memoryKB", "longtail_prec", "init1_prec", "min+1_prec",
+                   "longtail_ARE", "init1_ARE", "min+1_ARE"});
+  for (size_t kb : {5, 10, 20, 40}) {
+    RunResult lt = RunPolicy(data, kb * 1024, InitPolicy::kLongTail);
+    RunResult one = RunPolicy(data, kb * 1024, InitPolicy::kOne);
+    RunResult ss = RunPolicy(data, kb * 1024, InitPolicy::kMinPlusOne);
+    table.AddRow({std::to_string(kb), FormatMetric(lt.eval.precision),
+                  FormatMetric(one.eval.precision),
+                  FormatMetric(ss.eval.precision),
+                  FormatMetric(lt.eval.are), FormatMetric(one.eval.are),
+                  FormatMetric(ss.eval.are)});
+  }
+  PrintFigure("Ablation: Case-3 replacement strategy, frequent items (" +
+                  data.name + ", k=100)",
+              table);
+}
+
+}  // namespace
+
+void Run() {
+  RunDataset(LoadCaida());
+  RunDataset(LoadNetwork());
+}
+
+}  // namespace bench
+}  // namespace ltc
+
+int main() { ltc::bench::Run(); }

@@ -1,0 +1,43 @@
+// Appendix experiment — varying the number of periods T (§V-G "Varying
+// the number of periods"): persistent items (α=0, β=1, k=100) at 50 KB,
+// re-dividing the same Network-like record sequence into T ∈
+// {100, 200, 500, 1000, 2000} periods. LTC and the BF+CU adaptation.
+
+#include "bench_common.h"
+
+namespace ltc {
+namespace bench {
+
+void Run() {
+  constexpr size_t kMemory = 50 * 1024;
+  constexpr size_t kK = 100;
+  Stream base = MakeNetworkLike(ScaledRecords(1'000'000, 10'000'000), 2);
+
+  TextTable table({"T", "LTC", "BF+CU"});
+  for (uint32_t t : {100u, 200u, 500u, 1000u, 2000u}) {
+    // Same records, re-divided into T periods.
+    Stream stream(std::vector<Record>(base.records()), t, base.duration());
+    GroundTruth truth = GroundTruth::Compute(stream);
+    Dataset data{"Network", std::move(stream), std::move(truth)};
+
+    auto ltc = MakeLtcReporter(kMemory, data.stream, 0.0, 1.0);
+    BfSketchPersistentReporter bf(SketchKind::kCu, kMemory, kK);
+    double p_ltc =
+        RunReporter(*ltc, data.stream, data.truth, kK, 0.0, 1.0)
+            .eval.precision;
+    double p_bf =
+        RunReporter(bf, data.stream, data.truth, kK, 0.0, 1.0)
+            .eval.precision;
+    table.AddRow(
+        {std::to_string(t), FormatMetric(p_ltc), FormatMetric(p_bf)});
+  }
+  PrintFigure(
+      "Appendix: precision vs number of periods T, persistent items "
+      "(Network records, 50KB, k=100)",
+      table);
+}
+
+}  // namespace bench
+}  // namespace ltc
+
+int main() { ltc::bench::Run(); }

@@ -1,0 +1,38 @@
+// Fig. 9 — precision on finding frequent items (§V-F), α=1 β=0:
+// (a)–(c) precision vs memory 5–50 KB, k=100, on CAIDA / Network / Social;
+// (d) precision vs k 100–1000 at 100 KB on Network.
+// Suite: LTC, SS, LC, MG, CM, CU, Count (equal memory; sketches carry a
+// size-k heap inside their budget).
+
+#include "bench_common.h"
+
+namespace ltc {
+namespace bench {
+
+void Run() {
+  const std::vector<size_t> memories = {5, 10, 20, 30, 40, 50};
+
+  const char* panels[] = {"(a) CAIDA", "(b) Network", "(c) Social"};
+  auto datasets = LoadAllDatasets();
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    auto bound_factory = [&](size_t memory_bytes, size_t k) {
+      return FrequentSuite(memory_bytes, k, datasets[i].stream);
+    };
+    PrintFigure(std::string("Fig 9") + panels[i] +
+                    ": precision vs memory, frequent items (k=100)",
+                SweepMemory(datasets[i], memories, bound_factory, 100, 1.0,
+                            0.0, Metric::kPrecision));
+  }
+
+  auto network_factory = [&](size_t memory_bytes, size_t k) {
+    return FrequentSuite(memory_bytes, k, datasets[1].stream);
+  };
+  PrintFigure("Fig 9(d): precision vs k, frequent items (Network, 100KB)",
+              SweepK(datasets[1], 100 * 1024, {100, 250, 500, 750, 1000},
+                     network_factory, 1.0, 0.0, Metric::kPrecision));
+}
+
+}  // namespace bench
+}  // namespace ltc
+
+int main() { ltc::bench::Run(); }

@@ -1,0 +1,36 @@
+// Fig. 10 — ARE on finding frequent items (§V-F), α=1 β=0. Same
+// configurations as Fig. 9, reporting average relative error instead of
+// precision: (a)–(c) ARE vs memory, (d) ARE vs k (Network, 100 KB).
+
+#include "bench_common.h"
+
+namespace ltc {
+namespace bench {
+
+void Run() {
+  const std::vector<size_t> memories = {5, 10, 20, 30, 40, 50};
+
+  const char* panels[] = {"(a) CAIDA", "(b) Network", "(c) Social"};
+  auto datasets = LoadAllDatasets();
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    auto factory = [&](size_t memory_bytes, size_t k) {
+      return FrequentSuite(memory_bytes, k, datasets[i].stream);
+    };
+    PrintFigure(std::string("Fig 10") + panels[i] +
+                    ": ARE vs memory, frequent items (k=100)",
+                SweepMemory(datasets[i], memories, factory, 100, 1.0, 0.0,
+                            Metric::kAre));
+  }
+
+  auto network_factory = [&](size_t memory_bytes, size_t k) {
+    return FrequentSuite(memory_bytes, k, datasets[1].stream);
+  };
+  PrintFigure("Fig 10(d): ARE vs k, frequent items (Network, 100KB)",
+              SweepK(datasets[1], 100 * 1024, {100, 250, 500, 750, 1000},
+                     network_factory, 1.0, 0.0, Metric::kAre));
+}
+
+}  // namespace bench
+}  // namespace ltc
+
+int main() { ltc::bench::Run(); }

@@ -1,0 +1,49 @@
+// Fig. 11 — the Deviation Eliminator ablation (§V-E): finding persistent
+// items (α=0, β=1) on the Network dataset, k = 1000, precision vs memory
+// 10–50 KB, optimized (two parity flags) vs basic (single flag).
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace ltc {
+namespace bench {
+namespace {
+
+constexpr size_t kK = 1000;
+
+EvalResult Run(const Dataset& data, size_t memory_bytes,
+               bool deviation_eliminator) {
+  LtcConfig config;
+  config.memory_bytes = memory_bytes;
+  config.alpha = 0.0;
+  config.beta = 1.0;
+  config.deviation_eliminator = deviation_eliminator;
+  LtcReporter reporter(config, data.stream.num_periods(),
+                       data.stream.duration());
+  return RunReporter(reporter, data.stream, data.truth, kK, 0.0, 1.0).eval;
+}
+
+}  // namespace
+
+void Run() {
+  Dataset network = LoadNetwork();
+  TextTable table({"memoryKB", "Y_precision", "N_precision", "Y_ARE",
+                   "N_ARE"});
+  for (size_t kb : {10, 20, 30, 40, 50}) {
+    EvalResult y = Run(network, kb * 1024, true);
+    EvalResult n = Run(network, kb * 1024, false);
+    table.AddRow({std::to_string(kb), FormatMetric(y.precision),
+                  FormatMetric(n.precision), FormatMetric(y.are),
+                  FormatMetric(n.are)});
+  }
+  PrintFigure(
+      "Fig 11: Deviation Eliminator ablation, precision vs memory "
+      "(Network, a=0 b=1, k=1000)",
+      table);
+}
+
+}  // namespace bench
+}  // namespace ltc
+
+int main() { ltc::bench::Run(); }

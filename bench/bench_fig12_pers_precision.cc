@@ -1,0 +1,42 @@
+// Fig. 12 — precision on finding persistent items (§V-G), α=0 β=1:
+// (a)–(c) precision vs memory 25–300 KB, k=100, on CAIDA / Network /
+// Social; (d) precision vs k at 100 KB on Network.
+// Suite: LTC, BF+CM, BF+CU, BF+Count at the shared budget, plus PIE at
+// the budget PER PERIOD (T× total, §V-C).
+
+#include "bench_common.h"
+
+namespace ltc {
+namespace bench {
+
+void Run() {
+  const std::vector<size_t> memories = {25, 50, 100, 200, 300};
+
+  const char* panels[] = {"(a) CAIDA", "(b) Network", "(c) Social"};
+  auto datasets = LoadAllDatasets();
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    auto factory = [&](size_t memory_bytes, size_t k) {
+      return PersistentSuite(memory_bytes, k, datasets[i].stream,
+                             /*include_pie=*/true);
+    };
+    PrintFigure(std::string("Fig 12") + panels[i] +
+                    ": precision vs memory, persistent items (k=100; PIE "
+                    "gets T x memory)",
+                SweepMemory(datasets[i], memories, factory, 100, 0.0, 1.0,
+                            Metric::kPrecision));
+  }
+
+  auto network_factory = [&](size_t memory_bytes, size_t k) {
+    return PersistentSuite(memory_bytes, k, datasets[1].stream,
+                           /*include_pie=*/true);
+  };
+  PrintFigure(
+      "Fig 12(d): precision vs k, persistent items (Network, 100KB)",
+      SweepK(datasets[1], 100 * 1024, {100, 250, 500, 750, 1000},
+             network_factory, 0.0, 1.0, Metric::kPrecision));
+}
+
+}  // namespace bench
+}  // namespace ltc
+
+int main() { ltc::bench::Run(); }

@@ -1,0 +1,38 @@
+// Fig. 13 — ARE on finding persistent items (§V-G), α=0 β=1. Same
+// configurations as Fig. 12, reporting ARE.
+
+#include "bench_common.h"
+
+namespace ltc {
+namespace bench {
+
+void Run() {
+  const std::vector<size_t> memories = {25, 50, 100, 200, 300};
+
+  const char* panels[] = {"(a) CAIDA", "(b) Network", "(c) Social"};
+  auto datasets = LoadAllDatasets();
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    auto factory = [&](size_t memory_bytes, size_t k) {
+      return PersistentSuite(memory_bytes, k, datasets[i].stream,
+                             /*include_pie=*/true);
+    };
+    PrintFigure(std::string("Fig 13") + panels[i] +
+                    ": ARE vs memory, persistent items (k=100; PIE gets "
+                    "T x memory)",
+                SweepMemory(datasets[i], memories, factory, 100, 0.0, 1.0,
+                            Metric::kAre));
+  }
+
+  auto network_factory = [&](size_t memory_bytes, size_t k) {
+    return PersistentSuite(memory_bytes, k, datasets[1].stream,
+                           /*include_pie=*/true);
+  };
+  PrintFigure("Fig 13(d): ARE vs k, persistent items (Network, 100KB)",
+              SweepK(datasets[1], 100 * 1024, {100, 250, 500, 750, 1000},
+                     network_factory, 0.0, 1.0, Metric::kAre));
+}
+
+}  // namespace bench
+}  // namespace ltc
+
+int main() { ltc::bench::Run(); }

@@ -1,0 +1,39 @@
+// Fig. 14 — precision on finding significant items (§V-H), k=100,
+// precision vs memory 25–300 KB on CAIDA / Network / Social, for the
+// three parameter mixes α:β ∈ {1:10, 1:1, 10:1}. Baselines are the
+// two-structure sketch combos (no prior art exists for this task).
+
+#include "bench_common.h"
+
+namespace ltc {
+namespace bench {
+
+void Run() {
+  const std::vector<size_t> memories = {25, 50, 100, 200, 300};
+  const std::vector<std::pair<double, double>> mixes = {
+      {1.0, 10.0}, {1.0, 1.0}, {10.0, 1.0}};
+
+  const char* panels[] = {"(b) CAIDA", "(c) Network", "(d) Social"};
+  auto datasets = LoadAllDatasets();
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    for (auto [alpha, beta] : mixes) {
+      auto factory = [&, alpha = alpha, beta = beta](size_t memory_bytes,
+                                                     size_t k) {
+        return SignificantSuite(memory_bytes, k, datasets[i].stream, alpha,
+                                beta);
+      };
+      std::string mix = std::to_string(static_cast<int>(alpha)) + ":" +
+                        std::to_string(static_cast<int>(beta));
+      PrintFigure(std::string("Fig 14") + panels[i] +
+                      ": precision vs memory, significant items (k=100, "
+                      "a:b=" + mix + ")",
+                  SweepMemory(datasets[i], memories, factory, 100, alpha,
+                              beta, Metric::kPrecision));
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace ltc
+
+int main() { ltc::bench::Run(); }

@@ -1,0 +1,37 @@
+// Fig. 15 — ARE on finding significant items (§V-H). Same configurations
+// as Fig. 14, reporting ARE.
+
+#include "bench_common.h"
+
+namespace ltc {
+namespace bench {
+
+void Run() {
+  const std::vector<size_t> memories = {25, 50, 100, 200, 300};
+  const std::vector<std::pair<double, double>> mixes = {
+      {1.0, 10.0}, {1.0, 1.0}, {10.0, 1.0}};
+
+  const char* panels[] = {"(b) CAIDA", "(c) Network", "(d) Social"};
+  auto datasets = LoadAllDatasets();
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    for (auto [alpha, beta] : mixes) {
+      auto factory = [&, alpha = alpha, beta = beta](size_t memory_bytes,
+                                                     size_t k) {
+        return SignificantSuite(memory_bytes, k, datasets[i].stream, alpha,
+                                beta);
+      };
+      std::string mix = std::to_string(static_cast<int>(alpha)) + ":" +
+                        std::to_string(static_cast<int>(beta));
+      PrintFigure(std::string("Fig 15") + panels[i] +
+                      ": ARE vs memory, significant items (k=100, a:b=" +
+                      mix + ")",
+                  SweepMemory(datasets[i], memories, factory, 100, alpha,
+                              beta, Metric::kAre));
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace ltc
+
+int main() { ltc::bench::Run(); }

@@ -1,0 +1,129 @@
+// Insertion-throughput microbenchmarks (the paper's "high speed" claim,
+// §I/§V): million insertions per second for every algorithm at the 100 KB
+// budget on a CAIDA-like stream, via google-benchmark. Only relative
+// numbers are meaningful across machines.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace ltc {
+namespace bench {
+namespace {
+
+constexpr size_t kMemory = 100 * 1024;
+constexpr size_t kK = 100;
+
+// One shared, lazily built stream; sized down for micro runs.
+const Stream& SharedStream() {
+  static const Stream* stream =
+      new Stream(MakeCaidaLike(ScaledRecords(500'000, 10'000'000), 42));
+  return *stream;
+}
+
+void FeedAll(SignificantReporter& reporter, const Stream& stream,
+             benchmark::State& state) {
+  for (auto _ : state) {
+    for (const Record& r : stream.records()) {
+      reporter.Insert(r.item, r.time, stream.PeriodOf(r.time));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+
+void BM_LtcInsert(benchmark::State& state) {
+  const Stream& stream = SharedStream();
+  LtcConfig config;
+  config.memory_bytes = kMemory;
+  LtcReporter reporter(config, stream.num_periods(), stream.duration());
+  FeedAll(reporter, stream, state);
+}
+BENCHMARK(BM_LtcInsert)->Unit(benchmark::kMillisecond);
+
+void BM_SpaceSavingInsert(benchmark::State& state) {
+  const Stream& stream = SharedStream();
+  SpaceSavingReporter reporter(kMemory);
+  FeedAll(reporter, stream, state);
+}
+BENCHMARK(BM_SpaceSavingInsert)->Unit(benchmark::kMillisecond);
+
+void BM_LossyCountingInsert(benchmark::State& state) {
+  const Stream& stream = SharedStream();
+  LossyCountingReporter reporter(kMemory);
+  FeedAll(reporter, stream, state);
+}
+BENCHMARK(BM_LossyCountingInsert)->Unit(benchmark::kMillisecond);
+
+void BM_MisraGriesInsert(benchmark::State& state) {
+  const Stream& stream = SharedStream();
+  MisraGriesReporter reporter(kMemory);
+  FeedAll(reporter, stream, state);
+}
+BENCHMARK(BM_MisraGriesInsert)->Unit(benchmark::kMillisecond);
+
+void BM_CmHeapInsert(benchmark::State& state) {
+  const Stream& stream = SharedStream();
+  SketchHeapFrequentReporter reporter(SketchKind::kCountMin, kMemory, kK);
+  FeedAll(reporter, stream, state);
+}
+BENCHMARK(BM_CmHeapInsert)->Unit(benchmark::kMillisecond);
+
+void BM_CuHeapInsert(benchmark::State& state) {
+  const Stream& stream = SharedStream();
+  SketchHeapFrequentReporter reporter(SketchKind::kCu, kMemory, kK);
+  FeedAll(reporter, stream, state);
+}
+BENCHMARK(BM_CuHeapInsert)->Unit(benchmark::kMillisecond);
+
+void BM_CountHeapInsert(benchmark::State& state) {
+  const Stream& stream = SharedStream();
+  SketchHeapFrequentReporter reporter(SketchKind::kCount, kMemory, kK);
+  FeedAll(reporter, stream, state);
+}
+BENCHMARK(BM_CountHeapInsert)->Unit(benchmark::kMillisecond);
+
+void BM_BfCuPersistentInsert(benchmark::State& state) {
+  const Stream& stream = SharedStream();
+  BfSketchPersistentReporter reporter(SketchKind::kCu, kMemory, kK);
+  FeedAll(reporter, stream, state);
+}
+BENCHMARK(BM_BfCuPersistentInsert)->Unit(benchmark::kMillisecond);
+
+void BM_PieInsert(benchmark::State& state) {
+  const Stream& stream = SharedStream();
+  PieReporter reporter(kMemory, stream.num_periods());
+  FeedAll(reporter, stream, state);
+}
+BENCHMARK(BM_PieInsert)->Unit(benchmark::kMillisecond);
+
+void BM_CombinedSignificantInsert(benchmark::State& state) {
+  const Stream& stream = SharedStream();
+  CombinedSignificantReporter reporter(SketchKind::kCu, kMemory, kK, 1.0,
+                                       1.0);
+  FeedAll(reporter, stream, state);
+}
+BENCHMARK(BM_CombinedSignificantInsert)->Unit(benchmark::kMillisecond);
+
+// Core micro-op: a single LTC insert on a warm table.
+void BM_LtcSingleInsert(benchmark::State& state) {
+  LtcConfig config;
+  config.memory_bytes = kMemory;
+  config.items_per_period = 10'000;
+  Ltc table(config);
+  uint64_t key = 1;
+  for (auto _ : state) {
+    table.Insert((key++ % 50'000) + 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LtcSingleInsert);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ltc
+
+BENCHMARK_MAIN();

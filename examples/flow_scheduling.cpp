@@ -1,0 +1,130 @@
+// Use Case 3 (paper §I): network congestion / flow rerouting.
+//
+// To relieve a congested link, an operator reroutes a handful of flows —
+// rewriting forwarding entries is expensive, so the chosen flows should
+// still be heavy AFTER the change. Large flows that are mere bursts make
+// the rewrite pointless. This example observes the first half of a
+// synthetic trace, picks top-20 flows (a) by frequency and (b) by
+// significance, then measures how much second-half traffic each chosen
+// set actually carries.
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ltc.h"
+#include "stream/stream.h"
+
+namespace {
+
+struct Trace {
+  std::vector<ltc::Record> packets;
+  double duration;
+};
+
+// Flows: persistent "elephants" (steady, all trace), one-off "bursts"
+// (heavy but brief), and background mice.
+Trace Synthesize() {
+  ltc::Rng rng(31337);
+  Trace trace;
+  constexpr int kPeriods = 100;
+  constexpr double kPeriodSec = 1.0;
+  trace.duration = kPeriods * kPeriodSec;
+
+  for (int i = 0; i < 30; ++i) {  // elephants
+    ltc::ItemId flow = 0xE0000000ULL + i + 1;
+    for (int p = 0; p < kPeriods; ++p) {
+      uint64_t packets = 40 + rng.Uniform(30);
+      for (uint64_t j = 0; j < packets; ++j) {
+        trace.packets.push_back({flow, (p + rng.UniformDouble()) * kPeriodSec});
+      }
+    }
+  }
+  for (int i = 0; i < 50; ++i) {  // bursts, confined to the first half
+    ltc::ItemId flow = 0xB0000000ULL + i + 1;
+    int start = static_cast<int>(rng.Uniform(40));
+    for (int p = start; p < start + 3; ++p) {
+      for (int j = 0; j < 1'500; ++j) {
+        trace.packets.push_back({flow, (p + rng.UniformDouble()) * kPeriodSec});
+      }
+    }
+  }
+  for (int i = 0; i < 200'000; ++i) {  // mice
+    trace.packets.push_back({rng.Uniform(30'000) + 1,
+                             rng.UniformDouble() * trace.duration});
+  }
+
+  std::sort(trace.packets.begin(), trace.packets.end(),
+            [](const ltc::Record& a, const ltc::Record& b) {
+              return a.time < b.time;
+            });
+  return trace;
+}
+
+std::vector<ltc::ItemId> PickFlows(const Trace& trace, double split_time,
+                                   double alpha, double beta, size_t k) {
+  ltc::LtcConfig config;
+  config.memory_bytes = 16 * 1024;
+  config.alpha = alpha;
+  config.beta = beta;
+  config.period_mode = ltc::PeriodMode::kTimeBased;
+  config.period_seconds = 1.0;
+  ltc::Ltc table(config);
+  for (const ltc::Record& pkt : trace.packets) {
+    if (pkt.time >= split_time) break;
+    table.Insert(pkt.item, pkt.time);
+  }
+  table.Finalize();
+  std::vector<ltc::ItemId> flows;
+  for (const auto& report : table.TopK(k)) flows.push_back(report.item);
+  return flows;
+}
+
+uint64_t FutureTraffic(const Trace& trace, double split_time,
+                       const std::vector<ltc::ItemId>& flows) {
+  std::unordered_map<ltc::ItemId, uint64_t> counts;
+  for (const ltc::Record& pkt : trace.packets) {
+    if (pkt.time >= split_time) ++counts[pkt.item];
+  }
+  uint64_t covered = 0;
+  for (ltc::ItemId flow : flows) {
+    auto it = counts.find(flow);
+    if (it != counts.end()) covered += it->second;
+  }
+  return covered;
+}
+
+}  // namespace
+
+int main() {
+  Trace trace = Synthesize();
+  const double split = trace.duration / 2;
+  constexpr size_t kReroutes = 20;
+
+  std::printf("trace: %zu packets over %.0f s; choosing %zu flows to "
+              "reroute at t=%.0f s\n\n",
+              trace.packets.size(), trace.duration, kReroutes, split);
+
+  auto by_freq = PickFlows(trace, split, 1.0, 0.0, kReroutes);
+  auto by_sig = PickFlows(trace, split, 1.0, 100.0, kReroutes);
+
+  uint64_t freq_payoff = FutureTraffic(trace, split, by_freq);
+  uint64_t sig_payoff = FutureTraffic(trace, split, by_sig);
+
+  std::printf("second-half packets carried by the rerouted flows:\n");
+  std::printf("  chosen by frequency    : %8llu packets\n",
+              static_cast<unsigned long long>(freq_payoff));
+  std::printf("  chosen by significance : %8llu packets\n",
+              static_cast<unsigned long long>(sig_payoff));
+  if (freq_payoff == 0) {
+    std::printf("\nthe frequency-chosen flows were all bursts: rerouting "
+                "them moved zero future traffic.\n");
+  } else {
+    std::printf("\nsignificant flows keep carrying traffic after the "
+                "rewrite — %.1fx the payoff of frequency-chosen ones.\n",
+                static_cast<double>(sig_payoff) / freq_payoff);
+  }
+  return sig_payoff >= freq_payoff ? 0 : 1;
+}

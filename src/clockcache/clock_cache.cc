@@ -1,0 +1,43 @@
+#include "clockcache/clock_cache.h"
+
+#include <cassert>
+
+namespace ltc {
+
+ClockCache::ClockCache(size_t capacity) : frames_(capacity) {
+  assert(capacity >= 1);
+  index_.reserve(capacity * 2);
+}
+
+size_t ClockCache::EvictAndAdvance() {
+  // Sweep: give referenced frames a second chance, evict the first
+  // unreferenced one. Terminates within two revolutions.
+  while (true) {
+    Frame& frame = frames_[hand_];
+    if (frame.occupied && frame.referenced) {
+      frame.referenced = false;
+      hand_ = (hand_ + 1) % frames_.size();
+      continue;
+    }
+    size_t victim = hand_;
+    hand_ = (hand_ + 1) % frames_.size();
+    if (frames_[victim].occupied) index_.erase(frames_[victim].key);
+    return victim;
+  }
+}
+
+bool ClockCache::Access(uint64_t key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    frames_[it->second].referenced = true;
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  size_t slot = EvictAndAdvance();
+  frames_[slot] = {key, false, true};
+  index_[key] = slot;
+  return false;
+}
+
+}  // namespace ltc

@@ -1,0 +1,61 @@
+// Classic CLOCK page-replacement cache (Corbató, 1968).
+//
+// LTC's Persistency Incrementing "leverages the spirit of the well-known
+// CLOCK algorithm" (§III-B): a pointer sweeps slots, inspects a reference
+// flag, and lazily acts on it. This module is the textbook original — a
+// second-chance FIFO approximation of LRU — kept as a reference substrate
+// with its own tests so the borrowed mechanism is pinned down in isolation
+// before core/ reuses the sweep-a-flag idea for period counting.
+
+#ifndef LTC_CLOCKCACHE_CLOCK_CACHE_H_
+#define LTC_CLOCKCACHE_CLOCK_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ltc {
+
+class ClockCache {
+ public:
+  explicit ClockCache(size_t capacity);
+
+  /// Touches `key`: on hit sets its reference bit and returns true; on
+  /// miss admits it (evicting via the clock hand if full) and returns
+  /// false.
+  bool Access(uint64_t key);
+
+  bool Contains(uint64_t key) const { return index_.count(key) > 0; }
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRate() const {
+    uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+  /// Current clock-hand position (exposed for the sweep tests).
+  size_t hand() const { return hand_; }
+
+ private:
+  struct Frame {
+    uint64_t key = 0;
+    bool referenced = false;
+    bool occupied = false;
+  };
+
+  size_t EvictAndAdvance();
+
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, size_t> index_;
+  size_t hand_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_CLOCKCACHE_CLOCK_CACHE_H_

@@ -1,0 +1,15 @@
+#include "codes/id_code.h"
+
+namespace ltc {
+
+std::unique_ptr<IdCode> MakeIdCode(IdCodeKind kind) {
+  switch (kind) {
+    case IdCodeKind::kLt:
+      return std::make_unique<LtIdCode>();
+    case IdCodeKind::kRaptor:
+      return std::make_unique<RaptorIdCode>();
+  }
+  return nullptr;
+}
+
+}  // namespace ltc

@@ -1,0 +1,86 @@
+// The coding interface PIE consumes: encode a 64-bit item ID into 16-bit
+// symbols addressed by seeds, and decode an ID back from whatever symbols
+// survived. Two implementations: the plain LT code (this reproduction's
+// default, DESIGN.md §3) and the Raptor code PIE originally published
+// with.
+
+#ifndef LTC_CODES_ID_CODE_H_
+#define LTC_CODES_ID_CODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "codes/lt_code.h"
+#include "codes/raptor_code.h"
+
+namespace ltc {
+
+class IdCode {
+ public:
+  virtual ~IdCode() = default;
+
+  /// Encodes one symbol of the ID for the given seed.
+  virtual uint16_t EncodeId(uint64_t id, uint64_t symbol_seed) const = 0;
+
+  /// Recovers the ID from received symbols; nullopt on stall.
+  virtual std::optional<uint64_t> DecodeId(
+      const std::vector<LtCode::Symbol>& symbols) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Plain LT over the kIdBlocks 16-bit chunks of the ID.
+class LtIdCode : public IdCode {
+ public:
+  LtIdCode() : code_(kIdBlocks) {}
+
+  uint16_t EncodeId(uint64_t id, uint64_t symbol_seed) const override {
+    return static_cast<uint16_t>(code_.Encode(SplitId(id), symbol_seed));
+  }
+
+  std::optional<uint64_t> DecodeId(
+      const std::vector<LtCode::Symbol>& symbols) const override {
+    auto blocks = code_.Decode(symbols);
+    if (!blocks) return std::nullopt;
+    return JoinId(*blocks);
+  }
+
+  const char* name() const override { return "LT"; }
+
+ private:
+  LtCode code_;
+};
+
+/// Raptor (precode + LT) over the same chunks — PIE's published coding.
+class RaptorIdCode : public IdCode {
+ public:
+  explicit RaptorIdCode(uint32_t num_parity = 2, uint64_t seed = 0)
+      : code_(kIdBlocks, num_parity, seed, /*parity_degree=*/2) {}
+
+  uint16_t EncodeId(uint64_t id, uint64_t symbol_seed) const override {
+    return static_cast<uint16_t>(code_.Encode(SplitId(id), symbol_seed));
+  }
+
+  std::optional<uint64_t> DecodeId(
+      const std::vector<LtCode::Symbol>& symbols) const override {
+    auto blocks = code_.Decode(symbols);
+    if (!blocks) return std::nullopt;
+    return JoinId(*blocks);
+  }
+
+  const char* name() const override { return "Raptor"; }
+
+ private:
+  RaptorCode code_;
+};
+
+/// Which coding a PIE instance uses.
+enum class IdCodeKind { kLt, kRaptor };
+
+std::unique_ptr<IdCode> MakeIdCode(IdCodeKind kind);
+
+}  // namespace ltc
+
+#endif  // LTC_CODES_ID_CODE_H_

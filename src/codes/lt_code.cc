@@ -1,0 +1,178 @@
+#include "codes/lt_code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace ltc {
+
+LtCode::LtCode(uint32_t num_blocks, double c, double delta,
+               uint32_t max_degree)
+    : num_blocks_(num_blocks) {
+  assert(num_blocks >= 1);
+  if (max_degree == 0 || max_degree > num_blocks) max_degree = num_blocks;
+  const double k = static_cast<double>(num_blocks);
+
+  // Ideal soliton ρ and the robust spike τ at k/R.
+  const double r = c * std::log(k / delta) * std::sqrt(k);
+  const uint32_t spike = std::clamp<uint32_t>(
+      r > 0 ? static_cast<uint32_t>(std::lround(k / r)) : num_blocks, 1,
+      num_blocks);
+
+  std::vector<double> pmf(num_blocks);
+  for (uint32_t d = 1; d <= num_blocks; ++d) {
+    double rho = (d == 1) ? 1.0 / k : 1.0 / (static_cast<double>(d) * (d - 1));
+    double tau = 0.0;
+    if (r > 0) {
+      if (d < spike) {
+        tau = r / (static_cast<double>(d) * k);
+      } else if (d == spike) {
+        tau = r * std::log(r / delta) / k;
+      }
+    }
+    pmf[d - 1] = rho + std::max(0.0, tau);
+  }
+
+  // Truncation: mass above max_degree is dropped and the rest
+  // renormalized (degrees stay in [1, max_degree]).
+  for (uint32_t d = max_degree + 1; d <= num_blocks; ++d) pmf[d - 1] = 0.0;
+
+  double total = 0.0;
+  for (double p : pmf) total += p;
+  degree_cdf_.resize(num_blocks);
+  double acc = 0.0;
+  for (uint32_t d = 0; d < num_blocks; ++d) {
+    acc += pmf[d] / total;
+    degree_cdf_[d] = acc;
+  }
+  degree_cdf_.back() = 1.0;  // guard against rounding
+}
+
+double LtCode::DegreeProbability(uint32_t degree) const {
+  assert(degree >= 1 && degree <= num_blocks_);
+  double hi = degree_cdf_[degree - 1];
+  double lo = degree == 1 ? 0.0 : degree_cdf_[degree - 2];
+  return hi - lo;
+}
+
+uint32_t LtCode::SampleDegree(uint64_t u) const {
+  double x = static_cast<double>(u >> 11) * 0x1.0p-53;
+  auto it = std::lower_bound(degree_cdf_.begin(), degree_cdf_.end(), x);
+  return static_cast<uint32_t>(it - degree_cdf_.begin()) + 1;
+}
+
+std::vector<uint32_t> LtCode::NeighboursOf(uint64_t seed) const {
+  uint64_t state = Mix64(seed ^ 0x1badcafeULL);
+  uint32_t degree = SampleDegree(state);
+
+  // Degree-many distinct block indices via seeded rejection; K is small in
+  // our use (4 for IDs), so the loop terminates in a handful of steps.
+  std::vector<uint32_t> out;
+  out.reserve(degree);
+  while (out.size() < degree) {
+    state = Mix64(state);
+    uint32_t idx = static_cast<uint32_t>(FastRange64(state, num_blocks_));
+    if (std::find(out.begin(), out.end(), idx) == out.end()) {
+      out.push_back(idx);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t LtCode::Encode(const std::vector<uint64_t>& blocks,
+                        uint64_t seed) const {
+  assert(blocks.size() == num_blocks_);
+  uint64_t value = 0;
+  for (uint32_t idx : NeighboursOf(seed)) value ^= blocks[idx];
+  return value;
+}
+
+PartialDecodeResult PeelingDecodePartial(uint32_t num_blocks,
+                                         std::vector<GraphSymbol> symbols) {
+  std::vector<std::vector<uint32_t>> incidence(num_blocks);
+  for (uint32_t id = 0; id < symbols.size(); ++id) {
+    for (uint32_t b : symbols[id].neighbours) {
+      assert(b < num_blocks);
+      incidence[b].push_back(id);
+    }
+  }
+
+  PartialDecodeResult result;
+  result.blocks.assign(num_blocks, 0);
+  result.resolved.assign(num_blocks, false);
+  uint32_t num_resolved = 0;
+
+  // Ripple: symbols whose neighbour set has shrunk to one block.
+  std::vector<uint32_t> ripple;
+  for (uint32_t i = 0; i < symbols.size(); ++i) {
+    if (symbols[i].neighbours.size() == 1) ripple.push_back(i);
+  }
+
+  while (!ripple.empty() && num_resolved < num_blocks) {
+    uint32_t sym = ripple.back();
+    ripple.pop_back();
+    if (symbols[sym].neighbours.size() != 1) continue;  // stale entry
+    uint32_t block = symbols[sym].neighbours[0];
+    if (result.resolved[block]) {
+      symbols[sym].neighbours.clear();
+      continue;
+    }
+    result.resolved[block] = true;
+    result.blocks[block] = symbols[sym].value;
+    ++num_resolved;
+    symbols[sym].neighbours.clear();
+
+    // Peel the resolved block out of every incident symbol.
+    for (uint32_t other : incidence[block]) {
+      GraphSymbol& node = symbols[other];
+      auto it =
+          std::find(node.neighbours.begin(), node.neighbours.end(), block);
+      if (it == node.neighbours.end()) continue;
+      node.neighbours.erase(it);
+      node.value ^= result.blocks[block];
+      if (node.neighbours.size() == 1) ripple.push_back(other);
+    }
+  }
+  return result;
+}
+
+std::optional<std::vector<uint64_t>> PeelingDecode(
+    uint32_t num_blocks, std::vector<GraphSymbol> symbols) {
+  PartialDecodeResult partial =
+      PeelingDecodePartial(num_blocks, std::move(symbols));
+  for (bool r : partial.resolved) {
+    if (!r) return std::nullopt;
+  }
+  return std::move(partial.blocks);
+}
+
+std::optional<std::vector<uint64_t>> LtCode::Decode(
+    const std::vector<Symbol>& symbols) const {
+  std::vector<GraphSymbol> graph;
+  graph.reserve(symbols.size());
+  for (const Symbol& s : symbols) {
+    graph.push_back({NeighboursOf(s.seed), s.value});
+  }
+  return PeelingDecode(num_blocks_, std::move(graph));
+}
+
+std::vector<uint64_t> SplitId(uint64_t id) {
+  std::vector<uint64_t> blocks(kIdBlocks);
+  for (uint32_t i = 0; i < kIdBlocks; ++i) {
+    blocks[i] = (id >> (16 * i)) & 0xffffULL;
+  }
+  return blocks;
+}
+
+uint64_t JoinId(const std::vector<uint64_t>& blocks) {
+  uint64_t id = 0;
+  for (uint32_t i = 0; i < kIdBlocks; ++i) {
+    id |= (blocks[i] & 0xffffULL) << (16 * i);
+  }
+  return id;
+}
+
+}  // namespace ltc

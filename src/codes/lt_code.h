@@ -1,0 +1,102 @@
+// LT fountain code (Luby, 2002) with a robust-soliton degree distribution
+// and an iterative peeling (belief-propagation) decoder.
+//
+// Role in this reproduction: the paper's persistent-items baseline (§II-B)
+// is PIE, which "uses Raptor codes to record and identify item IDs" inside
+// per-period Space-Time Bloom Filters. Raptor = LT + precode; per
+// DESIGN.md §3 we substitute a plain LT code — PIE's accuracy in these
+// experiments hinges on whether enough coded cells survive collisions to
+// reach the peeling threshold, which LT exhibits identically.
+//
+// The code is rateless and deterministic per symbol seed: the neighbour
+// set of a symbol is a pure function of (seed, num_blocks), so encoder and
+// decoder never exchange degree tables.
+
+#ifndef LTC_CODES_LT_CODE_H_
+#define LTC_CODES_LT_CODE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ltc {
+
+/// One node of an explicit decoding graph: value = XOR of the listed
+/// blocks. Used directly by the generic peeling decoder, and produced
+/// from symbol seeds by LtCode / augmented with precode constraints by
+/// RaptorCode.
+struct GraphSymbol {
+  std::vector<uint32_t> neighbours;
+  uint64_t value;
+};
+
+/// Generic iterative peeling (belief-propagation on the binary erasure
+/// model): repeatedly resolves blocks referenced by a degree-1 symbol and
+/// substitutes them everywhere. Returns all `num_blocks` blocks or
+/// nullopt if the decoder stalls.
+std::optional<std::vector<uint64_t>> PeelingDecode(
+    uint32_t num_blocks, std::vector<GraphSymbol> symbols);
+
+/// Peeling that runs to a stall and reports what it got: `resolved[i]`
+/// marks recovered blocks. Lets a caller succeed when only a subset (e.g.
+/// Raptor's source blocks) is needed.
+struct PartialDecodeResult {
+  std::vector<uint64_t> blocks;
+  std::vector<bool> resolved;
+};
+PartialDecodeResult PeelingDecodePartial(uint32_t num_blocks,
+                                         std::vector<GraphSymbol> symbols);
+
+class LtCode {
+ public:
+  /// One coded symbol: the XOR of the source blocks selected by `seed`.
+  struct Symbol {
+    uint64_t seed;
+    uint64_t value;
+  };
+
+  /// \param num_blocks  K, the number of source blocks (each a uint64)
+  /// \param c, delta    robust-soliton parameters (Luby's c and δ)
+  /// \param max_degree  truncates the degree distribution (0 = K, i.e.
+  ///                    untruncated). A bounded-degree LT cannot decode
+  ///                    alone — that is what Raptor's precode compensates
+  ///                    for — and gives O(1) encode cost per symbol.
+  explicit LtCode(uint32_t num_blocks, double c = 0.1, double delta = 0.5,
+                  uint32_t max_degree = 0);
+
+  /// The source-block neighbour set of the symbol with this seed:
+  /// a degree drawn from the robust soliton, then that many distinct
+  /// block indices, all derived deterministically from the seed.
+  std::vector<uint32_t> NeighboursOf(uint64_t seed) const;
+
+  /// Encodes one symbol from the source blocks.
+  uint64_t Encode(const std::vector<uint64_t>& blocks, uint64_t seed) const;
+
+  /// Peeling decode. Returns the recovered blocks, or nullopt if the
+  /// symbols do not determine every block (decoder stalls).
+  std::optional<std::vector<uint64_t>> Decode(
+      const std::vector<Symbol>& symbols) const;
+
+  uint32_t num_blocks() const { return num_blocks_; }
+
+  /// P(degree = d) under the normalized robust soliton; exposed so tests
+  /// can chi-square the sampled degrees against the analytic law.
+  double DegreeProbability(uint32_t degree) const;
+
+ private:
+  uint32_t SampleDegree(uint64_t u) const;  // u uniform in [0, 2^64)
+
+  uint32_t num_blocks_;
+  std::vector<double> degree_cdf_;  // degree_cdf_[d-1] = P(degree <= d)
+};
+
+/// Convenience wrappers for the PIE use case: a 64-bit item ID treated as
+/// `kIdBlocks` 16-bit source blocks (stored in uint64 lanes).
+inline constexpr uint32_t kIdBlocks = 4;
+
+std::vector<uint64_t> SplitId(uint64_t id);
+uint64_t JoinId(const std::vector<uint64_t>& blocks);
+
+}  // namespace ltc
+
+#endif  // LTC_CODES_LT_CODE_H_

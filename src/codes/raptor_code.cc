@@ -1,0 +1,92 @@
+#include "codes/raptor_code.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace ltc {
+
+RaptorCode::RaptorCode(uint32_t num_source_blocks, uint32_t num_parity_blocks,
+                       uint64_t seed, uint32_t parity_degree,
+                       uint32_t inner_max_degree)
+    : num_source_(num_source_blocks),
+      num_parity_(num_parity_blocks),
+      seed_(seed),
+      parity_degree_(std::min(parity_degree, num_source_blocks)),
+      lt_(num_source_blocks + num_parity_blocks, 0.1, 0.5,
+          inner_max_degree) {
+  assert(num_source_blocks >= 1);
+  assert(parity_degree >= 1);
+}
+
+std::vector<uint32_t> RaptorCode::ParityNeighbours(
+    uint32_t parity_index) const {
+  assert(parity_index < num_parity_);
+  // Seeded distinct source indices, same rejection scheme as the LT
+  // neighbour derivation.
+  uint64_t state = Mix64(seed_ ^ (0xfeedULL + parity_index));
+  std::vector<uint32_t> out;
+  out.reserve(parity_degree_);
+  while (out.size() < parity_degree_) {
+    state = Mix64(state);
+    uint32_t idx = static_cast<uint32_t>(FastRange64(state, num_source_));
+    if (std::find(out.begin(), out.end(), idx) == out.end()) {
+      out.push_back(idx);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> RaptorCode::Precode(
+    const std::vector<uint64_t>& source) const {
+  assert(source.size() == num_source_);
+  std::vector<uint64_t> intermediate = source;
+  intermediate.reserve(num_source_ + num_parity_);
+  for (uint32_t p = 0; p < num_parity_; ++p) {
+    uint64_t parity = 0;
+    for (uint32_t s : ParityNeighbours(p)) parity ^= source[s];
+    intermediate.push_back(parity);
+  }
+  return intermediate;
+}
+
+uint64_t RaptorCode::EncodeIntermediate(
+    const std::vector<uint64_t>& intermediate, uint64_t symbol_seed) const {
+  return lt_.Encode(intermediate, symbol_seed);
+}
+
+uint64_t RaptorCode::Encode(const std::vector<uint64_t>& source,
+                            uint64_t symbol_seed) const {
+  return lt_.Encode(Precode(source), symbol_seed);
+}
+
+std::optional<std::vector<uint64_t>> RaptorCode::Decode(
+    const std::vector<LtCode::Symbol>& symbols) const {
+  std::vector<GraphSymbol> graph;
+  graph.reserve(symbols.size() + num_parity_);
+  for (const LtCode::Symbol& s : symbols) {
+    graph.push_back({lt_.NeighboursOf(s.seed), s.value});
+  }
+  // Parity constraints: parity_p XOR its sources == 0 — zero-valued
+  // symbols over the intermediate index space.
+  for (uint32_t p = 0; p < num_parity_; ++p) {
+    GraphSymbol constraint;
+    constraint.neighbours = ParityNeighbours(p);
+    constraint.neighbours.push_back(num_source_ + p);
+    constraint.value = 0;
+    graph.push_back(std::move(constraint));
+  }
+
+  PartialDecodeResult partial =
+      PeelingDecodePartial(num_source_ + num_parity_, std::move(graph));
+  // Success needs only the SOURCE blocks; unresolved parities are fine.
+  for (uint32_t s = 0; s < num_source_; ++s) {
+    if (!partial.resolved[s]) return std::nullopt;
+  }
+  partial.blocks.resize(num_source_);
+  return std::move(partial.blocks);
+}
+
+}  // namespace ltc

@@ -1,0 +1,73 @@
+// Raptor code (Shokrollahi, 2006) = sparse precode + LT inner code.
+//
+// PIE's original design uses Raptor codes; DESIGN.md §3 substitutes a
+// plain LT code in the default build because the experiments only depend
+// on the peeling threshold. This module closes the remaining fidelity
+// gap: source blocks are first extended with parity blocks (each the XOR
+// of a seeded sparse subset of sources — an LDPC-style precode), and the
+// LT code runs over the intermediate (source + parity) blocks. At decode
+// time the parity constraints join the peeling graph as zero-valued
+// symbols, letting the decoder finish from symbol sets that stall a plain
+// LT decoder — Raptor's defining property, covered by tests.
+
+#ifndef LTC_CODES_RAPTOR_CODE_H_
+#define LTC_CODES_RAPTOR_CODE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codes/lt_code.h"
+
+namespace ltc {
+
+class RaptorCode {
+ public:
+  /// \param num_source_blocks   K
+  /// \param num_parity_blocks   P (0 degenerates to a plain LT code)
+  /// \param seed                derives the parity connection pattern
+  /// \param parity_degree       sources XORed into each parity block
+  /// \param inner_max_degree    degree cap for the inner LT (0 = none);
+  ///                            Raptor's classic configuration bounds it
+  ///                            for O(1) encode and lets the precode
+  ///                            recover the coverage the cap costs
+  RaptorCode(uint32_t num_source_blocks, uint32_t num_parity_blocks,
+             uint64_t seed = 0, uint32_t parity_degree = 3,
+             uint32_t inner_max_degree = 0);
+
+  /// Extends K source blocks to K+P intermediate blocks (source order
+  /// preserved, parities appended). Encode many symbols from one Precode
+  /// result — the precode is the expensive part.
+  std::vector<uint64_t> Precode(const std::vector<uint64_t>& source) const;
+
+  /// LT-encodes one symbol over the intermediate blocks.
+  uint64_t EncodeIntermediate(const std::vector<uint64_t>& intermediate,
+                              uint64_t symbol_seed) const;
+
+  /// Convenience: Precode + EncodeIntermediate for a single symbol.
+  uint64_t Encode(const std::vector<uint64_t>& source,
+                  uint64_t symbol_seed) const;
+
+  /// Decodes the K SOURCE blocks from received symbols plus the parity
+  /// constraints; nullopt if even the augmented peeling stalls.
+  std::optional<std::vector<uint64_t>> Decode(
+      const std::vector<LtCode::Symbol>& symbols) const;
+
+  /// The seeded source subset feeding parity block `p` (0-based).
+  std::vector<uint32_t> ParityNeighbours(uint32_t parity_index) const;
+
+  uint32_t num_source_blocks() const { return num_source_; }
+  uint32_t num_parity_blocks() const { return num_parity_; }
+  const LtCode& inner_code() const { return lt_; }
+
+ private:
+  uint32_t num_source_;
+  uint32_t num_parity_;
+  uint64_t seed_;
+  uint32_t parity_degree_;
+  LtCode lt_;  // over num_source_ + num_parity_ blocks
+};
+
+}  // namespace ltc
+
+#endif  // LTC_CODES_RAPTOR_CODE_H_

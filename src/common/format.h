@@ -1,0 +1,46 @@
+// Lightweight text-table and CSV output helpers shared by the benchmark
+// harness. Each figure-reproduction binary prints an aligned human-readable
+// table (the "series the paper plots") plus an optional CSV copy.
+
+#ifndef LTC_COMMON_FORMAT_H_
+#define LTC_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ltc {
+
+/// Formats a byte count the way the paper labels its x-axes ("10KB").
+std::string FormatMemory(size_t bytes);
+
+/// Formats a double with a sensible number of significant digits for
+/// metric reporting (precision in [0,1], ARE possibly spanning 1e-6..1e6).
+std::string FormatMetric(double v);
+
+/// An aligned text table with a header row, built incrementally and
+/// printed in one shot. Columns are right-aligned except the first.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column alignment to the stream.
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (no quoting; callers do not emit commas in cells).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_FORMAT_H_

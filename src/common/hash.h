@@ -1,0 +1,98 @@
+// Additional general-purpose hash functions used across the library:
+// MurmurHash64A (fast 64-bit mixing for integer keys), FNV-1a (simple
+// reference hash used in tests as an "independent" second family), and a
+// 64-bit finalizer for building hash families from a single base hash.
+
+#ifndef LTC_COMMON_HASH_H_
+#define LTC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace ltc {
+
+/// MurmurHash64A by Austin Appleby (public domain), byte-order safe.
+inline uint64_t Murmur64A(const void* data, size_t len, uint64_t seed = 0) {
+  constexpr uint64_t kMul = 0xc6a4a7935bd1e995ULL;
+  constexpr int kShift = 47;
+
+  uint64_t h = seed ^ (len * kMul);
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint8_t* end = p + (len & ~size_t{7});
+
+  while (p != end) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    p += 8;
+    k *= kMul;
+    k ^= k >> kShift;
+    k *= kMul;
+    h ^= k;
+    h *= kMul;
+  }
+
+  size_t tail = len & 7;
+  uint64_t k = 0;
+  for (size_t i = 0; i < tail; ++i) {
+    k |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  if (tail != 0) {
+    h ^= k;
+    h *= kMul;
+  }
+
+  h ^= h >> kShift;
+  h *= kMul;
+  h ^= h >> kShift;
+  return h;
+}
+
+inline uint64_t Murmur64A(uint64_t key, uint64_t seed = 0) {
+  return Murmur64A(&key, sizeof(key), seed);
+}
+
+inline uint64_t Murmur64A(std::string_view s, uint64_t seed = 0) {
+  return Murmur64A(s.data(), s.size(), seed);
+}
+
+/// FNV-1a, 64-bit. Slow but dead simple; used in tests as a structurally
+/// different hash to cross-check family independence assumptions.
+inline uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = 0) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(uint64_t key, uint64_t seed = 0) {
+  return Fnv1a64(&key, sizeof(key), seed);
+}
+
+/// SplitMix64 finalizer: a strong 64->64 bit mixer. Useful to derive
+/// per-row seeds from a single master seed.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Reduces a hash value to a bucket index in [0, n) without the modulo
+/// bias / cost: Lemire's fastrange.
+inline uint32_t FastRange32(uint32_t hash, uint32_t n) {
+  return static_cast<uint32_t>((static_cast<uint64_t>(hash) * n) >> 32);
+}
+
+inline uint64_t FastRange64(uint64_t hash, uint64_t n) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(hash) * n) >> 64);
+}
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_HASH_H_

@@ -1,0 +1,42 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace ltc {
+
+double Rng::Exponential(double rate) {
+  // -log(1 - U) with U in [0, 1); 1-U never hits 0.
+  return -std::log1p(-UniformDouble()) / rate;
+}
+
+double Rng::Normal() {
+  // Marsaglia polar method; discards the second variate for simplicity.
+  while (true) {
+    double u = 2.0 * UniformDouble() - 1.0;
+    double v = 2.0 * UniformDouble() - 1.0;
+    double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+uint64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    double l = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= UniformDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation, adequate for workload synthesis at large means.
+  double x = mean + std::sqrt(mean) * Normal() + 0.5;
+  return x < 0.0 ? 0 : static_cast<uint64_t>(x);
+}
+
+}  // namespace ltc

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for workload synthesis and
+// tests. All experiment randomness flows through Rng so that every figure is
+// reproducible from a single seed.
+
+#ifndef LTC_COMMON_RNG_H_
+#define LTC_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace ltc {
+
+/// xoshiro256** by Blackman & Vigna (public domain), seeded via SplitMix64.
+/// Passes BigCrush; far faster than std::mt19937_64 and with a guaranteed
+/// stable sequence across standard libraries (std engines are only
+/// algorithm-stable, distributions are not).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x1234abcd) {
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = Mix64(x);
+    }
+  }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return FastRange64(Next(), n); }
+
+  /// Uniform integer in [lo, hi].
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Samples from Exp(rate) via inversion; rate must be > 0.
+  double Exponential(double rate);
+
+  /// Samples from Poisson(mean) — Knuth for small means, normal
+  /// approximation with continuity correction for large means.
+  uint64_t Poisson(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double Normal();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_RNG_H_

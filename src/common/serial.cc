@@ -1,0 +1,33 @@
+#include "common/serial.h"
+
+#include <cstdio>
+
+namespace ltc {
+
+bool WriteFile(const std::string& path, std::string_view contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written = contents.empty()
+                       ? 0
+                       : std::fwrite(contents.data(), 1, contents.size(), f);
+  bool ok = written == contents.size();
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+std::optional<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return out;
+}
+
+}  // namespace ltc

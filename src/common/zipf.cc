@@ -1,0 +1,78 @@
+#include "common/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ltc {
+
+double TruncatedZeta(uint64_t m, double gamma) {
+  // Kahan summation: m can be in the millions and the tail terms tiny.
+  double sum = 0.0;
+  double comp = 0.0;
+  for (uint64_t i = 1; i <= m; ++i) {
+    double term = std::pow(static_cast<double>(i), -gamma);
+    double y = term - comp;
+    double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double ZipfExpectedFrequency(uint64_t rank, uint64_t n, uint64_t m,
+                             double gamma) {
+  return static_cast<double>(n) *
+         std::pow(static_cast<double>(rank), -gamma) /
+         TruncatedZeta(m, gamma);
+}
+
+ZipfSampler::ZipfSampler(uint64_t num_items, double gamma)
+    : num_items_(num_items), gamma_(gamma) {
+  assert(num_items >= 1);
+  zeta_ = TruncatedZeta(num_items, gamma);
+
+  // Walker/Vose alias-table construction over p_i = i^{-γ} / ζ.
+  const size_t m = static_cast<size_t>(num_items);
+  std::vector<double> scaled(m);  // p_i * m
+  for (size_t i = 0; i < m; ++i) {
+    scaled[i] =
+        std::pow(static_cast<double>(i + 1), -gamma) / zeta_ *
+        static_cast<double>(m);
+  }
+
+  threshold_.assign(m, 1.0);
+  alias_.assign(m, 0);
+
+  std::vector<uint32_t> small, large;
+  small.reserve(m);
+  large.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    threshold_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Whatever remains has weight (numerically) 1.
+  for (uint32_t s : small) threshold_[s] = 1.0;
+  for (uint32_t l : large) threshold_[l] = 1.0;
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  uint64_t column = rng.Uniform(num_items_);
+  bool keep = rng.UniformDouble() < threshold_[column];
+  return (keep ? column : alias_[column]) + 1;
+}
+
+double ZipfSampler::Pmf(uint64_t rank) const {
+  return std::pow(static_cast<double>(rank), -gamma_) / zeta_;
+}
+
+}  // namespace ltc

@@ -1,0 +1,54 @@
+// Zipfian distribution sampling and analytics.
+//
+// The paper's theoretical analysis (§IV-B) models the stream as Zipfian:
+// f_i = N / (i^γ ζ(γ)) with ζ(γ) = Σ_{i=1..M} 1/i^γ. This module provides
+// (a) the exact truncated-zeta analytics needed by core/theory.h and
+// (b) an O(1)-per-sample alias-method sampler used by the synthetic
+// workload generators.
+
+#ifndef LTC_COMMON_ZIPF_H_
+#define LTC_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ltc {
+
+/// Truncated generalized harmonic number: Σ_{i=1..m} i^{-gamma}.
+double TruncatedZeta(uint64_t m, double gamma);
+
+/// Expected frequency of the rank-i item (1-based) in a Zipf(γ) stream of
+/// n total items over m distinct items (paper Eq. 3).
+double ZipfExpectedFrequency(uint64_t rank, uint64_t n, uint64_t m,
+                             double gamma);
+
+/// Samples ranks 1..m with P(rank = i) ∝ i^{-gamma} using Walker's alias
+/// method: O(m) setup, O(1) per sample, deterministic given the Rng.
+class ZipfSampler {
+ public:
+  /// \param num_items   number of distinct ranks m (must be >= 1)
+  /// \param gamma       skewness γ >= 0 (0 = uniform)
+  ZipfSampler(uint64_t num_items, double gamma);
+
+  /// Returns a rank in [1, num_items].
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t num_items() const { return num_items_; }
+  double gamma() const { return gamma_; }
+
+  /// Probability mass of rank i (1-based).
+  double Pmf(uint64_t rank) const;
+
+ private:
+  uint64_t num_items_;
+  double gamma_;
+  double zeta_;                    // normalizing constant
+  std::vector<double> threshold_;  // alias-method acceptance thresholds
+  std::vector<uint32_t> alias_;    // alias targets
+};
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_ZIPF_H_

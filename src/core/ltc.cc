@@ -1,0 +1,500 @@
+#include "core/ltc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/bob_hash.h"
+#include "common/hash.h"
+
+namespace ltc {
+
+Ltc::Ltc(const LtcConfig& config) : config_(config) {
+  assert(config.cells_per_bucket >= 1);
+  assert(config.alpha >= 0.0 && config.beta >= 0.0);
+  assert(config.alpha > 0.0 || config.beta > 0.0);
+  if (config_.period_mode == PeriodMode::kCountBased) {
+    assert(config_.items_per_period >= 1);
+  } else {
+    assert(config_.period_seconds > 0.0);
+  }
+  size_t w = config.memory_bytes /
+             (LtcConfig::BytesPerCell() * config.cells_per_bucket);
+  num_buckets_ = static_cast<uint32_t>(std::max<size_t>(1, w));
+  cells_.assign(static_cast<size_t>(num_buckets_) * config.cells_per_bucket,
+                Cell{});
+}
+
+uint32_t Ltc::BucketOf(ItemId item) const {
+  return FastRange32(BobHash32(item, static_cast<uint32_t>(config_.seed)),
+                     num_buckets_);
+}
+
+uint8_t Ltc::CurrentFlagMask() const {
+  if (!config_.deviation_eliminator) return 0x1;
+  return static_cast<uint8_t>(1u << (current_period_ & 1));
+}
+
+uint8_t Ltc::ScanFlagMask() const {
+  if (!config_.deviation_eliminator) return 0x1;
+  // During period p the sweep credits the PREVIOUS period's flag (§III-C);
+  // with parity flags that is the bit of opposite parity. In period 0 the
+  // opposite-parity bit has never been set, so the sweep is a no-op, as it
+  // should be.
+  return static_cast<uint8_t>(1u << ((current_period_ & 1) ^ 1));
+}
+
+void Ltc::ScanCell(Cell& cell) {
+  uint8_t mask = ScanFlagMask();
+  if (cell.flags & mask) {
+    ++cell.counter;
+    cell.flags = static_cast<uint8_t>(cell.flags & ~mask);
+  }
+}
+
+void Ltc::ScanTo(uint64_t target_slot) {
+  assert(target_slot <= cells_.size());
+  for (; scan_cursor_ < target_slot; ++scan_cursor_) {
+    ScanCell(cells_[scan_cursor_]);
+  }
+}
+
+void Ltc::AdvanceClock(double time) {
+  const uint64_t m = cells_.size();
+  if (config_.period_mode == PeriodMode::kCountBased) {
+    // Pointer position after this arrival: ⌊i·m/n⌋ within the period.
+    ++items_seen_;
+    if (items_seen_ >= config_.items_per_period) {
+      ScanTo(m);
+      scan_cursor_ = 0;
+      items_seen_ = 0;
+      ++current_period_;
+    } else {
+      ScanTo(items_seen_ * m / config_.items_per_period);
+    }
+    return;
+  }
+
+  // Time-based (§III-B "when the period is defined by time"): the pointer
+  // tracks absolute time, so an arrival gap of (x−y) advances it by
+  // (x−y)/t·m slots, completing full sweeps over any skipped periods.
+  assert(time >= last_time_);
+  last_time_ = time;
+  const double t = config_.period_seconds;
+  while (time >= (static_cast<double>(current_period_) + 1.0) * t) {
+    ScanTo(m);
+    scan_cursor_ = 0;
+    ++current_period_;
+  }
+  double offset = time - static_cast<double>(current_period_) * t;
+  auto target = static_cast<uint64_t>(offset / t * static_cast<double>(m));
+  ScanTo(std::min(target, m));
+}
+
+void Ltc::PlaceItem(Cell& cell, ItemId item, uint32_t bucket_base) {
+  uint32_t init_freq = 1;
+  uint32_t init_counter = 0;
+  switch (config_.EffectiveInitPolicy()) {
+    case InitPolicy::kOne:
+    case InitPolicy::kMinPlusOne:  // handled in Insert; unreachable here
+      break;
+    case InitPolicy::kLongTail: {
+      // Long-tail Replacement (§III-D): the expelled minimum's true value
+      // is approximately the bucket's (old) second-smallest value − 1, so
+      // the newcomer — which in Case I earned its slot by arriving that
+      // many times — starts there instead of at 1.
+      uint32_t min_freq = 0;
+      uint32_t min_counter = 0;
+      bool have_other = false;
+      const uint32_t d = config_.cells_per_bucket;
+      for (uint32_t i = 0; i < d; ++i) {
+        const Cell& other = cells_[bucket_base + i];
+        if (&other == &cell || IsEmpty(other)) continue;
+        if (!have_other) {
+          min_freq = other.freq;
+          min_counter = other.counter;
+          have_other = true;
+        } else {
+          min_freq = std::min(min_freq, other.freq);
+          min_counter = std::min(min_counter, other.counter);
+        }
+      }
+      if (have_other) {
+        init_freq = min_freq > 1 ? min_freq - 1 : 1;
+        init_counter = min_counter > 0 ? min_counter - 1 : 0;
+      }
+      break;
+    }
+  }
+  cell.id = item;
+  cell.freq = init_freq;
+  cell.counter = init_counter;
+  cell.flags = CurrentFlagMask();
+}
+
+void Ltc::Insert(ItemId item, double time) {
+  assert(item != 0 && "ItemId 0 is reserved for empty cells");
+  if (config_.period_mode == PeriodMode::kTimeBased) {
+    // Settle the clock first so the flag lands in this arrival's period.
+    AdvanceClock(time);
+  }
+
+  const uint32_t d = config_.cells_per_bucket;
+  const uint32_t base = BucketOf(item) * d;
+
+  Cell* found = nullptr;
+  Cell* empty = nullptr;
+  for (uint32_t i = 0; i < d; ++i) {
+    Cell& cell = cells_[base + i];
+    if (cell.id == item && !IsEmpty(cell)) {
+      found = &cell;
+      break;
+    }
+    if (empty == nullptr && IsEmpty(cell)) empty = &cell;
+  }
+
+  if (found != nullptr) {
+    // Case 1: tracked — bump frequency, mark "appeared this period".
+    ++found->freq;
+    found->flags |= CurrentFlagMask();
+  } else if (empty != nullptr) {
+    // Case 2: free slot — admit with initial values (1, 0).
+    empty->id = item;
+    empty->freq = 1;
+    empty->counter = 0;
+    empty->flags = CurrentFlagMask();
+  } else {
+    // Case 3: full bucket — Significance Decrementing on the smallest
+    // cell; the newcomer is admitted only if that empties it.
+    Cell* smallest = &cells_[base];
+    double smallest_sig = SignificanceOf(*smallest);
+    for (uint32_t i = 1; i < d; ++i) {
+      double sig = SignificanceOf(cells_[base + i]);
+      if (sig < smallest_sig) {
+        smallest_sig = sig;
+        smallest = &cells_[base + i];
+      }
+    }
+    if (config_.EffectiveInitPolicy() == InitPolicy::kMinPlusOne) {
+      // Space-Saving's takeover (§I): no decrementing — the newcomer
+      // replaces the minimum outright and inherits its value + 1.
+      smallest->id = item;
+      ++smallest->freq;
+      smallest->flags = CurrentFlagMask();
+    } else {
+      if (smallest->counter > 0) --smallest->counter;
+      if (smallest->freq > 0) --smallest->freq;
+      if (SignificanceOf(*smallest) == 0.0) {
+        smallest->id = 0;
+        smallest->freq = 0;
+        smallest->counter = 0;
+        smallest->flags = 0;
+        PlaceItem(*smallest, item, base);
+      }
+    }
+  }
+
+  if (config_.period_mode == PeriodMode::kCountBased) {
+    AdvanceClock(time);
+  }
+}
+
+void Ltc::Finalize() {
+  // Credit every pending flag: the previous-period flag of cells the sweep
+  // has not reached this period, plus the current period's flag (a period
+  // is only credited by the NEXT period's sweep, which will never run).
+  for (Cell& cell : cells_) {
+    if (config_.deviation_eliminator) {
+      if (cell.flags & 0x1) ++cell.counter;
+      if (cell.flags & 0x2) ++cell.counter;
+    } else {
+      if (cell.flags & 0x1) ++cell.counter;
+    }
+    cell.flags = 0;
+  }
+}
+
+bool Ltc::IsTracked(ItemId item) const {
+  const uint32_t d = config_.cells_per_bucket;
+  const uint32_t base = BucketOf(item) * d;
+  for (uint32_t i = 0; i < d; ++i) {
+    const Cell& cell = cells_[base + i];
+    if (cell.id == item && !IsEmpty(cell)) return true;
+  }
+  return false;
+}
+
+double Ltc::QuerySignificance(ItemId item) const {
+  const uint32_t d = config_.cells_per_bucket;
+  const uint32_t base = BucketOf(item) * d;
+  for (uint32_t i = 0; i < d; ++i) {
+    const Cell& cell = cells_[base + i];
+    if (cell.id == item && !IsEmpty(cell)) return SignificanceOf(cell);
+  }
+  return 0.0;
+}
+
+uint64_t Ltc::EstimateFrequency(ItemId item) const {
+  const uint32_t d = config_.cells_per_bucket;
+  const uint32_t base = BucketOf(item) * d;
+  for (uint32_t i = 0; i < d; ++i) {
+    const Cell& cell = cells_[base + i];
+    if (cell.id == item && !IsEmpty(cell)) return cell.freq;
+  }
+  return 0;
+}
+
+uint64_t Ltc::EstimatePersistency(ItemId item) const {
+  const uint32_t d = config_.cells_per_bucket;
+  const uint32_t base = BucketOf(item) * d;
+  for (uint32_t i = 0; i < d; ++i) {
+    const Cell& cell = cells_[base + i];
+    if (cell.id == item && !IsEmpty(cell)) return cell.counter;
+  }
+  return 0;
+}
+
+namespace {
+
+void SortAndTruncateReports(std::vector<Ltc::Report>* all, size_t k) {
+  std::sort(all->begin(), all->end(),
+            [](const Ltc::Report& a, const Ltc::Report& b) {
+              if (a.significance != b.significance) {
+                return a.significance > b.significance;
+              }
+              return a.item < b.item;
+            });
+  if (all->size() > k) all->resize(k);
+}
+
+}  // namespace
+
+std::vector<Ltc::Report> Ltc::TopK(size_t k) const {
+  std::vector<Report> all;
+  all.reserve(cells_.size());
+  for (const Cell& cell : cells_) {
+    if (!IsEmpty(cell)) {
+      all.push_back({cell.id, cell.freq, cell.counter, SignificanceOf(cell)});
+    }
+  }
+  SortAndTruncateReports(&all, k);
+  return all;
+}
+
+std::vector<Ltc::Report> Ltc::ItemsAbove(double threshold) const {
+  std::vector<Report> all;
+  for (const Cell& cell : cells_) {
+    if (IsEmpty(cell)) continue;
+    double sig = SignificanceOf(cell);
+    if (sig >= threshold) {
+      all.push_back({cell.id, cell.freq, cell.counter, sig});
+    }
+  }
+  SortAndTruncateReports(&all, all.size());
+  return all;
+}
+
+std::vector<Ltc::Report> Ltc::SnapshotTopK(size_t k) const {
+  const uint8_t pending_mask = config_.deviation_eliminator ? 0x3 : 0x1;
+  std::vector<Report> all;
+  all.reserve(cells_.size());
+  for (const Cell& cell : cells_) {
+    if (IsEmpty(cell)) continue;
+    uint64_t credited =
+        cell.counter +
+        static_cast<uint64_t>(__builtin_popcount(cell.flags & pending_mask));
+    all.push_back({cell.id, cell.freq, credited,
+                   config_.alpha * cell.freq + config_.beta * credited});
+  }
+  SortAndTruncateReports(&all, k);
+  return all;
+}
+
+Ltc::TableStats Ltc::ComputeStats() const {
+  TableStats stats;
+  const uint32_t d = config_.cells_per_bucket;
+  double sig_sum = 0.0;
+  for (uint32_t b = 0; b < num_buckets_; ++b) {
+    bool full = true;
+    for (uint32_t i = 0; i < d; ++i) {
+      const Cell& cell = cells_[static_cast<size_t>(b) * d + i];
+      if (IsEmpty(cell)) {
+        ++stats.empty_cells;
+        full = false;
+      } else {
+        ++stats.occupied_cells;
+        sig_sum += SignificanceOf(cell);
+        stats.max_frequency =
+            std::max<uint64_t>(stats.max_frequency, cell.freq);
+        stats.max_persistency =
+            std::max<uint64_t>(stats.max_persistency, cell.counter);
+      }
+    }
+    if (full) ++stats.full_buckets;
+  }
+  if (!cells_.empty()) {
+    stats.occupancy =
+        static_cast<double>(stats.occupied_cells) / cells_.size();
+  }
+  if (stats.occupied_cells > 0) {
+    stats.avg_significance = sig_sum / stats.occupied_cells;
+  }
+  return stats;
+}
+
+bool Ltc::CanMergeWith(const Ltc& other) const {
+  return num_buckets_ == other.num_buckets_ &&
+         config_.cells_per_bucket == other.config_.cells_per_bucket &&
+         config_.seed == other.config_.seed &&
+         config_.alpha == other.config_.alpha &&
+         config_.beta == other.config_.beta &&
+         config_.deviation_eliminator == other.config_.deviation_eliminator;
+}
+
+void Ltc::MergeFrom(const Ltc& other) {
+  assert(CanMergeWith(other));
+  const uint32_t d = config_.cells_per_bucket;
+  std::vector<Cell> combined;
+  combined.reserve(2 * d);
+  for (uint32_t b = 0; b < num_buckets_; ++b) {
+    const uint32_t base = b * d;
+    combined.clear();
+    auto absorb = [&](const Cell& cell) {
+      if (cell.id == 0) return;
+      for (Cell& existing : combined) {
+        if (existing.id == cell.id) {
+          existing.freq += cell.freq;
+          existing.counter += cell.counter;
+          existing.flags |= cell.flags;
+          return;
+        }
+      }
+      combined.push_back(cell);
+    };
+    for (uint32_t i = 0; i < d; ++i) absorb(cells_[base + i]);
+    for (uint32_t i = 0; i < d; ++i) absorb(other.cells_[base + i]);
+
+    std::sort(combined.begin(), combined.end(),
+              [this](const Cell& a, const Cell& b2) {
+                double sa = SignificanceOf(a);
+                double sb = SignificanceOf(b2);
+                if (sa != sb) return sa > sb;
+                return a.id < b2.id;
+              });
+    for (uint32_t i = 0; i < d; ++i) {
+      cells_[base + i] =
+          i < combined.size() ? combined[i] : Cell{};
+    }
+  }
+  // Summed counters can legitimately span both inputs' histories; widen
+  // the per-table persistency cap accordingly (see CheckInvariants).
+  merged_history_periods_ += other.current_period_ +
+                             other.merged_history_periods_ + 1;
+  current_period_ = std::max(current_period_, other.current_period_);
+}
+
+namespace {
+constexpr uint32_t kLtcMagic = 0x4c544331;  // "LTC1"
+}  // namespace
+
+void Ltc::Serialize(BinaryWriter& writer) const {
+  writer.PutU32(kLtcMagic);
+  writer.PutU64(config_.memory_bytes);
+  writer.PutU32(config_.cells_per_bucket);
+  writer.PutDouble(config_.alpha);
+  writer.PutDouble(config_.beta);
+  writer.PutU8(config_.long_tail_replacement ? 1 : 0);
+  writer.PutU8(static_cast<uint8_t>(config_.init_policy));
+  writer.PutU8(config_.deviation_eliminator ? 1 : 0);
+  writer.PutU8(config_.period_mode == PeriodMode::kTimeBased ? 1 : 0);
+  writer.PutU64(config_.items_per_period);
+  writer.PutDouble(config_.period_seconds);
+  writer.PutU64(config_.seed);
+
+  writer.PutU64(items_seen_);
+  writer.PutU64(current_period_);
+  writer.PutU64(scan_cursor_);
+  writer.PutDouble(last_time_);
+  writer.PutU64(merged_history_periods_);
+
+  writer.PutU64(cells_.size());
+  for (const Cell& cell : cells_) {
+    writer.PutU64(cell.id);
+    writer.PutU32(cell.freq);
+    writer.PutU32(cell.counter);
+    writer.PutU8(cell.flags);
+  }
+}
+
+std::optional<Ltc> Ltc::Deserialize(BinaryReader& reader) {
+  if (reader.GetU32() != kLtcMagic) return std::nullopt;
+  LtcConfig config;
+  config.memory_bytes = reader.GetU64();
+  config.cells_per_bucket = reader.GetU32();
+  config.alpha = reader.GetDouble();
+  config.beta = reader.GetDouble();
+  config.long_tail_replacement = reader.GetU8() != 0;
+  uint8_t policy = reader.GetU8();
+  if (policy > static_cast<uint8_t>(InitPolicy::kMinPlusOne)) {
+    return std::nullopt;
+  }
+  config.init_policy = static_cast<InitPolicy>(policy);
+  config.deviation_eliminator = reader.GetU8() != 0;
+  config.period_mode =
+      reader.GetU8() != 0 ? PeriodMode::kTimeBased : PeriodMode::kCountBased;
+  config.items_per_period = reader.GetU64();
+  config.period_seconds = reader.GetDouble();
+  config.seed = reader.GetU64();
+  if (reader.failed() || config.cells_per_bucket == 0 ||
+      config.alpha < 0.0 || config.beta < 0.0 ||
+      (config.alpha <= 0.0 && config.beta <= 0.0) ||
+      (config.period_mode == PeriodMode::kCountBased &&
+       config.items_per_period == 0) ||
+      (config.period_mode == PeriodMode::kTimeBased &&
+       !(config.period_seconds > 0.0))) {
+    return std::nullopt;
+  }
+
+  Ltc table(config);
+  table.items_seen_ = reader.GetU64();
+  table.current_period_ = reader.GetU64();
+  table.scan_cursor_ = reader.GetU64();
+  table.last_time_ = reader.GetDouble();
+  table.merged_history_periods_ = reader.GetU64();
+
+  uint64_t num_cells = reader.GetU64();
+  if (reader.failed() || num_cells != table.cells_.size() ||
+      table.scan_cursor_ > num_cells) {
+    return std::nullopt;
+  }
+  for (Cell& cell : table.cells_) {
+    cell.id = reader.GetU64();
+    cell.freq = reader.GetU32();
+    cell.counter = reader.GetU32();
+    cell.flags = reader.GetU8();
+  }
+  if (reader.failed() || !table.CheckInvariants()) return std::nullopt;
+  return table;
+}
+
+bool Ltc::CheckInvariants() const {
+  const uint8_t allowed = config_.deviation_eliminator ? 0x3 : 0x1;
+  for (const Cell& cell : cells_) {
+    if (cell.flags & ~allowed) return false;
+    if (cell.id == 0) {
+      if (cell.freq != 0 || cell.counter != 0 || cell.flags != 0) {
+        return false;
+      }
+    } else {
+      // Persistency can never exceed the number of periods touched so
+      // far — plus whatever history merged-in peers contributed.
+      if (cell.counter >
+          current_period_ + 1 + merged_history_periods_) {
+        return false;
+      }
+    }
+  }
+  return scan_cursor_ <= cells_.size();
+}
+
+}  // namespace ltc

@@ -1,0 +1,255 @@
+// LTC (Long-Tail CLOCK) — the paper's primary contribution (§III).
+//
+// A lossy table of w buckets × d cells tracks the items most likely to be
+// *significant*, where significance s = α·frequency + β·persistency
+// (Eq. 1). Three mechanisms cooperate:
+//
+//  * Significance Decrementing (§III-B): an unmatched arrival into a full
+//    bucket decrements the least-significant cell; the cell's occupant is
+//    expelled only when its significance reaches 0, at which point the
+//    newcomer takes the slot. This is what makes the estimate one-sided
+//    (no overestimation, Theorem IV.1).
+//
+//  * A modified CLOCK (§III-B, Fig. 3): every cell doubles as a time slot
+//    on a clock face. A pointer sweeps all m = w·d slots exactly once per
+//    period (fractional step m/n per arrival, or (x−y)/t·m for time-based
+//    periods) and lazily converts per-period "appeared" flags into +1
+//    persistency — so an item appearing many times in one period still
+//    gains exactly 1, matching the definition of persistency.
+//
+//  * Optimization I, Deviation Eliminator (§III-C): one flag cannot
+//    distinguish the current from the previous period, inflating
+//    persistency by up to 2× the truth; two parity flags (even/odd
+//    periods) remove the deviation with no refresh pass.
+//
+//  * Optimization II, Long-tail Replacement (§III-D): a newcomer that
+//    fought its way in has, with high probability under a long-tail
+//    distribution, a true value close to the old minimum — so its fields
+//    are initialized to the bucket's second-smallest values − 1 instead
+//    of 1.
+//
+// Both optimizations are config flags so the paper's ablations (Fig. 8,
+// Fig. 11) run against this one implementation.
+
+#ifndef LTC_CORE_LTC_H_
+#define LTC_CORE_LTC_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/serial.h"
+#include "stream/stream.h"
+
+namespace ltc {
+
+/// How the CLOCK pointer paces itself (§III-B "Persistency Incrementing").
+enum class PeriodMode {
+  kCountBased,  // a period is a fixed number of arrivals; step = m/n
+  kTimeBased,   // a period is a fixed time span; step = (x−y)/t · m
+};
+
+/// What happens when an arrival misses a full bucket (Case 3). The paper
+/// motivates Long-tail Replacement against two alternatives; all three
+/// are implemented so the ablation is a config flag (DESIGN.md §5.4,
+/// bench_ablation_init).
+enum class InitPolicy {
+  kOne,         // basic version (§III-B): decrement the smallest; admit at
+                //   (1, 0) when it empties — underestimates
+  kLongTail,    // §III-D: decrement; admit at second-smallest − 1 — the
+                //   paper's contribution
+  kMinPlusOne,  // Space-Saving's strategy (§I): NO decrementing — replace
+                //   the smallest immediately, inheriting its value + 1 —
+                //   large overestimation on long-tail data
+};
+
+struct LtcConfig {
+  /// Total memory budget; the bucket count w is derived as
+  /// memory_bytes / (BytesPerCell · cells_per_bucket), min 1.
+  size_t memory_bytes = 64 * 1024;
+
+  /// d, cells per bucket. The paper evaluates d ∈ {1..32} and defaults to
+  /// 8 (§V-C).
+  uint32_t cells_per_bucket = 8;
+
+  /// Significance weights (Eq. 1). α=1,β=0 degenerates to frequent items;
+  /// α=0,β=1 to persistent items.
+  double alpha = 1.0;
+  double beta = 1.0;
+
+  /// Optimization II (§III-D). On by default as in §V-D. Convenience
+  /// shorthand: long_tail_replacement=false means init_policy=kOne.
+  bool long_tail_replacement = true;
+
+  /// Admission initializer; see InitPolicy. Only consulted when
+  /// long_tail_replacement is true (false forces kOne).
+  InitPolicy init_policy = InitPolicy::kLongTail;
+
+  /// The initializer actually in effect.
+  InitPolicy EffectiveInitPolicy() const {
+    return long_tail_replacement ? init_policy : InitPolicy::kOne;
+  }
+
+  /// Optimization I (§III-C). On by default as in §V-E.
+  bool deviation_eliminator = true;
+
+  PeriodMode period_mode = PeriodMode::kCountBased;
+
+  /// n, arrivals per period (count-based mode).
+  uint64_t items_per_period = 10'000;
+
+  /// t, seconds per period (time-based mode).
+  double period_seconds = 1.0;
+
+  uint64_t seed = 0;
+
+  /// Model memory per cell: 8B ID + 4B frequency + 4B persistency counter
+  /// incl. the two flag bits (§III-A, Fig. 1).
+  static constexpr size_t BytesPerCell() { return 16; }
+};
+
+class Ltc {
+ public:
+  /// One reported item.
+  struct Report {
+    ItemId item;
+    uint64_t frequency;
+    uint64_t persistency;
+    double significance;
+  };
+
+  explicit Ltc(const LtcConfig& config);
+
+  /// Processes one arrival. In count-based mode `time` is ignored and may
+  /// be omitted; in time-based mode times must be nondecreasing.
+  void Insert(ItemId item, double time = 0.0);
+
+  /// Credits all still-pending period flags. Call once after the stream
+  /// ends and before querying; mid-stream estimates lag by up to one
+  /// period of persistency otherwise. Idempotent only if no Insert
+  /// intervenes.
+  void Finalize();
+
+  /// Estimated significance α·f̂ + β·p̂; 0 when the item is not tracked
+  /// (the paper's "did not appear" answer).
+  double QuerySignificance(ItemId item) const;
+
+  /// Estimated frequency / persistency; 0 when untracked.
+  uint64_t EstimateFrequency(ItemId item) const;
+  uint64_t EstimatePersistency(ItemId item) const;
+
+  bool IsTracked(ItemId item) const;
+
+  /// The k tracked items of largest significance, descending (ties broken
+  /// by item ID for determinism).
+  std::vector<Report> TopK(size_t k) const;
+
+  /// Mid-stream top-k WITHOUT mutating the table: reports each cell as if
+  /// its pending period flags had already been credited (what Finalize
+  /// would produce), so live dashboards don't lag by up to one period.
+  std::vector<Report> SnapshotTopK(size_t k) const;
+
+  /// Threshold (φ-heavy-hitter style) query: every tracked item whose
+  /// significance is at least `threshold`, descending. The one-sided
+  /// guarantee carries over: with LTR off, every returned item truly has
+  /// s >= threshold (no false positives); items whose estimate decayed
+  /// below the threshold can be missed.
+  std::vector<Report> ItemsAbove(double threshold) const;
+
+  uint32_t num_buckets() const { return num_buckets_; }
+  uint32_t cells_per_bucket() const { return config_.cells_per_bucket; }
+  size_t num_cells() const { return cells_.size(); }
+  const LtcConfig& config() const { return config_; }
+  uint64_t current_period() const { return current_period_; }
+
+  /// Model memory actually allocated (w·d cells).
+  size_t MemoryBytes() const {
+    return cells_.size() * LtcConfig::BytesPerCell();
+  }
+
+  /// Structural invariants, used by tests: empty cells fully zeroed, no
+  /// flag bits outside the active scheme, counter ≤ elapsed periods + 1.
+  bool CheckInvariants() const;
+
+  /// Checkpointing: writes config, cells and CLOCK state (versioned).
+  /// A deserialized table continues the stream exactly where the original
+  /// left off.
+  void Serialize(BinaryWriter& writer) const;
+  static std::optional<Ltc> Deserialize(BinaryReader& reader);
+
+  /// Operational introspection for dashboards and capacity planning.
+  struct TableStats {
+    size_t occupied_cells = 0;
+    size_t empty_cells = 0;
+    double occupancy = 0.0;      // occupied / total
+    size_t full_buckets = 0;     // buckets with no empty cell
+    double avg_significance = 0.0;  // over occupied cells
+    uint64_t max_frequency = 0;
+    uint64_t max_persistency = 0;
+  };
+  TableStats ComputeStats() const;
+
+  /// True iff `other` has identical geometry, hashing and significance
+  /// weights, so MergeFrom is meaningful.
+  bool CanMergeWith(const Ltc& other) const;
+
+  /// Folds another table (e.g. from a peer aggregating a disjoint
+  /// substream slice, §I Use Case 3) into this one: bucket-wise, matching
+  /// IDs add their fields, and each bucket keeps its d most significant
+  /// occupants. Exact when the substreams were item-partitioned (no item
+  /// in both); the usual lossy-table approximation otherwise. Call
+  /// Finalize() on both sides first so no period flags are pending.
+  void MergeFrom(const Ltc& other);
+
+ private:
+  struct Cell {
+    ItemId id = 0;
+    uint32_t freq = 0;
+    uint32_t counter = 0;
+    uint8_t flags = 0;  // bit0: even-period flag; bit1: odd-period flag.
+                        // The basic (single-flag) scheme uses bit0 only.
+  };
+
+  double SignificanceOf(const Cell& cell) const {
+    return config_.alpha * cell.freq + config_.beta * cell.counter;
+  }
+  bool IsEmpty(const Cell& cell) const {
+    return cell.id == 0 && SignificanceOf(cell) == 0.0;
+  }
+
+  uint8_t CurrentFlagMask() const;
+  uint8_t ScanFlagMask() const;
+
+  /// Advances the CLOCK pointer to `target_slot` within the current
+  /// period, scanning every slot it passes (§III-B Persistency
+  /// Incrementing; §III-C variant checks the previous-period flag).
+  void ScanTo(uint64_t target_slot);
+
+  /// Moves time forward: completes any finished periods (each completes
+  /// the sweep over all m slots) and advances the pointer within the
+  /// current one.
+  void AdvanceClock(double time);
+
+  void ScanCell(Cell& cell);
+
+  /// Inserts item into `cell`, honouring Long-tail Replacement when
+  /// enabled: fields start at the bucket's second-smallest values − 1
+  /// (§III-D), else at (1, 0).
+  void PlaceItem(Cell& cell, ItemId item, uint32_t bucket_base);
+
+  uint32_t BucketOf(ItemId item) const;
+
+  LtcConfig config_;
+  uint32_t num_buckets_;
+  std::vector<Cell> cells_;  // bucket-major: bucket b = cells_[b·d .. b·d+d)
+
+  uint64_t items_seen_ = 0;       // arrivals in the current period
+  uint64_t current_period_ = 0;
+  uint64_t merged_history_periods_ = 0;  // extra periods from MergeFrom
+  uint64_t scan_cursor_ = 0;      // next slot the pointer will scan, in [0, m]
+  double last_time_ = 0.0;        // previous arrival's timestamp (time mode)
+};
+
+}  // namespace ltc
+
+#endif  // LTC_CORE_LTC_H_

@@ -1,0 +1,103 @@
+#include "core/sharded_ltc.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace ltc {
+
+ShardedLtc::ShardedLtc(const LtcConfig& config, uint32_t num_shards)
+    : route_seed_(Mix64(config.seed ^ 0x5a5a5a5aULL)) {
+  assert(num_shards >= 1);
+  LtcConfig per_shard = config;
+  per_shard.memory_bytes = config.memory_bytes / num_shards;
+  // In count-based mode each shard sees only its slice of the arrivals;
+  // its period must be the per-shard EXPECTED arrivals so all shards'
+  // clocks stay aligned with wall-stream periods.
+  if (config.period_mode == PeriodMode::kCountBased) {
+    per_shard.items_per_period =
+        std::max<uint64_t>(1, config.items_per_period / num_shards);
+  }
+  shards_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    shards_.emplace_back(per_shard);
+  }
+}
+
+uint32_t ShardedLtc::ShardOf(ItemId item) const {
+  return static_cast<uint32_t>(
+      FastRange64(Murmur64A(item, route_seed_), shards_.size()));
+}
+
+void ShardedLtc::Insert(ItemId item, double time) {
+  shards_[ShardOf(item)].Insert(item, time);
+}
+
+void ShardedLtc::Finalize() {
+  for (Ltc& shard : shards_) shard.Finalize();
+}
+
+std::vector<Ltc::Report> ShardedLtc::TopK(size_t k) const {
+  std::vector<Ltc::Report> all;
+  for (const Ltc& shard : shards_) {
+    for (const auto& report : shard.TopK(k)) all.push_back(report);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Ltc::Report& a, const Ltc::Report& b) {
+              if (a.significance != b.significance) {
+                return a.significance > b.significance;
+              }
+              return a.item < b.item;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+double ShardedLtc::QuerySignificance(ItemId item) const {
+  return shards_[ShardOf(item)].QuerySignificance(item);
+}
+
+uint64_t ShardedLtc::EstimateFrequency(ItemId item) const {
+  return shards_[ShardOf(item)].EstimateFrequency(item);
+}
+
+uint64_t ShardedLtc::EstimatePersistency(ItemId item) const {
+  return shards_[ShardOf(item)].EstimatePersistency(item);
+}
+
+namespace {
+constexpr uint32_t kShardedMagic = 0x53484c31;  // "SHL1"
+}  // namespace
+
+void ShardedLtc::Serialize(BinaryWriter& writer) const {
+  writer.PutU32(kShardedMagic);
+  writer.PutU64(route_seed_);
+  writer.PutU32(static_cast<uint32_t>(shards_.size()));
+  for (const Ltc& shard : shards_) shard.Serialize(writer);
+}
+
+std::optional<ShardedLtc> ShardedLtc::Deserialize(BinaryReader& reader) {
+  if (reader.GetU32() != kShardedMagic) return std::nullopt;
+  ShardedLtc sharded;
+  sharded.route_seed_ = reader.GetU64();
+  uint32_t num_shards = reader.GetU32();
+  if (reader.failed() || num_shards == 0 || num_shards > 4096) {
+    return std::nullopt;
+  }
+  sharded.shards_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    auto shard = Ltc::Deserialize(reader);
+    if (!shard) return std::nullopt;
+    sharded.shards_.push_back(std::move(*shard));
+  }
+  return sharded;
+}
+
+size_t ShardedLtc::MemoryBytes() const {
+  size_t total = 0;
+  for (const Ltc& shard : shards_) total += shard.MemoryBytes();
+  return total;
+}
+
+}  // namespace ltc

@@ -1,0 +1,71 @@
+// Hash-partitioned LTC for multi-core / distributed ingestion.
+//
+// The paper's congestion use case (§I Use Case 3) wants persistent flows
+// identified "all over the data center" — i.e. many vantage points, one
+// answer. ShardedLtc partitions items across S independent LTC tables
+// (budget split evenly) by an item hash that is independent of the
+// per-table bucket hash. Because an item always lands in the same shard,
+// every per-item guarantee of a single table carries over verbatim, and
+// the global top-k is the k best of the union of per-shard reports.
+//
+// Threading: the class itself is not synchronized; the intended parallel
+// pattern is one thread per shard, each feeding shard(i) with the records
+// the router assigns to it (see FeedParallel in examples/tests).
+
+#ifndef LTC_CORE_SHARDED_LTC_H_
+#define LTC_CORE_SHARDED_LTC_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/serial.h"
+#include "core/ltc.h"
+
+namespace ltc {
+
+class ShardedLtc {
+ public:
+  /// \param config      per-table configuration; memory_bytes is the
+  ///                    TOTAL budget, split evenly across shards
+  /// \param num_shards  S >= 1
+  ShardedLtc(const LtcConfig& config, uint32_t num_shards);
+
+  /// Which shard an item belongs to (stable, seed-derived).
+  uint32_t ShardOf(ItemId item) const;
+
+  /// Routes to the owning shard. Not thread-safe; for parallel ingestion
+  /// feed each shard from its own thread via shard().
+  void Insert(ItemId item, double time = 0.0);
+
+  void Finalize();
+
+  /// Global top-k: the k most significant entries of the shard union.
+  std::vector<Ltc::Report> TopK(size_t k) const;
+
+  double QuerySignificance(ItemId item) const;
+  uint64_t EstimateFrequency(ItemId item) const;
+  uint64_t EstimatePersistency(ItemId item) const;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  Ltc& shard(uint32_t i) { return shards_[i]; }
+  const Ltc& shard(uint32_t i) const { return shards_[i]; }
+
+  size_t MemoryBytes() const;
+
+  /// Checkpointing: serializes the router seed and every shard.
+  void Serialize(BinaryWriter& writer) const;
+  static std::optional<ShardedLtc> Deserialize(BinaryReader& reader);
+
+ private:
+  ShardedLtc() = default;  // Deserialize constructs piecewise
+
+  uint64_t route_seed_ = 0;
+  std::vector<Ltc> shards_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_CORE_SHARDED_LTC_H_

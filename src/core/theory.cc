@@ -1,0 +1,116 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/zipf.h"
+
+namespace ltc {
+
+std::vector<double> ZipfStreamModel::Frequencies() const {
+  double zeta = TruncatedZeta(distinct_items, gamma);
+  std::vector<double> f(distinct_items);
+  for (uint64_t i = 1; i <= distinct_items; ++i) {
+    f[i - 1] = static_cast<double>(total_items) *
+               std::pow(static_cast<double>(i), -gamma) / zeta;
+  }
+  return f;
+}
+
+double CorrectRateBound(const std::vector<double>& frequencies, uint64_t rank,
+                        const LtcShape& shape) {
+  assert(rank >= 1 && rank <= frequencies.size());
+  const double inv_w = 1.0 / static_cast<double>(shape.num_buckets);
+  const double f = frequencies[rank - 1];
+  const uint32_t d = shape.cells_per_bucket;
+  if (d < 2) {
+    // With d = 1 the Lemma IV.1 condition "never the smallest" can only
+    // hold if NO other item is useful; the DP below handles it, but the
+    // sum Σ_{x<=d-2} is empty, so the bound degenerates to dp_{M,0}.
+  }
+
+  // dp[x] = P(x useful items among those processed so far), truncated at
+  // x = d-1 (more useful items than that can't change the answer).
+  const uint32_t cap = d;  // track x in [0, d]; lump everything >= d
+  std::vector<double> dp(cap + 1, 0.0);
+  dp[0] = 1.0;
+  for (uint64_t j = 1; j <= frequencies.size(); ++j) {
+    if (j == rank) continue;  // an item is never "useful" against itself
+    double fj = frequencies[j - 1];
+    double pi;
+    if (fj > f) {
+      pi = inv_w;
+    } else {
+      // Ballot-style bound: a lighter item's running count ever exceeding
+      // e's happens with probability f_j/(f+1) within the shared bucket.
+      pi = inv_w * (fj / (f + 1.0));
+    }
+    // In-place Poisson-binomial update, high index first.
+    for (uint32_t x = cap; x >= 1; --x) {
+      dp[x] = dp[x] * (1.0 - pi) + dp[x - 1] * pi;
+    }
+    dp[0] *= (1.0 - pi);
+  }
+
+  double p = 0.0;
+  for (uint32_t x = 0; x + 2 <= d; ++x) p += dp[x];  // Σ_{x=0}^{d-2}
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double TopKCorrectRateBound(const std::vector<double>& frequencies, size_t k,
+                            const LtcShape& shape) {
+  k = std::min(k, frequencies.size());
+  double sum = 0.0;
+  for (uint64_t rank = 1; rank <= k; ++rank) {
+    sum += CorrectRateBound(frequencies, rank, shape);
+  }
+  return k == 0 ? 0.0 : sum / static_cast<double>(k);
+}
+
+double ProbabilitySmallest(uint64_t rank, const LtcShape& shape) {
+  const uint32_t d = shape.cells_per_bucket;
+  const double w = static_cast<double>(shape.num_buckets);
+  if (rank < d) return 0.0;  // fewer than d−1 heavier items exist
+  // C(i−1, d−1) (1/w)^{d−1} (1 − 1/w)^{i−d}, computed in log space for
+  // numerical range (i can be ~10^6 while w ~ 10^3).
+  double log_p = std::lgamma(static_cast<double>(rank)) -
+                 std::lgamma(static_cast<double>(d)) -
+                 std::lgamma(static_cast<double>(rank - d + 1));
+  log_p += (d - 1) * std::log(1.0 / w);
+  log_p += (static_cast<double>(rank) - d) * std::log1p(-1.0 / w);
+  return std::exp(log_p);
+}
+
+double ExpectedDecrementers(const std::vector<double>& frequencies,
+                            uint64_t rank, const LtcShape& shape) {
+  double tail = 0.0;
+  for (uint64_t j = rank + 1; j <= frequencies.size(); ++j) {
+    tail += frequencies[j - 1];
+  }
+  return tail / static_cast<double>(shape.num_buckets);
+}
+
+double ErrorProbabilityBound(const std::vector<double>& frequencies,
+                             uint64_t rank, const LtcShape& shape,
+                             double epsilon, uint64_t total_items) {
+  double expected_loss = ProbabilitySmallest(rank, shape) *
+                         ExpectedDecrementers(frequencies, rank, shape) *
+                         (shape.alpha + shape.beta);
+  return expected_loss / (epsilon * static_cast<double>(total_items));
+}
+
+double TopKErrorProbabilityBound(const std::vector<double>& frequencies,
+                                 size_t k, const LtcShape& shape,
+                                 double epsilon, uint64_t total_items) {
+  k = std::min(k, frequencies.size());
+  double sum = 0.0;
+  for (uint64_t rank = 1; rank <= k; ++rank) {
+    sum += std::min(
+        1.0, ErrorProbabilityBound(frequencies, rank, shape, epsilon,
+                                   total_items));
+  }
+  return k == 0 ? 0.0 : sum / static_cast<double>(k);
+}
+
+}  // namespace ltc

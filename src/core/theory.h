@@ -1,0 +1,79 @@
+// Closed-form evaluation of the paper's §IV guarantees for Zipfian
+// streams, used by the Fig. 7 reproduction to plot theoretical curves
+// against measured values.
+//
+//  * Correct-rate bound (Lemma IV.1 + Eq. 4–5): the reported significance
+//    of an item e is exactly right if e found a free cell on first arrival
+//    and was never the smallest cell. With π_i the probability that item
+//    e_i both shares e's bucket and ever out-counts e, the number of such
+//    "useful" items follows the Poisson-binomial DP of Eq. 4, and
+//    P_correct >= Σ_{x=0}^{d-2} dp_{M,x} (Eq. 5).
+//
+//  * Error bound (Eq. 6–11): each Significance Decrementing on e_i costs
+//    (α+β); it fires only while e_i is the bucket minimum (probability
+//    P_small, Eq. 7) and only for less-significant same-bucket arrivals
+//    (expected count E(V), Eq. 8). Markov's inequality then bounds
+//    Pr{s_i − ŝ_i >= εN} (Eq. 11).
+
+#ifndef LTC_CORE_THEORY_H_
+#define LTC_CORE_THEORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ltc {
+
+/// Parameters of the analytic stream model (paper Eq. 3).
+struct ZipfStreamModel {
+  uint64_t total_items;     // N
+  uint64_t distinct_items;  // M
+  double gamma;             // skew
+
+  /// Expected frequency of the rank-i item, f_i = N·i^{−γ}/ζ(γ).
+  std::vector<double> Frequencies() const;
+};
+
+/// LTC shape parameters relevant to the bounds.
+struct LtcShape {
+  uint64_t num_buckets;      // w
+  uint32_t cells_per_bucket; // d
+  double alpha = 1.0;
+  double beta = 1.0;
+};
+
+/// P(reported significance of the rank-`rank` item is correct), the
+/// Eq. 4–5 lower bound. `frequencies` must be descending (rank 1 first).
+/// O(M·d).
+double CorrectRateBound(const std::vector<double>& frequencies, uint64_t rank,
+                        const LtcShape& shape);
+
+/// Average of CorrectRateBound over ranks 1..k — the theoretical curve of
+/// Fig. 7(a).
+double TopKCorrectRateBound(const std::vector<double>& frequencies, size_t k,
+                            const LtcShape& shape);
+
+/// Eq. 7: P_small for the rank-i item — the probability that the d−1
+/// other cells of its bucket are all held by more significant items,
+/// i.e. exactly d−1 of the i−1 higher-ranked items hash to its bucket.
+double ProbabilitySmallest(uint64_t rank, const LtcShape& shape);
+
+/// Eq. 8: E(V), the expected count of less-significant same-bucket
+/// arrivals that can decrement the rank-i item.
+double ExpectedDecrementers(const std::vector<double>& frequencies,
+                            uint64_t rank, const LtcShape& shape);
+
+/// Eq. 11: Markov bound on Pr{s_i − ŝ_i >= ε·N} for the rank-i item.
+double ErrorProbabilityBound(const std::vector<double>& frequencies,
+                             uint64_t rank, const LtcShape& shape,
+                             double epsilon, uint64_t total_items);
+
+/// Average of ErrorProbabilityBound over ranks 1..k, clamped to [0,1] —
+/// the theoretical curve of Fig. 7(b).
+double TopKErrorProbabilityBound(const std::vector<double>& frequencies,
+                                 size_t k, const LtcShape& shape,
+                                 double epsilon, uint64_t total_items);
+
+}  // namespace ltc
+
+#endif  // LTC_CORE_THEORY_H_

@@ -1,0 +1,86 @@
+#include "core/windowed_ltc.h"
+
+#include <cassert>
+
+namespace ltc {
+namespace {
+
+LtcConfig MakePaneConfig(LtcConfig config) {
+  assert(config.period_mode == PeriodMode::kTimeBased);
+  config.memory_bytes /= 2;
+  return config;
+}
+
+}  // namespace
+
+WindowedLtc::WindowedLtc(const LtcConfig& config, uint32_t window_periods)
+    : pane_config_(MakePaneConfig(config)),
+      window_periods_(window_periods),
+      pane_periods_((window_periods + 1) / 2),
+      active_(pane_config_),
+      previous_(pane_config_) {
+  assert(window_periods >= 2);
+}
+
+uint64_t WindowedLtc::PaneOf(double time) const {
+  double pane_span =
+      pane_config_.period_seconds * static_cast<double>(pane_periods_);
+  return static_cast<uint64_t>(time / pane_span);
+}
+
+void WindowedLtc::Rotate(uint64_t pane_index) {
+  if (pane_index == current_pane_ + 1) {
+    // Adjacent pane: the active pane becomes the "previous" half of the
+    // window. Finalize commits its pending period flags — it will only
+    // be read from now on.
+    active_.Finalize();
+    previous_ = std::move(active_);
+    previous_live_ = true;
+  } else {
+    // Jumped over at least one empty pane: nothing recent survives.
+    previous_ = Ltc(pane_config_);
+    previous_live_ = false;
+  }
+  active_ = Ltc(pane_config_);
+  current_pane_ = pane_index;
+}
+
+void WindowedLtc::Insert(ItemId item, double time) {
+  uint64_t pane = PaneOf(time);
+  if (pane != current_pane_) {
+    assert(pane > current_pane_ && "timestamps must be nondecreasing");
+    Rotate(pane);
+  }
+  // Each pane's internal clock runs on pane-relative time so its CLOCK
+  // sweep stays aligned with global periods regardless of rotation.
+  double pane_start = static_cast<double>(pane) * pane_periods_ *
+                      pane_config_.period_seconds;
+  active_.Insert(item, time - pane_start);
+}
+
+std::vector<Ltc::Report> WindowedLtc::TopK(size_t k) const {
+  // Merge copies: time-partitioned panes make MergeFrom exact.
+  Ltc combined = active_;
+  combined.Finalize();
+  if (previous_live_) {
+    combined.MergeFrom(previous_);
+  }
+  return combined.TopK(k);
+}
+
+double WindowedLtc::QuerySignificance(ItemId item) const {
+  Ltc snapshot = active_;
+  snapshot.Finalize();
+  double total = snapshot.QuerySignificance(item);
+  if (previous_live_) total += previous_.QuerySignificance(item);
+  return total;
+}
+
+uint64_t WindowedLtc::WindowStartPeriod() const {
+  if (!previous_live_ || current_pane_ == 0) {
+    return current_pane_ * pane_periods_;
+  }
+  return (current_pane_ - 1) * pane_periods_;
+}
+
+}  // namespace ltc

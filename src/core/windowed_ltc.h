@@ -1,0 +1,67 @@
+// Jumping-window LTC — the natural extension of the paper's future-work
+// direction: significance over the RECENT past instead of the whole
+// stream (the §I congestion use case really wants "flows persistent over
+// the last hour", not since boot).
+//
+// Construction: two panes, each an independent Ltc over half the memory
+// budget, rotated every ⌈W/2⌉ periods. A query merges the active pane
+// with the previous one, so the answer always covers between ⌈W/2⌉ and
+// W recent periods and never anything older than W. Because the panes
+// partition time disjointly, merging adds per-item fields exactly
+// (Ltc::MergeFrom is exact for time-partitioned inputs).
+
+#ifndef LTC_CORE_WINDOWED_LTC_H_
+#define LTC_CORE_WINDOWED_LTC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ltc.h"
+
+namespace ltc {
+
+class WindowedLtc {
+ public:
+  /// \param config          per-pane configuration; memory_bytes is the
+  ///                        TOTAL budget (halved per pane). Must be
+  ///                        time-based: a window of periods needs a
+  ///                        wall-clock period definition.
+  /// \param window_periods  W >= 2, the history horizon in periods
+  WindowedLtc(const LtcConfig& config, uint32_t window_periods);
+
+  /// Processes one arrival; timestamps must be nondecreasing.
+  void Insert(ItemId item, double time);
+
+  /// Top-k significant items over the covered window (the last
+  /// ⌈W/2⌉..W periods). Non-destructive; callable at any time.
+  std::vector<Ltc::Report> TopK(size_t k) const;
+
+  /// Significance of one item over the covered window (0 if untracked).
+  double QuerySignificance(ItemId item) const;
+
+  /// Oldest period index the current answer can include.
+  uint64_t WindowStartPeriod() const;
+
+  uint32_t window_periods() const { return window_periods_; }
+  uint32_t pane_periods() const { return pane_periods_; }
+  uint64_t current_pane() const { return current_pane_; }
+  size_t MemoryBytes() const {
+    return active_.MemoryBytes() + previous_.MemoryBytes();
+  }
+
+ private:
+  void Rotate(uint64_t pane_index);
+  uint64_t PaneOf(double time) const;
+
+  LtcConfig pane_config_;
+  uint32_t window_periods_;
+  uint32_t pane_periods_;
+  uint64_t current_pane_ = 0;
+  Ltc active_;
+  Ltc previous_;
+  bool previous_live_ = false;  // previous_ holds the preceding pane
+};
+
+}  // namespace ltc
+
+#endif  // LTC_CORE_WINDOWED_LTC_H_

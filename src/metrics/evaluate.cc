@@ -1,0 +1,61 @@
+#include "metrics/evaluate.h"
+
+#include <chrono>
+#include <cmath>
+#include <unordered_set>
+
+namespace ltc {
+
+EvalResult Evaluate(const std::vector<TopKEntry>& reported,
+                    const GroundTruth& truth, size_t k, double alpha,
+                    double beta) {
+  EvalResult result;
+  result.reported = reported.size();
+  if (k == 0) return result;
+
+  std::unordered_set<ItemId> true_set;
+  for (const auto& [item, sig] : truth.TopKSignificant(k, alpha, beta)) {
+    true_set.insert(item);
+  }
+
+  size_t hits = 0;
+  double relative_sum = 0.0;
+  double absolute_sum = 0.0;
+  for (const TopKEntry& entry : reported) {
+    if (true_set.count(entry.item)) ++hits;
+    double real = truth.Significance(entry.item, alpha, beta);
+    double err = std::fabs(real - entry.estimate);
+    absolute_sum += err;
+    // A reported item that never appeared (possible only for unverified
+    // decoders) contributes its full estimate as relative error.
+    relative_sum += real > 0.0 ? err / real : entry.estimate;
+  }
+  // Normalize by k, not |ψ|: reporting fewer than k items is a deficiency
+  // the metric should not hide, and an empty report scores 0 precision.
+  result.precision = static_cast<double>(hits) / static_cast<double>(k);
+  result.are = relative_sum / static_cast<double>(k);
+  result.aae = absolute_sum / static_cast<double>(k);
+  return result;
+}
+
+RunResult RunReporter(SignificantReporter& reporter, const Stream& stream,
+                      const GroundTruth& truth, size_t k, double alpha,
+                      double beta) {
+  auto start = std::chrono::steady_clock::now();
+  for (const Record& record : stream.records()) {
+    reporter.Insert(record.item, record.time, stream.PeriodOf(record.time));
+  }
+  auto end = std::chrono::steady_clock::now();
+  reporter.Finish();
+
+  RunResult result;
+  double seconds = std::chrono::duration<double>(end - start).count();
+  if (seconds > 0.0) {
+    result.insert_mops =
+        static_cast<double>(stream.size()) / seconds / 1e6;
+  }
+  result.eval = Evaluate(reporter.TopK(k), truth, k, alpha, beta);
+  return result;
+}
+
+}  // namespace ltc

@@ -1,0 +1,49 @@
+// The paper's two assessment metrics (§V-A) plus a timed runner.
+//
+//   precision = |φ ∩ ψ| / k, with φ the true top-k significant set and ψ
+//               the reported set;
+//   ARE       = (1/k) Σ_{e_i ∈ ψ} |s_i − ŝ_i| / s_i, averaged over the
+//               *reported* items against their true significance.
+//
+// AAE is implemented too but, as the paper notes, it is dominated by the
+// choice of α, β, so the figures use precision and ARE.
+
+#ifndef LTC_METRICS_EVALUATE_H_
+#define LTC_METRICS_EVALUATE_H_
+
+#include <cstdint>
+
+#include "metrics/ground_truth.h"
+#include "topk/interfaces.h"
+
+namespace ltc {
+
+struct EvalResult {
+  double precision = 0.0;
+  double are = 0.0;  // average relative error on reported items
+  double aae = 0.0;  // average absolute error on reported items
+  size_t reported = 0;
+};
+
+/// Scores a reported top-k against the truth, under significance weights
+/// (alpha, beta). `k` is the task's k even if fewer items were reported —
+/// missing reports count against precision, exactly as in the paper
+/// (PIE at tight memory "cannot decode any item").
+EvalResult Evaluate(const std::vector<TopKEntry>& reported,
+                    const GroundTruth& truth, size_t k, double alpha,
+                    double beta);
+
+struct RunResult {
+  EvalResult eval;
+  double insert_mops = 0.0;  // million insertions per second
+};
+
+/// Feeds the whole stream through the reporter (timing the insertion
+/// phase), finishes it, and scores its top-k report.
+RunResult RunReporter(SignificantReporter& reporter, const Stream& stream,
+                      const GroundTruth& truth, size_t k, double alpha,
+                      double beta);
+
+}  // namespace ltc
+
+#endif  // LTC_METRICS_EVALUATE_H_

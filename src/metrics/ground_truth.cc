@@ -1,0 +1,51 @@
+#include "metrics/ground_truth.h"
+
+#include <algorithm>
+
+namespace ltc {
+
+GroundTruth GroundTruth::Compute(const Stream& stream) {
+  GroundTruth truth;
+  truth.items_.reserve(stream.size() / 4);
+  for (const Record& record : stream.records()) {
+    Info& info = truth.items_[record.item];
+    ++info.frequency;
+    uint32_t period = stream.PeriodOf(record.time);
+    if (info.last_period != period) {
+      // Records are time-ordered, so equal periods arrive contiguously per
+      // item; a simple "last seen period" dedups without a bitset.
+      ++info.persistency;
+      info.last_period = period;
+    }
+  }
+  truth.total_records_ = stream.size();
+  return truth;
+}
+
+uint64_t GroundTruth::Frequency(ItemId item) const {
+  auto it = items_.find(item);
+  return it == items_.end() ? 0 : it->second.frequency;
+}
+
+uint32_t GroundTruth::Persistency(ItemId item) const {
+  auto it = items_.find(item);
+  return it == items_.end() ? 0 : it->second.persistency;
+}
+
+std::vector<std::pair<ItemId, double>> GroundTruth::TopKSignificant(
+    size_t k, double alpha, double beta) const {
+  std::vector<std::pair<ItemId, double>> all;
+  all.reserve(items_.size());
+  for (const auto& [item, info] : items_) {
+    all.emplace_back(item, alpha * static_cast<double>(info.frequency) +
+                               beta * static_cast<double>(info.persistency));
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace ltc

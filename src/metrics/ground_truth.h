@@ -1,0 +1,51 @@
+// Exact per-item frequency / persistency / significance, computed in one
+// pass over a Stream — the oracle every experiment scores against (§V-A).
+
+#ifndef LTC_METRICS_GROUND_TRUTH_H_
+#define LTC_METRICS_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace ltc {
+
+class GroundTruth {
+ public:
+  struct Info {
+    uint64_t frequency = 0;
+    uint32_t persistency = 0;
+    uint32_t last_period = 0xffffffffu;  // internal: dedup within period
+  };
+
+  /// Single pass over the stream: counts every record, and counts a period
+  /// once per (item, period) pair.
+  static GroundTruth Compute(const Stream& stream);
+
+  uint64_t Frequency(ItemId item) const;
+  uint32_t Persistency(ItemId item) const;
+  double Significance(ItemId item, double alpha, double beta) const {
+    return alpha * static_cast<double>(Frequency(item)) +
+           beta * static_cast<double>(Persistency(item));
+  }
+
+  /// The true top-k by significance, descending, ties broken by item ID —
+  /// the reference set φ of the precision metric.
+  std::vector<std::pair<ItemId, double>> TopKSignificant(size_t k,
+                                                         double alpha,
+                                                         double beta) const;
+
+  size_t num_distinct() const { return items_.size(); }
+  uint64_t total_records() const { return total_records_; }
+  const std::unordered_map<ItemId, Info>& items() const { return items_; }
+
+ private:
+  std::unordered_map<ItemId, Info> items_;
+  uint64_t total_records_ = 0;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_METRICS_GROUND_TRUTH_H_

@@ -1,0 +1,78 @@
+#include "persistent/pie.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace ltc {
+
+Pie::Pie(size_t memory_per_period, uint32_t num_periods, uint32_t num_hashes,
+         uint64_t seed, IdCodeKind code_kind)
+    : cells_per_period_(SpaceTimeBloomFilter::CellsForMemory(memory_per_period)),
+      num_periods_(num_periods),
+      num_hashes_(num_hashes),
+      seed_(seed),
+      code_(MakeIdCode(code_kind)) {
+  assert(num_periods >= 1);
+  filters_.resize(num_periods);
+}
+
+void Pie::Insert(ItemId item, uint32_t period) {
+  assert(period < num_periods_);
+  auto& filter = filters_[period];
+  if (!filter) {
+    filter = std::make_unique<SpaceTimeBloomFilter>(
+        cells_per_period_, num_hashes_, period, code_.get(), seed_);
+  }
+  filter->Insert(item);
+}
+
+std::vector<Pie::Report> Pie::DecodeAll() const {
+  // 1. Harvest singleton cells, grouped by item fingerprint.
+  std::unordered_map<uint32_t, std::vector<LtCode::Symbol>> groups;
+  for (const auto& filter : filters_) {
+    if (!filter) continue;
+    const auto& cells = filter->cells();
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const auto& cell = cells[i];
+      if (cell.state != SpaceTimeBloomFilter::CellState::kSingleton) continue;
+      groups[cell.fingerprint].push_back(
+          {SpaceTimeBloomFilter::SymbolSeed(i, filter->period(), seed_),
+           cell.symbol});
+    }
+  }
+
+  // 2. Peel-decode each group; keep IDs whose fingerprint checks out.
+  std::vector<Report> reports;
+  for (const auto& [fp, symbols] : groups) {
+    if (symbols.size() < kIdBlocks) continue;  // cannot possibly decode
+    auto id = code_->DecodeId(symbols);
+    if (!id) continue;
+    if (SpaceTimeBloomFilter::FingerprintOf(*id, seed_) != fp) continue;
+    reports.push_back({*id, EstimatePersistency(*id)});
+  }
+  return reports;
+}
+
+std::vector<Pie::Report> Pie::TopK(size_t k) const {
+  std::vector<Report> reports = DecodeAll();
+  std::sort(reports.begin(), reports.end(),
+            [](const Report& a, const Report& b) {
+              if (a.persistency != b.persistency) {
+                return a.persistency > b.persistency;
+              }
+              return a.item < b.item;
+            });
+  if (reports.size() > k) reports.resize(k);
+  return reports;
+}
+
+uint32_t Pie::EstimatePersistency(ItemId item) const {
+  uint32_t count = 0;
+  for (const auto& filter : filters_) {
+    if (filter && filter->MayContain(item)) ++count;
+  }
+  return count;
+}
+
+}  // namespace ltc

@@ -1,0 +1,67 @@
+// PIE — the state-of-the-art persistent-items baseline of the paper's
+// §II-B / §V-G: one Space-Time Bloom Filter per period plus an offline
+// decode that recovers the IDs of items recorded in many periods.
+//
+// Memory protocol: exactly as in §V-C, PIE is given `memory_per_period`
+// for EVERY period ("we use T times of the default memory size for PIE"),
+// because it cannot decode anything when a single shared budget is split
+// across periods.
+
+#ifndef LTC_PERSISTENT_PIE_H_
+#define LTC_PERSISTENT_PIE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codes/id_code.h"
+#include "persistent/space_time_bloom_filter.h"
+#include "stream/stream.h"
+
+namespace ltc {
+
+class Pie {
+ public:
+  struct Report {
+    ItemId item;
+    uint32_t persistency;
+  };
+
+  /// \param memory_per_period  bytes of STBF cells per period
+  /// \param num_periods        T
+  /// \param num_hashes         k cells written per (item, period)
+  Pie(size_t memory_per_period, uint32_t num_periods, uint32_t num_hashes = 3,
+      uint64_t seed = 0, IdCodeKind code_kind = IdCodeKind::kLt);
+
+  /// Records one appearance. Periods must be fed nondecreasing (streams
+  /// are time-ordered); the per-period STBF is created on first touch.
+  void Insert(ItemId item, uint32_t period);
+
+  /// Offline decode over all periods: recovers every item whose singleton
+  /// cells accumulate enough LT symbols, with its estimated persistency.
+  /// Decoded IDs are verified against their fingerprint, so reported items
+  /// are real with overwhelming probability.
+  std::vector<Report> DecodeAll() const;
+
+  /// Top-k persistent items from DecodeAll (descending persistency).
+  std::vector<Report> TopK(size_t k) const;
+
+  /// Membership-based persistency estimate for a known ID (used to score
+  /// ARE on reported items).
+  uint32_t EstimatePersistency(ItemId item) const;
+
+  uint32_t num_periods() const { return num_periods_; }
+  size_t cells_per_period() const { return cells_per_period_; }
+
+ private:
+  size_t cells_per_period_;
+  uint32_t num_periods_;
+  uint32_t num_hashes_;
+  uint64_t seed_;
+  std::unique_ptr<IdCode> code_;
+  std::vector<std::unique_ptr<SpaceTimeBloomFilter>> filters_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_PERSISTENT_PIE_H_

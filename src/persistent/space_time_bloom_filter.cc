@@ -1,0 +1,87 @@
+#include "persistent/space_time_bloom_filter.h"
+
+#include <cassert>
+
+#include "common/bob_hash.h"
+#include "common/hash.h"
+
+namespace ltc {
+
+SpaceTimeBloomFilter::SpaceTimeBloomFilter(size_t num_cells,
+                                           uint32_t num_hashes,
+                                           uint32_t period, const IdCode* code,
+                                           uint64_t seed)
+    : cells_(num_cells),
+      num_hashes_(num_hashes),
+      period_(period),
+      code_(code),
+      seed_(seed) {
+  assert(num_cells >= 1);
+  assert(num_hashes >= 1);
+  assert(code != nullptr);
+}
+
+uint32_t SpaceTimeBloomFilter::FingerprintOf(ItemId item, uint64_t seed) {
+  return static_cast<uint32_t>(BobHash64(item, seed ^ 0xf1f2f3f4ULL) >> 32);
+}
+
+uint64_t SpaceTimeBloomFilter::SymbolSeed(size_t cell_index, uint32_t period,
+                                          uint64_t seed) {
+  return Mix64(seed ^ (static_cast<uint64_t>(period) << 32) ^ cell_index);
+}
+
+void SpaceTimeBloomFilter::Positions(ItemId item,
+                                     std::vector<size_t>* out) const {
+  out->clear();
+  // Period-salted double hashing; duplicate positions are fine (the same
+  // cell just gets written twice with the same payload).
+  uint64_t h = BobHash64(item, seed_ ^ (0x9e37ULL + period_));
+  uint64_t h1 = h & 0xffffffffULL;
+  uint64_t h2 = ((h >> 32) << 1) | 1;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    out->push_back((h1 + i * h2) % cells_.size());
+  }
+}
+
+void SpaceTimeBloomFilter::Insert(ItemId item) {
+  uint32_t fp = FingerprintOf(item, seed_);
+  std::vector<size_t> positions;
+  Positions(item, &positions);
+  for (size_t pos : positions) {
+    Cell& cell = cells_[pos];
+    switch (cell.state) {
+      case CellState::kEmpty: {
+        uint64_t symbol_seed = SymbolSeed(pos, period_, seed_);
+        cell.fingerprint = fp;
+        cell.symbol = code_->EncodeId(item, symbol_seed);
+        cell.state = CellState::kSingleton;
+        break;
+      }
+      case CellState::kSingleton:
+        if (cell.fingerprint != fp) {
+          cell.state = CellState::kCollision;
+          cell.fingerprint = 0;
+          cell.symbol = 0;
+        }
+        break;
+      case CellState::kCollision:
+        break;  // already dead
+    }
+  }
+}
+
+bool SpaceTimeBloomFilter::MayContain(ItemId item) const {
+  uint32_t fp = FingerprintOf(item, seed_);
+  std::vector<size_t> positions;
+  Positions(item, &positions);
+  for (size_t pos : positions) {
+    const Cell& cell = cells_[pos];
+    if (cell.state == CellState::kEmpty) return false;
+    if (cell.state == CellState::kSingleton && cell.fingerprint != fp) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ltc

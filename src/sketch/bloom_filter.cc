@@ -1,0 +1,102 @@
+#include "sketch/bloom_filter.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "common/bob_hash.h"
+
+namespace ltc {
+
+BloomFilter::BloomFilter(size_t num_bits, uint32_t num_hashes, uint64_t seed)
+    : num_bits_((num_bits + 63) / 64 * 64),
+      num_hashes_(num_hashes),
+      seed_(seed),
+      bits_(num_bits_ / 64, 0) {
+  assert(num_bits >= 64);
+  assert(num_hashes >= 1);
+}
+
+BloomFilter::Probe BloomFilter::ProbeOf(ItemId item) const {
+  uint64_t h = BobHash64(item, seed_);
+  // Split into two 32-bit halves for Kirsch–Mitzenmacher double hashing;
+  // force h2 odd so probes cycle through all positions.
+  return {h & 0xffffffffULL, ((h >> 32) << 1) | 1};
+}
+
+void BloomFilter::Add(ItemId item) {
+  Probe p = ProbeOf(item);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    size_t bit = BitIndex(p, i);
+    bits_[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+}
+
+bool BloomFilter::MayContain(ItemId item) const {
+  Probe p = ProbeOf(item);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    size_t bit = BitIndex(p, i);
+    if ((bits_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+bool BloomFilter::TestAndAdd(ItemId item) {
+  Probe p = ProbeOf(item);
+  bool present = true;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    size_t bit = BitIndex(p, i);
+    uint64_t mask = uint64_t{1} << (bit % 64);
+    if ((bits_[bit / 64] & mask) == 0) {
+      present = false;
+      bits_[bit / 64] |= mask;
+    }
+  }
+  return present;
+}
+
+void BloomFilter::Clear() {
+  std::memset(bits_.data(), 0, bits_.size() * sizeof(uint64_t));
+}
+
+namespace {
+constexpr uint32_t kBloomMagic = 0x424c4d31;  // "BLM1"
+}  // namespace
+
+void BloomFilter::Serialize(BinaryWriter& writer) const {
+  writer.PutU32(kBloomMagic);
+  writer.PutU64(num_bits_);
+  writer.PutU32(num_hashes_);
+  writer.PutU64(seed_);
+  writer.PutBytes(bits_.data(), bits_.size() * sizeof(uint64_t));
+}
+
+std::optional<BloomFilter> BloomFilter::Deserialize(BinaryReader& reader) {
+  if (reader.GetU32() != kBloomMagic) return std::nullopt;
+  uint64_t num_bits = reader.GetU64();
+  uint32_t num_hashes = reader.GetU32();
+  uint64_t seed = reader.GetU64();
+  if (reader.failed() || num_bits < 64 || num_bits % 64 != 0 ||
+      num_hashes == 0 || reader.Remaining() < num_bits / 8) {
+    return std::nullopt;
+  }
+  BloomFilter filter(num_bits, num_hashes, seed);
+  reader.GetBytes(filter.bits_.data(),
+                  filter.bits_.size() * sizeof(uint64_t));
+  if (reader.failed()) return std::nullopt;
+  return filter;
+}
+
+uint32_t BloomFilter::OptimalNumHashes(size_t num_bits, size_t num_items) {
+  if (num_items == 0) return 1;
+  double k = static_cast<double>(num_bits) / num_items * std::numbers::ln2;
+  return std::max<uint32_t>(1, static_cast<uint32_t>(std::lround(k)));
+}
+
+double BloomFilter::FalsePositiveRate(size_t num_items) const {
+  double exponent = -static_cast<double>(num_hashes_) * num_items / num_bits_;
+  return std::pow(1.0 - std::exp(exponent), num_hashes_);
+}
+
+}  // namespace ltc

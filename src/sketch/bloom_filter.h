@@ -1,0 +1,78 @@
+// Standard Bloom filter (Bloom, 1970).
+//
+// Used exactly as the paper does in §II-B/§V-C: when a sketch-based
+// algorithm is adapted to persistency counting, a Bloom filter records
+// "item already seen in the current period" so the sketch is incremented
+// at most once per item per period; the filter is cleared at each period
+// boundary.
+
+#ifndef LTC_SKETCH_BLOOM_FILTER_H_
+#define LTC_SKETCH_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/serial.h"
+#include "stream/stream.h"
+
+namespace ltc {
+
+class BloomFilter {
+ public:
+  /// \param num_bits     filter size in bits (rounded up to a word)
+  /// \param num_hashes   k, number of hash probes per item
+  /// \param seed         master seed; probes use Kirsch–Mitzenmacher
+  ///                     double hashing off two Bob hashes
+  BloomFilter(size_t num_bits, uint32_t num_hashes, uint64_t seed = 0);
+
+  /// Inserts an item.
+  void Add(ItemId item);
+
+  /// Returns true if the item may have been added (false positives
+  /// possible, false negatives not).
+  bool MayContain(ItemId item) const;
+
+  /// Adds the item and reports whether it may have been present before —
+  /// one pass over the probe positions instead of two.
+  bool TestAndAdd(ItemId item);
+
+  /// Resets to empty (used at period boundaries).
+  void Clear();
+
+  size_t num_bits() const { return num_bits_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+
+  /// Model memory footprint in bytes (bit array only), as accounted in the
+  /// paper's memory budgets.
+  size_t MemoryBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+  /// Optimal k for a target of n items in m bits: round(m/n · ln 2).
+  static uint32_t OptimalNumHashes(size_t num_bits, size_t num_items);
+
+  /// Theoretical false-positive rate after n insertions.
+  double FalsePositiveRate(size_t num_items) const;
+
+  /// Checkpointing.
+  void Serialize(BinaryWriter& writer) const;
+  static std::optional<BloomFilter> Deserialize(BinaryReader& reader);
+
+ private:
+  struct Probe {
+    uint64_t h1;
+    uint64_t h2;
+  };
+  Probe ProbeOf(ItemId item) const;
+  size_t BitIndex(const Probe& p, uint32_t i) const {
+    return (p.h1 + i * p.h2) % num_bits_;
+  }
+
+  size_t num_bits_;
+  uint32_t num_hashes_;
+  uint64_t seed_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_SKETCH_BLOOM_FILTER_H_

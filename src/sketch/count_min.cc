@@ -1,0 +1,117 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numbers>
+
+#include "common/bob_hash.h"
+#include "common/hash.h"
+
+namespace ltc {
+
+CounterMatrixSketch::CounterMatrixSketch(size_t memory_bytes, uint32_t depth,
+                                         uint64_t seed)
+    : depth_(depth), seed_(seed) {
+  assert(depth >= 1);
+  width_ = static_cast<uint32_t>(
+      std::max<size_t>(1, memory_bytes / (sizeof(uint32_t) * depth)));
+  counters_.assign(static_cast<size_t>(depth_) * width_, 0);
+}
+
+uint32_t CounterMatrixSketch::DepthForGuarantee(double delta) {
+  assert(delta > 0.0 && delta < 1.0);
+  return std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::ceil(std::log(1.0 / delta))));
+}
+
+size_t CounterMatrixSketch::SizeForGuarantee(double epsilon, double delta) {
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  auto width = static_cast<size_t>(
+      std::ceil(std::numbers::e / epsilon));
+  return width * DepthForGuarantee(delta) * sizeof(uint32_t);
+}
+
+CounterMatrixSketch::CounterMatrixSketch(uint32_t depth, uint32_t width,
+                                         uint64_t seed,
+                                         std::vector<uint32_t> counters)
+    : depth_(depth), width_(width), seed_(seed),
+      counters_(std::move(counters)) {
+  assert(counters_.size() == static_cast<size_t>(depth_) * width_);
+}
+
+namespace {
+constexpr uint32_t kSketchMagic = 0x434d5331;  // "CMS1"
+}  // namespace
+
+void CounterMatrixSketch::Serialize(BinaryWriter& writer) const {
+  writer.PutU32(kSketchMagic);
+  writer.PutU8(TypeTag());
+  writer.PutU32(depth_);
+  writer.PutU32(width_);
+  writer.PutU64(seed_);
+  writer.PutBytes(counters_.data(), counters_.size() * sizeof(uint32_t));
+}
+
+std::unique_ptr<CounterMatrixSketch> CounterMatrixSketch::Deserialize(
+    BinaryReader& reader) {
+  if (reader.GetU32() != kSketchMagic) return nullptr;
+  uint8_t tag = reader.GetU8();
+  uint32_t depth = reader.GetU32();
+  uint32_t width = reader.GetU32();
+  uint64_t seed = reader.GetU64();
+  size_t count = static_cast<size_t>(depth) * width;
+  if (reader.failed() || depth == 0 || width == 0 || tag > 1 ||
+      reader.Remaining() < count * sizeof(uint32_t)) {
+    return nullptr;
+  }
+  std::vector<uint32_t> counters(count);
+  reader.GetBytes(counters.data(), count * sizeof(uint32_t));
+  if (reader.failed()) return nullptr;
+  if (tag == 0) {
+    return std::unique_ptr<CounterMatrixSketch>(
+        new CountMinSketch(depth, width, seed, std::move(counters)));
+  }
+  return std::unique_ptr<CounterMatrixSketch>(
+      new CuSketch(depth, width, seed, std::move(counters)));
+}
+
+uint32_t CounterMatrixSketch::Cell(uint32_t row, ItemId item) const {
+  uint32_t h = BobHash32(item, static_cast<uint32_t>(Mix64(seed_ + row)));
+  return FastRange32(h, width_);
+}
+
+uint64_t CounterMatrixSketch::Query(ItemId item) const {
+  uint32_t result = std::numeric_limits<uint32_t>::max();
+  for (uint32_t r = 0; r < depth_; ++r) {
+    result = std::min(result, At(r, Cell(r, item)));
+  }
+  return result;
+}
+
+void CounterMatrixSketch::Clear() {
+  std::memset(counters_.data(), 0, counters_.size() * sizeof(uint32_t));
+}
+
+void CountMinSketch::Insert(ItemId item, uint32_t count) {
+  for (uint32_t r = 0; r < depth_; ++r) {
+    At(r, Cell(r, item)) += count;
+  }
+}
+
+void CuSketch::Insert(ItemId item, uint32_t count) {
+  // Conservative update: raise every counter only up to min + count.
+  uint32_t current = std::numeric_limits<uint32_t>::max();
+  for (uint32_t r = 0; r < depth_; ++r) {
+    current = std::min(current, At(r, Cell(r, item)));
+  }
+  uint32_t target = current + count;
+  for (uint32_t r = 0; r < depth_; ++r) {
+    uint32_t& cell = At(r, Cell(r, item));
+    cell = std::max(cell, target);
+  }
+}
+
+}  // namespace ltc

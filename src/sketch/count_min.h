@@ -1,0 +1,115 @@
+// Count-Min sketch (Cormode & Muthukrishnan, 2005) and the CU sketch
+// (Estan & Varghese's conservative-update variant), the two sketch-based
+// frequency baselines of the paper's §II-A.
+//
+// Both share the same d×w counter matrix layout; CU differs only in the
+// update rule (increment only the current minimum counters), which removes
+// much of CM's overestimation at the cost of not supporting deletions.
+
+#ifndef LTC_SKETCH_COUNT_MIN_H_
+#define LTC_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/serial.h"
+#include "stream/stream.h"
+
+namespace ltc {
+
+/// Shared machinery of CM and CU: a depth×width uint32 counter matrix with
+/// one Bob hash per row.
+class CounterMatrixSketch {
+ public:
+  /// \param memory_bytes  total counter memory; width = bytes / (4·depth)
+  /// \param depth         number of rows (the paper uses 3)
+  CounterMatrixSketch(size_t memory_bytes, uint32_t depth, uint64_t seed);
+
+  /// Classic (ε, δ) sizing: width ⌈e/ε⌉, depth ⌈ln(1/δ)⌉ gives
+  /// Pr[f̂ − f > εN] < δ. Returns the memory such a sketch needs —
+  /// construct with (SizeForGuarantee(ε, δ), DepthForGuarantee(δ)).
+  static size_t SizeForGuarantee(double epsilon, double delta);
+  static uint32_t DepthForGuarantee(double delta);
+  virtual ~CounterMatrixSketch() = default;
+
+  /// Adds `count` occurrences of the item.
+  virtual void Insert(ItemId item, uint32_t count = 1) = 0;
+
+  /// Point query: an estimate f̂ with f̂ >= f (one-sided error).
+  uint64_t Query(ItemId item) const;
+
+  uint32_t depth() const { return depth_; }
+  uint32_t width() const { return width_; }
+  size_t MemoryBytes() const {
+    return static_cast<size_t>(depth_) * width_ * sizeof(uint32_t);
+  }
+
+  /// Resets all counters to zero.
+  void Clear();
+
+  /// Checkpointing. The writer receives a type tag (CM vs CU), geometry,
+  /// seed and counters; Deserialize reconstructs the right subclass.
+  void Serialize(BinaryWriter& writer) const;
+  static std::unique_ptr<CounterMatrixSketch> Deserialize(
+      BinaryReader& reader);
+
+ protected:
+  /// 0 = Count-Min, 1 = CU; used as the serialization type tag.
+  virtual uint8_t TypeTag() const = 0;
+
+  /// Restore constructor: exact geometry, bypassing the memory-budget
+  /// derivation.
+  CounterMatrixSketch(uint32_t depth, uint32_t width, uint64_t seed,
+                      std::vector<uint32_t> counters);
+
+  uint32_t Cell(uint32_t row, ItemId item) const;
+  uint32_t& At(uint32_t row, uint32_t col) {
+    return counters_[static_cast<size_t>(row) * width_ + col];
+  }
+  uint32_t At(uint32_t row, uint32_t col) const {
+    return counters_[static_cast<size_t>(row) * width_ + col];
+  }
+
+  uint32_t depth_;
+  uint32_t width_;
+  uint64_t seed_;
+  std::vector<uint32_t> counters_;
+};
+
+/// Classic Count-Min: every row's counter is incremented.
+class CountMinSketch : public CounterMatrixSketch {
+ public:
+  CountMinSketch(size_t memory_bytes, uint32_t depth = 3, uint64_t seed = 0)
+      : CounterMatrixSketch(memory_bytes, depth, seed) {}
+
+  void Insert(ItemId item, uint32_t count = 1) override;
+
+ protected:
+  friend class CounterMatrixSketch;
+  CountMinSketch(uint32_t depth, uint32_t width, uint64_t seed,
+                 std::vector<uint32_t> counters)
+      : CounterMatrixSketch(depth, width, seed, std::move(counters)) {}
+  uint8_t TypeTag() const override { return 0; }
+};
+
+/// CU sketch: only the rows currently holding the minimum are incremented.
+/// Still no underestimation; strictly less overestimation than CM.
+class CuSketch : public CounterMatrixSketch {
+ public:
+  CuSketch(size_t memory_bytes, uint32_t depth = 3, uint64_t seed = 0)
+      : CounterMatrixSketch(memory_bytes, depth, seed) {}
+
+  void Insert(ItemId item, uint32_t count = 1) override;
+
+ protected:
+  friend class CounterMatrixSketch;
+  CuSketch(uint32_t depth, uint32_t width, uint64_t seed,
+           std::vector<uint32_t> counters)
+      : CounterMatrixSketch(depth, width, seed, std::move(counters)) {}
+  uint8_t TypeTag() const override { return 1; }
+};
+
+}  // namespace ltc
+
+#endif  // LTC_SKETCH_COUNT_MIN_H_

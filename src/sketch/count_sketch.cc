@@ -1,0 +1,56 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/bob_hash.h"
+#include "common/hash.h"
+
+namespace ltc {
+
+CountSketch::CountSketch(size_t memory_bytes, uint32_t depth, uint64_t seed)
+    : depth_(depth), seed_(seed) {
+  assert(depth >= 1);
+  width_ = static_cast<uint32_t>(
+      std::max<size_t>(1, memory_bytes / (sizeof(int32_t) * depth)));
+  counters_.assign(static_cast<size_t>(depth_) * width_, 0);
+}
+
+uint32_t CountSketch::Cell(uint32_t row, ItemId item) const {
+  uint32_t h = BobHash32(item, static_cast<uint32_t>(Mix64(seed_ + row)));
+  return FastRange32(h, width_);
+}
+
+int32_t CountSketch::Sign(uint32_t row, ItemId item) const {
+  // Independent sign hash per row (different seed space from Cell).
+  uint32_t h =
+      BobHash32(item, static_cast<uint32_t>(Mix64(seed_ + 0x5109 + row)));
+  return (h & 1) ? 1 : -1;
+}
+
+void CountSketch::Insert(ItemId item, int32_t count) {
+  for (uint32_t r = 0; r < depth_; ++r) {
+    counters_[static_cast<size_t>(r) * width_ + Cell(r, item)] +=
+        Sign(r, item) * count;
+  }
+}
+
+int64_t CountSketch::Query(ItemId item) const {
+  std::vector<int64_t> estimates(depth_);
+  for (uint32_t r = 0; r < depth_; ++r) {
+    estimates[r] =
+        static_cast<int64_t>(
+            counters_[static_cast<size_t>(r) * width_ + Cell(r, item)]) *
+        Sign(r, item);
+  }
+  std::nth_element(estimates.begin(), estimates.begin() + depth_ / 2,
+                   estimates.end());
+  return estimates[depth_ / 2];
+}
+
+void CountSketch::Clear() {
+  std::memset(counters_.data(), 0, counters_.size() * sizeof(int32_t));
+}
+
+}  // namespace ltc

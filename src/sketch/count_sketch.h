@@ -1,0 +1,49 @@
+// Count sketch (Charikar, Chen & Farach-Colton, 2002): the third
+// sketch-based frequency baseline from the paper's §II-A. Unlike CM/CU it
+// gives an *unbiased* estimate (two-sided error) by adding each item with a
+// random sign and reporting the median across rows.
+
+#ifndef LTC_SKETCH_COUNT_SKETCH_H_
+#define LTC_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace ltc {
+
+class CountSketch {
+ public:
+  /// \param memory_bytes  counter memory; width = bytes / (4·depth)
+  /// \param depth         number of rows (odd is best for the median;
+  ///                      the paper uses 3)
+  CountSketch(size_t memory_bytes, uint32_t depth = 3, uint64_t seed = 0);
+
+  void Insert(ItemId item, int32_t count = 1);
+
+  /// Median-of-rows estimate; may be negative for never-seen items, so
+  /// callers clamp at 0 when a frequency is required.
+  int64_t Query(ItemId item) const;
+
+  uint32_t depth() const { return depth_; }
+  uint32_t width() const { return width_; }
+  size_t MemoryBytes() const {
+    return static_cast<size_t>(depth_) * width_ * sizeof(int32_t);
+  }
+
+  void Clear();
+
+ private:
+  uint32_t Cell(uint32_t row, ItemId item) const;
+  int32_t Sign(uint32_t row, ItemId item) const;
+
+  uint32_t depth_;
+  uint32_t width_;
+  uint64_t seed_;
+  std::vector<int32_t> counters_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_SKETCH_COUNT_SKETCH_H_

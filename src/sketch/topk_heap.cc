@@ -1,0 +1,87 @@
+#include "sketch/topk_heap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ltc {
+
+TopKHeap::TopKHeap(size_t k) : capacity_(k) {
+  assert(k >= 1);
+  heap_.reserve(k);
+  index_.reserve(k * 2);
+}
+
+double TopKHeap::ValueOf(ItemId item) const {
+  auto it = index_.find(item);
+  return it == index_.end() ? 0.0 : heap_[it->second].value;
+}
+
+bool TopKHeap::Offer(ItemId item, double value) {
+  auto it = index_.find(item);
+  if (it != index_.end()) {
+    size_t pos = it->second;
+    double old = heap_[pos].value;
+    heap_[pos].value = value;
+    if (value < old) {
+      SiftUp(pos);
+    } else {
+      SiftDown(pos);
+    }
+    return true;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back({item, value});
+    index_[item] = heap_.size() - 1;
+    SiftUp(heap_.size() - 1);
+    return true;
+  }
+  if (value <= heap_[0].value) return false;
+  index_.erase(heap_[0].item);
+  heap_[0] = {item, value};
+  index_[item] = 0;
+  SiftDown(0);
+  return true;
+}
+
+std::vector<TopKHeap::Entry> TopKHeap::SortedEntries() const {
+  std::vector<Entry> out = heap_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.item < b.item;
+  });
+  return out;
+}
+
+void TopKHeap::Place(size_t pos, Entry entry) {
+  heap_[pos] = entry;
+  index_[entry.item] = pos;
+}
+
+void TopKHeap::SiftUp(size_t pos) {
+  Entry moving = heap_[pos];
+  while (pos > 0) {
+    size_t parent = (pos - 1) / 2;
+    if (heap_[parent].value <= moving.value) break;
+    Place(pos, heap_[parent]);
+    pos = parent;
+  }
+  Place(pos, moving);
+}
+
+void TopKHeap::SiftDown(size_t pos) {
+  Entry moving = heap_[pos];
+  size_t n = heap_.size();
+  while (true) {
+    size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_[child + 1].value < heap_[child].value) {
+      ++child;
+    }
+    if (heap_[child].value >= moving.value) break;
+    Place(pos, heap_[child]);
+    pos = child;
+  }
+  Place(pos, moving);
+}
+
+}  // namespace ltc

@@ -1,0 +1,67 @@
+// Indexed min-heap tracking the k largest-valued items seen so far.
+//
+// Every "sketch + heap" top-k baseline in the paper (§II-A: "To report
+// top-k frequent items, it needs to maintain a min-heap to record and
+// update top-k frequent items") uses this structure: on each stream update
+// the item's new estimate is offered; membership is O(1) via a hash index
+// and reheapification is O(log k).
+
+#ifndef LTC_SKETCH_TOPK_HEAP_H_
+#define LTC_SKETCH_TOPK_HEAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace ltc {
+
+class TopKHeap {
+ public:
+  struct Entry {
+    ItemId item;
+    double value;
+  };
+
+  explicit TopKHeap(size_t k);
+
+  /// Offers (item, value). If the item is tracked, its value is updated
+  /// (values may move either way); otherwise it is inserted when the heap
+  /// has room or when value exceeds the current minimum, evicting it.
+  /// Returns true if the item is tracked after the call.
+  bool Offer(ItemId item, double value);
+
+  bool Contains(ItemId item) const { return index_.count(item) > 0; }
+
+  /// Value currently recorded for a tracked item; 0 for untracked items.
+  double ValueOf(ItemId item) const;
+
+  /// Smallest tracked value; 0 when empty.
+  double MinValue() const { return heap_.empty() ? 0.0 : heap_[0].value; }
+
+  bool Full() const { return heap_.size() == capacity_; }
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// All tracked entries sorted by descending value (ties by item ID for
+  /// determinism).
+  std::vector<Entry> SortedEntries() const;
+
+  /// Model memory: k slots of (ID, value) plus one index pointer per slot,
+  /// matching how the paper charges heap memory against the budget.
+  static size_t MemoryBytes(size_t k) { return k * 16; }
+
+ private:
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+  void Place(size_t pos, Entry entry);
+
+  size_t capacity_;
+  std::vector<Entry> heap_;                      // min-heap by value
+  std::unordered_map<ItemId, size_t> index_;     // item -> heap position
+};
+
+}  // namespace ltc
+
+#endif  // LTC_SKETCH_TOPK_HEAP_H_

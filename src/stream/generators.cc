@@ -1,0 +1,206 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace ltc {
+namespace {
+
+// Maps a Zipf rank to a random-looking stable 64-bit ID so the stream's
+// key space exercises hash functions the way real addresses/usernames do.
+ItemId RankToId(uint64_t rank, uint64_t seed) {
+  return Mix64(rank * 0x9e3779b97f4a7c15ULL + seed) | 1;  // avoid ID 0
+}
+
+struct ItemPlan {
+  ItemId id;
+  uint64_t count;
+  uint32_t first_period;  // inclusive
+  uint32_t last_period;   // inclusive
+};
+
+}  // namespace
+
+Stream GenerateWorkload(const WorkloadConfig& config) {
+  assert(config.num_records > 0);
+  assert(config.num_distinct > 0);
+  assert(config.num_periods > 0);
+  Rng rng(config.seed);
+
+  // 1. Draw the frequency marginal by i.i.d. Zipf sampling.
+  ZipfSampler sampler(config.num_distinct, config.zipf_gamma);
+  std::unordered_map<uint64_t, uint64_t> counts;  // rank -> count
+  counts.reserve(config.num_distinct / 2);
+  for (uint64_t i = 0; i < config.num_records; ++i) {
+    ++counts[sampler.Sample(rng)];
+  }
+
+  // 2. Assign each appearing item a temporal class and activity window.
+  const uint32_t t = config.num_periods;
+  auto burst_len = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::lround(config.burst_fraction * t)));
+  std::vector<ItemPlan> plans;
+  plans.reserve(counts.size());
+  for (const auto& [rank, count] : counts) {
+    ItemPlan plan;
+    plan.id = RankToId(rank, config.seed);
+    plan.count = count;
+    double u = rng.UniformDouble();
+    if (u < config.p_stable) {
+      plan.first_period = 0;
+      plan.last_period = t - 1;
+    } else if (u < config.p_stable + config.p_bursty) {
+      uint32_t start =
+          static_cast<uint32_t>(rng.Uniform(t - burst_len + 1));
+      plan.first_period = start;
+      plan.last_period = start + burst_len - 1;
+    } else {
+      uint32_t a = static_cast<uint32_t>(rng.Uniform(t));
+      uint32_t b = static_cast<uint32_t>(rng.Uniform(t));
+      plan.first_period = std::min(a, b);
+      plan.last_period = std::max(a, b);
+    }
+    plans.push_back(plan);
+  }
+
+  // 3. Place each item's appearances across its window. Period choice is
+  // uniform over the window, optionally reweighted by a sinusoid to mimic
+  // diurnal load; the timestamp is uniform within the chosen period.
+  const double duration = static_cast<double>(config.num_records);
+  const double period_len = duration / t;
+  std::vector<double> period_weight(t, 1.0);
+  if (config.diurnal_amplitude > 0.0) {
+    for (uint32_t p = 0; p < t; ++p) {
+      period_weight[p] =
+          1.0 + config.diurnal_amplitude *
+                    std::sin(2.0 * std::numbers::pi * p / t);
+    }
+  }
+
+  std::vector<Record> records;
+  records.reserve(config.num_records);
+  for (const ItemPlan& plan : plans) {
+    uint32_t window = plan.last_period - plan.first_period + 1;
+    for (uint64_t i = 0; i < plan.count; ++i) {
+      uint32_t period;
+      if (config.diurnal_amplitude > 0.0) {
+        // Rejection-sample the period by its diurnal weight.
+        do {
+          period = plan.first_period +
+                   static_cast<uint32_t>(rng.Uniform(window));
+        } while (rng.UniformDouble() * (1.0 + config.diurnal_amplitude) >
+                 period_weight[period]);
+      } else {
+        period =
+            plan.first_period + static_cast<uint32_t>(rng.Uniform(window));
+      }
+      double time = (period + rng.UniformDouble()) * period_len;
+      records.push_back({plan.id, time});
+    }
+  }
+
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) { return a.time < b.time; });
+  return Stream(std::move(records), t, duration);
+}
+
+Stream MakeCaidaLike(uint64_t num_records, uint64_t seed) {
+  // Strong skew, many short-lived flows, 500 periods as in the paper.
+  WorkloadConfig config;
+  config.num_records = num_records;
+  config.num_distinct = std::max<uint64_t>(1000, num_records / 8);
+  config.zipf_gamma = 1.1;
+  config.num_periods = 500;
+  config.p_stable = 0.25;
+  config.p_bursty = 0.30;
+  config.burst_fraction = 0.01;
+  config.seed = seed;
+  return GenerateWorkload(config);
+}
+
+Stream MakeNetworkLike(uint64_t num_records, uint64_t seed) {
+  // Weaker head, user activity confined to random spans, 1000 periods:
+  // the paper's hardest dataset at a given memory budget.
+  WorkloadConfig config;
+  config.num_records = num_records;
+  config.num_distinct = std::max<uint64_t>(1000, num_records / 5);
+  config.zipf_gamma = 0.9;
+  config.num_periods = 1000;
+  config.p_stable = 0.15;
+  config.p_bursty = 0.15;
+  config.burst_fraction = 0.02;
+  config.seed = seed;
+  return GenerateWorkload(config);
+}
+
+Stream MakeSocialLike(uint64_t num_records, uint64_t seed) {
+  // Fewer distinct senders, stronger skew, diurnal modulation, 200 periods:
+  // the paper's easiest dataset (every algorithm scores high quickly).
+  WorkloadConfig config;
+  config.num_records = num_records;
+  config.num_distinct = std::max<uint64_t>(1000, num_records / 15);
+  config.zipf_gamma = 1.25;
+  config.num_periods = 200;
+  config.p_stable = 0.4;
+  config.p_bursty = 0.1;
+  config.burst_fraction = 0.05;
+  config.diurnal_amplitude = 0.5;
+  config.seed = seed;
+  return GenerateWorkload(config);
+}
+
+Stream MakeZipfStream(uint64_t num_records, uint64_t num_distinct,
+                      double gamma, uint32_t num_periods, uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler sampler(num_distinct, gamma);
+  std::vector<ItemId> items;
+  items.reserve(num_records);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    items.push_back(RankToId(sampler.Sample(rng), seed));
+  }
+  return MakeIndexedStream(std::move(items), num_periods);
+}
+
+Stream MakeDriftingStream(uint64_t num_records, uint64_t num_distinct,
+                          double gamma, uint32_t num_periods,
+                          uint32_t phase_periods, uint64_t seed) {
+  assert(phase_periods >= 1);
+  Rng rng(seed);
+  ZipfSampler sampler(num_distinct, gamma);
+  std::vector<ItemId> items;
+  items.reserve(num_records);
+  const uint64_t per_period = num_records / num_periods;
+  for (uint64_t i = 0; i < num_records; ++i) {
+    uint32_t period = per_period == 0
+                          ? 0
+                          : static_cast<uint32_t>(
+                                std::min<uint64_t>(i / per_period,
+                                                   num_periods - 1));
+    uint64_t phase = period / phase_periods;
+    // Salting the rank-to-ID map by phase re-deals the popularity: the
+    // phase-q rank-1 item is a different ID than phase-(q+1)'s.
+    items.push_back(RankToId(sampler.Sample(rng), seed ^ (phase * 0x9e1)));
+  }
+  return MakeIndexedStream(std::move(items), num_periods);
+}
+
+Stream MakeUniformStream(uint64_t num_records, uint64_t num_distinct,
+                         uint32_t num_periods, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ItemId> items;
+  items.reserve(num_records);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    items.push_back(RankToId(rng.Uniform(num_distinct) + 1, seed));
+  }
+  return MakeIndexedStream(std::move(items), num_periods);
+}
+
+}  // namespace ltc

@@ -1,0 +1,49 @@
+// String-to-ItemId interning for datasets with textual keys (usernames,
+// URLs, IP strings). The examples use this to feed string-keyed event logs
+// through the 64-bit-keyed estimators.
+
+#ifndef LTC_STREAM_INTERNER_H_
+#define LTC_STREAM_INTERNER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace ltc {
+
+/// Bidirectional string <-> ItemId map. IDs are dense, starting at 1
+/// (ID 0 is reserved as "no item" by several data structures).
+class StringInterner {
+ public:
+  /// Returns the ID for `key`, assigning the next free ID on first sight.
+  ItemId Intern(std::string_view key) {
+    auto [it, inserted] = ids_.try_emplace(std::string(key), 0);
+    if (inserted) {
+      it->second = static_cast<ItemId>(names_.size() + 1);
+      names_.push_back(it->first);
+    }
+    return it->second;
+  }
+
+  /// Returns the ID for `key`, or 0 if never interned.
+  ItemId Lookup(std::string_view key) const {
+    auto it = ids_.find(std::string(key));
+    return it == ids_.end() ? 0 : it->second;
+  }
+
+  /// Returns the string for an ID previously returned by Intern.
+  const std::string& Name(ItemId id) const { return names_.at(id - 1); }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, ItemId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_STREAM_INTERNER_H_

@@ -1,0 +1,45 @@
+#include "stream/stream.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace ltc {
+
+Stream::Stream(std::vector<Record> records, uint32_t num_periods,
+               double duration)
+    : records_(std::move(records)),
+      num_periods_(num_periods),
+      duration_(duration) {
+  assert(num_periods_ >= 1);
+  assert(duration_ > 0.0);
+#ifndef NDEBUG
+  for (size_t i = 1; i < records_.size(); ++i) {
+    assert(records_[i - 1].time <= records_[i].time);
+  }
+  for (const Record& r : records_) {
+    assert(r.time >= 0.0 && r.time <= duration_);
+  }
+#endif
+}
+
+size_t Stream::CountDistinct() const {
+  if (distinct_cache_ == 0 && !records_.empty()) {
+    std::unordered_set<ItemId> seen;
+    seen.reserve(records_.size() / 4);
+    for (const Record& r : records_) seen.insert(r.item);
+    distinct_cache_ = seen.size();
+  }
+  return distinct_cache_;
+}
+
+Stream MakeIndexedStream(std::vector<ItemId> items, uint32_t num_periods) {
+  std::vector<Record> records;
+  records.reserve(items.size());
+  double n = static_cast<double>(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    records.push_back({items[i], static_cast<double>(i) + 0.5});
+  }
+  return Stream(std::move(records), num_periods, n);
+}
+
+}  // namespace ltc

@@ -1,0 +1,71 @@
+// Stream model shared by every algorithm and benchmark in this library.
+//
+// Following the paper's setup (§V-B), a data stream is a time-ordered
+// sequence of (item, timestamp) records divided into T equal-length
+// periods. An item's *frequency* is its number of records; its
+// *persistency* is the number of distinct periods containing at least one
+// of its records; its *significance* is α·frequency + β·persistency (§I,
+// Eq. 1).
+
+#ifndef LTC_STREAM_STREAM_H_
+#define LTC_STREAM_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ltc {
+
+/// Item identifier. Datasets with string keys (usernames, URLs) are
+/// interned to 64-bit IDs via StringInterner before processing.
+using ItemId = uint64_t;
+
+/// One stream element.
+struct Record {
+  ItemId item;
+  double time;  // seconds from stream start; nondecreasing within a Stream
+};
+
+/// A finite prefix of a data stream, plus its period structure.
+class Stream {
+ public:
+  Stream() = default;
+
+  /// \param records      time-ordered records (asserted in debug builds)
+  /// \param num_periods  T, the number of equal-length periods
+  /// \param duration     total time span; period length = duration / T.
+  ///                     Records at exactly `duration` are clamped into the
+  ///                     last period.
+  Stream(std::vector<Record> records, uint32_t num_periods, double duration);
+
+  const std::vector<Record>& records() const { return records_; }
+  uint32_t num_periods() const { return num_periods_; }
+  double duration() const { return duration_; }
+  double period_length() const { return duration_ / num_periods_; }
+  size_t size() const { return records_.size(); }
+
+  /// Maps a timestamp to its 0-based period index.
+  uint32_t PeriodOf(double time) const {
+    auto p = static_cast<uint32_t>(time / period_length());
+    return p >= num_periods_ ? num_periods_ - 1 : p;
+  }
+
+  /// Number of distinct items (computed lazily on first call).
+  size_t CountDistinct() const;
+
+ private:
+  std::vector<Record> records_;
+  uint32_t num_periods_ = 1;
+  double duration_ = 1.0;
+  mutable size_t distinct_cache_ = 0;  // 0 = not yet computed
+};
+
+/// Builds a count-based stream: record i gets time i+0.5 so that a stream
+/// of n records over T periods puts exactly n/T records in each period
+/// (the paper's CAIDA setup, which uses the packet index as the
+/// timestamp).
+Stream MakeIndexedStream(std::vector<ItemId> items, uint32_t num_periods);
+
+}  // namespace ltc
+
+#endif  // LTC_STREAM_STREAM_H_

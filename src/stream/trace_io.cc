@@ -1,0 +1,197 @@
+#include "stream/trace_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/serial.h"
+
+namespace ltc {
+namespace {
+
+void SetError(std::string* error, size_t line, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + message;
+  }
+}
+
+// Parses the whole token as a decimal uint64; false on any trailing junk.
+bool ParseU64(std::string_view token, uint64_t* out) {
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                   *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool ParseDouble(std::string_view token, double* out) {
+  // std::from_chars for double is not universally available; strtod on a
+  // bounded copy keeps this portable.
+  std::string copy(token);
+  char* end = nullptr;
+  *out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size() && !copy.empty();
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<TraceReadResult> ReadTraceFromString(const std::string& text,
+                                                   uint32_t num_periods,
+                                                   double duration,
+                                                   std::string* error) {
+  if (num_periods == 0) {
+    SetError(error, 0, "num_periods must be >= 1");
+    return std::nullopt;
+  }
+
+  // Pass 1: tokenize. A trace is interpreted as all-numeric IDs or, if
+  // ANY item token is non-numeric (or the reserved 0), every token is
+  // interned — mixing the two would risk ID collisions.
+  struct Row {
+    std::string item;
+    double time;
+  };
+  std::vector<Row> rows;
+  bool any_explicit_time = false;
+  bool any_plain = false;
+  bool all_numeric = true;
+  double last_time = 0.0;
+  size_t line_number = 0;
+  size_t pos = 0;
+
+  while (pos <= text.size()) {
+    if (pos == text.size()) break;
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string_view line = Trim(std::string_view(text).substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_number;
+    if (line.empty() || line.front() == '#') continue;
+
+    std::string_view item_token = line;
+    std::string_view time_token;
+    size_t comma = line.find(',');
+    if (comma != std::string_view::npos) {
+      item_token = Trim(line.substr(0, comma));
+      time_token = Trim(line.substr(comma + 1));
+    }
+    if (item_token.empty()) {
+      SetError(error, line_number, "empty item token");
+      return std::nullopt;
+    }
+    uint64_t numeric = 0;
+    if (!ParseU64(item_token, &numeric) || numeric == 0) {
+      all_numeric = false;
+    }
+
+    double time;
+    if (!time_token.empty()) {
+      if (any_plain) {
+        SetError(error, line_number, "mixed timestamped and plain lines");
+        return std::nullopt;
+      }
+      if (!ParseDouble(time_token, &time)) {
+        SetError(error, line_number,
+                 "bad timestamp '" + std::string(time_token) + "'");
+        return std::nullopt;
+      }
+      if (time < 0.0) {
+        SetError(error, line_number, "negative timestamp");
+        return std::nullopt;
+      }
+      if (time < last_time) {
+        SetError(error, line_number, "timestamps must be nondecreasing");
+        return std::nullopt;
+      }
+      any_explicit_time = true;
+    } else {
+      if (any_explicit_time) {
+        SetError(error, line_number, "mixed timestamped and plain lines");
+        return std::nullopt;
+      }
+      any_plain = true;
+      time = static_cast<double>(rows.size()) + 0.5;
+    }
+    last_time = time;
+    rows.push_back({std::string(item_token), time});
+  }
+
+  if (rows.empty()) {
+    SetError(error, line_number, "trace contains no records");
+    return std::nullopt;
+  }
+
+  // Pass 2: resolve IDs.
+  TraceReadResult result;
+  std::vector<Record> records;
+  records.reserve(rows.size());
+  for (const Row& row : rows) {
+    ItemId item;
+    if (all_numeric) {
+      uint64_t numeric = 0;
+      ParseU64(row.item, &numeric);
+      item = numeric;
+    } else {
+      item = result.interner.Intern(row.item);
+      result.used_interner = true;
+    }
+    records.push_back({item, row.time});
+  }
+
+  double span = duration;
+  if (span <= 0.0) {
+    span = any_explicit_time
+               ? std::max(records.back().time, 1e-9) * (1.0 + 1e-9)
+               : static_cast<double>(records.size());
+  }
+  if (records.back().time > span) {
+    SetError(error, 0, "duration smaller than the last timestamp");
+    return std::nullopt;
+  }
+  result.stream = Stream(std::move(records), num_periods, span);
+  return result;
+}
+
+std::optional<TraceReadResult> ReadTrace(const std::string& path,
+                                         uint32_t num_periods,
+                                         double duration,
+                                         std::string* error) {
+  auto contents = ReadFileToString(path);
+  if (!contents) {
+    if (error != nullptr) *error = "cannot read '" + path + "'";
+    return std::nullopt;
+  }
+  return ReadTraceFromString(*contents, num_periods, duration, error);
+}
+
+std::string TraceToString(const Stream& stream) {
+  std::string out;
+  out.reserve(stream.size() * 24);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "# ltc trace: %zu records, %u periods\n",
+                stream.size(), stream.num_periods());
+  out += buf;
+  for (const Record& r : stream.records()) {
+    std::snprintf(buf, sizeof(buf), "%llu,%.9g\n",
+                  static_cast<unsigned long long>(r.item), r.time);
+    out += buf;
+  }
+  return out;
+}
+
+bool WriteTrace(const Stream& stream, const std::string& path) {
+  return WriteFile(path, TraceToString(stream));
+}
+
+}  // namespace ltc

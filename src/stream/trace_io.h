@@ -1,0 +1,56 @@
+// Reading and writing item traces as text, so the library (and the
+// ltc_cli tool) can run on user data and experiments can be exported for
+// exact replay.
+//
+// Format: one record per line, either
+//     <item>               (timestamps become the line index)
+//     <item>,<time>        (explicit seconds; must be nondecreasing)
+// where <item> is a decimal integer ID or any other token (interned to an
+// ID via StringInterner). Lines starting with '#' and blank lines are
+// skipped.
+
+#ifndef LTC_STREAM_TRACE_IO_H_
+#define LTC_STREAM_TRACE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "stream/interner.h"
+#include "stream/stream.h"
+
+namespace ltc {
+
+struct TraceReadResult {
+  Stream stream;
+  // Non-empty iff any token was non-numeric; maps IDs back to tokens.
+  StringInterner interner;
+  bool used_interner = false;
+};
+
+/// Parses a trace. On failure returns nullopt and, if `error` is given,
+/// a one-line description with the offending line number.
+///
+/// \param num_periods  how many periods to divide the trace into
+/// \param duration     total time span; 0 = infer (max time, or the
+///                     record count for index-timestamped traces)
+std::optional<TraceReadResult> ReadTrace(const std::string& path,
+                                         uint32_t num_periods,
+                                         double duration = 0.0,
+                                         std::string* error = nullptr);
+
+/// Parses from an in-memory buffer (used by tests and stdin handling).
+std::optional<TraceReadResult> ReadTraceFromString(const std::string& text,
+                                                   uint32_t num_periods,
+                                                   double duration = 0.0,
+                                                   std::string* error =
+                                                       nullptr);
+
+/// Renders a stream as "<item>,<time>" lines with a header comment.
+std::string TraceToString(const Stream& stream);
+
+/// Writes a stream as "<item>,<time>" lines with a header comment.
+bool WriteTrace(const Stream& stream, const std::string& path);
+
+}  // namespace ltc
+
+#endif  // LTC_STREAM_TRACE_IO_H_

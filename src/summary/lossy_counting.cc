@@ -1,0 +1,90 @@
+#include "summary/lossy_counting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ltc {
+
+LossyCounting::LossyCounting(double epsilon, size_t max_entries)
+    : epsilon_(epsilon), max_entries_(max_entries) {
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  window_ = static_cast<uint64_t>(std::ceil(1.0 / epsilon));
+}
+
+void LossyCounting::Insert(ItemId item) {
+  auto it = entries_.find(item);
+  if (it != entries_.end()) {
+    ++it->second.count;
+  } else {
+    entries_[item] = {1, current_bucket_ - 1};
+    if (max_entries_ != 0 && entries_.size() > max_entries_) EnforceCap();
+  }
+  ++processed_;
+  if (processed_ % window_ == 0) {
+    PruneWindow();
+    ++current_bucket_;
+  }
+}
+
+void LossyCounting::PruneWindow() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.count + it->second.delta <= current_bucket_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LossyCounting::EnforceCap() {
+  // Budget overrun: drop the entries smallest in f + Δ until back under
+  // the cap. Rare in practice (the ε sizing keeps the table small); done
+  // with a full scan when it happens.
+  size_t excess = entries_.size() - max_entries_;
+  std::vector<std::pair<uint64_t, ItemId>> order;
+  order.reserve(entries_.size());
+  for (const auto& [item, cell] : entries_) {
+    order.emplace_back(cell.count + cell.delta, item);
+  }
+  std::nth_element(order.begin(), order.begin() + excess, order.end());
+  for (size_t i = 0; i < excess; ++i) entries_.erase(order[i].second);
+}
+
+uint64_t LossyCounting::Estimate(ItemId item) const {
+  auto it = entries_.find(item);
+  if (it == entries_.end()) return 0;
+  return it->second.count + it->second.delta;
+}
+
+std::vector<LossyCounting::Entry> LossyCounting::ItemsAbove(
+    uint64_t threshold) const {
+  std::vector<Entry> out;
+  for (const auto& [item, cell] : entries_) {
+    if (cell.count + cell.delta >= threshold) {
+      out.push_back({item, cell.count, cell.delta});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.count + a.delta > b.count + b.delta;
+  });
+  return out;
+}
+
+std::vector<LossyCounting::Entry> LossyCounting::TopK(size_t k) const {
+  std::vector<Entry> all;
+  all.reserve(entries_.size());
+  for (const auto& [item, cell] : entries_) {
+    all.push_back({item, cell.count, cell.delta});
+  }
+  std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+    uint64_t ea = a.count + a.delta;
+    uint64_t eb = b.count + b.delta;
+    if (ea != eb) return ea > eb;
+    return a.item < b.item;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace ltc

@@ -1,0 +1,83 @@
+// Lossy Counting (Manku & Motwani, 2002) — the paper's second
+// counter-based frequent-items baseline (§II-A).
+//
+// The stream is processed in windows of width w = ceil(1/ε). Each tracked
+// entry carries (f, Δ) where Δ bounds the count missed before tracking
+// began; at every window boundary entries with f + Δ <= b_current are
+// pruned. Guarantees f <= f̂_upper = f + Δ and f̂ >= f - εN.
+//
+// For the paper's fixed-memory head-to-head the adapter in src/topk sizes
+// ε from the memory budget and this class additionally enforces a hard
+// entry cap (dropping the smallest f + Δ first) so a budget is never
+// exceeded on adversarial inputs; the cap is off by default.
+
+#ifndef LTC_SUMMARY_LOSSY_COUNTING_H_
+#define LTC_SUMMARY_LOSSY_COUNTING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace ltc {
+
+class LossyCounting {
+ public:
+  struct Entry {
+    ItemId item;
+    uint64_t count;  // f, occurrences since tracking began
+    uint64_t delta;  // Δ, maximum undercount
+  };
+
+  /// \param epsilon    error parameter; window width = ceil(1/ε)
+  /// \param max_entries hard cap on tracked entries (0 = uncapped, the
+  ///                    textbook algorithm)
+  explicit LossyCounting(double epsilon, size_t max_entries = 0);
+
+  void Insert(ItemId item);
+
+  /// Estimated count f̂ = f + Δ (upper bound); 0 when not tracked.
+  uint64_t Estimate(ItemId item) const;
+
+  bool IsTracked(ItemId item) const { return entries_.count(item) > 0; }
+
+  /// Items with estimated count >= threshold, the classic ε-approximate
+  /// frequent-items report.
+  std::vector<Entry> ItemsAbove(uint64_t threshold) const;
+
+  /// The k entries with the largest f + Δ, descending.
+  std::vector<Entry> TopK(size_t k) const;
+
+  size_t size() const { return entries_.size(); }
+  double epsilon() const { return epsilon_; }
+  uint64_t current_bucket() const { return current_bucket_; }
+  uint64_t items_processed() const { return processed_; }
+
+  /// Model bytes per entry: 8B item + 4B count + 4B delta.
+  static constexpr size_t BytesPerEntry() { return 16; }
+  static size_t EntriesForMemory(size_t bytes) {
+    size_t n = bytes / BytesPerEntry();
+    return n == 0 ? 1 : n;
+  }
+
+ private:
+  struct Cell {
+    uint64_t count;
+    uint64_t delta;
+  };
+
+  void PruneWindow();
+  void EnforceCap();
+
+  double epsilon_;
+  uint64_t window_;          // w = ceil(1/ε)
+  size_t max_entries_;
+  uint64_t processed_ = 0;
+  uint64_t current_bucket_ = 1;  // b_current
+  std::unordered_map<ItemId, Cell> entries_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_SUMMARY_LOSSY_COUNTING_H_

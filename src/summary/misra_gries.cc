@@ -1,0 +1,53 @@
+#include "summary/misra_gries.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ltc {
+
+MisraGries::MisraGries(size_t num_counters) : capacity_(num_counters) {
+  assert(num_counters >= 1);
+  counters_.reserve(num_counters * 2);
+}
+
+void MisraGries::Insert(ItemId item) {
+  ++processed_;
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_[item] = 1;
+    return;
+  }
+  // Full-table decrement. O(k) per occurrence, but each decrement cancels
+  // one earlier increment, so total work is O(N) amortized.
+  ++decrements_;
+  for (auto cur = counters_.begin(); cur != counters_.end();) {
+    if (--cur->second == 0) {
+      cur = counters_.erase(cur);
+    } else {
+      ++cur;
+    }
+  }
+}
+
+uint64_t MisraGries::Estimate(ItemId item) const {
+  auto it = counters_.find(item);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<MisraGries::Entry> MisraGries::TopK(size_t k) const {
+  std::vector<Entry> all;
+  all.reserve(counters_.size());
+  for (const auto& [item, count] : counters_) all.push_back({item, count});
+  std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.item < b.item;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace ltc

@@ -1,0 +1,63 @@
+// Misra-Gries / "Frequent" summary (Misra & Gries, 1982) — the third
+// counter-based algorithm family referenced in the paper's §II-A.
+//
+// Keeps at most k counters. A hit increments; a miss with a free slot
+// inserts; a miss on a full table decrements *every* counter and evicts
+// zeros. Guarantees f - N/(k+1) <= f̂ <= f (one-sided underestimation, the
+// mirror image of Space-Saving).
+
+#ifndef LTC_SUMMARY_MISRA_GRIES_H_
+#define LTC_SUMMARY_MISRA_GRIES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace ltc {
+
+class MisraGries {
+ public:
+  struct Entry {
+    ItemId item;
+    uint64_t count;
+  };
+
+  explicit MisraGries(size_t num_counters);
+
+  void Insert(ItemId item);
+
+  /// Estimated count (underestimate); 0 when untracked.
+  uint64_t Estimate(ItemId item) const;
+
+  bool IsTracked(ItemId item) const { return counters_.count(item) > 0; }
+
+  std::vector<Entry> TopK(size_t k) const;
+
+  size_t size() const { return counters_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t items_processed() const { return processed_; }
+
+  /// Total count mass removed by global decrements — equals the maximum
+  /// possible underestimation of any single item; exposed for tests of the
+  /// classic f >= f̂ >= f - decrements bound.
+  uint64_t total_decrements() const { return decrements_; }
+
+  /// Model bytes per counter: 8B item + 4B count.
+  static constexpr size_t BytesPerCounter() { return 12; }
+  static size_t CountersForMemory(size_t bytes) {
+    size_t n = bytes / BytesPerCounter();
+    return n == 0 ? 1 : n;
+  }
+
+ private:
+  size_t capacity_;
+  uint64_t processed_ = 0;
+  uint64_t decrements_ = 0;
+  std::unordered_map<ItemId, uint64_t> counters_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_SUMMARY_MISRA_GRIES_H_

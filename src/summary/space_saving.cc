@@ -1,0 +1,183 @@
+#include "summary/space_saving.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ltc {
+
+SpaceSaving::SpaceSaving(size_t num_counters) : capacity_(num_counters) {
+  assert(num_counters >= 1);
+  counters_.reserve(num_counters);
+  index_.reserve(num_counters * 2);
+}
+
+uint32_t SpaceSaving::AllocBucket() {
+  if (!free_buckets_.empty()) {
+    uint32_t b = free_buckets_.back();
+    free_buckets_.pop_back();
+    return b;
+  }
+  buckets_.push_back({});
+  return static_cast<uint32_t>(buckets_.size() - 1);
+}
+
+void SpaceSaving::FreeBucket(uint32_t b) { free_buckets_.push_back(b); }
+
+void SpaceSaving::DetachCounter(uint32_t c) {
+  Counter& ctr = counters_[c];
+  uint32_t b = ctr.bucket;
+  Bucket& bucket = buckets_[b];
+  if (ctr.prev != kNil) counters_[ctr.prev].next = ctr.next;
+  if (ctr.next != kNil) counters_[ctr.next].prev = ctr.prev;
+  if (bucket.head == c) bucket.head = ctr.next;
+  ctr.prev = ctr.next = kNil;
+
+  if (bucket.head == kNil) {
+    // Bucket emptied: unlink from the ascending bucket list and recycle.
+    if (bucket.prev != kNil) buckets_[bucket.prev].next = bucket.next;
+    if (bucket.next != kNil) buckets_[bucket.next].prev = bucket.prev;
+    if (min_bucket_ == b) min_bucket_ = bucket.next;
+    FreeBucket(b);
+  }
+}
+
+void SpaceSaving::AttachCounter(uint32_t c, uint64_t target, uint32_t after) {
+  // Reuse an existing bucket with the target count if it is adjacent.
+  uint32_t candidate = (after == kNil) ? min_bucket_ : buckets_[after].next;
+  uint32_t b;
+  if (candidate != kNil && buckets_[candidate].count == target) {
+    b = candidate;
+  } else {
+    b = AllocBucket();
+    buckets_[b].count = target;
+    buckets_[b].head = kNil;
+    buckets_[b].prev = after;
+    buckets_[b].next = candidate;
+    if (after != kNil) buckets_[after].next = b;
+    if (candidate != kNil) buckets_[candidate].prev = b;
+    if (after == kNil) min_bucket_ = b;
+  }
+  Counter& ctr = counters_[c];
+  ctr.bucket = b;
+  ctr.prev = kNil;
+  ctr.next = buckets_[b].head;
+  if (buckets_[b].head != kNil) counters_[buckets_[b].head].prev = c;
+  buckets_[b].head = c;
+}
+
+void SpaceSaving::IncrementCounter(uint32_t c) {
+  uint32_t b = counters_[c].bucket;
+  uint64_t target = buckets_[b].count + 1;
+  bool alone = counters_[c].prev == kNil && counters_[c].next == kNil;
+  uint32_t nb = buckets_[b].next;
+
+  if (alone && (nb == kNil || buckets_[nb].count > target)) {
+    // Sole occupant and no equal-count neighbour: bump the bucket in place.
+    buckets_[b].count = target;
+    return;
+  }
+
+  // `b` survives DetachCounter iff c is not alone; anchor accordingly.
+  uint32_t after = alone ? buckets_[b].prev : b;
+  DetachCounter(c);
+  AttachCounter(c, target, after);
+}
+
+void SpaceSaving::Insert(ItemId item) {
+  auto it = index_.find(item);
+  if (it != index_.end()) {
+    IncrementCounter(it->second);
+    return;
+  }
+
+  if (counters_.size() < capacity_) {
+    counters_.push_back({item, 0, kNil, kNil, kNil});
+    uint32_t c = static_cast<uint32_t>(counters_.size() - 1);
+    index_[item] = c;
+    // New item starts with count 1 at the front of the bucket list;
+    // AttachCounter reuses an existing count-1 bucket if one is there.
+    AttachCounter(c, 1, kNil);
+    return;
+  }
+
+  // Replace the minimum item: e_min's count becomes the error bound and
+  // the newcomer takes over with f_min + 1.
+  uint32_t c = buckets_[min_bucket_].head;
+  Counter& ctr = counters_[c];
+  index_.erase(ctr.item);
+  ctr.error = buckets_[min_bucket_].count;
+  ctr.item = item;
+  index_[item] = c;
+  IncrementCounter(c);
+}
+
+uint64_t SpaceSaving::Estimate(ItemId item) const {
+  auto it = index_.find(item);
+  if (it == index_.end()) return 0;
+  return buckets_[counters_[it->second].bucket].count;
+}
+
+uint64_t SpaceSaving::ErrorOf(ItemId item) const {
+  auto it = index_.find(item);
+  if (it == index_.end()) return 0;
+  return counters_[it->second].error;
+}
+
+uint64_t SpaceSaving::MinCount() const {
+  if (counters_.size() < capacity_ || min_bucket_ == kNil) return 0;
+  return buckets_[min_bucket_].count;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::TopK(size_t k) const {
+  std::vector<Entry> all;
+  all.reserve(index_.size());
+  for (const auto& [item, c] : index_) {
+    all.push_back({item, buckets_[counters_[c].bucket].count,
+                   counters_[c].error});
+  }
+  std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.item < b.item;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<bool> SpaceSaving::GuaranteedTopK(size_t k) const {
+  std::vector<Entry> top = TopK(k + 1);
+  size_t reported = std::min(k, top.size());
+  std::vector<bool> guaranteed(reported, false);
+  // The (k+1)-th estimate bounds any unreported item's true count.
+  uint64_t next_best = top.size() > k ? top[k].count : 0;
+  for (size_t i = 0; i < reported; ++i) {
+    uint64_t lower = top[i].count - top[i].error;
+    // Guaranteed in the SET sense: its true count cannot be beaten by
+    // anything outside the reported top-k.
+    guaranteed[i] = lower >= next_best;
+  }
+  return guaranteed;
+}
+
+bool SpaceSaving::CheckInvariants() const {
+  size_t counted = 0;
+  uint64_t prev_count = 0;
+  for (uint32_t b = min_bucket_; b != kNil; b = buckets_[b].next) {
+    const Bucket& bucket = buckets_[b];
+    if (bucket.count <= prev_count) return false;  // strictly ascending
+    prev_count = bucket.count;
+    if (bucket.head == kNil) return false;  // live buckets are non-empty
+    uint32_t expected_prev = kNil;
+    for (uint32_t c = bucket.head; c != kNil; c = counters_[c].next) {
+      const Counter& ctr = counters_[c];
+      if (ctr.bucket != b) return false;
+      if (ctr.prev != expected_prev) return false;
+      auto it = index_.find(ctr.item);
+      if (it == index_.end() || it->second != c) return false;
+      expected_prev = c;
+      ++counted;
+    }
+  }
+  return counted == index_.size();
+}
+
+}  // namespace ltc

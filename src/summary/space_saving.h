@@ -1,0 +1,114 @@
+// Space-Saving (Metwally, Agrawal & El Abbadi, 2005) with the
+// Stream-Summary structure — the strongest counter-based frequent-items
+// baseline in the paper (§II-A).
+//
+// Stream-Summary keeps counters grouped into "count buckets" linked in
+// ascending count order; all counters in a bucket share the same count.
+// This gives O(1) increment and O(1) access to the minimum counter. When a
+// new item arrives and all counters are taken, the minimum counter's item
+// is replaced and the new item's count is set to f_min + 1 — exactly the
+// overestimating behaviour Long-tail Replacement is designed to beat.
+
+#ifndef LTC_SUMMARY_SPACE_SAVING_H_
+#define LTC_SUMMARY_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace ltc {
+
+class SpaceSaving {
+ public:
+  struct Entry {
+    ItemId item;
+    uint64_t count;
+    uint64_t error;  // upper bound on overestimation (f_min at takeover)
+  };
+
+  /// \param num_counters  number of monitored items (the paper sizes this
+  ///                      from the memory budget; see BytesPerCounter)
+  explicit SpaceSaving(size_t num_counters);
+
+  void Insert(ItemId item);
+
+  /// Estimated count; 0 when the item is not monitored. Guaranteed
+  /// f̂ >= f for monitored items (one-sided overestimation).
+  uint64_t Estimate(ItemId item) const;
+
+  /// Overestimation bound for a monitored item (0 if not monitored).
+  uint64_t ErrorOf(ItemId item) const;
+
+  bool IsMonitored(ItemId item) const { return index_.count(item) > 0; }
+
+  /// The k largest counters, descending (ties by item ID).
+  std::vector<Entry> TopK(size_t k) const;
+
+  /// Metwally et al.'s "guaranteed top-k" test: entry i of the top-k is
+  /// guaranteed correct when its lower bound count−error is at least the
+  /// (k+1)-th counter's upper bound. Returns per-entry guarantees aligned
+  /// with TopK(k); entries beyond the monitored set are never guaranteed.
+  std::vector<bool> GuaranteedTopK(size_t k) const;
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Smallest monitored count (0 when not yet full).
+  uint64_t MinCount() const;
+
+  /// Model cost per counter under the paper's memory accounting: 8B item,
+  /// 4B count, 4B error, 8B of Stream-Summary linkage.
+  static constexpr size_t BytesPerCounter() { return 24; }
+  static size_t CountersForMemory(size_t bytes) {
+    size_t n = bytes / BytesPerCounter();
+    return n == 0 ? 1 : n;
+  }
+
+  /// Structural invariant check used by tests: buckets strictly ascending,
+  /// every counter's count equals its bucket's count, index consistent.
+  bool CheckInvariants() const;
+
+ private:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  // Counter node, intrusively linked into its bucket's counter list.
+  struct Counter {
+    ItemId item;
+    uint64_t error;
+    uint32_t bucket;  // owning bucket slot
+    uint32_t prev;    // sibling counters in the same bucket
+    uint32_t next;
+  };
+
+  // Count bucket, linked in ascending count order.
+  struct Bucket {
+    uint64_t count;
+    uint32_t head;  // first counter in this bucket (never kNil when live)
+    uint32_t prev;  // neighbouring buckets
+    uint32_t next;
+  };
+
+  // Detaches counter c from its bucket; frees the bucket if it empties.
+  // Returns the bucket that preceded c's bucket (kNil if none), which is
+  // where a caller looking "one step down" should look.
+  void DetachCounter(uint32_t c);
+  // Moves counter c into a bucket with count `target`, which must sit
+  // right after bucket `after` (kNil = at the list head).
+  void AttachCounter(uint32_t c, uint64_t target, uint32_t after);
+  uint32_t AllocBucket();
+  void FreeBucket(uint32_t b);
+  void IncrementCounter(uint32_t c);
+
+  size_t capacity_;
+  std::vector<Counter> counters_;
+  std::vector<Bucket> buckets_;
+  std::vector<uint32_t> free_buckets_;
+  uint32_t min_bucket_ = kNil;  // lowest-count bucket
+  std::unordered_map<ItemId, uint32_t> index_;  // item -> counter slot
+};
+
+}  // namespace ltc
+
+#endif  // LTC_SUMMARY_SPACE_SAVING_H_

@@ -1,0 +1,52 @@
+// The uniform interface the experiment harness drives.
+//
+// Every algorithm compared in the paper — LTC and all baselines, across
+// the three tasks (frequent §V-F, persistent §V-G, significant §V-H) — is
+// wrapped as a SignificantReporter: feed the stream once, then ask for the
+// top-k report. The harness supplies the record's period index (computed
+// from the Stream's period structure) so period-aware baselines don't
+// duplicate that bookkeeping.
+
+#ifndef LTC_TOPK_INTERFACES_H_
+#define LTC_TOPK_INTERFACES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace ltc {
+
+struct TopKEntry {
+  ItemId item;
+  double estimate;  // the algorithm's estimate of the task metric
+                    // (frequency, persistency, or α·f+β·p)
+};
+
+class SignificantReporter {
+ public:
+  virtual ~SignificantReporter() = default;
+
+  /// Processes one record. `period` is the record's 0-based period index;
+  /// records arrive time-ordered, so periods are nondecreasing.
+  virtual void Insert(ItemId item, double time, uint32_t period) = 0;
+
+  /// Called once after the last record, before TopK / Estimate.
+  virtual void Finish() {}
+
+  /// The k items the algorithm believes have the largest metric,
+  /// descending by estimate.
+  virtual std::vector<TopKEntry> TopK(size_t k) const = 0;
+
+  /// The algorithm's metric estimate for one item (0 if unknown); used by
+  /// the ARE metric on reported items.
+  virtual double Estimate(ItemId item) const = 0;
+
+  /// Display name used in the figure tables ("LTC", "SS", "CM", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_TOPK_INTERFACES_H_

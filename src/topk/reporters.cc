@@ -1,0 +1,288 @@
+#include "topk/reporters.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ltc {
+namespace {
+
+// Heap memory comes off the top of a sketch-based budget; never let the
+// sketch starve completely.
+size_t SketchBudget(size_t memory_bytes, size_t k) {
+  size_t heap_bytes = TopKHeap::MemoryBytes(k);
+  return memory_bytes > heap_bytes + 64 ? memory_bytes - heap_bytes : 64;
+}
+
+std::vector<TopKEntry> HeapTopK(const TopKHeap& heap, size_t k) {
+  std::vector<TopKEntry> out;
+  for (const auto& entry : heap.SortedEntries()) {
+    if (out.size() == k) break;
+    out.push_back({entry.item, entry.value});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SketchKindName(SketchKind kind) {
+  switch (kind) {
+    case SketchKind::kCountMin:
+      return "CM";
+    case SketchKind::kCu:
+      return "CU";
+    case SketchKind::kCount:
+      return "Count";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------------------- LTC
+
+LtcConfig LtcReporter::Paced(LtcConfig config, uint32_t num_periods,
+                             double duration) {
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = duration / num_periods;
+  return config;
+}
+
+LtcReporter::LtcReporter(const LtcConfig& config, uint32_t num_periods,
+                         double duration)
+    : ltc_(Paced(config, num_periods, duration)) {}
+
+void LtcReporter::Insert(ItemId item, double time, uint32_t) {
+  ltc_.Insert(item, time);
+}
+
+std::vector<TopKEntry> LtcReporter::TopK(size_t k) const {
+  std::vector<TopKEntry> out;
+  for (const auto& report : ltc_.TopK(k)) {
+    out.push_back({report.item, report.significance});
+  }
+  return out;
+}
+
+// ------------------------------------------------------- counter summaries
+
+std::vector<TopKEntry> SpaceSavingReporter::TopK(size_t k) const {
+  std::vector<TopKEntry> out;
+  for (const auto& entry : ss_.TopK(k)) {
+    out.push_back({entry.item, static_cast<double>(entry.count)});
+  }
+  return out;
+}
+
+LossyCountingReporter::LossyCountingReporter(size_t memory_bytes)
+    // ε sized so the worst-case table (1/ε)·ln(εN) stays near the budget
+    // for typical N; a hard entry cap enforces it regardless.
+    : lc_(2.0 / static_cast<double>(LossyCounting::EntriesForMemory(
+              memory_bytes)),
+          LossyCounting::EntriesForMemory(memory_bytes)) {}
+
+std::vector<TopKEntry> LossyCountingReporter::TopK(size_t k) const {
+  std::vector<TopKEntry> out;
+  for (const auto& entry : lc_.TopK(k)) {
+    out.push_back({entry.item, static_cast<double>(entry.count + entry.delta)});
+  }
+  return out;
+}
+
+std::vector<TopKEntry> MisraGriesReporter::TopK(size_t k) const {
+  std::vector<TopKEntry> out;
+  for (const auto& entry : mg_.TopK(k)) {
+    out.push_back({entry.item, static_cast<double>(entry.count)});
+  }
+  return out;
+}
+
+// ------------------------------------------------------- sketch + heap
+
+SketchHeapFrequentReporter::SketchHeapFrequentReporter(SketchKind kind,
+                                                       size_t memory_bytes,
+                                                       size_t k,
+                                                       uint32_t depth,
+                                                       uint64_t seed)
+    : kind_(kind), heap_(k) {
+  size_t budget = SketchBudget(memory_bytes, k);
+  switch (kind) {
+    case SketchKind::kCountMin:
+      counter_sketch_ = std::make_unique<CountMinSketch>(budget, depth, seed);
+      break;
+    case SketchKind::kCu:
+      counter_sketch_ = std::make_unique<CuSketch>(budget, depth, seed);
+      break;
+    case SketchKind::kCount:
+      count_sketch_ = std::make_unique<CountSketch>(budget, depth, seed);
+      break;
+  }
+}
+
+uint64_t SketchHeapFrequentReporter::SketchQuery(ItemId item) const {
+  if (counter_sketch_) return counter_sketch_->Query(item);
+  int64_t est = count_sketch_->Query(item);
+  return est < 0 ? 0 : static_cast<uint64_t>(est);
+}
+
+void SketchHeapFrequentReporter::Insert(ItemId item, double, uint32_t) {
+  if (counter_sketch_) {
+    counter_sketch_->Insert(item);
+  } else {
+    count_sketch_->Insert(item);
+  }
+  heap_.Offer(item, static_cast<double>(SketchQuery(item)));
+}
+
+std::vector<TopKEntry> SketchHeapFrequentReporter::TopK(size_t k) const {
+  return HeapTopK(heap_, k);
+}
+
+double SketchHeapFrequentReporter::Estimate(ItemId item) const {
+  // Report the heap's tracked value when available (it reflects the
+  // estimate at the item's last arrival); fall back to the sketch.
+  if (heap_.Contains(item)) return heap_.ValueOf(item);
+  return static_cast<double>(SketchQuery(item));
+}
+
+// ------------------------------------------------------- BF + sketch + heap
+
+BfSketchPersistentReporter::BfSketchPersistentReporter(SketchKind kind,
+                                                       size_t memory_bytes,
+                                                       size_t k,
+                                                       uint32_t depth,
+                                                       uint64_t seed)
+    : kind_(kind),
+      bf_(std::max<size_t>(64, memory_bytes / 2 * 8),  // half budget, in bits
+          4, seed ^ 0xb1f0),
+      heap_(k) {
+  size_t budget = SketchBudget(memory_bytes - memory_bytes / 2, k);
+  switch (kind) {
+    case SketchKind::kCountMin:
+      counter_sketch_ = std::make_unique<CountMinSketch>(budget, depth, seed);
+      break;
+    case SketchKind::kCu:
+      counter_sketch_ = std::make_unique<CuSketch>(budget, depth, seed);
+      break;
+    case SketchKind::kCount:
+      count_sketch_ = std::make_unique<CountSketch>(budget, depth, seed);
+      break;
+  }
+}
+
+uint64_t BfSketchPersistentReporter::SketchQuery(ItemId item) const {
+  if (counter_sketch_) return counter_sketch_->Query(item);
+  int64_t est = count_sketch_->Query(item);
+  return est < 0 ? 0 : static_cast<uint64_t>(est);
+}
+
+void BfSketchPersistentReporter::Insert(ItemId item, double, uint32_t period) {
+  if (period != current_period_) {
+    // New period: the dedup filter starts fresh (§II-B).
+    bf_.Clear();
+    current_period_ = period;
+  }
+  if (bf_.TestAndAdd(item)) return;  // already counted this period
+  if (counter_sketch_) {
+    counter_sketch_->Insert(item);
+  } else {
+    count_sketch_->Insert(item);
+  }
+  heap_.Offer(item, static_cast<double>(SketchQuery(item)));
+}
+
+std::vector<TopKEntry> BfSketchPersistentReporter::TopK(size_t k) const {
+  return HeapTopK(heap_, k);
+}
+
+double BfSketchPersistentReporter::Estimate(ItemId item) const {
+  if (heap_.Contains(item)) return heap_.ValueOf(item);
+  return static_cast<double>(SketchQuery(item));
+}
+
+// ------------------------------------------------------- BF + SpaceSaving
+
+std::vector<TopKEntry> BfSpaceSavingPersistentReporter::TopK(
+    size_t k) const {
+  std::vector<TopKEntry> out;
+  for (const auto& entry : ss_.TopK(k)) {
+    out.push_back({entry.item, static_cast<double>(entry.count)});
+  }
+  return out;
+}
+
+// ------------------------------------------------------- PIE
+
+PieReporter::PieReporter(size_t memory_bytes_per_period, uint32_t num_periods,
+                         uint64_t seed)
+    : pie_(memory_bytes_per_period, num_periods, 3, seed) {}
+
+void PieReporter::Finish() { decoded_ = pie_.DecodeAll(); }
+
+std::vector<TopKEntry> PieReporter::TopK(size_t k) const {
+  std::vector<Pie::Report> sorted = decoded_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Pie::Report& a, const Pie::Report& b) {
+              if (a.persistency != b.persistency) {
+                return a.persistency > b.persistency;
+              }
+              return a.item < b.item;
+            });
+  if (sorted.size() > k) sorted.resize(k);
+  std::vector<TopKEntry> out;
+  for (const auto& report : sorted) {
+    out.push_back({report.item, static_cast<double>(report.persistency)});
+  }
+  return out;
+}
+
+double PieReporter::Estimate(ItemId item) const {
+  return static_cast<double>(pie_.EstimatePersistency(item));
+}
+
+// ------------------------------------------------------- two-structure combo
+
+CombinedSignificantReporter::CombinedSignificantReporter(
+    SketchKind kind, size_t memory_bytes, size_t k, double alpha, double beta,
+    uint64_t seed)
+    : kind_(kind),
+      alpha_(alpha),
+      beta_(beta),
+      frequent_(kind, memory_bytes / 2, k, 3, seed),
+      persistent_(kind, memory_bytes - memory_bytes / 2, k, 3, seed ^ 0x51) {}
+
+void CombinedSignificantReporter::Insert(ItemId item, double time,
+                                         uint32_t period) {
+  frequent_.Insert(item, time, period);
+  persistent_.Insert(item, time, period);
+}
+
+double CombinedSignificantReporter::Estimate(ItemId item) const {
+  return alpha_ * frequent_.Estimate(item) +
+         beta_ * persistent_.Estimate(item);
+}
+
+std::vector<TopKEntry> CombinedSignificantReporter::TopK(size_t k) const {
+  // Candidates: anything either structure still tracks; scored by the
+  // combined estimate.
+  std::vector<TopKEntry> candidates;
+  for (const auto& entry : frequent_.TopK(k)) {
+    candidates.push_back({entry.item, Estimate(entry.item)});
+  }
+  for (const auto& entry : persistent_.TopK(k)) {
+    bool seen = false;
+    for (const auto& existing : candidates) {
+      if (existing.item == entry.item) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) candidates.push_back({entry.item, Estimate(entry.item)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TopKEntry& a, const TopKEntry& b) {
+              if (a.estimate != b.estimate) return a.estimate > b.estimate;
+              return a.item < b.item;
+            });
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+}  // namespace ltc

@@ -1,0 +1,237 @@
+// Reporter adapters: every compared algorithm behind the harness
+// interface, with the paper's §V-C memory-accounting rules baked in
+// (sketch-based top-k gets a size-k heap out of its budget; persistent
+// sketch baselines give half the budget to a per-period Bloom filter; PIE
+// gets its budget *per period*; significant two-structure combos split the
+// budget evenly).
+
+#ifndef LTC_TOPK_REPORTERS_H_
+#define LTC_TOPK_REPORTERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ltc.h"
+#include "persistent/pie.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "sketch/topk_heap.h"
+#include "summary/lossy_counting.h"
+#include "summary/misra_gries.h"
+#include "summary/space_saving.h"
+#include "topk/interfaces.h"
+
+namespace ltc {
+
+/// Which sketch a sketch-based reporter uses internally.
+enum class SketchKind { kCountMin, kCu, kCount };
+
+std::string SketchKindName(SketchKind kind);
+
+// ---------------------------------------------------------------------------
+// LTC itself.
+
+class LtcReporter : public SignificantReporter {
+ public:
+  /// `config.memory_bytes`, α/β and the optimization flags are honoured;
+  /// the period pacing fields are overwritten from (num_periods, duration)
+  /// so the CLOCK sweep matches the stream's period structure.
+  LtcReporter(const LtcConfig& config, uint32_t num_periods, double duration);
+
+  void Insert(ItemId item, double time, uint32_t period) override;
+  void Finish() override { ltc_.Finalize(); }
+  std::vector<TopKEntry> TopK(size_t k) const override;
+  double Estimate(ItemId item) const override {
+    return ltc_.QuerySignificance(item);
+  }
+  std::string name() const override { return "LTC"; }
+
+  const Ltc& ltc() const { return ltc_; }
+
+ private:
+  static LtcConfig Paced(LtcConfig config, uint32_t num_periods,
+                         double duration);
+  Ltc ltc_;
+};
+
+// ---------------------------------------------------------------------------
+// Frequent-items baselines (§V-F): task metric = frequency.
+
+class SpaceSavingReporter : public SignificantReporter {
+ public:
+  explicit SpaceSavingReporter(size_t memory_bytes)
+      : ss_(SpaceSaving::CountersForMemory(memory_bytes)) {}
+
+  void Insert(ItemId item, double, uint32_t) override { ss_.Insert(item); }
+  std::vector<TopKEntry> TopK(size_t k) const override;
+  double Estimate(ItemId item) const override {
+    return static_cast<double>(ss_.Estimate(item));
+  }
+  std::string name() const override { return "SS"; }
+
+ private:
+  SpaceSaving ss_;
+};
+
+class LossyCountingReporter : public SignificantReporter {
+ public:
+  explicit LossyCountingReporter(size_t memory_bytes);
+
+  void Insert(ItemId item, double, uint32_t) override { lc_.Insert(item); }
+  std::vector<TopKEntry> TopK(size_t k) const override;
+  double Estimate(ItemId item) const override {
+    return static_cast<double>(lc_.Estimate(item));
+  }
+  std::string name() const override { return "LC"; }
+
+ private:
+  LossyCounting lc_;
+};
+
+class MisraGriesReporter : public SignificantReporter {
+ public:
+  explicit MisraGriesReporter(size_t memory_bytes)
+      : mg_(MisraGries::CountersForMemory(memory_bytes)) {}
+
+  void Insert(ItemId item, double, uint32_t) override { mg_.Insert(item); }
+  std::vector<TopKEntry> TopK(size_t k) const override;
+  double Estimate(ItemId item) const override {
+    return static_cast<double>(mg_.Estimate(item));
+  }
+  std::string name() const override { return "MG"; }
+
+ private:
+  MisraGries mg_;
+};
+
+/// Sketch + size-k min-heap, the paper's sketch-based frequent-items
+/// recipe ("the size of the heap is k, and we allocate the rest memory to
+/// the sketch").
+class SketchHeapFrequentReporter : public SignificantReporter {
+ public:
+  SketchHeapFrequentReporter(SketchKind kind, size_t memory_bytes, size_t k,
+                             uint32_t depth = 3, uint64_t seed = 0);
+
+  void Insert(ItemId item, double, uint32_t) override;
+  std::vector<TopKEntry> TopK(size_t k) const override;
+  double Estimate(ItemId item) const override;
+  std::string name() const override { return SketchKindName(kind_); }
+
+ private:
+  uint64_t SketchQuery(ItemId item) const;
+
+  SketchKind kind_;
+  std::unique_ptr<CounterMatrixSketch> counter_sketch_;  // CM or CU
+  std::unique_ptr<CountSketch> count_sketch_;            // Count
+  TopKHeap heap_;
+};
+
+// ---------------------------------------------------------------------------
+// Persistent-items baselines (§V-G): task metric = persistency.
+
+/// Sketch adapted to persistency: half the budget is a Bloom filter that
+/// deduplicates within the current period (cleared at each boundary), the
+/// other half is sketch + heap counting one hit per (item, period).
+class BfSketchPersistentReporter : public SignificantReporter {
+ public:
+  BfSketchPersistentReporter(SketchKind kind, size_t memory_bytes, size_t k,
+                             uint32_t depth = 3, uint64_t seed = 0);
+
+  void Insert(ItemId item, double time, uint32_t period) override;
+  std::vector<TopKEntry> TopK(size_t k) const override;
+  double Estimate(ItemId item) const override;
+  std::string name() const override {
+    return "BF+" + SketchKindName(kind_);
+  }
+
+ private:
+  uint64_t SketchQuery(ItemId item) const;
+
+  SketchKind kind_;
+  BloomFilter bf_;
+  std::unique_ptr<CounterMatrixSketch> counter_sketch_;
+  std::unique_ptr<CountSketch> count_sketch_;
+  TopKHeap heap_;
+  uint32_t current_period_ = 0;
+};
+
+/// Counter-based summary adapted to persistency the same way (§II-B's
+/// recipe applied to Space-Saving): half the budget deduplicates within
+/// the period via a Bloom filter, the other half is a Space-Saving table
+/// over (item, period) first-appearances.
+class BfSpaceSavingPersistentReporter : public SignificantReporter {
+ public:
+  BfSpaceSavingPersistentReporter(size_t memory_bytes, uint64_t seed = 0)
+      : bf_(std::max<size_t>(64, memory_bytes / 2 * 8), 4, seed ^ 0xb55),
+        ss_(SpaceSaving::CountersForMemory(memory_bytes -
+                                           memory_bytes / 2)) {}
+
+  void Insert(ItemId item, double, uint32_t period) override {
+    if (period != current_period_) {
+      bf_.Clear();
+      current_period_ = period;
+    }
+    if (!bf_.TestAndAdd(item)) ss_.Insert(item);
+  }
+  std::vector<TopKEntry> TopK(size_t k) const override;
+  double Estimate(ItemId item) const override {
+    return static_cast<double>(ss_.Estimate(item));
+  }
+  std::string name() const override { return "BF+SS"; }
+
+ private:
+  BloomFilter bf_;
+  SpaceSaving ss_;
+  uint32_t current_period_ = 0;
+};
+
+/// PIE. Per §V-C it receives `memory_bytes` for EVERY period. Decoding
+/// happens once in Finish().
+class PieReporter : public SignificantReporter {
+ public:
+  PieReporter(size_t memory_bytes_per_period, uint32_t num_periods,
+              uint64_t seed = 0);
+
+  void Insert(ItemId item, double, uint32_t period) override {
+    pie_.Insert(item, period);
+  }
+  void Finish() override;
+  std::vector<TopKEntry> TopK(size_t k) const override;
+  double Estimate(ItemId item) const override;
+  std::string name() const override { return "PIE"; }
+
+ private:
+  Pie pie_;
+  std::vector<Pie::Report> decoded_;
+};
+
+// ---------------------------------------------------------------------------
+// Significant-items baseline (§V-H): no prior art exists, so the paper
+// combines the best frequent and best persistent structures; the budget is
+// split evenly and candidates are scored by α·f̂ + β·p̂.
+
+class CombinedSignificantReporter : public SignificantReporter {
+ public:
+  CombinedSignificantReporter(SketchKind kind, size_t memory_bytes, size_t k,
+                              double alpha, double beta, uint64_t seed = 0);
+
+  void Insert(ItemId item, double time, uint32_t period) override;
+  std::vector<TopKEntry> TopK(size_t k) const override;
+  double Estimate(ItemId item) const override;
+  std::string name() const override {
+    return SketchKindName(kind_) + "+" + SketchKindName(kind_);
+  }
+
+ private:
+  SketchKind kind_;
+  double alpha_;
+  double beta_;
+  SketchHeapFrequentReporter frequent_;
+  BfSketchPersistentReporter persistent_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_TOPK_REPORTERS_H_

@@ -1,0 +1,91 @@
+// Unit tests for the standard Bloom filter substrate.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sketch/bloom_filter.h"
+
+namespace ltc {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf(1 << 14, 4, 1);
+  for (ItemId i = 1; i <= 1000; ++i) bf.Add(i);
+  for (ItemId i = 1; i <= 1000; ++i) {
+    EXPECT_TRUE(bf.MayContain(i)) << "item " << i;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTheory) {
+  constexpr size_t kBits = 1 << 15;
+  constexpr size_t kItems = 2'000;
+  uint32_t k = BloomFilter::OptimalNumHashes(kBits, kItems);
+  BloomFilter bf(kBits, k, 2);
+  for (ItemId i = 1; i <= kItems; ++i) bf.Add(i);
+
+  int fp = 0;
+  constexpr int kProbes = 100'000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (bf.MayContain(static_cast<ItemId>(1'000'000 + i))) ++fp;
+  }
+  double observed = static_cast<double>(fp) / kProbes;
+  double predicted = bf.FalsePositiveRate(kItems);
+  EXPECT_LT(observed, predicted * 2 + 0.001);
+  EXPECT_GT(observed + 0.001, predicted / 4);
+}
+
+TEST(BloomFilter, TestAndAddSemantics) {
+  BloomFilter bf(1 << 12, 3, 3);
+  EXPECT_FALSE(bf.TestAndAdd(42));  // first sight
+  EXPECT_TRUE(bf.TestAndAdd(42));   // now present
+  EXPECT_TRUE(bf.MayContain(42));
+}
+
+TEST(BloomFilter, ClearEmptiesEverything) {
+  BloomFilter bf(1 << 12, 3, 4);
+  for (ItemId i = 1; i <= 500; ++i) bf.Add(i);
+  bf.Clear();
+  int positives = 0;
+  for (ItemId i = 1; i <= 500; ++i) positives += bf.MayContain(i);
+  EXPECT_EQ(positives, 0);
+}
+
+TEST(BloomFilter, OptimalNumHashesFormula) {
+  // m/n = 10 bits per item -> k = round(10 ln2) = 7.
+  EXPECT_EQ(BloomFilter::OptimalNumHashes(10'000, 1'000), 7u);
+  // Degenerate inputs stay sane.
+  EXPECT_EQ(BloomFilter::OptimalNumHashes(100, 0), 1u);
+  EXPECT_GE(BloomFilter::OptimalNumHashes(64, 10'000), 1u);
+}
+
+TEST(BloomFilter, SeedsGiveIndependentFilters) {
+  BloomFilter a(1 << 10, 3, 100);
+  BloomFilter b(1 << 10, 3, 200);
+  for (ItemId i = 1; i <= 50; ++i) a.Add(i);
+  // b never saw the items; with only 50 items in 1024 bits its false
+  // positive rate is tiny, so almost none should appear present.
+  int positives = 0;
+  for (ItemId i = 1; i <= 50; ++i) positives += b.MayContain(i);
+  EXPECT_LE(positives, 2);
+}
+
+TEST(BloomFilter, RoundsBitsUpToWord) {
+  BloomFilter bf(65, 1, 0);
+  EXPECT_EQ(bf.num_bits(), 128u);
+  EXPECT_EQ(bf.MemoryBytes(), 16u);
+}
+
+TEST(BloomFilter, SaturatedFilterReportsEverything) {
+  BloomFilter bf(64, 4, 5);
+  for (ItemId i = 1; i <= 1'000; ++i) bf.Add(i);
+  // With 1000 items in 64 bits every probe lands on set bits.
+  int positives = 0;
+  for (ItemId i = 5'000; i < 5'100; ++i) positives += bf.MayContain(i);
+  EXPECT_GT(positives, 95);
+  EXPECT_NEAR(bf.FalsePositiveRate(1'000), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ltc

@@ -1,0 +1,103 @@
+// Unit tests for the ltc_cli option parser.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli_options.h"
+
+namespace ltc {
+namespace {
+
+std::optional<CliOptions> Parse(std::vector<std::string> args,
+                                std::string* error = nullptr) {
+  std::string local;
+  return ParseCliOptions(args, error != nullptr ? error : &local);
+}
+
+TEST(CliOptions, DefaultsWithTraceOnly) {
+  auto options = Parse({"trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->trace_path, "trace.csv");
+  EXPECT_EQ(options->memory_bytes, 64u * 1024);
+  EXPECT_DOUBLE_EQ(options->alpha, 1.0);
+  EXPECT_DOUBLE_EQ(options->beta, 1.0);
+  EXPECT_EQ(options->k, 10u);
+  EXPECT_EQ(options->periods, 100u);
+  EXPECT_TRUE(options->long_tail_replacement);
+  EXPECT_TRUE(options->deviation_eliminator);
+  EXPECT_FALSE(options->csv);
+}
+
+TEST(CliOptions, AllFlagsParsed) {
+  auto options = Parse({"--memory", "2M", "--alpha", "0", "--beta", "1",
+                        "--k", "50", "--periods", "500", "--duration",
+                        "3600", "--d", "16", "--no-ltr", "--no-de", "--csv",
+                        "--save", "ckpt.bin", "--load", "old.bin", "-"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->trace_path, "-");
+  EXPECT_EQ(options->memory_bytes, 2u * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(options->alpha, 0.0);
+  EXPECT_DOUBLE_EQ(options->beta, 1.0);
+  EXPECT_EQ(options->k, 50u);
+  EXPECT_EQ(options->periods, 500u);
+  EXPECT_DOUBLE_EQ(options->duration, 3600.0);
+  EXPECT_EQ(options->cells_per_bucket, 16u);
+  EXPECT_FALSE(options->long_tail_replacement);
+  EXPECT_FALSE(options->deviation_eliminator);
+  EXPECT_TRUE(options->csv);
+  EXPECT_EQ(options->save_path, "ckpt.bin");
+  EXPECT_EQ(options->load_path, "old.bin");
+}
+
+TEST(CliOptions, ToLtcConfigReflectsFlags) {
+  auto options = Parse({"--memory", "10K", "--alpha", "2", "--beta", "3",
+                        "--d", "4", "--no-ltr", "t.csv"});
+  ASSERT_TRUE(options.has_value());
+  LtcConfig config = options->ToLtcConfig();
+  EXPECT_EQ(config.memory_bytes, 10u * 1024);
+  EXPECT_DOUBLE_EQ(config.alpha, 2.0);
+  EXPECT_DOUBLE_EQ(config.beta, 3.0);
+  EXPECT_EQ(config.cells_per_bucket, 4u);
+  EXPECT_EQ(config.EffectiveInitPolicy(), InitPolicy::kOne);
+}
+
+TEST(CliOptions, HelpShortCircuits) {
+  auto options = Parse({"--help"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_TRUE(options->show_help);
+  EXPECT_FALSE(CliUsage().empty());
+}
+
+TEST(CliOptions, Rejections) {
+  std::string error;
+  EXPECT_FALSE(Parse({}, &error).has_value());
+  EXPECT_NE(error.find("no trace"), std::string::npos);
+
+  EXPECT_FALSE(Parse({"--memory"}, &error).has_value());
+  EXPECT_NE(error.find("needs a value"), std::string::npos);
+
+  EXPECT_FALSE(Parse({"--memory", "potato", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--memory", "0", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--k", "0", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--alpha", "-1", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--bogus", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"a.csv", "b.csv"}, &error).has_value());
+  EXPECT_FALSE(
+      Parse({"--alpha", "0", "--beta", "0", "t"}, &error).has_value());
+}
+
+TEST(CliOptions, MemorySizeSuffixes) {
+  EXPECT_EQ(ParseMemorySize("123"), 123u);
+  EXPECT_EQ(ParseMemorySize("64K"), 64u * 1024);
+  EXPECT_EQ(ParseMemorySize("64k"), 64u * 1024);
+  EXPECT_EQ(ParseMemorySize("2M"), 2u * 1024 * 1024);
+  EXPECT_FALSE(ParseMemorySize("").has_value());
+  EXPECT_FALSE(ParseMemorySize("K").has_value());
+  EXPECT_FALSE(ParseMemorySize("12G").has_value());
+  EXPECT_FALSE(ParseMemorySize("1.5K").has_value());
+}
+
+}  // namespace
+}  // namespace ltc

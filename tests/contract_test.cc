@@ -1,0 +1,195 @@
+// Contract tests: every SignificantReporter implementation, driven
+// through the exact harness life cycle over a parameter grid, must obey
+// the interface's rules — k-bounded sorted reports, non-negative
+// estimates consistent with the report, unique stable names. Plus
+// serialization canonicality for the checkpointable types.
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/serial.h"
+#include "metrics/evaluate.h"
+#include "metrics/ground_truth.h"
+#include "stream/generators.h"
+#include "topk/reporters.h"
+
+namespace ltc {
+namespace {
+
+struct ContractParam {
+  const char* reporter;
+  size_t memory_kb;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<ContractParam>& info) {
+  std::string name = info.param.reporter;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_" + std::to_string(info.param.memory_kb) + "KB";
+}
+
+std::unique_ptr<SignificantReporter> MakeReporter(const std::string& kind,
+                                                  size_t memory,
+                                                  const Stream& stream,
+                                                  size_t k) {
+  if (kind == "LTC") {
+    LtcConfig config;
+    config.memory_bytes = memory;
+    return std::make_unique<LtcReporter>(config, stream.num_periods(),
+                                         stream.duration());
+  }
+  if (kind == "SS") return std::make_unique<SpaceSavingReporter>(memory);
+  if (kind == "LC") return std::make_unique<LossyCountingReporter>(memory);
+  if (kind == "MG") return std::make_unique<MisraGriesReporter>(memory);
+  if (kind == "CM") {
+    return std::make_unique<SketchHeapFrequentReporter>(SketchKind::kCountMin,
+                                                        memory, k);
+  }
+  if (kind == "CU") {
+    return std::make_unique<SketchHeapFrequentReporter>(SketchKind::kCu,
+                                                        memory, k);
+  }
+  if (kind == "Count") {
+    return std::make_unique<SketchHeapFrequentReporter>(SketchKind::kCount,
+                                                        memory, k);
+  }
+  if (kind == "BF+CM") {
+    return std::make_unique<BfSketchPersistentReporter>(
+        SketchKind::kCountMin, memory, k);
+  }
+  if (kind == "BF+CU") {
+    return std::make_unique<BfSketchPersistentReporter>(SketchKind::kCu,
+                                                        memory, k);
+  }
+  if (kind == "BF+Count") {
+    return std::make_unique<BfSketchPersistentReporter>(SketchKind::kCount,
+                                                        memory, k);
+  }
+  if (kind == "BF+SS") {
+    return std::make_unique<BfSpaceSavingPersistentReporter>(memory);
+  }
+  if (kind == "PIE") {
+    return std::make_unique<PieReporter>(memory, 20);
+  }
+  if (kind == "CM+CM") {
+    return std::make_unique<CombinedSignificantReporter>(
+        SketchKind::kCountMin, memory, k, 1.0, 1.0);
+  }
+  if (kind == "CU+CU") {
+    return std::make_unique<CombinedSignificantReporter>(SketchKind::kCu,
+                                                         memory, k, 1.0, 1.0);
+  }
+  if (kind == "Count+Count") {
+    return std::make_unique<CombinedSignificantReporter>(SketchKind::kCount,
+                                                         memory, k, 1.0, 1.0);
+  }
+  ADD_FAILURE() << "unknown reporter kind " << kind;
+  return nullptr;
+}
+
+class ReporterContractTest : public ::testing::TestWithParam<ContractParam> {
+};
+
+TEST_P(ReporterContractTest, FullLifeCycleObeysTheInterface) {
+  const auto& [kind, memory_kb] = GetParam();
+  constexpr size_t kK = 25;
+  Stream stream = MakeZipfStream(20'000, 2'000, 1.1, 20, 4242);
+
+  auto reporter = MakeReporter(kind, memory_kb * 1024, stream, kK);
+  ASSERT_NE(reporter, nullptr);
+  EXPECT_EQ(reporter->name(), kind);
+
+  for (const Record& r : stream.records()) {
+    reporter->Insert(r.item, r.time, stream.PeriodOf(r.time));
+  }
+  reporter->Finish();
+
+  auto top = reporter->TopK(kK);
+  EXPECT_LE(top.size(), kK);
+
+  std::set<ItemId> seen;
+  for (size_t i = 0; i < top.size(); ++i) {
+    // Sorted, non-negative, no duplicate items, no reserved ID.
+    if (i > 0) {
+      ASSERT_GE(top[i - 1].estimate, top[i].estimate);
+    }
+    ASSERT_GE(top[i].estimate, 0.0);
+    ASSERT_NE(top[i].item, 0u);
+    ASSERT_TRUE(seen.insert(top[i].item).second)
+        << "duplicate item " << top[i].item;
+    // Point estimate of a reported item is positive and consistent.
+    ASSERT_GE(reporter->Estimate(top[i].item), 0.0);
+  }
+
+  // TopK(1) is a prefix of TopK(k).
+  auto top1 = reporter->TopK(1);
+  if (!top.empty()) {
+    ASSERT_EQ(top1.size(), 1u);
+    EXPECT_EQ(top1[0].item, top[0].item);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllReporters, ReporterContractTest,
+    ::testing::Values(ContractParam{"LTC", 8}, ContractParam{"LTC", 64},
+                      ContractParam{"SS", 8}, ContractParam{"LC", 8},
+                      ContractParam{"MG", 8}, ContractParam{"CM", 8},
+                      ContractParam{"CU", 8}, ContractParam{"Count", 8},
+                      ContractParam{"BF+CM", 16}, ContractParam{"BF+CU", 16},
+                      ContractParam{"BF+Count", 16},
+                      ContractParam{"BF+SS", 16}, ContractParam{"PIE", 16},
+                      ContractParam{"CM+CM", 16}, ContractParam{"CU+CU", 16},
+                      ContractParam{"Count+Count", 16}),
+    ParamName);
+
+// Serialization canonicality: serialize → deserialize → serialize gives
+// byte-identical output (no hidden state lost or invented).
+TEST(SerializationCanonical, LtcRoundTripIsByteStable) {
+  LtcConfig config;
+  config.memory_bytes = 4 * 1024;
+  config.items_per_period = 500;
+  Ltc table(config);
+  Stream stream = MakeZipfStream(10'000, 1'000, 1.0, 10, 9);
+  for (const Record& r : stream.records()) table.Insert(r.item);
+
+  BinaryWriter first;
+  table.Serialize(first);
+  BinaryReader reader(first.data());
+  auto restored = Ltc::Deserialize(reader);
+  ASSERT_TRUE(restored.has_value());
+  BinaryWriter second;
+  restored->Serialize(second);
+  EXPECT_EQ(first.data(), second.data());
+}
+
+TEST(SerializationCanonical, SketchesAreByteStable) {
+  CuSketch cu(2 * 1024, 3, 5);
+  BloomFilter bf(1 << 10, 3, 5);
+  for (ItemId i = 1; i <= 500; ++i) {
+    cu.Insert(i % 97 + 1);
+    bf.Add(i);
+  }
+
+  BinaryWriter cu1, cu2, bf1, bf2;
+  cu.Serialize(cu1);
+  BinaryReader cu_reader(cu1.data());
+  auto cu_restored = CounterMatrixSketch::Deserialize(cu_reader);
+  ASSERT_NE(cu_restored, nullptr);
+  cu_restored->Serialize(cu2);
+  EXPECT_EQ(cu1.data(), cu2.data());
+
+  bf.Serialize(bf1);
+  BinaryReader bf_reader(bf1.data());
+  auto bf_restored = BloomFilter::Deserialize(bf_reader);
+  ASSERT_TRUE(bf_restored.has_value());
+  bf_restored->Serialize(bf2);
+  EXPECT_EQ(bf1.data(), bf2.data());
+}
+
+}  // namespace
+}  // namespace ltc

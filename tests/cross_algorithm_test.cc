@@ -1,0 +1,168 @@
+// Cross-algorithm and metamorphic properties: relations that must hold
+// BETWEEN independent implementations, which catch bugs no single-module
+// test can see.
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ltc.h"
+#include "metrics/ground_truth.h"
+#include "sketch/count_min.h"
+#include "stream/generators.h"
+#include "summary/misra_gries.h"
+#include "summary/space_saving.h"
+
+namespace ltc {
+namespace {
+
+Stream TestStream(uint64_t seed) {
+  return MakeZipfStream(50'000, 4'000, 1.0, 25, seed);
+}
+
+// Misra-Gries never overestimates, Space-Saving and CM never
+// underestimate: for every item the three estimates and the truth must
+// interleave as MG <= truth <= min(SS, CM).
+TEST(CrossAlgorithm, UnderAndOverEstimatorsSandwichTheTruth) {
+  Stream stream = TestStream(1);
+  GroundTruth truth = GroundTruth::Compute(stream);
+
+  MisraGries mg(256);
+  SpaceSaving ss(256);
+  CountMinSketch cm(8 * 1024, 3, 1);
+  for (const Record& r : stream.records()) {
+    mg.Insert(r.item);
+    ss.Insert(r.item);
+    cm.Insert(r.item);
+  }
+
+  for (const auto& [item, info] : truth.items()) {
+    uint64_t f = info.frequency;
+    ASSERT_LE(mg.Estimate(item), f) << "MG overestimated item " << item;
+    ASSERT_GE(cm.Query(item), f) << "CM underestimated item " << item;
+    if (ss.IsMonitored(item)) {
+      ASSERT_GE(ss.Estimate(item), f) << "SS underestimated item " << item;
+    }
+  }
+}
+
+// LTC without Long-tail Replacement is one-sided the other way (Thm
+// IV.1): its frequency estimate joins the sandwich below CM's.
+TEST(CrossAlgorithm, LtcWithoutLtrIsALowerBoundCmAnUpperBound) {
+  Stream stream = TestStream(2);
+  GroundTruth truth = GroundTruth::Compute(stream);
+
+  LtcConfig config;
+  config.memory_bytes = 16 * 1024;
+  config.beta = 0.0;
+  config.long_tail_replacement = false;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  Ltc table(config);
+  CountMinSketch cm(16 * 1024, 3, 2);
+  for (const Record& r : stream.records()) {
+    table.Insert(r.item, r.time);
+    cm.Insert(r.item);
+  }
+  table.Finalize();
+
+  for (const auto& report : table.TopK(200)) {
+    uint64_t f = truth.Frequency(report.item);
+    ASSERT_LE(report.frequency, f);
+    ASSERT_GE(cm.Query(report.item), f);
+    ASSERT_LE(report.frequency, cm.Query(report.item));
+  }
+}
+
+// Ground truth is invariant under shuffling records WITHIN a period:
+// frequency counts all records and persistency only counts period
+// membership, so intra-period order cannot matter.
+TEST(CrossAlgorithm, GroundTruthInvariantUnderIntraPeriodShuffle) {
+  Stream original = TestStream(3);
+  GroundTruth before = GroundTruth::Compute(original);
+
+  // Shuffle each period's slice (records are index-timestamped; keep
+  // times, permute the items among the slots within the period).
+  std::vector<Record> records = original.records();
+  Rng rng(33);
+  size_t begin = 0;
+  while (begin < records.size()) {
+    uint32_t period = original.PeriodOf(records[begin].time);
+    size_t end = begin;
+    while (end < records.size() &&
+           original.PeriodOf(records[end].time) == period) {
+      ++end;
+    }
+    size_t span = end - begin;
+    if (span >= 2) {
+      for (size_t off = span - 1; off > 0; --off) {
+        size_t j = rng.Uniform(off + 1);
+        std::swap(records[begin + off].item, records[begin + j].item);
+      }
+    }
+    begin = end;
+  }
+  Stream shuffled(std::move(records), original.num_periods(),
+                  original.duration());
+  GroundTruth after = GroundTruth::Compute(shuffled);
+
+  ASSERT_EQ(before.num_distinct(), after.num_distinct());
+  for (const auto& [item, info] : before.items()) {
+    ASSERT_EQ(info.frequency, after.Frequency(item)) << "item " << item;
+    ASSERT_EQ(info.persistency, after.Persistency(item)) << "item " << item;
+  }
+}
+
+// Space-Saving's classic guarantee relative to the top-k task: any item
+// with true frequency above N/capacity is monitored at the end.
+TEST(CrossAlgorithm, SpaceSavingMonitorsAllHeavyHitters) {
+  Stream stream = TestStream(4);
+  GroundTruth truth = GroundTruth::Compute(stream);
+  constexpr size_t kCapacity = 128;
+  SpaceSaving ss(kCapacity);
+  for (const Record& r : stream.records()) ss.Insert(r.item);
+
+  uint64_t threshold = stream.size() / kCapacity;
+  for (const auto& [item, info] : truth.items()) {
+    if (info.frequency > threshold) {
+      EXPECT_TRUE(ss.IsMonitored(item))
+          << "heavy item " << item << " (f=" << info.frequency
+          << ") not monitored";
+    }
+  }
+}
+
+// Two independently seeded LTC tables see the same stream: their top-k
+// SETS should agree heavily even though bucket layouts differ entirely
+// (seed only changes collisions, not the algorithm).
+TEST(CrossAlgorithm, SeedChangesLayoutNotAnswers) {
+  Stream stream = TestStream(5);
+  LtcConfig config;
+  config.memory_bytes = 32 * 1024;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  config.seed = 1;
+  Ltc a(config);
+  config.seed = 2;
+  Ltc b(config);
+  for (const Record& r : stream.records()) {
+    a.Insert(r.item, r.time);
+    b.Insert(r.item, r.time);
+  }
+  a.Finalize();
+  b.Finalize();
+
+  auto top_a = a.TopK(100);
+  auto top_b = b.TopK(100);
+  std::unordered_map<ItemId, bool> in_a;
+  for (const auto& r : top_a) in_a[r.item] = true;
+  size_t overlap = 0;
+  for (const auto& r : top_b) overlap += in_a.count(r.item);
+  EXPECT_GE(overlap, 95u);
+}
+
+}  // namespace
+}  // namespace ltc

@@ -1,0 +1,154 @@
+// Cross-module integration tests: the full experiment pipeline (generator
+// → ground truth → reporter suite → metrics) on each dataset stand-in,
+// asserting the paper's qualitative results in miniature.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/evaluate.h"
+#include "metrics/ground_truth.h"
+#include "stream/generators.h"
+#include "topk/reporters.h"
+
+namespace ltc {
+namespace {
+
+constexpr size_t kK = 50;
+
+std::unique_ptr<LtcReporter> MakeLtc(size_t memory, const Stream& stream,
+                                     double alpha, double beta) {
+  LtcConfig config;
+  config.memory_bytes = memory;
+  config.alpha = alpha;
+  config.beta = beta;
+  return std::make_unique<LtcReporter>(config, stream.num_periods(),
+                                       stream.duration());
+}
+
+// §V-F on every dataset stand-in: at moderate memory LTC's frequent-items
+// precision dominates Space-Saving's and is close to perfect.
+TEST(Integration, FrequentItemsAcrossAllDatasets) {
+  struct Case {
+    const char* name;
+    Stream stream;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"caida", MakeCaidaLike(200'000, 1)});
+  cases.push_back({"network", MakeNetworkLike(200'000, 2)});
+  cases.push_back({"social", MakeSocialLike(150'000, 3)});
+
+  for (auto& c : cases) {
+    GroundTruth truth = GroundTruth::Compute(c.stream);
+    constexpr size_t kMemory = 16 * 1024;
+
+    auto ltc = MakeLtc(kMemory, c.stream, 1.0, 0.0);
+    SpaceSavingReporter ss(kMemory);
+
+    double ltc_precision =
+        RunReporter(*ltc, c.stream, truth, kK, 1.0, 0.0).eval.precision;
+    double ss_precision =
+        RunReporter(ss, c.stream, truth, kK, 1.0, 0.0).eval.precision;
+
+    EXPECT_GE(ltc_precision, 0.85) << c.name;
+    EXPECT_GE(ltc_precision, ss_precision - 0.02) << c.name;
+  }
+}
+
+// §V-F ARE: LTC's relative error is orders of magnitude below SS's at
+// tight memory (the paper reports 10^2–10^5× gaps).
+TEST(Integration, FrequentItemsAreGapAtTightMemory) {
+  Stream stream = MakeCaidaLike(200'000, 4);
+  GroundTruth truth = GroundTruth::Compute(stream);
+  constexpr size_t kMemory = 4 * 1024;
+
+  auto ltc = MakeLtc(kMemory, stream, 1.0, 0.0);
+  SpaceSavingReporter ss(kMemory);
+
+  double ltc_are = RunReporter(*ltc, stream, truth, kK, 1.0, 0.0).eval.are;
+  double ss_are = RunReporter(ss, stream, truth, kK, 1.0, 0.0).eval.are;
+  EXPECT_LT(ltc_are, ss_are / 5.0);
+}
+
+// §V-G in miniature: persistent-items precision, LTC vs the BF+sketch
+// adaptation at equal memory (PIE is covered in reporters_test).
+TEST(Integration, PersistentItemsLtcBeatsAdaptedSketch) {
+  Stream stream = MakeNetworkLike(200'000, 5);
+  GroundTruth truth = GroundTruth::Compute(stream);
+  constexpr size_t kMemory = 24 * 1024;
+
+  auto ltc = MakeLtc(kMemory, stream, 0.0, 1.0);
+  BfSketchPersistentReporter bf_cu(SketchKind::kCu, kMemory, kK);
+
+  double ltc_precision =
+      RunReporter(*ltc, stream, truth, kK, 0.0, 1.0).eval.precision;
+  double bf_precision =
+      RunReporter(bf_cu, stream, truth, kK, 0.0, 1.0).eval.precision;
+  EXPECT_GT(ltc_precision, bf_precision);
+  EXPECT_GE(ltc_precision, 0.5);
+}
+
+// §V-H in miniature: significant items across the three α:β mixes.
+TEST(Integration, SignificantItemsAcrossParameterMixes) {
+  Stream stream = MakeCaidaLike(200'000, 6);
+  GroundTruth truth = GroundTruth::Compute(stream);
+  constexpr size_t kMemory = 32 * 1024;
+
+  for (auto [alpha, beta] : {std::pair{1.0, 10.0}, {1.0, 1.0}, {10.0, 1.0}}) {
+    auto ltc = MakeLtc(kMemory, stream, alpha, beta);
+    CombinedSignificantReporter combo(SketchKind::kCu, kMemory, kK, alpha,
+                                      beta);
+    double ltc_precision =
+        RunReporter(*ltc, stream, truth, kK, alpha, beta).eval.precision;
+    double combo_precision =
+        RunReporter(combo, stream, truth, kK, alpha, beta).eval.precision;
+    EXPECT_GE(ltc_precision, 0.75)
+        << "alpha=" << alpha << " beta=" << beta;
+    EXPECT_GE(ltc_precision + 0.02, combo_precision)
+        << "alpha=" << alpha << " beta=" << beta;
+  }
+}
+
+// §V-D in miniature: Long-tail Replacement strictly helps ARE on a
+// long-tail stream at tight memory.
+TEST(Integration, LongTailReplacementImprovesAccuracy) {
+  Stream stream = MakeNetworkLike(200'000, 7);
+  GroundTruth truth = GroundTruth::Compute(stream);
+  constexpr size_t kMemory = 8 * 1024;
+
+  LtcConfig with;
+  with.memory_bytes = kMemory;
+  with.long_tail_replacement = true;
+  LtcConfig without = with;
+  without.long_tail_replacement = false;
+
+  LtcReporter y(with, stream.num_periods(), stream.duration());
+  LtcReporter n(without, stream.num_periods(), stream.duration());
+  auto ry = RunReporter(y, stream, truth, kK, 1.0, 1.0);
+  auto rn = RunReporter(n, stream, truth, kK, 1.0, 1.0);
+  EXPECT_GE(ry.eval.precision + 0.02, rn.eval.precision);
+}
+
+// The estimates LTC reports for the true top items are tight: relative
+// error under 10% each at moderate memory.
+TEST(Integration, TopItemsEstimatedTightly) {
+  Stream stream = MakeSocialLike(150'000, 8);
+  GroundTruth truth = GroundTruth::Compute(stream);
+
+  auto ltc = MakeLtc(64 * 1024, stream, 1.0, 1.0);
+  for (const Record& r : stream.records()) {
+    ltc->Insert(r.item, r.time, stream.PeriodOf(r.time));
+  }
+  ltc->Finish();
+
+  auto top = truth.TopKSignificant(10, 1.0, 1.0);
+  for (const auto& [item, sig] : top) {
+    double est = ltc->Estimate(item);
+    EXPECT_GT(est, 0.0) << "item " << item;
+    EXPECT_NEAR(est, sig, 0.1 * sig) << "item " << item;
+  }
+}
+
+}  // namespace
+}  // namespace ltc

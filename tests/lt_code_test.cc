@@ -1,0 +1,172 @@
+// Unit and property tests for the LT fountain code.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codes/lt_code.h"
+#include "common/rng.h"
+
+namespace ltc {
+namespace {
+
+TEST(LtCode, DegreeDistributionIsNormalized) {
+  for (uint32_t k : {1u, 2u, 4u, 16u, 64u}) {
+    LtCode code(k);
+    double total = 0;
+    for (uint32_t d = 1; d <= k; ++d) total += code.DegreeProbability(d);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(LtCode, NeighboursAreDeterministicDistinctSorted) {
+  LtCode code(8);
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    auto a = code.NeighboursOf(seed);
+    auto b = code.NeighboursOf(seed);
+    ASSERT_EQ(a, b);
+    ASSERT_GE(a.size(), 1u);
+    ASSERT_LE(a.size(), 8u);
+    std::set<uint32_t> unique(a.begin(), a.end());
+    ASSERT_EQ(unique.size(), a.size());
+    ASSERT_TRUE(std::is_sorted(a.begin(), a.end()));
+    for (uint32_t idx : a) ASSERT_LT(idx, 8u);
+  }
+}
+
+TEST(LtCode, SampledDegreesMatchDistribution) {
+  constexpr uint32_t kK = 16;
+  LtCode code(kK);
+  std::vector<int> counts(kK + 1, 0);
+  constexpr int kSamples = 100'000;
+  for (uint64_t seed = 0; seed < kSamples; ++seed) {
+    ++counts[code.NeighboursOf(seed).size()];
+  }
+  for (uint32_t d = 1; d <= kK; ++d) {
+    double expected = code.DegreeProbability(d) * kSamples;
+    if (expected < 50) continue;  // skip statistically thin bins
+    EXPECT_NEAR(counts[d], expected, 5 * std::sqrt(expected) + 20)
+        << "degree " << d;
+  }
+}
+
+TEST(LtCode, RoundTripWithAmpleSymbols) {
+  constexpr uint32_t kK = 4;
+  LtCode code(kK);
+  std::vector<uint64_t> blocks = {0xAAAA, 0x1234, 0xF00D, 0x0042};
+  Rng rng(1);
+  int successes = 0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<LtCode::Symbol> symbols;
+    for (int s = 0; s < 12; ++s) {  // 3× overhead
+      uint64_t seed = rng.Next();
+      symbols.push_back({seed, code.Encode(blocks, seed)});
+    }
+    auto decoded = code.Decode(symbols);
+    if (decoded) {
+      EXPECT_EQ(*decoded, blocks);
+      ++successes;
+    }
+  }
+  // With 3× symbols on K=4 the peeling decoder succeeds almost always.
+  EXPECT_GT(successes, kTrials * 9 / 10);
+}
+
+TEST(LtCode, FailsCleanlyWithTooFewSymbols) {
+  LtCode code(4);
+  std::vector<uint64_t> blocks = {1, 2, 3, 4};
+  // A single symbol can never determine 4 blocks.
+  std::vector<LtCode::Symbol> one = {{7, code.Encode(blocks, 7)}};
+  EXPECT_FALSE(code.Decode(one).has_value());
+  EXPECT_FALSE(code.Decode({}).has_value());
+}
+
+TEST(LtCode, LargerBlockCountsStillDecode) {
+  constexpr uint32_t kK = 32;
+  LtCode code(kK);
+  Rng rng(3);
+  std::vector<uint64_t> blocks;
+  for (uint32_t i = 0; i < kK; ++i) blocks.push_back(rng.Next());
+
+  std::vector<LtCode::Symbol> symbols;
+  for (int s = 0; s < 3 * 32; ++s) {
+    uint64_t seed = rng.Next();
+    symbols.push_back({seed, code.Encode(blocks, seed)});
+  }
+  auto decoded = code.Decode(symbols);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, blocks);
+}
+
+TEST(LtCode, DecodeIgnoresRedundantSymbols) {
+  LtCode code(4);
+  std::vector<uint64_t> blocks = {10, 20, 30, 40};
+  std::vector<LtCode::Symbol> symbols;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    symbols.push_back({seed, code.Encode(blocks, seed)});
+    symbols.push_back({seed, code.Encode(blocks, seed)});  // duplicate
+  }
+  auto decoded = code.Decode(symbols);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, blocks);
+}
+
+TEST(LtCode, SingleBlockDegenerate) {
+  LtCode code(1);
+  std::vector<uint64_t> blocks = {0xbeef};
+  std::vector<LtCode::Symbol> symbols = {{5, code.Encode(blocks, 5)}};
+  auto decoded = code.Decode(symbols);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ((*decoded)[0], 0xbeefULL);
+}
+
+TEST(IdBlocks, SplitJoinRoundTrip) {
+  for (uint64_t id : {0ULL, 1ULL, 0xdeadbeefcafebabeULL, ~0ULL}) {
+    EXPECT_EQ(JoinId(SplitId(id)), id);
+  }
+  auto blocks = SplitId(0x0123456789abcdefULL);
+  ASSERT_EQ(blocks.size(), kIdBlocks);
+  EXPECT_EQ(blocks[0], 0xcdefULL);
+  EXPECT_EQ(blocks[3], 0x0123ULL);
+}
+
+// Property sweep: round trip across block counts and overheads.
+class LtCodeRoundTrip
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int>> {};
+
+TEST_P(LtCodeRoundTrip, DecodesWithOverhead) {
+  auto [k, overhead_pct] = GetParam();
+  LtCode code(k);
+  Rng rng(k * 1000 + overhead_pct);
+  std::vector<uint64_t> blocks;
+  for (uint32_t i = 0; i < k; ++i) blocks.push_back(rng.Next() & 0xffff);
+
+  int successes = 0;
+  constexpr int kTrials = 50;
+  int num_symbols = static_cast<int>(k) * (100 + overhead_pct) / 100;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<LtCode::Symbol> symbols;
+    for (int s = 0; s < num_symbols; ++s) {
+      uint64_t seed = rng.Next();
+      symbols.push_back({seed, code.Encode(blocks, seed)});
+    }
+    auto decoded = code.Decode(symbols);
+    if (decoded && *decoded == blocks) ++successes;
+  }
+  // At 200% overhead decoding should be the common case for all K here;
+  // the sweep documents the threshold behaviour rather than exact rates.
+  if (overhead_pct >= 200) {
+    EXPECT_GT(successes, kTrials / 2) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LtCodeRoundTrip,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u, 16u),
+                       ::testing::Values(50, 100, 200, 300)));
+
+}  // namespace
+}  // namespace ltc

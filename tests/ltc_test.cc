@@ -1,0 +1,534 @@
+// Unit tests for the LTC core: insertion cases, Significance Decrementing,
+// the modified CLOCK, the Deviation Eliminator, Long-tail Replacement, and
+// the no-overestimation guarantee (Theorem IV.1).
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ltc.h"
+#include "metrics/ground_truth.h"
+#include "stream/generators.h"
+
+namespace ltc {
+namespace {
+
+// A single-bucket table: memory for exactly w=1, d cells.
+LtcConfig OneBucket(uint32_t d, uint64_t items_per_period = 1'000'000) {
+  LtcConfig config;
+  config.memory_bytes = LtcConfig::BytesPerCell() * d;
+  config.cells_per_bucket = d;
+  config.items_per_period = items_per_period;
+  return config;
+}
+
+TEST(Ltc, GeometryFromMemoryBudget) {
+  LtcConfig config;
+  config.memory_bytes = 64 * 1024;
+  config.cells_per_bucket = 8;
+  Ltc table(config);
+  EXPECT_EQ(table.num_buckets(), 64u * 1024 / (16 * 8));
+  EXPECT_EQ(table.num_cells(), table.num_buckets() * 8u);
+  EXPECT_EQ(table.MemoryBytes(), table.num_cells() * 16);
+
+  // A budget below one bucket still yields one bucket.
+  LtcConfig tiny;
+  tiny.memory_bytes = 1;
+  Ltc small(tiny);
+  EXPECT_EQ(small.num_buckets(), 1u);
+}
+
+TEST(Ltc, Case1IncrementsTrackedItem) {
+  Ltc table(OneBucket(4));
+  table.Insert(7);
+  table.Insert(7);
+  table.Insert(7);
+  table.Finalize();
+  EXPECT_EQ(table.EstimateFrequency(7), 3u);
+  EXPECT_TRUE(table.IsTracked(7));
+}
+
+TEST(Ltc, Case2FillsEmptyCells) {
+  Ltc table(OneBucket(3));
+  table.Insert(1);
+  table.Insert(2);
+  table.Insert(3);
+  table.Finalize();
+  for (ItemId item : {1, 2, 3}) {
+    EXPECT_EQ(table.EstimateFrequency(item), 1u);
+    EXPECT_EQ(table.EstimatePersistency(item), 1u);  // one period seen
+  }
+}
+
+TEST(Ltc, Case3DecrementsSmallestWithoutAdmitting) {
+  LtcConfig config = OneBucket(2);
+  config.beta = 0.0;  // significance = frequency: easiest to reason about
+  Ltc table(config);
+  for (int i = 0; i < 5; ++i) table.Insert(1);
+  for (int i = 0; i < 2; ++i) table.Insert(2);
+  // Bucket full: a single arrival of 3 decrements item 2 (5 vs 2), is NOT
+  // admitted, and leaves item 2 tracked at 1.
+  table.Insert(3);
+  EXPECT_FALSE(table.IsTracked(3));
+  EXPECT_EQ(table.EstimateFrequency(2), 1u);
+  EXPECT_EQ(table.EstimateFrequency(1), 5u);
+}
+
+TEST(Ltc, Case3ExpelsAtZeroAndAdmitsNewcomer) {
+  LtcConfig config = OneBucket(2);
+  config.beta = 0.0;
+  config.long_tail_replacement = false;  // basic init: (1, 0)
+  Ltc table(config);
+  for (int i = 0; i < 5; ++i) table.Insert(1);
+  for (int i = 0; i < 2; ++i) table.Insert(2);
+  table.Insert(3);  // item2 -> 1
+  table.Insert(3);  // item2 -> 0: expelled; 3 admitted with freq 1
+  EXPECT_FALSE(table.IsTracked(2));
+  EXPECT_TRUE(table.IsTracked(3));
+  EXPECT_EQ(table.EstimateFrequency(3), 1u);
+}
+
+TEST(Ltc, LongTailReplacementInitializesToSecondSmallestMinusOne) {
+  LtcConfig config = OneBucket(2);
+  config.beta = 0.0;
+  config.long_tail_replacement = true;
+  Ltc table(config);
+  for (int i = 0; i < 10; ++i) table.Insert(1);  // freq 10
+  for (int i = 0; i < 5; ++i) table.Insert(2);   // freq 5
+  // Five arrivals of 3 decrement item2 to 0; LTR restores the newcomer at
+  // the (remaining) second-smallest frequency 10, minus 1.
+  for (int i = 0; i < 5; ++i) table.Insert(3);
+  EXPECT_FALSE(table.IsTracked(2));
+  EXPECT_TRUE(table.IsTracked(3));
+  EXPECT_EQ(table.EstimateFrequency(3), 9u);
+}
+
+TEST(Ltc, MinPlusOnePolicyReplacesWithoutDecrementing) {
+  // The Space-Saving strategy the paper argues against (§I): a single
+  // arrival into a full bucket immediately replaces the minimum at
+  // f_min + 1 — prompt adoption, large overestimation.
+  LtcConfig config = OneBucket(2);
+  config.beta = 0.0;
+  config.init_policy = InitPolicy::kMinPlusOne;
+  Ltc table(config);
+  for (int i = 0; i < 9; ++i) table.Insert(1);
+  for (int i = 0; i < 5; ++i) table.Insert(2);
+  table.Insert(3);  // ONE arrival: takes over item 2's cell at 5+1
+  EXPECT_FALSE(table.IsTracked(2));
+  EXPECT_TRUE(table.IsTracked(3));
+  EXPECT_EQ(table.EstimateFrequency(3), 6u);  // overestimates (truth: 1)
+  EXPECT_EQ(table.EstimateFrequency(1), 9u);
+}
+
+TEST(Ltc, EffectiveInitPolicyResolution) {
+  LtcConfig config;
+  EXPECT_EQ(config.EffectiveInitPolicy(), InitPolicy::kLongTail);
+  config.long_tail_replacement = false;
+  EXPECT_EQ(config.EffectiveInitPolicy(), InitPolicy::kOne);
+  config.long_tail_replacement = true;
+  config.init_policy = InitPolicy::kMinPlusOne;
+  EXPECT_EQ(config.EffectiveInitPolicy(), InitPolicy::kMinPlusOne);
+}
+
+TEST(Ltc, LongTailReplacementFallsBackWithoutNeighbours) {
+  // d=1: no second-smallest exists; the newcomer starts at (1, 0).
+  LtcConfig config = OneBucket(1);
+  config.beta = 0.0;
+  Ltc table(config);
+  for (int i = 0; i < 3; ++i) table.Insert(1);
+  // Three arrivals of 2: decrement 1 to 0, then admit at init (1, 0).
+  for (int i = 0; i < 3; ++i) table.Insert(2);
+  EXPECT_TRUE(table.IsTracked(2));
+  EXPECT_EQ(table.EstimateFrequency(2), 1u);
+}
+
+TEST(Ltc, PersistencyCountsPeriodsNotArrivals) {
+  // Item X appears 5 times in every one of 10 periods: persistency must be
+  // 10, not 50 (the modified CLOCK's whole point, §III-B).
+  LtcConfig config = OneBucket(4, /*items_per_period=*/5);
+  Ltc table(config);
+  for (int period = 0; period < 10; ++period) {
+    for (int i = 0; i < 5; ++i) table.Insert(99);
+  }
+  table.Finalize();
+  EXPECT_EQ(table.EstimateFrequency(99), 50u);
+  EXPECT_EQ(table.EstimatePersistency(99), 10u);
+}
+
+TEST(Ltc, PersistencySkipsAbsentPeriods) {
+  // One arrival of X per EVEN period; odd periods carry dummies.
+  LtcConfig config = OneBucket(4, /*items_per_period=*/2);
+  Ltc table(config);
+  for (int period = 0; period < 10; ++period) {
+    if (period % 2 == 0) {
+      table.Insert(99);
+    } else {
+      table.Insert(50);
+    }
+    table.Insert(60);  // filler completing each period
+  }
+  table.Finalize();
+  EXPECT_EQ(table.EstimatePersistency(99), 5u);
+  EXPECT_EQ(table.EstimateFrequency(99), 5u);
+}
+
+TEST(Ltc, DeviationEliminatorFixesStraddlingArrivals) {
+  // Fig. 4's failure: two arrivals in ONE period straddling the cell's
+  // scan moment are double-counted by the basic single-flag scheme; the
+  // even/odd flags count them once.
+  auto run = [](bool deviation_eliminator) {
+    LtcConfig config = OneBucket(4, /*items_per_period=*/4);
+    config.deviation_eliminator = deviation_eliminator;
+    config.long_tail_replacement = false;
+    Ltc table(config);
+    // Period 0: X enters cell 0 (plus 3 dummies filling the bucket).
+    table.Insert(11);
+    table.Insert(21);
+    table.Insert(22);
+    table.Insert(23);
+    // Period 1: X as 1st arrival (before cell 0's sweep slot has passed
+    // far) and again as 4th arrival (after it) — one period, two arrivals.
+    table.Insert(11);
+    table.Insert(21);
+    table.Insert(22);
+    table.Insert(11);
+    // Period 2: dummies only, letting the sweep collect X's flags.
+    table.Insert(21);
+    table.Insert(22);
+    table.Insert(21);
+    table.Insert(22);
+    table.Finalize();
+    return table.EstimatePersistency(11);
+  };
+
+  uint64_t with_de = run(true);
+  uint64_t without_de = run(false);
+  EXPECT_EQ(with_de, 2u);       // truth: X appeared in periods 0 and 1
+  EXPECT_GT(without_de, 2u);    // basic double-counts the straddle
+}
+
+TEST(Ltc, FinalizeCreditsPendingFlags) {
+  LtcConfig config = OneBucket(4, /*items_per_period=*/100);
+  Ltc table(config);
+  table.Insert(5);
+  // Mid-period: the flag is set but not yet swept.
+  EXPECT_EQ(table.EstimatePersistency(5), 0u);
+  table.Finalize();
+  EXPECT_EQ(table.EstimatePersistency(5), 1u);
+}
+
+TEST(Ltc, NoOverestimationWithoutLtr) {
+  // Theorem IV.1: with the Deviation Eliminator and basic initialization,
+  // ŝ <= s for every tracked item. Checked on a messy random workload.
+  WorkloadConfig wl;
+  wl.num_records = 60'000;
+  wl.num_distinct = 3'000;
+  wl.zipf_gamma = 1.0;
+  wl.num_periods = 40;
+  wl.seed = 21;
+  Stream stream = GenerateWorkload(wl);
+  GroundTruth truth = GroundTruth::Compute(stream);
+
+  LtcConfig config;
+  config.memory_bytes = 8 * 1024;
+  config.long_tail_replacement = false;
+  config.deviation_eliminator = true;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  Ltc table(config);
+  for (const Record& r : stream.records()) table.Insert(r.item, r.time);
+  table.Finalize();
+
+  for (const auto& report : table.TopK(table.num_cells())) {
+    uint64_t f = truth.Frequency(report.item);
+    uint64_t p = truth.Persistency(report.item);
+    ASSERT_LE(report.frequency, f) << "item " << report.item;
+    ASSERT_LE(report.persistency, p) << "item " << report.item;
+    ASSERT_LE(report.significance,
+              truth.Significance(report.item, config.alpha, config.beta) +
+                  1e-9);
+  }
+}
+
+TEST(Ltc, PersistencyNeverExceedsPeriodCount) {
+  WorkloadConfig wl;
+  wl.num_records = 30'000;
+  wl.num_distinct = 1'000;
+  wl.num_periods = 25;
+  wl.seed = 22;
+  Stream stream = GenerateWorkload(wl);
+
+  LtcConfig config;
+  config.memory_bytes = 4 * 1024;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  Ltc table(config);
+  for (const Record& r : stream.records()) table.Insert(r.item, r.time);
+  table.Finalize();
+  for (const auto& report : table.TopK(table.num_cells())) {
+    ASSERT_LE(report.persistency, stream.num_periods());
+  }
+}
+
+TEST(Ltc, CountAndTimePacingAgreeOnUniformStream) {
+  // On an index-timestamped stream the two pacing modes see identical
+  // arrival patterns; with β=0 the table contents must match exactly.
+  Stream stream = MakeZipfStream(20'000, 2'000, 1.0, 20, 23);
+
+  LtcConfig count_config;
+  count_config.memory_bytes = 4 * 1024;
+  count_config.beta = 0.0;
+  count_config.period_mode = PeriodMode::kCountBased;
+  count_config.items_per_period = stream.size() / stream.num_periods();
+
+  LtcConfig time_config = count_config;
+  time_config.period_mode = PeriodMode::kTimeBased;
+  time_config.period_seconds = stream.duration() / stream.num_periods();
+
+  Ltc by_count(count_config);
+  Ltc by_time(time_config);
+  for (const Record& r : stream.records()) {
+    by_count.Insert(r.item, r.time);
+    by_time.Insert(r.item, r.time);
+  }
+  by_count.Finalize();
+  by_time.Finalize();
+
+  auto a = by_count.TopK(100);
+  auto b = by_time.TopK(100);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item) << "rank " << i;
+    EXPECT_EQ(a[i].frequency, b[i].frequency);
+    // Persistency sweeps may differ by one slot's rounding.
+    EXPECT_NEAR(static_cast<double>(a[i].persistency),
+                static_cast<double>(b[i].persistency), 1.0);
+  }
+}
+
+TEST(Ltc, TimeBasedHandlesEmptyPeriodsAndGaps) {
+  LtcConfig config = OneBucket(4);
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = 1.0;
+  Ltc table(config);
+  table.Insert(7, 0.5);
+  table.Insert(7, 10.5);  // nine empty periods in between
+  table.Finalize();
+  EXPECT_EQ(table.EstimatePersistency(7), 2u);
+  EXPECT_EQ(table.current_period(), 10u);
+  EXPECT_TRUE(table.CheckInvariants());
+}
+
+TEST(Ltc, SnapshotTopKCreditsPendingFlagsWithoutMutating) {
+  LtcConfig config = OneBucket(4, /*items_per_period=*/100);
+  Ltc table(config);
+  table.Insert(5);
+  table.Insert(5);
+
+  // Mid-period: the committed counter is still 0, but the snapshot
+  // credits the pending flag.
+  EXPECT_EQ(table.EstimatePersistency(5), 0u);
+  auto snapshot = table.SnapshotTopK(1);
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].persistency, 1u);
+  EXPECT_EQ(snapshot[0].frequency, 2u);
+
+  // Non-destructive: the committed state is untouched, and Finalize
+  // agrees with what the snapshot predicted.
+  EXPECT_EQ(table.EstimatePersistency(5), 0u);
+  table.Finalize();
+  auto final = table.TopK(1);
+  ASSERT_EQ(final.size(), 1u);
+  EXPECT_EQ(final[0].persistency, snapshot[0].persistency);
+  EXPECT_EQ(final[0].significance, snapshot[0].significance);
+}
+
+TEST(Ltc, ItemsAboveThreshold) {
+  LtcConfig config = OneBucket(4);
+  config.beta = 0.0;
+  Ltc table(config);
+  for (int i = 0; i < 9; ++i) table.Insert(1);
+  for (int i = 0; i < 5; ++i) table.Insert(2);
+  for (int i = 0; i < 2; ++i) table.Insert(3);
+  table.Finalize();
+
+  auto heavy = table.ItemsAbove(5.0);
+  ASSERT_EQ(heavy.size(), 2u);
+  EXPECT_EQ(heavy[0].item, 1u);
+  EXPECT_EQ(heavy[1].item, 2u);
+  EXPECT_TRUE(table.ItemsAbove(100.0).empty());
+  EXPECT_EQ(table.ItemsAbove(0.0).size(), 3u);  // everything tracked
+}
+
+TEST(Ltc, ComputeStatsTracksOccupancy) {
+  LtcConfig config = OneBucket(4);
+  Ltc table(config);
+  auto empty = table.ComputeStats();
+  EXPECT_EQ(empty.occupied_cells, 0u);
+  EXPECT_EQ(empty.empty_cells, 4u);
+  EXPECT_EQ(empty.full_buckets, 0u);
+  EXPECT_EQ(empty.occupancy, 0.0);
+
+  for (int i = 0; i < 5; ++i) table.Insert(1);
+  table.Insert(2);
+  auto partial = table.ComputeStats();
+  EXPECT_EQ(partial.occupied_cells, 2u);
+  EXPECT_EQ(partial.full_buckets, 0u);
+  EXPECT_EQ(partial.max_frequency, 5u);
+  EXPECT_DOUBLE_EQ(partial.occupancy, 0.5);
+  EXPECT_GT(partial.avg_significance, 0.0);
+
+  table.Insert(3);
+  table.Insert(4);
+  auto full = table.ComputeStats();
+  EXPECT_EQ(full.occupied_cells, 4u);
+  EXPECT_EQ(full.full_buckets, 1u);
+  EXPECT_DOUBLE_EQ(full.occupancy, 1.0);
+}
+
+TEST(Ltc, QueryUntrackedReturnsZero) {
+  Ltc table(OneBucket(4));
+  table.Insert(1);
+  EXPECT_EQ(table.QuerySignificance(404), 0.0);
+  EXPECT_EQ(table.EstimateFrequency(404), 0u);
+  EXPECT_EQ(table.EstimatePersistency(404), 0u);
+  EXPECT_FALSE(table.IsTracked(404));
+}
+
+TEST(Ltc, TopKSortedAndTruncated) {
+  LtcConfig config = OneBucket(4);
+  config.beta = 0.0;
+  Ltc table(config);
+  for (int i = 0; i < 9; ++i) table.Insert(1);
+  for (int i = 0; i < 5; ++i) table.Insert(2);
+  for (int i = 0; i < 2; ++i) table.Insert(3);
+  table.Finalize();
+  auto top2 = table.TopK(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].item, 1u);
+  EXPECT_EQ(top2[1].item, 2u);
+  EXPECT_GE(top2[0].significance, top2[1].significance);
+  EXPECT_EQ(table.TopK(100).size(), 3u);
+}
+
+TEST(Ltc, AlphaBetaWeightSignificance) {
+  LtcConfig config = OneBucket(4, /*items_per_period=*/2);
+  config.alpha = 1.0;
+  config.beta = 10.0;
+  Ltc table(config);
+  // Item 1: frequent but one period. Item 2: one arrival per period.
+  for (int i = 0; i < 2; ++i) table.Insert(1);
+  for (int p = 0; p < 6; ++p) {
+    table.Insert(2);
+    table.Insert(3);
+  }
+  table.Finalize();
+  // s(1) = 2 + 10·1 = 12; s(2) = 6 + 10·6 = 66: persistency dominates.
+  EXPECT_GT(table.QuerySignificance(2), table.QuerySignificance(1));
+  auto top = table.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].item, 2u);
+}
+
+TEST(Ltc, TopKTieBreakIsDeterministic) {
+  LtcConfig config = OneBucket(4);
+  config.beta = 0.0;
+  Ltc table(config);
+  // Three items, equal frequency: ordering must be by ascending ID.
+  for (ItemId id : {30, 10, 20}) {
+    table.Insert(id);
+    table.Insert(id);
+  }
+  table.Finalize();
+  auto top = table.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].item, 10u);
+  EXPECT_EQ(top[1].item, 20u);
+  EXPECT_EQ(top[2].item, 30u);
+}
+
+TEST(Ltc, MinPlusOnePolicyOverestimatesUnderChurn) {
+  // Statistical companion to the unit case: on a Zipf stream the SS-style
+  // policy's reports routinely exceed the truth, while kOne's never do.
+  Stream stream = MakeZipfStream(30'000, 3'000, 1.0, 30, 41);
+  GroundTruth truth = GroundTruth::Compute(stream);
+
+  LtcConfig config;
+  config.memory_bytes = 4 * 1024;
+  config.beta = 0.0;
+  config.init_policy = InitPolicy::kMinPlusOne;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  Ltc table(config);
+  for (const Record& r : stream.records()) table.Insert(r.item, r.time);
+  table.Finalize();
+
+  size_t overestimates = 0;
+  for (const auto& report : table.TopK(table.num_cells())) {
+    if (report.frequency > truth.Frequency(report.item)) ++overestimates;
+  }
+  EXPECT_GT(overestimates, 10u);
+}
+
+TEST(Ltc, SerializeAfterFinalizeRoundTrips) {
+  LtcConfig config = OneBucket(4, /*items_per_period=*/3);
+  Ltc table(config);
+  for (int p = 0; p < 4; ++p) {
+    table.Insert(1);
+    table.Insert(2);
+    table.Insert(1);
+  }
+  table.Finalize();
+  BinaryWriter writer;
+  table.Serialize(writer);
+  BinaryReader reader(writer.data());
+  auto restored = Ltc::Deserialize(reader);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->EstimateFrequency(1), table.EstimateFrequency(1));
+  EXPECT_EQ(restored->EstimatePersistency(1),
+            table.EstimatePersistency(1));
+}
+
+TEST(Ltc, InvariantsHoldThroughRandomChurn) {
+  Rng rng(29);
+  LtcConfig config;
+  config.memory_bytes = 2 * 1024;
+  config.items_per_period = 500;
+  Ltc table(config);
+  for (int i = 0; i < 50'000; ++i) {
+    table.Insert(rng.Uniform(2'000) + 1);
+    if (i % 5'000 == 0) {
+      ASSERT_TRUE(table.CheckInvariants()) << "step " << i;
+    }
+  }
+  table.Finalize();
+  EXPECT_TRUE(table.CheckInvariants());
+}
+
+TEST(Ltc, PersistentOnlyModeTracksPersistentItems) {
+  // α=0, β=1: a persistent drizzle must beat a one-period flood.
+  LtcConfig config;
+  config.memory_bytes = 4 * 1024;
+  config.alpha = 0.0;
+  config.beta = 1.0;
+  config.items_per_period = 100;
+  Ltc table(config);
+  Rng rng(31);
+  for (int period = 0; period < 50; ++period) {
+    table.Insert(777);  // every period
+    if (period == 10) {
+      for (int i = 0; i < 99; ++i) table.Insert(888);  // one-period burst
+    } else {
+      for (int i = 0; i < 99; ++i) table.Insert(rng.Uniform(5'000) + 1);
+    }
+  }
+  table.Finalize();
+  EXPECT_GT(table.QuerySignificance(777), table.QuerySignificance(888));
+}
+
+}  // namespace
+}  // namespace ltc

@@ -1,0 +1,104 @@
+// Unit tests for ground truth and the precision / ARE metrics.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/evaluate.h"
+#include "metrics/ground_truth.h"
+#include "stream/stream.h"
+
+namespace ltc {
+namespace {
+
+Stream TinyStream() {
+  // 2 periods over [0, 10): item 1 in both periods (f=3), item 2 only in
+  // period 0 (f=2), item 3 once in period 1.
+  std::vector<Record> records = {
+      {1, 0.5}, {2, 1.0}, {2, 2.0}, {1, 4.0}, {1, 6.0}, {3, 8.0},
+  };
+  return Stream(std::move(records), 2, 10.0);
+}
+
+TEST(GroundTruth, CountsFrequencyAndPersistency) {
+  GroundTruth truth = GroundTruth::Compute(TinyStream());
+  EXPECT_EQ(truth.Frequency(1), 3u);
+  EXPECT_EQ(truth.Persistency(1), 2u);
+  EXPECT_EQ(truth.Frequency(2), 2u);
+  EXPECT_EQ(truth.Persistency(2), 1u);
+  EXPECT_EQ(truth.Frequency(3), 1u);
+  EXPECT_EQ(truth.Persistency(3), 1u);
+  EXPECT_EQ(truth.Frequency(404), 0u);
+  EXPECT_EQ(truth.Persistency(404), 0u);
+  EXPECT_EQ(truth.num_distinct(), 3u);
+  EXPECT_EQ(truth.total_records(), 6u);
+}
+
+TEST(GroundTruth, SignificanceCombinesWeights) {
+  GroundTruth truth = GroundTruth::Compute(TinyStream());
+  EXPECT_DOUBLE_EQ(truth.Significance(1, 1.0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(truth.Significance(1, 0.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(truth.Significance(1, 10.0, 1.0), 32.0);
+}
+
+TEST(GroundTruth, TopKSignificantOrdering) {
+  GroundTruth truth = GroundTruth::Compute(TinyStream());
+  auto top = truth.TopKSignificant(2, 1.0, 1.0);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 1u);  // s=5
+  EXPECT_EQ(top[1].first, 2u);  // s=3
+  // k beyond the universe truncates at the universe size.
+  EXPECT_EQ(truth.TopKSignificant(10, 1.0, 1.0).size(), 3u);
+}
+
+TEST(Evaluate, PerfectReportScoresPerfectly) {
+  GroundTruth truth = GroundTruth::Compute(TinyStream());
+  std::vector<TopKEntry> reported = {{1, 5.0}, {2, 3.0}};
+  EvalResult r = Evaluate(reported, truth, 2, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.are, 0.0);
+  EXPECT_DOUBLE_EQ(r.aae, 0.0);
+}
+
+TEST(Evaluate, WrongSetLowersPrecision) {
+  GroundTruth truth = GroundTruth::Compute(TinyStream());
+  std::vector<TopKEntry> reported = {{1, 5.0}, {3, 2.0}};  // 3 not in top-2
+  EvalResult r = Evaluate(reported, truth, 2, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+}
+
+TEST(Evaluate, AreAveragesRelativeErrorOverK) {
+  GroundTruth truth = GroundTruth::Compute(TinyStream());
+  // Item 1 off by 1 of 5 (rel 0.2); item 2 exact.
+  std::vector<TopKEntry> reported = {{1, 4.0}, {2, 3.0}};
+  EvalResult r = Evaluate(reported, truth, 2, 1.0, 1.0);
+  EXPECT_NEAR(r.are, 0.1, 1e-12);   // (0.2 + 0) / 2
+  EXPECT_NEAR(r.aae, 0.5, 1e-12);   // (1 + 0) / 2
+}
+
+TEST(Evaluate, ShortReportPenalizedByK) {
+  GroundTruth truth = GroundTruth::Compute(TinyStream());
+  std::vector<TopKEntry> reported = {{1, 5.0}};  // only one of k=2
+  EvalResult r = Evaluate(reported, truth, 2, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_EQ(r.reported, 1u);
+}
+
+TEST(Evaluate, EmptyReportScoresZero) {
+  GroundTruth truth = GroundTruth::Compute(TinyStream());
+  EvalResult r = Evaluate({}, truth, 2, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.are, 0.0);
+}
+
+TEST(Evaluate, PhantomItemContributesItsEstimate) {
+  GroundTruth truth = GroundTruth::Compute(TinyStream());
+  // Item 999 never appeared: relative error charged as the estimate.
+  std::vector<TopKEntry> reported = {{999, 7.0}};
+  EvalResult r = Evaluate(reported, truth, 1, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.are, 7.0);
+}
+
+}  // namespace
+}  // namespace ltc

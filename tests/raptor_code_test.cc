@@ -1,0 +1,158 @@
+// Tests for the Raptor code (precode + LT) and the partial peeling
+// decoder it relies on.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codes/raptor_code.h"
+#include "common/rng.h"
+
+namespace ltc {
+namespace {
+
+TEST(PeelingDecodePartial, ReportsWhatItResolved) {
+  // Blocks {0,1,2}; symbols determine 0 and 1 but never touch 2.
+  std::vector<GraphSymbol> symbols = {
+      {{0}, 11},
+      {{0, 1}, 11 ^ 22},
+  };
+  auto partial = PeelingDecodePartial(3, symbols);
+  EXPECT_TRUE(partial.resolved[0]);
+  EXPECT_TRUE(partial.resolved[1]);
+  EXPECT_FALSE(partial.resolved[2]);
+  EXPECT_EQ(partial.blocks[0], 11u);
+  EXPECT_EQ(partial.blocks[1], 22u);
+}
+
+TEST(PeelingDecodePartial, ConflictFreeRedundancyIsHarmless) {
+  std::vector<GraphSymbol> symbols = {
+      {{0}, 5},
+      {{0}, 5},
+      {{1, 0}, 5 ^ 9},
+  };
+  auto full = PeelingDecode(2, symbols);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ((*full)[0], 5u);
+  EXPECT_EQ((*full)[1], 9u);
+}
+
+TEST(RaptorCode, PrecodeAppendsSeededParities) {
+  RaptorCode code(4, 2, 7);
+  std::vector<uint64_t> source = {0xA, 0xB, 0xC, 0xD};
+  auto intermediate = code.Precode(source);
+  ASSERT_EQ(intermediate.size(), 6u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(intermediate[i], source[i]);
+  for (uint32_t p = 0; p < 2; ++p) {
+    uint64_t expected = 0;
+    for (uint32_t s : code.ParityNeighbours(p)) expected ^= source[s];
+    EXPECT_EQ(intermediate[4 + p], expected) << "parity " << p;
+  }
+  // Deterministic pattern.
+  RaptorCode again(4, 2, 7);
+  EXPECT_EQ(again.ParityNeighbours(0), code.ParityNeighbours(0));
+  RaptorCode other(4, 2, 8);
+  EXPECT_TRUE(other.ParityNeighbours(0) != code.ParityNeighbours(0) ||
+              other.ParityNeighbours(1) != code.ParityNeighbours(1));
+}
+
+TEST(RaptorCode, RoundTripWithAmpleSymbols) {
+  RaptorCode code(8, 3, 1);
+  Rng rng(1);
+  std::vector<uint64_t> source;
+  for (int i = 0; i < 8; ++i) source.push_back(rng.Next());
+  auto intermediate = code.Precode(source);
+
+  int successes = 0;
+  constexpr int kTrials = 100;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<LtCode::Symbol> symbols;
+    for (int s = 0; s < 24; ++s) {
+      uint64_t seed = rng.Next();
+      symbols.push_back({seed, code.EncodeIntermediate(intermediate, seed)});
+    }
+    auto decoded = code.Decode(symbols);
+    if (decoded) {
+      EXPECT_EQ(*decoded, source);
+      ++successes;
+    }
+  }
+  EXPECT_GT(successes, 90);
+}
+
+TEST(RaptorCode, EncodeConvenienceMatchesManualPath) {
+  RaptorCode code(4, 2, 3);
+  std::vector<uint64_t> source = {1, 2, 3, 4};
+  auto intermediate = code.Precode(source);
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    EXPECT_EQ(code.Encode(source, seed),
+              code.EncodeIntermediate(intermediate, seed));
+  }
+}
+
+TEST(RaptorCode, ZeroParityDegeneratesToLt) {
+  RaptorCode code(4, 0, 5);
+  std::vector<uint64_t> source = {9, 8, 7, 6};
+  EXPECT_EQ(code.Precode(source), source);
+  std::vector<LtCode::Symbol> symbols;
+  Rng rng(5);
+  for (int s = 0; s < 16; ++s) {
+    uint64_t seed = rng.Next();
+    symbols.push_back({seed, code.Encode(source, seed)});
+  }
+  auto decoded = code.Decode(symbols);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, source);
+}
+
+TEST(LtCode, MaxDegreeCapIsRespected) {
+  LtCode capped(32, 0.1, 0.5, /*max_degree=*/4);
+  for (uint64_t seed = 0; seed < 2'000; ++seed) {
+    ASSERT_LE(capped.NeighboursOf(seed).size(), 4u);
+  }
+  double total = 0;
+  for (uint32_t d = 1; d <= 4; ++d) total += capped.DegreeProbability(d);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(capped.DegreeProbability(5), 0.0);
+}
+
+// Raptor's raison d'être (Shokrollahi '06): with a BOUNDED-degree inner
+// code — O(1) encode work per symbol — plain LT cannot reach every block
+// and stalls, while the precode's parity constraints recover the blocks
+// the capped symbols miss.
+TEST(RaptorCode, PrecodeRescuesBoundedDegreeInnerCode) {
+  constexpr uint32_t kSource = 32;
+  constexpr uint32_t kParity = 12;
+  constexpr uint32_t kCap = 4;
+  constexpr int kTrials = 200;
+  constexpr int kSymbols = 64;  // 2x overhead, but degree-capped
+
+  LtCode plain(kSource, 0.1, 0.5, kCap);
+  RaptorCode raptor(kSource, kParity, 9, 4, kCap);
+  Rng rng(9);
+  std::vector<uint64_t> source;
+  for (uint32_t i = 0; i < kSource; ++i) source.push_back(rng.Next());
+  auto intermediate = raptor.Precode(source);
+
+  int lt_ok = 0, raptor_ok = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<LtCode::Symbol> lt_symbols, raptor_symbols;
+    for (int s = 0; s < kSymbols; ++s) {
+      uint64_t seed = rng.Next();
+      lt_symbols.push_back({seed, plain.Encode(source, seed)});
+      raptor_symbols.push_back(
+          {seed, raptor.EncodeIntermediate(intermediate, seed)});
+    }
+    auto lt_result = plain.Decode(lt_symbols);
+    if (lt_result && *lt_result == source) ++lt_ok;
+    auto raptor_result = raptor.Decode(raptor_symbols);
+    if (raptor_result) {
+      EXPECT_EQ(*raptor_result, source);
+      ++raptor_ok;
+    }
+  }
+  EXPECT_GT(raptor_ok, lt_ok);
+}
+
+}  // namespace
+}  // namespace ltc

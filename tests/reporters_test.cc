@@ -1,0 +1,253 @@
+// End-to-end tests of the reporter adapters on small synthetic streams:
+// each algorithm, fed through the uniform harness interface, must solve
+// its task well when memory is ample — and the memory-accounting rules
+// (heap carve-out, BF half-split, PIE per-period budget) must hold.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/evaluate.h"
+#include "metrics/ground_truth.h"
+#include "stream/generators.h"
+#include "topk/reporters.h"
+
+namespace ltc {
+namespace {
+
+constexpr size_t kK = 20;
+
+struct Workbench {
+  Stream stream;
+  GroundTruth truth;
+};
+
+Workbench FrequentBench() {
+  Stream s = MakeZipfStream(100'000, 5'000, 1.1, 50, 101);
+  GroundTruth t = GroundTruth::Compute(s);
+  return {std::move(s), std::move(t)};
+}
+
+Workbench PersistentBench() {
+  WorkloadConfig config;
+  config.num_records = 100'000;
+  config.num_distinct = 5'000;
+  config.zipf_gamma = 1.0;
+  config.num_periods = 50;
+  config.p_stable = 0.3;
+  config.p_bursty = 0.3;
+  config.seed = 103;
+  Stream s = GenerateWorkload(config);
+  GroundTruth t = GroundTruth::Compute(s);
+  return {std::move(s), std::move(t)};
+}
+
+double RunPrecision(SignificantReporter& reporter, const Workbench& bench,
+                    double alpha, double beta) {
+  RunResult r = RunReporter(reporter, bench.stream, bench.truth, kK, alpha,
+                            beta);
+  return r.eval.precision;
+}
+
+// ------------------------------------------------------ frequent task
+
+TEST(Reporters, FrequentTaskAllAlgorithmsAccurateWithAmpleMemory) {
+  Workbench bench = FrequentBench();
+  constexpr size_t kMemory = 256 * 1024;
+
+  LtcConfig ltc_config;
+  ltc_config.memory_bytes = kMemory;
+  ltc_config.alpha = 1.0;
+  ltc_config.beta = 0.0;
+  LtcReporter ltc(ltc_config, bench.stream.num_periods(),
+                  bench.stream.duration());
+  SpaceSavingReporter ss(kMemory);
+  LossyCountingReporter lc(kMemory);
+  MisraGriesReporter mg(kMemory);
+  SketchHeapFrequentReporter cm(SketchKind::kCountMin, kMemory, kK);
+  SketchHeapFrequentReporter cu(SketchKind::kCu, kMemory, kK);
+  SketchHeapFrequentReporter cs(SketchKind::kCount, kMemory, kK);
+
+  EXPECT_GE(RunPrecision(ltc, bench, 1.0, 0.0), 0.9) << "LTC";
+  EXPECT_GE(RunPrecision(ss, bench, 1.0, 0.0), 0.9) << "SS";
+  EXPECT_GE(RunPrecision(lc, bench, 1.0, 0.0), 0.9) << "LC";
+  EXPECT_GE(RunPrecision(mg, bench, 1.0, 0.0), 0.9) << "MG";
+  EXPECT_GE(RunPrecision(cm, bench, 1.0, 0.0), 0.9) << "CM";
+  EXPECT_GE(RunPrecision(cu, bench, 1.0, 0.0), 0.9) << "CU";
+  EXPECT_GE(RunPrecision(cs, bench, 1.0, 0.0), 0.9) << "Count";
+}
+
+TEST(Reporters, FrequentTaskLtcWinsAtTightMemory) {
+  // The headline §V-F effect in miniature: at a tight budget LTC's
+  // precision beats Space-Saving's.
+  Workbench bench = FrequentBench();
+  constexpr size_t kMemory = 2 * 1024;
+
+  LtcConfig ltc_config;
+  ltc_config.memory_bytes = kMemory;
+  ltc_config.beta = 0.0;
+  LtcReporter ltc(ltc_config, bench.stream.num_periods(),
+                  bench.stream.duration());
+  SpaceSavingReporter ss(kMemory);
+
+  double ltc_precision = RunPrecision(ltc, bench, 1.0, 0.0);
+  double ss_precision = RunPrecision(ss, bench, 1.0, 0.0);
+  EXPECT_GT(ltc_precision, ss_precision);
+  EXPECT_GE(ltc_precision, 0.6);
+}
+
+TEST(Reporters, NamesAreStable) {
+  EXPECT_EQ(SketchKindName(SketchKind::kCountMin), "CM");
+  EXPECT_EQ(SketchKindName(SketchKind::kCu), "CU");
+  EXPECT_EQ(SketchKindName(SketchKind::kCount), "Count");
+  SpaceSavingReporter ss(1024);
+  EXPECT_EQ(ss.name(), "SS");
+  BfSketchPersistentReporter bf(SketchKind::kCu, 4096, 5);
+  EXPECT_EQ(bf.name(), "BF+CU");
+  CombinedSignificantReporter combo(SketchKind::kCu, 4096, 5, 1, 1);
+  EXPECT_EQ(combo.name(), "CU+CU");
+}
+
+// ------------------------------------------------------ persistent task
+
+TEST(Reporters, PersistentTaskBfSketchAndLtcWork) {
+  Workbench bench = PersistentBench();
+  constexpr size_t kMemory = 128 * 1024;
+
+  LtcConfig ltc_config;
+  ltc_config.memory_bytes = kMemory;
+  ltc_config.alpha = 0.0;
+  ltc_config.beta = 1.0;
+  LtcReporter ltc(ltc_config, bench.stream.num_periods(),
+                  bench.stream.duration());
+  BfSketchPersistentReporter bf_cu(SketchKind::kCu, kMemory, kK);
+  BfSketchPersistentReporter bf_cm(SketchKind::kCountMin, kMemory, kK);
+
+  EXPECT_GE(RunPrecision(ltc, bench, 0.0, 1.0), 0.75) << "LTC";
+  EXPECT_GE(RunPrecision(bf_cu, bench, 0.0, 1.0), 0.6) << "BF+CU";
+  EXPECT_GE(RunPrecision(bf_cm, bench, 0.0, 1.0), 0.6) << "BF+CM";
+}
+
+TEST(Reporters, PersistentTaskBfSpaceSavingWorks) {
+  Workbench bench = PersistentBench();
+  BfSpaceSavingPersistentReporter bf_ss(128 * 1024);
+  EXPECT_GE(RunPrecision(bf_ss, bench, 0.0, 1.0), 0.5);
+  EXPECT_EQ(bf_ss.name(), "BF+SS");
+}
+
+TEST(Reporters, BfSpaceSavingCountsPeriodsNotArrivals) {
+  BfSpaceSavingPersistentReporter bf_ss(64 * 1024);
+  for (int i = 0; i < 50; ++i) bf_ss.Insert(7, 0.0, 0);
+  bf_ss.Insert(7, 1.0, 1);
+  EXPECT_EQ(bf_ss.Estimate(7), 2.0);
+}
+
+TEST(Reporters, PersistentTaskPieDecodesWithPerPeriodBudget) {
+  // Smaller stream: PIE is O(cells·T) to decode.
+  WorkloadConfig config;
+  config.num_records = 20'000;
+  config.num_distinct = 1'000;
+  config.num_periods = 20;
+  config.p_stable = 0.4;
+  config.seed = 104;
+  Stream s = GenerateWorkload(config);
+  GroundTruth truth = GroundTruth::Compute(s);
+
+  PieReporter pie(32 * 1024, s.num_periods());
+  RunResult r = RunReporter(pie, s, truth, kK, 0.0, 1.0);
+  EXPECT_GE(r.eval.precision, 0.5);
+}
+
+TEST(Reporters, PersistentEstimateIsPeriodsNotArrivals) {
+  // 100 arrivals of one item inside a single period must count once.
+  std::vector<Record> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back({7, static_cast<double>(i) * 0.01});
+  }
+  records.push_back({7, 5.0});  // second period
+  Stream s(std::move(records), 2, 10.0);
+
+  BfSketchPersistentReporter bf(SketchKind::kCu, 64 * 1024, 5);
+  for (const Record& r : s.records()) {
+    bf.Insert(r.item, r.time, s.PeriodOf(r.time));
+  }
+  bf.Finish();
+  EXPECT_EQ(bf.Estimate(7), 2.0);
+}
+
+// ------------------------------------------------------ significant task
+
+TEST(Reporters, SignificantTaskLtcAndComboAgreeOnEasyStream) {
+  Workbench bench = PersistentBench();
+  constexpr size_t kMemory = 256 * 1024;
+  constexpr double kAlpha = 1.0;
+  constexpr double kBeta = 1.0;
+
+  LtcConfig ltc_config;
+  ltc_config.memory_bytes = kMemory;
+  ltc_config.alpha = kAlpha;
+  ltc_config.beta = kBeta;
+  LtcReporter ltc(ltc_config, bench.stream.num_periods(),
+                  bench.stream.duration());
+  CombinedSignificantReporter combo(SketchKind::kCu, kMemory, kK, kAlpha,
+                                    kBeta);
+
+  EXPECT_GE(RunPrecision(ltc, bench, kAlpha, kBeta), 0.8) << "LTC";
+  EXPECT_GE(RunPrecision(combo, bench, kAlpha, kBeta), 0.5) << "CU+CU";
+}
+
+TEST(Reporters, CombinedEstimateIsWeightedSum) {
+  CombinedSignificantReporter combo(SketchKind::kCountMin, 64 * 1024, 5, 2.0,
+                                    10.0);
+  // Item 9: 3 arrivals across 2 periods.
+  combo.Insert(9, 0.1, 0);
+  combo.Insert(9, 0.2, 0);
+  combo.Insert(9, 1.1, 1);
+  // CM is exact here (huge width, single item): f̂=3, p̂=2.
+  EXPECT_DOUBLE_EQ(combo.Estimate(9), 2.0 * 3 + 10.0 * 2);
+}
+
+TEST(Reporters, LtcReporterEstimateMatchesUnderlyingQuery) {
+  LtcConfig config;
+  config.memory_bytes = 8 * 1024;
+  LtcReporter reporter(config, 10, 100.0);
+  reporter.Insert(5, 1.0, 0);
+  reporter.Insert(5, 2.0, 0);
+  reporter.Finish();
+  EXPECT_EQ(reporter.Estimate(5), reporter.ltc().QuerySignificance(5));
+  EXPECT_GT(reporter.Estimate(5), 0.0);
+}
+
+TEST(Reporters, PieReporterEmptyBeforeFinish) {
+  PieReporter pie(8 * 1024, 10);
+  pie.Insert(7, 0.0, 0);
+  // TopK reads the decoded snapshot, which only Finish() fills.
+  EXPECT_TRUE(pie.TopK(5).empty());
+  pie.Finish();
+  SUCCEED();
+}
+
+TEST(Reporters, CombinedTopKIsSortedByCombinedEstimate) {
+  CombinedSignificantReporter combo(SketchKind::kCu, 128 * 1024, 10, 1.0,
+                                    1.0);
+  for (int i = 0; i < 20; ++i) combo.Insert(1, 0.1 * i, 0);
+  for (int i = 0; i < 5; ++i) combo.Insert(2, 0.1 * i, 0);
+  combo.Insert(3, 0.5, 0);
+  auto top = combo.TopK(3);
+  ASSERT_GE(top.size(), 2u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].estimate, top[i].estimate);
+  }
+  EXPECT_EQ(top[0].item, 1u);
+}
+
+TEST(Reporters, RunReporterReportsThroughput) {
+  Workbench bench = FrequentBench();
+  SpaceSavingReporter ss(16 * 1024);
+  RunResult r = RunReporter(ss, bench.stream, bench.truth, kK, 1.0, 0.0);
+  EXPECT_GT(r.insert_mops, 0.0);
+}
+
+}  // namespace
+}  // namespace ltc

@@ -1,0 +1,211 @@
+// Tests for binary serialization: the writer/reader primitives, and
+// checkpoint/restore of Ltc, the counter sketches and the Bloom filter.
+// The key property: a restored structure continues the stream EXACTLY as
+// the original would have.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/serial.h"
+#include "core/ltc.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+#include "stream/generators.h"
+
+namespace ltc {
+namespace {
+
+TEST(Serial, PrimitivesRoundTrip) {
+  BinaryWriter writer;
+  writer.PutU8(7);
+  writer.PutU32(0xdeadbeef);
+  writer.PutU64(0x0123456789abcdefULL);
+  writer.PutDouble(3.25);
+  writer.PutString("hello");
+
+  BinaryReader reader(writer.data());
+  EXPECT_EQ(reader.GetU8(), 7);
+  EXPECT_EQ(reader.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(reader.GetDouble(), 3.25);
+  EXPECT_EQ(reader.GetString(), "hello");
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_FALSE(reader.failed());
+}
+
+TEST(Serial, TruncatedReadFailsStickily) {
+  BinaryWriter writer;
+  writer.PutU32(42);
+  BinaryReader reader(writer.data());
+  EXPECT_EQ(reader.GetU32(), 42u);
+  EXPECT_EQ(reader.GetU64(), 0u);  // past the end
+  EXPECT_TRUE(reader.failed());
+  EXPECT_EQ(reader.GetU32(), 0u);  // stays failed
+  EXPECT_FALSE(reader.AtEnd());
+}
+
+TEST(Serial, OversizedStringLengthRejected) {
+  BinaryWriter writer;
+  writer.PutU64(1'000'000);  // claims a megabyte that is not there
+  BinaryReader reader(writer.data());
+  EXPECT_EQ(reader.GetString(), "");
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(Serial, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/ltc_serial_test.bin";
+  std::string payload("\x00\x01\x02 binary \xff", 12);
+  ASSERT_TRUE(WriteFile(path, payload));
+  auto loaded = ReadFileToString(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadFileToString(path + ".does-not-exist").has_value());
+}
+
+// --------------------------------------------------------------- Ltc
+
+TEST(SerialLtc, RestoredTableContinuesIdentically) {
+  Stream stream = MakeZipfStream(40'000, 4'000, 1.0, 40, 11);
+  LtcConfig config;
+  config.memory_bytes = 4 * 1024;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+
+  // Run A: the full stream, uninterrupted.
+  Ltc full(config);
+  for (const Record& r : stream.records()) full.Insert(r.item, r.time);
+  full.Finalize();
+
+  // Run B: first half, checkpoint, restore, second half.
+  Ltc first_half(config);
+  size_t half = stream.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    first_half.Insert(stream.records()[i].item, stream.records()[i].time);
+  }
+  BinaryWriter writer;
+  first_half.Serialize(writer);
+  BinaryReader reader(writer.data());
+  auto restored = Ltc::Deserialize(reader);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(reader.AtEnd());
+  for (size_t i = half; i < stream.size(); ++i) {
+    restored->Insert(stream.records()[i].item, stream.records()[i].time);
+  }
+  restored->Finalize();
+
+  auto a = full.TopK(200);
+  auto b = restored->TopK(200);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item) << "rank " << i;
+    EXPECT_EQ(a[i].frequency, b[i].frequency);
+    EXPECT_EQ(a[i].persistency, b[i].persistency);
+  }
+}
+
+TEST(SerialLtc, ConfigIsPreserved) {
+  LtcConfig config;
+  config.memory_bytes = 8 * 1024;
+  config.cells_per_bucket = 4;
+  config.alpha = 2.5;
+  config.beta = 0.5;
+  config.deviation_eliminator = false;
+  config.init_policy = InitPolicy::kMinPlusOne;
+  config.items_per_period = 123;
+  Ltc table(config);
+  table.Insert(42);
+
+  BinaryWriter writer;
+  table.Serialize(writer);
+  BinaryReader reader(writer.data());
+  auto restored = Ltc::Deserialize(reader);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->config().cells_per_bucket, 4u);
+  EXPECT_DOUBLE_EQ(restored->config().alpha, 2.5);
+  EXPECT_DOUBLE_EQ(restored->config().beta, 0.5);
+  EXPECT_FALSE(restored->config().deviation_eliminator);
+  EXPECT_EQ(restored->config().EffectiveInitPolicy(),
+            InitPolicy::kMinPlusOne);
+  EXPECT_EQ(restored->config().items_per_period, 123u);
+  EXPECT_EQ(restored->EstimateFrequency(42), 1u);
+}
+
+TEST(SerialLtc, GarbageRejected) {
+  BinaryReader bad_magic(std::string_view("\x12\x34\x56\x78 garbage", 12));
+  EXPECT_FALSE(Ltc::Deserialize(bad_magic).has_value());
+
+  // Valid header, truncated body.
+  Ltc table((LtcConfig()));
+  table.Insert(1);
+  BinaryWriter writer;
+  table.Serialize(writer);
+  std::string truncated = writer.data().substr(0, writer.size() / 2);
+  BinaryReader reader(truncated);
+  EXPECT_FALSE(Ltc::Deserialize(reader).has_value());
+  BinaryReader empty("");
+  EXPECT_FALSE(Ltc::Deserialize(empty).has_value());
+}
+
+// -------------------------------------------------------------- sketches
+
+TEST(SerialSketch, CounterMatrixRoundTripBothKinds) {
+  CountMinSketch cm(2 * 1024, 3, 5);
+  CuSketch cu(2 * 1024, 3, 5);
+  for (ItemId i = 1; i <= 500; ++i) {
+    cm.Insert(i % 60 + 1);
+    cu.Insert(i % 60 + 1);
+  }
+
+  for (CounterMatrixSketch* sketch :
+       {static_cast<CounterMatrixSketch*>(&cm),
+        static_cast<CounterMatrixSketch*>(&cu)}) {
+    BinaryWriter writer;
+    sketch->Serialize(writer);
+    BinaryReader reader(writer.data());
+    auto restored = CounterMatrixSketch::Deserialize(reader);
+    ASSERT_NE(restored, nullptr);
+    for (ItemId item = 1; item <= 60; ++item) {
+      EXPECT_EQ(restored->Query(item), sketch->Query(item));
+    }
+    // Kind preserved: further inserts behave identically.
+    sketch->Insert(7, 3);
+    restored->Insert(7, 3);
+    EXPECT_EQ(restored->Query(7), sketch->Query(7));
+  }
+}
+
+TEST(SerialSketch, CounterMatrixGarbageRejected) {
+  BinaryReader empty("");
+  EXPECT_EQ(CounterMatrixSketch::Deserialize(empty), nullptr);
+  BinaryWriter writer;
+  writer.PutU32(0x434d5331);
+  writer.PutU8(9);  // invalid type tag
+  writer.PutU32(3);
+  writer.PutU32(4);
+  writer.PutU64(0);
+  BinaryReader bad_tag(writer.data());
+  EXPECT_EQ(CounterMatrixSketch::Deserialize(bad_tag), nullptr);
+}
+
+TEST(SerialSketch, BloomFilterRoundTrip) {
+  BloomFilter bf(1 << 12, 4, 9);
+  for (ItemId i = 1; i <= 300; ++i) bf.Add(i * 3);
+  BinaryWriter writer;
+  bf.Serialize(writer);
+  BinaryReader reader(writer.data());
+  auto restored = BloomFilter::Deserialize(reader);
+  ASSERT_TRUE(restored.has_value());
+  for (ItemId i = 1; i <= 300; ++i) {
+    EXPECT_TRUE(restored->MayContain(i * 3));
+  }
+  // Identical bit pattern: agree on arbitrary probes too.
+  for (ItemId i = 10'000; i < 10'200; ++i) {
+    EXPECT_EQ(restored->MayContain(i), bf.MayContain(i));
+  }
+}
+
+}  // namespace
+}  // namespace ltc

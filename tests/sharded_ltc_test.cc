@@ -1,0 +1,274 @@
+// Tests for Ltc::MergeFrom and ShardedLtc — the distributed-ingestion
+// layer. Key properties: hash-sharding preserves per-item estimates
+// exactly, the global top-k equals the best-of-union, and merging
+// item-partitioned tables is lossless for significant items.
+
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sharded_ltc.h"
+#include "metrics/ground_truth.h"
+#include "stream/generators.h"
+
+namespace ltc {
+namespace {
+
+LtcConfig TimePaced(const Stream& stream, size_t memory) {
+  LtcConfig config;
+  config.memory_bytes = memory;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  return config;
+}
+
+// ----------------------------------------------------------------- merge
+
+TEST(LtcMerge, CanMergeRequiresMatchingShape) {
+  LtcConfig a;
+  a.memory_bytes = 4 * 1024;
+  LtcConfig b = a;
+  EXPECT_TRUE(Ltc(a).CanMergeWith(Ltc(b)));
+  b.memory_bytes = 8 * 1024;
+  EXPECT_FALSE(Ltc(a).CanMergeWith(Ltc(b)));
+  b = a;
+  b.alpha = 2.0;
+  EXPECT_FALSE(Ltc(a).CanMergeWith(Ltc(b)));
+  b = a;
+  b.seed = 77;
+  EXPECT_FALSE(Ltc(a).CanMergeWith(Ltc(b)));
+}
+
+TEST(LtcMerge, ItemPartitionedMergeIsExactForTrackedItems) {
+  // Two peers process disjoint item sets (odd/even); after merge, every
+  // item that survives in the merged table reports exactly the value its
+  // owning peer recorded.
+  Stream stream = MakeZipfStream(30'000, 2'000, 1.1, 30, 5);
+  LtcConfig config = TimePaced(stream, 8 * 1024);
+
+  Ltc odd(config), even(config), merged(config);
+  for (const Record& r : stream.records()) {
+    if ((r.item >> 1) & 1) {
+      odd.Insert(r.item, r.time);
+    } else {
+      even.Insert(r.item, r.time);
+    }
+  }
+  odd.Finalize();
+  even.Finalize();
+
+  merged.MergeFrom(odd);  // merged starts empty: absorb both peers
+  merged.MergeFrom(even);
+
+  for (const auto& report : merged.TopK(100)) {
+    const Ltc& owner = ((report.item >> 1) & 1) ? odd : even;
+    EXPECT_EQ(report.frequency, owner.EstimateFrequency(report.item));
+    EXPECT_EQ(report.persistency, owner.EstimatePersistency(report.item));
+  }
+  EXPECT_TRUE(merged.CheckInvariants());
+}
+
+TEST(LtcMerge, DuplicateItemsAddTheirFields) {
+  LtcConfig config;
+  config.memory_bytes = LtcConfig::BytesPerCell() * 4;  // single bucket
+  config.cells_per_bucket = 4;
+  config.items_per_period = 1'000;
+  Ltc a(config), b(config);
+  for (int i = 0; i < 3; ++i) a.Insert(7);
+  for (int i = 0; i < 5; ++i) b.Insert(7);
+  a.Finalize();
+  b.Finalize();
+  a.MergeFrom(b);
+  EXPECT_EQ(a.EstimateFrequency(7), 8u);
+  EXPECT_EQ(a.EstimatePersistency(7), 2u);  // 1 + 1 (same wall period,
+                                            // item-partitioning violated —
+                                            // documented approximation)
+  // Summed counters exceed one table's period count; the invariant
+  // check must account for merged history.
+  EXPECT_TRUE(a.CheckInvariants());
+
+  // And a merged table round-trips through serialization.
+  BinaryWriter writer;
+  a.Serialize(writer);
+  BinaryReader reader(writer.data());
+  auto restored = Ltc::Deserialize(reader);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->EstimatePersistency(7), 2u);
+}
+
+TEST(LtcMerge, KeepsMostSignificantWhenOverfull) {
+  LtcConfig config;
+  config.memory_bytes = LtcConfig::BytesPerCell() * 2;
+  config.cells_per_bucket = 2;
+  config.beta = 0.0;
+  config.items_per_period = 1'000;
+  Ltc a(config), b(config);
+  for (int i = 0; i < 10; ++i) a.Insert(1);
+  for (int i = 0; i < 2; ++i) a.Insert(2);
+  for (int i = 0; i < 7; ++i) b.Insert(3);
+  for (int i = 0; i < 1; ++i) b.Insert(4);
+  a.Finalize();
+  b.Finalize();
+  a.MergeFrom(b);
+  // Union is {1:10, 2:2, 3:7, 4:1}; a 2-cell bucket keeps {1, 3}.
+  EXPECT_EQ(a.EstimateFrequency(1), 10u);
+  EXPECT_EQ(a.EstimateFrequency(3), 7u);
+  EXPECT_FALSE(a.IsTracked(2));
+  EXPECT_FALSE(a.IsTracked(4));
+}
+
+// --------------------------------------------------------------- sharded
+
+TEST(ShardedLtc, RoutingIsStableAndCoversShards) {
+  LtcConfig config;
+  config.memory_bytes = 64 * 1024;
+  ShardedLtc sharded(config, 8);
+  std::vector<int> hits(8, 0);
+  for (ItemId item = 1; item <= 10'000; ++item) {
+    uint32_t shard = sharded.ShardOf(item);
+    ASSERT_LT(shard, 8u);
+    ASSERT_EQ(shard, sharded.ShardOf(item));  // stable
+    ++hits[shard];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 1'000);  // roughly balanced
+    EXPECT_LT(h, 1'500);
+  }
+}
+
+TEST(ShardedLtc, BudgetIsSplitAcrossShards) {
+  LtcConfig config;
+  config.memory_bytes = 64 * 1024;
+  ShardedLtc sharded(config, 4);
+  EXPECT_LE(sharded.MemoryBytes(), config.memory_bytes);
+  EXPECT_GE(sharded.MemoryBytes(), config.memory_bytes / 2);
+  EXPECT_EQ(sharded.num_shards(), 4u);
+}
+
+TEST(ShardedLtc, MatchesTruthOnTopItems) {
+  Stream stream = MakeZipfStream(60'000, 5'000, 1.2, 50, 9);
+  GroundTruth truth = GroundTruth::Compute(stream);
+  ShardedLtc sharded(TimePaced(stream, 32 * 1024), 4);
+  for (const Record& r : stream.records()) sharded.Insert(r.item, r.time);
+  sharded.Finalize();
+
+  auto top = truth.TopKSignificant(20, 1.0, 1.0);
+  std::unordered_set<ItemId> true_set;
+  for (const auto& [item, sig] : top) true_set.insert(item);
+  size_t hits = 0;
+  for (const auto& report : sharded.TopK(20)) {
+    if (true_set.count(report.item)) ++hits;
+  }
+  EXPECT_GE(hits, 18u);
+
+  // Point queries route to the owning shard.
+  auto [head_item, head_sig] = top[0];
+  EXPECT_NEAR(sharded.QuerySignificance(head_item), head_sig,
+              0.05 * head_sig);
+}
+
+TEST(ShardedLtc, ParallelPerShardFeedMatchesSequential) {
+  Stream stream = MakeZipfStream(40'000, 3'000, 1.0, 40, 13);
+  constexpr uint32_t kShards = 4;
+
+  ShardedLtc sequential(TimePaced(stream, 16 * 1024), kShards);
+  for (const Record& r : stream.records()) {
+    sequential.Insert(r.item, r.time);
+  }
+  sequential.Finalize();
+
+  // Parallel: pre-partition records by shard, one thread per shard.
+  ShardedLtc parallel(TimePaced(stream, 16 * 1024), kShards);
+  std::vector<std::vector<Record>> per_shard(kShards);
+  for (const Record& r : stream.records()) {
+    per_shard[parallel.ShardOf(r.item)].push_back(r);
+  }
+  std::vector<std::thread> threads;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    threads.emplace_back([&parallel, &per_shard, s] {
+      for (const Record& r : per_shard[s]) {
+        parallel.shard(s).Insert(r.item, r.time);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  parallel.Finalize();
+
+  auto a = sequential.TopK(50);
+  auto b = parallel.TopK(50);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item) << "rank " << i;
+    EXPECT_EQ(a[i].frequency, b[i].frequency);
+    EXPECT_EQ(a[i].persistency, b[i].persistency);
+  }
+}
+
+TEST(ShardedLtc, SerializationRoundTripsAndContinues) {
+  Stream stream = MakeZipfStream(20'000, 2'000, 1.0, 20, 19);
+  LtcConfig config = TimePaced(stream, 16 * 1024);
+  ShardedLtc original(config, 4);
+  size_t half = stream.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    original.Insert(stream.records()[i].item, stream.records()[i].time);
+  }
+
+  BinaryWriter writer;
+  original.Serialize(writer);
+  BinaryReader reader(writer.data());
+  auto restored = ShardedLtc::Deserialize(reader);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(restored->num_shards(), 4u);
+
+  // Continue both; they must agree exactly (routing seed preserved).
+  for (size_t i = half; i < stream.size(); ++i) {
+    original.Insert(stream.records()[i].item, stream.records()[i].time);
+    restored->Insert(stream.records()[i].item, stream.records()[i].time);
+  }
+  original.Finalize();
+  restored->Finalize();
+  auto a = original.TopK(50);
+  auto b = restored->TopK(50);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_EQ(a[i].frequency, b[i].frequency);
+  }
+}
+
+TEST(ShardedLtc, DeserializeRejectsGarbage) {
+  BinaryReader empty("");
+  EXPECT_FALSE(ShardedLtc::Deserialize(empty).has_value());
+  BinaryWriter writer;
+  writer.PutU32(0x53484c31);
+  writer.PutU64(7);
+  writer.PutU32(100'000);  // absurd shard count
+  BinaryReader reader(writer.data());
+  EXPECT_FALSE(ShardedLtc::Deserialize(reader).has_value());
+}
+
+TEST(ShardedLtc, SingleShardEqualsPlainLtc) {
+  Stream stream = MakeZipfStream(20'000, 2'000, 1.0, 20, 17);
+  LtcConfig config = TimePaced(stream, 8 * 1024);
+  ShardedLtc sharded(config, 1);
+  Ltc plain(config);
+  for (const Record& r : stream.records()) {
+    sharded.Insert(r.item, r.time);
+    plain.Insert(r.item, r.time);
+  }
+  sharded.Finalize();
+  plain.Finalize();
+  auto a = sharded.TopK(50);
+  auto b = plain.TopK(50);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_EQ(a[i].frequency, b[i].frequency);
+  }
+}
+
+}  // namespace
+}  // namespace ltc

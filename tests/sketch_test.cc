@@ -1,0 +1,229 @@
+// Unit and property tests for the CM / CU / Count sketches.
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+
+namespace ltc {
+namespace {
+
+// Shared reference workload: a small Zipf stream plus its exact counts.
+struct RefStream {
+  std::vector<ItemId> items;
+  std::unordered_map<ItemId, uint64_t> counts;
+};
+
+RefStream MakeRefStream(uint64_t n, uint64_t m, double gamma, uint64_t seed) {
+  RefStream ref;
+  Rng rng(seed);
+  ZipfSampler sampler(m, gamma);
+  ref.items.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ItemId item = sampler.Sample(rng);
+    ref.items.push_back(item);
+    ++ref.counts[item];
+  }
+  return ref;
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  RefStream ref = MakeRefStream(50'000, 5'000, 1.0, 1);
+  CountMinSketch cm(8 * 1024, 3, 1);
+  for (ItemId item : ref.items) cm.Insert(item);
+  for (const auto& [item, count] : ref.counts) {
+    ASSERT_GE(cm.Query(item), count) << "item " << item;
+  }
+}
+
+TEST(CountMin, ExactWhenWide) {
+  RefStream ref = MakeRefStream(10'000, 100, 1.0, 2);
+  // 1M counters for 100 items: collisions essentially impossible per row.
+  CountMinSketch cm(4 * 1024 * 1024, 3, 2);
+  for (ItemId item : ref.items) cm.Insert(item);
+  for (const auto& [item, count] : ref.counts) {
+    ASSERT_EQ(cm.Query(item), count);
+  }
+}
+
+TEST(CountMin, InsertWithWeight) {
+  CountMinSketch cm(1024, 3, 3);
+  cm.Insert(7, 5);
+  cm.Insert(7, 3);
+  EXPECT_GE(cm.Query(7), 8u);
+}
+
+TEST(CountMin, UnseenItemUsuallyZeroWhenSparse) {
+  CountMinSketch cm(64 * 1024, 3, 4);
+  for (ItemId i = 1; i <= 100; ++i) cm.Insert(i);
+  int nonzero = 0;
+  for (ItemId i = 1'000'000; i < 1'000'100; ++i) {
+    nonzero += cm.Query(i) > 0;
+  }
+  EXPECT_LE(nonzero, 5);
+}
+
+TEST(CountMin, ClearResets) {
+  CountMinSketch cm(1024, 3, 5);
+  cm.Insert(1, 100);
+  cm.Clear();
+  EXPECT_EQ(cm.Query(1), 0u);
+}
+
+TEST(CountMin, WidthDerivedFromMemory) {
+  CountMinSketch cm(12 * 1024, 3, 0);
+  EXPECT_EQ(cm.depth(), 3u);
+  EXPECT_EQ(cm.width(), 1024u);
+  EXPECT_EQ(cm.MemoryBytes(), size_t{12 * 1024});
+  // A budget below one counter still yields a 1-wide sketch.
+  CountMinSketch tiny(1, 3, 0);
+  EXPECT_EQ(tiny.width(), 1u);
+}
+
+TEST(CountMin, EpsilonDeltaSizingHonoursTheGuarantee) {
+  // ε=0.01, δ=0.05: depth = ceil(ln 20) = 3, width = ceil(e/0.01) = 272.
+  EXPECT_EQ(CountMinSketch::DepthForGuarantee(0.05), 3u);
+  size_t bytes = CountMinSketch::SizeForGuarantee(0.01, 0.05);
+  EXPECT_EQ(bytes, 272u * 3 * 4);
+
+  // Empirically: fraction of items with f̂ − f > εN stays below δ.
+  constexpr double kEps = 0.01;
+  constexpr double kDelta = 0.05;
+  RefStream ref = MakeRefStream(50'000, 5'000, 1.0, 77);
+  CountMinSketch cm(CountMinSketch::SizeForGuarantee(kEps, kDelta),
+                    CountMinSketch::DepthForGuarantee(kDelta), 77);
+  for (ItemId item : ref.items) cm.Insert(item);
+  size_t violations = 0;
+  for (const auto& [item, count] : ref.counts) {
+    if (cm.Query(item) > count + kEps * ref.items.size()) ++violations;
+  }
+  EXPECT_LT(static_cast<double>(violations) / ref.counts.size(), kDelta);
+}
+
+TEST(CuSketch, NeverUnderestimatesAndBeatsCm) {
+  RefStream ref = MakeRefStream(50'000, 5'000, 1.0, 6);
+  CountMinSketch cm(8 * 1024, 3, 6);
+  CuSketch cu(8 * 1024, 3, 6);
+  for (ItemId item : ref.items) {
+    cm.Insert(item);
+    cu.Insert(item);
+  }
+  uint64_t cm_err = 0, cu_err = 0;
+  for (const auto& [item, count] : ref.counts) {
+    ASSERT_GE(cu.Query(item), count);
+    // Same hash seeds: CU's estimate can never exceed CM's.
+    ASSERT_LE(cu.Query(item), cm.Query(item));
+    cm_err += cm.Query(item) - count;
+    cu_err += cu.Query(item) - count;
+  }
+  EXPECT_LT(cu_err, cm_err);  // strictly better in aggregate under load
+}
+
+TEST(CuSketch, WeightedConservativeUpdate) {
+  CuSketch cu(1024, 3, 7);
+  cu.Insert(1, 10);
+  EXPECT_GE(cu.Query(1), 10u);
+  cu.Insert(1, 1);
+  EXPECT_GE(cu.Query(1), 11u);
+}
+
+TEST(CountSketch, RoughlyUnbiasedOnHeavyItems) {
+  RefStream ref = MakeRefStream(100'000, 2'000, 1.2, 8);
+  CountSketch cs(16 * 1024, 3, 8);
+  for (ItemId item : ref.items) cs.Insert(item);
+
+  // Heavy items: estimates close in relative terms; errors two-sided.
+  std::vector<std::pair<uint64_t, ItemId>> ranked;
+  for (const auto& [item, count] : ref.counts) ranked.push_back({count, item});
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  int overs = 0, unders = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto [count, item] = ranked[i];
+    int64_t est = cs.Query(item);
+    EXPECT_NEAR(static_cast<double>(est), static_cast<double>(count),
+                0.5 * static_cast<double>(count) + 50.0);
+    if (est > static_cast<int64_t>(count)) ++overs;
+    if (est < static_cast<int64_t>(count)) ++unders;
+  }
+  // Two-sided error: both directions occur across the top-20.
+  EXPECT_GT(overs + unders, 0);
+}
+
+TEST(CountSketch, CanGoNegativeForUnseenItems) {
+  CountSketch cs(512, 3, 9);
+  for (ItemId i = 1; i <= 10'000; ++i) cs.Insert(i % 100 + 1);
+  bool negative_seen = false;
+  for (ItemId i = 1'000'000; i < 1'000'200; ++i) {
+    if (cs.Query(i) < 0) {
+      negative_seen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(negative_seen);
+}
+
+TEST(CountSketch, ClearResets) {
+  CountSketch cs(1024, 3, 10);
+  cs.Insert(5, 50);
+  cs.Clear();
+  EXPECT_EQ(cs.Query(5), 0);
+}
+
+// Parameterized sweep: the one-sided guarantee of CM/CU must hold for any
+// depth and width.
+class CounterSketchDepthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CounterSketchDepthTest, OneSidedErrorAcrossDepths) {
+  uint32_t depth = GetParam();
+  RefStream ref = MakeRefStream(20'000, 2'000, 1.0, 100 + depth);
+  CountMinSketch cm(4 * 1024, depth, depth);
+  CuSketch cu(4 * 1024, depth, depth);
+  for (ItemId item : ref.items) {
+    cm.Insert(item);
+    cu.Insert(item);
+  }
+  for (const auto& [item, count] : ref.counts) {
+    ASSERT_GE(cm.Query(item), count);
+    ASSERT_GE(cu.Query(item), count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CounterSketchDepthTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+// More rows with the same total memory trade width for depth; both must
+// remain correct, and the estimate for a fixed workload stays bounded.
+class CountSketchDepthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CountSketchDepthTest, MedianEstimateTracksTruth) {
+  uint32_t depth = GetParam();
+  RefStream ref = MakeRefStream(50'000, 500, 1.5, 200 + depth);
+  CountSketch cs(32 * 1024, depth, depth);
+  for (ItemId item : ref.items) cs.Insert(item);
+
+  // The single heaviest item must be estimated within 20%.
+  ItemId heavy = 0;
+  uint64_t heavy_count = 0;
+  for (const auto& [item, count] : ref.counts) {
+    if (count > heavy_count) {
+      heavy = item;
+      heavy_count = count;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(cs.Query(heavy)),
+              static_cast<double>(heavy_count), 0.2 * heavy_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CountSketchDepthTest,
+                         ::testing::Values(1u, 3u, 5u, 7u));
+
+}  // namespace
+}  // namespace ltc

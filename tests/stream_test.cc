@@ -1,0 +1,261 @@
+// Unit tests for src/stream: the stream model, period mapping, the
+// synthetic workload generators, and string interning.
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/ground_truth.h"
+#include "stream/generators.h"
+#include "stream/interner.h"
+#include "stream/stream.h"
+
+namespace ltc {
+namespace {
+
+TEST(Stream, PeriodOfMapsUniformly) {
+  std::vector<Record> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back({static_cast<ItemId>(i + 1), i * 1.0});
+  }
+  Stream s(std::move(records), 5, 10.0);
+  EXPECT_EQ(s.period_length(), 2.0);
+  EXPECT_EQ(s.PeriodOf(0.0), 0u);
+  EXPECT_EQ(s.PeriodOf(1.999), 0u);
+  EXPECT_EQ(s.PeriodOf(2.0), 1u);
+  EXPECT_EQ(s.PeriodOf(9.99), 4u);
+  // The exact end of the stream clamps into the last period.
+  EXPECT_EQ(s.PeriodOf(10.0), 4u);
+}
+
+TEST(Stream, CountDistinct) {
+  std::vector<Record> records = {{1, 0.1}, {2, 0.2}, {1, 0.3}, {3, 0.4}};
+  Stream s(std::move(records), 1, 1.0);
+  EXPECT_EQ(s.CountDistinct(), 3u);
+  EXPECT_EQ(s.CountDistinct(), 3u);  // cached path
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(Stream, MakeIndexedStreamSplitsEvenly) {
+  std::vector<ItemId> items(100, 7);
+  Stream s = MakeIndexedStream(std::move(items), 4);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(s.num_periods(), 4u);
+  std::vector<int> per_period(4, 0);
+  for (const Record& r : s.records()) ++per_period[s.PeriodOf(r.time)];
+  for (int count : per_period) EXPECT_EQ(count, 25);
+}
+
+TEST(Generators, SizeAndOrderInvariants) {
+  WorkloadConfig config;
+  config.num_records = 20'000;
+  config.num_distinct = 2'000;
+  config.num_periods = 20;
+  config.seed = 5;
+  Stream s = GenerateWorkload(config);
+  EXPECT_EQ(s.size(), config.num_records);
+  EXPECT_EQ(s.num_periods(), config.num_periods);
+  const auto& records = s.records();
+  for (size_t i = 1; i < records.size(); ++i) {
+    ASSERT_LE(records[i - 1].time, records[i].time);
+  }
+  for (const Record& r : records) {
+    ASSERT_NE(r.item, 0u);  // ID 0 is reserved
+    ASSERT_GE(r.time, 0.0);
+    ASSERT_LE(r.time, s.duration());
+  }
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  WorkloadConfig config;
+  config.num_records = 5'000;
+  config.num_distinct = 500;
+  config.num_periods = 10;
+  config.seed = 42;
+  Stream a = GenerateWorkload(config);
+  Stream b = GenerateWorkload(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.records()[i].item, b.records()[i].item);
+    ASSERT_EQ(a.records()[i].time, b.records()[i].time);
+  }
+  config.seed = 43;
+  Stream c = GenerateWorkload(config);
+  bool differs = false;
+  for (size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (a.records()[i].item != c.records()[i].item) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, FrequencyMarginalIsLongTailed) {
+  WorkloadConfig config;
+  config.num_records = 100'000;
+  config.num_distinct = 10'000;
+  config.zipf_gamma = 1.0;
+  config.num_periods = 50;
+  config.seed = 7;
+  Stream s = GenerateWorkload(config);
+
+  std::unordered_map<ItemId, uint64_t> counts;
+  for (const Record& r : s.records()) ++counts[r.item];
+  std::vector<uint64_t> freq;
+  freq.reserve(counts.size());
+  for (const auto& [item, c] : counts) freq.push_back(c);
+  std::sort(freq.rbegin(), freq.rend());
+
+  // Long tail: the top item dwarfs the median item.
+  EXPECT_GT(freq.front(), 50 * freq[freq.size() / 2]);
+  // And the head approximately follows f_1/f_10 ≈ 10 for γ=1 (loose band:
+  // i.i.d. sampling noise plus ranking reorder).
+  double ratio = static_cast<double>(freq[0]) / freq[9];
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 25.0);
+}
+
+TEST(Generators, StableItemsPersistMoreThanBurstyOnes) {
+  WorkloadConfig config;
+  config.num_records = 200'000;
+  config.num_distinct = 5'000;
+  config.zipf_gamma = 1.0;
+  config.num_periods = 100;
+  config.p_stable = 0.5;
+  config.p_bursty = 0.5;  // only two classes, cleanly separated
+  config.burst_fraction = 0.02;
+  config.seed = 11;
+  Stream s = GenerateWorkload(config);
+  GroundTruth truth = GroundTruth::Compute(s);
+
+  // Partition heavy items (enough appearances to show their class) by
+  // persistency: with a 2% burst window, bursty items can reach at most
+  // 2 periods; stable heavy items should cover far more.
+  int high = 0, low = 0;
+  for (const auto& [item, info] : truth.items()) {
+    if (info.frequency < 100) continue;
+    if (info.persistency > 50) {
+      ++high;
+    } else if (info.persistency <= 2) {
+      ++low;
+    }
+  }
+  EXPECT_GT(high, 0);
+  EXPECT_GT(low, 0);
+}
+
+TEST(Generators, DatasetStandInsHaveDocumentedShapes) {
+  Stream caida = MakeCaidaLike(50'000, 1);
+  EXPECT_EQ(caida.num_periods(), 500u);
+  EXPECT_EQ(caida.size(), 50'000u);
+
+  Stream network = MakeNetworkLike(50'000, 2);
+  EXPECT_EQ(network.num_periods(), 1000u);
+
+  Stream social = MakeSocialLike(50'000, 3);
+  EXPECT_EQ(social.num_periods(), 200u);
+
+  // Network has the weakest skew -> the most distinct items per record.
+  EXPECT_GT(network.CountDistinct(), caida.CountDistinct());
+  EXPECT_GT(network.CountDistinct(), social.CountDistinct());
+}
+
+TEST(Generators, ZipfStreamMatchesIndexTimestamps) {
+  Stream s = MakeZipfStream(10'000, 1'000, 1.0, 10, 9);
+  EXPECT_EQ(s.size(), 10'000u);
+  EXPECT_EQ(s.num_periods(), 10u);
+  // Index timestamps: exactly 1000 records per period.
+  std::vector<int> per_period(10, 0);
+  for (const Record& r : s.records()) ++per_period[s.PeriodOf(r.time)];
+  for (int count : per_period) EXPECT_EQ(count, 1000);
+}
+
+TEST(Generators, UniformStreamHasFlatFrequencies) {
+  Stream s = MakeUniformStream(100'000, 100, 10, 13);
+  std::unordered_map<ItemId, uint64_t> counts;
+  for (const Record& r : s.records()) ++counts[r.item];
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [item, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 1000.0, 200.0);
+  }
+}
+
+TEST(Generators, DiurnalModulationShiftsLoadAcrossPeriods) {
+  WorkloadConfig config;
+  config.num_records = 100'000;
+  config.num_distinct = 2'000;
+  config.num_periods = 40;
+  config.p_stable = 1.0;  // every item active all trace: placement is
+  config.p_bursty = 0.0;  // purely diurnal
+  config.diurnal_amplitude = 0.9;
+  config.seed = 21;
+  Stream s = GenerateWorkload(config);
+
+  std::vector<uint64_t> per_period(40, 0);
+  for (const Record& r : s.records()) ++per_period[s.PeriodOf(r.time)];
+  // sin peaks at period 10 (quarter cycle), troughs at period 30.
+  uint64_t peak = *std::max_element(per_period.begin(), per_period.end());
+  uint64_t trough = *std::min_element(per_period.begin(), per_period.end());
+  EXPECT_GT(peak, trough * 3);  // 1.9 vs 0.1 weight → strong contrast
+  EXPECT_GT(per_period[10], per_period[30]);
+}
+
+TEST(Generators, DriftingStreamRotatesPopularity) {
+  Stream s = MakeDriftingStream(100'000, 5'000, 1.1, 100, 25, 7);
+  EXPECT_EQ(s.size(), 100'000u);
+
+  // The heaviest item of the FIRST phase should be (nearly) absent from
+  // the LAST phase, and vice versa.
+  auto phase_counts = [&](uint32_t first_period, uint32_t last_period) {
+    std::unordered_map<ItemId, uint64_t> counts;
+    for (const Record& r : s.records()) {
+      uint32_t p = s.PeriodOf(r.time);
+      if (p >= first_period && p <= last_period) ++counts[r.item];
+    }
+    return counts;
+  };
+  auto head_of = [](const std::unordered_map<ItemId, uint64_t>& counts) {
+    ItemId best = 0;
+    uint64_t best_count = 0;
+    for (const auto& [item, c] : counts) {
+      if (c > best_count) {
+        best = item;
+        best_count = c;
+      }
+    }
+    return std::pair(best, best_count);
+  };
+
+  auto first = phase_counts(0, 24);
+  auto last = phase_counts(75, 99);
+  auto [first_head, first_head_count] = head_of(first);
+  auto [last_head, last_head_count] = head_of(last);
+  EXPECT_NE(first_head, last_head);
+  // Cross-phase presence of each phase's head is a tiny fraction.
+  EXPECT_LT(last.count(first_head) ? last[first_head] : 0,
+            first_head_count / 10);
+  EXPECT_LT(first.count(last_head) ? first[last_head] : 0,
+            last_head_count / 10);
+}
+
+TEST(Interner, RoundTripsAndDeduplicates) {
+  StringInterner interner;
+  ItemId alice = interner.Intern("alice");
+  ItemId bob = interner.Intern("bob");
+  EXPECT_NE(alice, bob);
+  EXPECT_NE(alice, 0u);  // 0 reserved
+  EXPECT_EQ(interner.Intern("alice"), alice);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.Name(alice), "alice");
+  EXPECT_EQ(interner.Name(bob), "bob");
+  EXPECT_EQ(interner.Lookup("alice"), alice);
+  EXPECT_EQ(interner.Lookup("carol"), 0u);
+}
+
+}  // namespace
+}  // namespace ltc

@@ -1,0 +1,339 @@
+// Unit and property tests for the counter-based summaries: Space-Saving
+// (with its Stream-Summary invariants), Lossy Counting, and Misra-Gries.
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "summary/lossy_counting.h"
+#include "summary/misra_gries.h"
+#include "summary/space_saving.h"
+
+namespace ltc {
+namespace {
+
+std::vector<ItemId> ZipfItems(uint64_t n, uint64_t m, double gamma,
+                              uint64_t seed,
+                              std::unordered_map<ItemId, uint64_t>* counts) {
+  Rng rng(seed);
+  ZipfSampler sampler(m, gamma);
+  std::vector<ItemId> items;
+  items.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ItemId item = sampler.Sample(rng);
+    items.push_back(item);
+    if (counts) ++(*counts)[item];
+  }
+  return items;
+}
+
+// ------------------------------------------------------------ Space-Saving
+
+TEST(SpaceSaving, ExactWhenCapacityCoversDistinct) {
+  std::unordered_map<ItemId, uint64_t> counts;
+  auto items = ZipfItems(20'000, 50, 1.0, 1, &counts);
+  SpaceSaving ss(64);  // 64 >= 50 distinct
+  for (ItemId item : items) ss.Insert(item);
+  for (const auto& [item, count] : counts) {
+    EXPECT_EQ(ss.Estimate(item), count);
+    EXPECT_EQ(ss.ErrorOf(item), 0u);
+  }
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+TEST(SpaceSaving, NeverUnderestimatesMonitoredItems) {
+  std::unordered_map<ItemId, uint64_t> counts;
+  auto items = ZipfItems(50'000, 5'000, 1.1, 2, &counts);
+  SpaceSaving ss(128);
+  for (ItemId item : items) ss.Insert(item);
+  for (const auto& entry : ss.TopK(128)) {
+    uint64_t real = counts[entry.item];
+    ASSERT_GE(entry.count, real) << "item " << entry.item;
+    // And the classic error bound: f̂ − error <= f.
+    ASSERT_LE(entry.count - entry.error, real);
+  }
+}
+
+TEST(SpaceSaving, MinCountBoundsAllErrors) {
+  auto items = ZipfItems(30'000, 3'000, 1.0, 3, nullptr);
+  SpaceSaving ss(100);
+  for (ItemId item : items) ss.Insert(item);
+  uint64_t min_count = ss.MinCount();
+  EXPECT_GT(min_count, 0u);
+  for (const auto& entry : ss.TopK(100)) {
+    EXPECT_LE(entry.error, min_count);
+  }
+}
+
+TEST(SpaceSaving, ReplacementAdoptsMinPlusOne) {
+  SpaceSaving ss(2);
+  ss.Insert(1);
+  ss.Insert(1);
+  ss.Insert(1);  // {1:3}
+  ss.Insert(2);  // {1:3, 2:1}
+  ss.Insert(3);  // replaces 2 -> {1:3, 3:2 (err 1)}
+  EXPECT_FALSE(ss.IsMonitored(2));
+  EXPECT_EQ(ss.Estimate(3), 2u);
+  EXPECT_EQ(ss.ErrorOf(3), 1u);
+  EXPECT_EQ(ss.Estimate(1), 3u);
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+TEST(SpaceSaving, TopKOrderingAndTruncation) {
+  SpaceSaving ss(10);
+  for (int rep = 0; rep < 5; ++rep) ss.Insert(100);
+  for (int rep = 0; rep < 3; ++rep) ss.Insert(200);
+  ss.Insert(300);
+  auto top2 = ss.TopK(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].item, 100u);
+  EXPECT_EQ(top2[1].item, 200u);
+  EXPECT_EQ(ss.TopK(99).size(), 3u);  // k beyond size returns everything
+}
+
+TEST(SpaceSaving, InvariantsHoldThroughRandomChurn) {
+  Rng rng(4);
+  SpaceSaving ss(32);
+  for (int i = 0; i < 20'000; ++i) {
+    ss.Insert(rng.Uniform(500) + 1);
+    if (i % 1'000 == 0) {
+      ASSERT_TRUE(ss.CheckInvariants()) << "step " << i;
+    }
+  }
+  EXPECT_TRUE(ss.CheckInvariants());
+  EXPECT_EQ(ss.size(), 32u);
+}
+
+TEST(SpaceSaving, CapacityOneDegenerates) {
+  SpaceSaving ss(1);
+  ss.Insert(1);
+  ss.Insert(2);  // replace: estimate 2 (=min 1 + 1)
+  ss.Insert(2);
+  EXPECT_EQ(ss.Estimate(2), 3u);
+  EXPECT_FALSE(ss.IsMonitored(1));
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+TEST(SpaceSaving, MemoryAccounting) {
+  EXPECT_EQ(SpaceSaving::BytesPerCounter(), 24u);
+  EXPECT_EQ(SpaceSaving::CountersForMemory(24 * 100), 100u);
+  EXPECT_EQ(SpaceSaving::CountersForMemory(1), 1u);  // floor at one counter
+}
+
+TEST(SpaceSaving, GuaranteedTopKFlagsSafeEntries) {
+  SpaceSaving ss(4);
+  // No churn: everything exact, everything guaranteed.
+  for (int i = 0; i < 50; ++i) ss.Insert(1);
+  for (int i = 0; i < 20; ++i) ss.Insert(2);
+  for (int i = 0; i < 5; ++i) ss.Insert(3);
+  auto guaranteed = ss.GuaranteedTopK(2);
+  ASSERT_EQ(guaranteed.size(), 2u);
+  EXPECT_TRUE(guaranteed[0]);  // 50 − 0 >= 5
+  EXPECT_TRUE(guaranteed[1]);  // 20 − 0 >= 5
+}
+
+TEST(SpaceSaving, GuaranteedTopKRefusesShakyEntries) {
+  SpaceSaving ss(2);
+  for (int i = 0; i < 10; ++i) ss.Insert(1);
+  ss.Insert(2);
+  ss.Insert(3);  // takes over at count 2 with error 1
+  // Top-1 = item 1: guaranteed (10-0 >= 2). Top-2's second entry (item 3,
+  // count 2, error 1) could really be count 1 — but with only 2 counters
+  // there is no (k+1)-th bound, so next_best=0 and both pass; check the
+  // tighter k=1 case instead.
+  auto top1 = ss.GuaranteedTopK(1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_TRUE(top1[0]);
+
+  // Now make the runner-up shaky relative to a real third counter.
+  SpaceSaving ss3(3);
+  for (int i = 0; i < 10; ++i) ss3.Insert(1);
+  for (int i = 0; i < 4; ++i) ss3.Insert(2);
+  for (int i = 0; i < 3; ++i) ss3.Insert(3);
+  ss3.Insert(4);  // replaces 3 -> count 4, error 3
+  ss3.Insert(4);  // -> count 5, error 3: rank 2 but lower bound only 2
+  auto flags = ss3.GuaranteedTopK(2);
+  ASSERT_EQ(flags.size(), 2u);
+  EXPECT_TRUE(flags[0]);   // item 1: 10 − 0 >= next_best 4
+  EXPECT_FALSE(flags[1]);  // item 4: 5 − 3 = 2 < next_best 4
+}
+
+TEST(SpaceSaving, UnmonitoredItemsReportZero) {
+  SpaceSaving ss(4);
+  ss.Insert(1);
+  EXPECT_EQ(ss.Estimate(999), 0u);
+  EXPECT_EQ(ss.ErrorOf(999), 0u);
+  EXPECT_FALSE(ss.IsMonitored(999));
+  EXPECT_EQ(ss.MinCount(), 0u);  // not yet full
+}
+
+TEST(SpaceSaving, ErrorFieldSurvivesSubsequentIncrements) {
+  SpaceSaving ss(2);
+  for (int i = 0; i < 4; ++i) ss.Insert(1);
+  ss.Insert(2);
+  ss.Insert(3);  // takes over 2's counter at count 2, error 1
+  for (int i = 0; i < 5; ++i) ss.Insert(3);
+  EXPECT_EQ(ss.Estimate(3), 7u);
+  EXPECT_EQ(ss.ErrorOf(3), 1u);  // error is set once, at takeover
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+// --------------------------------------------------------- Lossy Counting
+
+TEST(LossyCounting, GuaranteesOnTrackedCounts) {
+  std::unordered_map<ItemId, uint64_t> counts;
+  auto items = ZipfItems(100'000, 10'000, 1.0, 5, &counts);
+  double epsilon = 0.001;
+  LossyCounting lc(epsilon);
+  for (ItemId item : items) lc.Insert(item);
+
+  uint64_t n = lc.items_processed();
+  for (const auto& [item, count] : counts) {
+    uint64_t est = lc.Estimate(item);
+    // Tracked estimates never exceed f + εN and never fall below f − εN;
+    // untracked items (est 0) must have f <= εN.
+    if (est == 0) {
+      EXPECT_LE(count, static_cast<uint64_t>(epsilon * n) + 1);
+    } else {
+      EXPECT_LE(est, count + static_cast<uint64_t>(epsilon * n));
+      EXPECT_GE(est + static_cast<uint64_t>(epsilon * n), count);
+    }
+  }
+}
+
+TEST(LossyCounting, FrequentItemsAllReported) {
+  std::unordered_map<ItemId, uint64_t> counts;
+  auto items = ZipfItems(100'000, 10'000, 1.2, 6, &counts);
+  double epsilon = 0.0005;
+  LossyCounting lc(epsilon);
+  for (ItemId item : items) lc.Insert(item);
+
+  // Classic guarantee: every item with f >= εN appears in ItemsAbove(εN·θ)
+  // for θ=1 — no false negatives at the support threshold.
+  uint64_t threshold = static_cast<uint64_t>(epsilon * items.size());
+  auto reported = lc.ItemsAbove(threshold);
+  std::unordered_map<ItemId, bool> in_report;
+  for (const auto& entry : reported) in_report[entry.item] = true;
+  for (const auto& [item, count] : counts) {
+    if (count >= threshold) {
+      EXPECT_TRUE(in_report[item]) << "item " << item << " f=" << count;
+    }
+  }
+}
+
+TEST(LossyCounting, PrunesAtWindowBoundaries) {
+  LossyCounting lc(0.25);  // window of 4
+  // 8 distinct singletons: after two windows all must be pruned.
+  for (ItemId i = 1; i <= 8; ++i) lc.Insert(i);
+  EXPECT_EQ(lc.size(), 0u);
+  EXPECT_EQ(lc.current_bucket(), 3u);
+}
+
+TEST(LossyCounting, SurvivorsKeepDelta) {
+  LossyCounting lc(0.25);  // window of 4
+  lc.Insert(1);
+  lc.Insert(1);
+  lc.Insert(2);
+  lc.Insert(1);  // window ends: 1 has f=3 survives; 2 has f=1+Δ0 pruned
+  EXPECT_TRUE(lc.IsTracked(1));
+  EXPECT_FALSE(lc.IsTracked(2));
+  lc.Insert(2);  // re-enters with Δ = b_current − 1 = 1
+  EXPECT_EQ(lc.Estimate(2), 2u);  // f=1, Δ=1
+}
+
+TEST(LossyCounting, HardCapEnforced) {
+  LossyCounting lc(0.0001, 16);  // huge window, tiny cap
+  for (ItemId i = 1; i <= 1'000; ++i) lc.Insert(i);
+  EXPECT_LE(lc.size(), 16u);
+}
+
+TEST(LossyCounting, TopKOrdering) {
+  LossyCounting lc(0.01);
+  for (int rep = 0; rep < 10; ++rep) lc.Insert(1);
+  for (int rep = 0; rep < 5; ++rep) lc.Insert(2);
+  auto top = lc.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].item, 1u);
+}
+
+TEST(LossyCounting, MemoryAccounting) {
+  EXPECT_EQ(LossyCounting::BytesPerEntry(), 16u);
+  EXPECT_EQ(LossyCounting::EntriesForMemory(16 * 50), 50u);
+}
+
+// ------------------------------------------------------------- Misra-Gries
+
+TEST(MisraGries, NeverOverestimates) {
+  std::unordered_map<ItemId, uint64_t> counts;
+  auto items = ZipfItems(50'000, 5'000, 1.0, 7, &counts);
+  MisraGries mg(64);
+  for (ItemId item : items) mg.Insert(item);
+  for (const auto& entry : mg.TopK(64)) {
+    ASSERT_LE(entry.count, counts[entry.item]);
+  }
+}
+
+TEST(MisraGries, UnderestimationBoundedByDecrements) {
+  std::unordered_map<ItemId, uint64_t> counts;
+  auto items = ZipfItems(50'000, 5'000, 1.0, 8, &counts);
+  MisraGries mg(64);
+  for (ItemId item : items) mg.Insert(item);
+  uint64_t dec = mg.total_decrements();
+  // Classic bound: dec <= N/(k+1).
+  EXPECT_LE(dec, items.size() / (64 + 1) + 1);
+  for (const auto& [item, count] : counts) {
+    EXPECT_GE(mg.Estimate(item) + dec, count) << "item " << item;
+  }
+}
+
+TEST(MisraGries, ExactWhenCapacityCoversDistinct) {
+  std::unordered_map<ItemId, uint64_t> counts;
+  auto items = ZipfItems(10'000, 40, 1.0, 9, &counts);
+  MisraGries mg(64);
+  for (ItemId item : items) mg.Insert(item);
+  EXPECT_EQ(mg.total_decrements(), 0u);
+  for (const auto& [item, count] : counts) {
+    EXPECT_EQ(mg.Estimate(item), count);
+  }
+}
+
+TEST(MisraGries, GlobalDecrementEvictsZeros) {
+  MisraGries mg(2);
+  mg.Insert(1);
+  mg.Insert(2);
+  mg.Insert(3);  // decrement-all: both hit 0 and vanish; 3 NOT inserted
+  EXPECT_EQ(mg.size(), 0u);
+  mg.Insert(3);
+  EXPECT_EQ(mg.Estimate(3), 1u);
+}
+
+TEST(MisraGries, HeavyMajorityItemAlwaysSurvives) {
+  // An item with strict majority can never be evicted (k=1 = the classic
+  // Boyer-Moore majority special case).
+  MisraGries mg(1);
+  Rng rng(10);
+  int majority_count = 0;
+  for (int i = 0; i < 10'001; ++i) {
+    bool majority = rng.UniformDouble() < 0.6;
+    if (majority) {
+      mg.Insert(777);
+      ++majority_count;
+    } else {
+      mg.Insert(rng.Uniform(1000) + 1);
+    }
+  }
+  ASSERT_GT(majority_count, 5'000);  // sanity on the workload itself
+  EXPECT_TRUE(mg.IsTracked(777));
+}
+
+TEST(MisraGries, MemoryAccounting) {
+  EXPECT_EQ(MisraGries::BytesPerCounter(), 12u);
+  EXPECT_EQ(MisraGries::CountersForMemory(12 * 7), 7u);
+}
+
+}  // namespace
+}  // namespace ltc

@@ -1,0 +1,175 @@
+// Tests for the §IV bound formulas — both their internal mathematical
+// properties and the paper's Fig. 7 claim that they bound the measured
+// values.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ltc.h"
+#include "core/theory.h"
+#include "metrics/ground_truth.h"
+#include "stream/generators.h"
+
+namespace ltc {
+namespace {
+
+TEST(Theory, ZipfModelFrequenciesMatchEq3) {
+  ZipfStreamModel model{10'000, 100, 1.0};
+  auto f = model.Frequencies();
+  ASSERT_EQ(f.size(), 100u);
+  // Descending, and f_1/f_2 = 2 for γ=1.
+  for (size_t i = 1; i < f.size(); ++i) ASSERT_GE(f[i - 1], f[i]);
+  EXPECT_NEAR(f[0] / f[1], 2.0, 1e-9);
+  // Frequencies sum to N.
+  double total = 0;
+  for (double v : f) total += v;
+  EXPECT_NEAR(total, 10'000.0, 1e-6);
+}
+
+TEST(Theory, CorrectRateBoundIsAProbability) {
+  ZipfStreamModel model{100'000, 5'000, 1.0};
+  auto f = model.Frequencies();
+  for (uint64_t rank : {1u, 10u, 100u, 1'000u}) {
+    double p = CorrectRateBound(f, rank, {256, 8, 1.0, 1.0});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Theory, CorrectRateImprovesWithMoreBuckets) {
+  ZipfStreamModel model{100'000, 5'000, 1.0};
+  auto f = model.Frequencies();
+  double small = TopKCorrectRateBound(f, 100, {64, 8, 1.0, 1.0});
+  double large = TopKCorrectRateBound(f, 100, {1'024, 8, 1.0, 1.0});
+  EXPECT_GT(large, small);
+}
+
+TEST(Theory, CorrectRateHigherForHeavierItems) {
+  ZipfStreamModel model{100'000, 5'000, 1.0};
+  auto f = model.Frequencies();
+  LtcShape shape{256, 8, 1.0, 1.0};
+  EXPECT_GE(CorrectRateBound(f, 1, shape), CorrectRateBound(f, 500, shape));
+}
+
+TEST(Theory, ProbabilitySmallestProperties) {
+  LtcShape shape{100, 8, 1.0, 1.0};
+  // Fewer higher-ranked items than d-1: cannot be crowded out.
+  EXPECT_EQ(ProbabilitySmallest(1, shape), 0.0);
+  EXPECT_EQ(ProbabilitySmallest(7, shape), 0.0);
+  // From rank d upward it is positive and eventually decays: for very
+  // large ranks, having EXACTLY d-1 of them in the bucket becomes unlikely
+  // (the bucket would hold many more).
+  double at_d = ProbabilitySmallest(8, shape);
+  EXPECT_GT(at_d, 0.0);
+  double mid = ProbabilitySmallest(700, shape);  // near w·(d−1): the mode
+  double far = ProbabilitySmallest(100'000, shape);
+  EXPECT_GT(mid, at_d);
+  EXPECT_LT(far, mid);
+  for (uint64_t rank : {8u, 100u, 10'000u}) {
+    double p = ProbabilitySmallest(rank, shape);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Theory, ExpectedDecrementersIsTailMassOverW) {
+  std::vector<double> f = {100, 50, 25, 10, 5};
+  LtcShape shape{10, 4, 1.0, 1.0};
+  EXPECT_NEAR(ExpectedDecrementers(f, 1, shape), (50 + 25 + 10 + 5) / 10.0,
+              1e-12);
+  EXPECT_NEAR(ExpectedDecrementers(f, 5, shape), 0.0, 1e-12);
+}
+
+TEST(Theory, ErrorBoundShrinksWithEpsilonAndMemory) {
+  ZipfStreamModel model{100'000, 5'000, 1.0};
+  auto f = model.Frequencies();
+  double loose = TopKErrorProbabilityBound(f, 100, {64, 8, 1.0, 1.0},
+                                           1.0 / (1 << 18), 100'000);
+  double tight_mem = TopKErrorProbabilityBound(f, 100, {1'024, 8, 1.0, 1.0},
+                                               1.0 / (1 << 18), 100'000);
+  double tight_eps = TopKErrorProbabilityBound(f, 100, {64, 8, 1.0, 1.0},
+                                               1.0 / (1 << 10), 100'000);
+  EXPECT_LE(tight_mem, loose);
+  EXPECT_LE(tight_eps, loose);
+}
+
+TEST(Theory, SingleCellBucketsDegenerate) {
+  // d=1: Lemma IV.1's "never the smallest" needs ZERO useful items, so
+  // the bound collapses to dp_{M,0} — tiny but valid.
+  ZipfStreamModel model{10'000, 500, 1.0};
+  auto f = model.Frequencies();
+  double p = CorrectRateBound(f, 1, {32, 1, 1.0, 1.0});
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  // And strictly below the d=8 bound at the same cell count is NOT
+  // required (w differs), but at the same bucket count more cells can
+  // only help:
+  EXPECT_LE(p, CorrectRateBound(f, 1, {32, 8, 1.0, 1.0}) + 1e-12);
+}
+
+TEST(Theory, ErrorBoundScalesWithAlphaPlusBeta) {
+  ZipfStreamModel model{100'000, 5'000, 1.0};
+  auto f = model.Frequencies();
+  double eps = 1.0 / (1 << 14);
+  double narrow = ErrorProbabilityBound(f, 50, {128, 8, 1.0, 0.0}, eps,
+                                        100'000);
+  double wide = ErrorProbabilityBound(f, 50, {128, 8, 1.0, 1.0}, eps,
+                                      100'000);
+  // Each decrement costs (α+β); doubling the weight doubles the bound.
+  EXPECT_NEAR(wide, 2.0 * narrow, 1e-12);
+}
+
+TEST(Theory, TopKBoundIsMeanOfPerRankBounds) {
+  ZipfStreamModel model{10'000, 200, 1.0};
+  auto f = model.Frequencies();
+  LtcShape shape{64, 8, 1.0, 1.0};
+  double sum = 0;
+  for (uint64_t rank = 1; rank <= 10; ++rank) {
+    sum += CorrectRateBound(f, rank, shape);
+  }
+  EXPECT_NEAR(TopKCorrectRateBound(f, 10, shape), sum / 10, 1e-12);
+  // k beyond the universe truncates.
+  EXPECT_GT(TopKCorrectRateBound(f, 10'000, shape), 0.0);
+}
+
+// The Fig. 7(a) relationship, in miniature: the theoretical correct-rate
+// bound must lie BELOW the measured correct rate of the basic LTC (no
+// LTR — the theorem is about the unoptimized initializer).
+TEST(Theory, CorrectRateBoundIsBelowMeasured) {
+  constexpr uint64_t kN = 200'000;
+  constexpr uint64_t kM = 20'000;
+  constexpr double kGamma = 1.0;
+  constexpr size_t kK = 200;
+  Stream stream = MakeZipfStream(kN, kM, kGamma, 20, 77);
+  GroundTruth truth = GroundTruth::Compute(stream);
+
+  LtcConfig config;
+  config.memory_bytes = 48 * 1024;
+  config.long_tail_replacement = false;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  Ltc table(config);
+  for (const Record& r : stream.records()) table.Insert(r.item, r.time);
+  table.Finalize();
+
+  // Measured correct rate over the true top-k: estimate equals truth.
+  auto top = truth.TopKSignificant(kK, config.alpha, config.beta);
+  size_t correct = 0;
+  for (const auto& [item, sig] : top) {
+    if (std::fabs(table.QuerySignificance(item) - sig) < 1e-9) ++correct;
+  }
+  double measured = static_cast<double>(correct) / kK;
+
+  ZipfStreamModel model{kN, kM, kGamma};
+  double bound = TopKCorrectRateBound(model.Frequencies(), kK,
+                                      {table.num_buckets(),
+                                       config.cells_per_bucket, config.alpha,
+                                       config.beta});
+  EXPECT_LE(bound, measured + 0.05);  // small slack for sampling noise
+  EXPECT_GT(bound, 0.0);              // and it is not vacuously zero
+}
+
+}  // namespace
+}  // namespace ltc

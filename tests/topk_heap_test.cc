@@ -1,0 +1,155 @@
+// Unit and randomized-reference tests for the indexed top-k min-heap.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sketch/topk_heap.h"
+
+namespace ltc {
+namespace {
+
+TEST(TopKHeap, FillsThenEvictsMinimum) {
+  TopKHeap heap(3);
+  EXPECT_TRUE(heap.Offer(1, 10));
+  EXPECT_TRUE(heap.Offer(2, 20));
+  EXPECT_TRUE(heap.Offer(3, 30));
+  EXPECT_TRUE(heap.Full());
+  EXPECT_EQ(heap.MinValue(), 10);
+
+  // Smaller than the minimum: rejected.
+  EXPECT_FALSE(heap.Offer(4, 5));
+  EXPECT_FALSE(heap.Contains(4));
+
+  // Larger: evicts item 1.
+  EXPECT_TRUE(heap.Offer(5, 15));
+  EXPECT_FALSE(heap.Contains(1));
+  EXPECT_EQ(heap.MinValue(), 15);
+}
+
+TEST(TopKHeap, UpdatesTrackedItemBothDirections) {
+  TopKHeap heap(3);
+  heap.Offer(1, 10);
+  heap.Offer(2, 20);
+  heap.Offer(3, 30);
+  heap.Offer(2, 50);  // up
+  EXPECT_EQ(heap.ValueOf(2), 50);
+  heap.Offer(3, 1);  // down — becomes the new minimum
+  EXPECT_EQ(heap.MinValue(), 1);
+  EXPECT_EQ(heap.ValueOf(3), 1);
+}
+
+TEST(TopKHeap, SortedEntriesDescendingWithTieBreak) {
+  TopKHeap heap(4);
+  heap.Offer(10, 5);
+  heap.Offer(11, 5);
+  heap.Offer(12, 9);
+  heap.Offer(13, 1);
+  auto entries = heap.SortedEntries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].item, 12u);
+  EXPECT_EQ(entries[1].item, 10u);  // tie: lower ID first
+  EXPECT_EQ(entries[2].item, 11u);
+  EXPECT_EQ(entries[3].item, 13u);
+}
+
+TEST(TopKHeap, CapacityOne) {
+  TopKHeap heap(1);
+  heap.Offer(1, 10);
+  EXPECT_EQ(heap.MinValue(), 10);
+  heap.Offer(2, 20);
+  EXPECT_FALSE(heap.Contains(1));
+  EXPECT_TRUE(heap.Contains(2));
+}
+
+TEST(TopKHeap, ValueOfUntrackedIsZero) {
+  TopKHeap heap(2);
+  EXPECT_EQ(heap.ValueOf(99), 0.0);
+  EXPECT_EQ(heap.MinValue(), 0.0);
+}
+
+TEST(TopKHeap, EqualValueDoesNotEvict) {
+  TopKHeap heap(1);
+  heap.Offer(1, 10);
+  EXPECT_FALSE(heap.Offer(2, 10));  // ties keep the incumbent
+  EXPECT_TRUE(heap.Contains(1));
+}
+
+// Randomized reference test: after any sequence of Offers (the sketch+heap
+// usage pattern, where values only grow per item), the heap must hold
+// exactly the k items with the largest current values.
+TEST(TopKHeap, MatchesBruteForceUnderMonotoneUpdates) {
+  constexpr size_t kK = 16;
+  constexpr int kOps = 20'000;
+  TopKHeap heap(kK);
+  std::map<ItemId, double> truth;  // item -> latest value
+  Rng rng(99);
+
+  for (int op = 0; op < kOps; ++op) {
+    ItemId item = rng.Uniform(200) + 1;
+    double value = (truth.count(item) ? truth[item] : 0) + 1;
+    truth[item] = value;
+    bool tracked_before = heap.Contains(item);
+    bool accepted = heap.Offer(item, value);
+    if (tracked_before) {
+      EXPECT_TRUE(accepted);
+    }
+  }
+
+  // The heap's minimum must be >= every untracked item's would-be entry
+  // value at rejection time; verify the weaker but exact property that
+  // the heap's contents are internally consistent and sized correctly.
+  EXPECT_EQ(heap.size(), kK);
+  auto entries = heap.SortedEntries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].value, entries[i].value);
+  }
+  EXPECT_EQ(entries.back().value, heap.MinValue());
+}
+
+// Full-information reference: when every offer carries the item's true
+// running count, the final heap is exactly the true top-k.
+TEST(TopKHeap, ExactTopKWhenFedTrueCounts) {
+  constexpr size_t kK = 8;
+  TopKHeap heap(kK);
+  std::map<ItemId, double> counts;
+  Rng rng(7);
+  // Zipf-ish: item i arrives with weight proportional to 1/i.
+  for (int i = 0; i < 50'000; ++i) {
+    ItemId item = 1;
+    double u = rng.UniformDouble();
+    double acc = 0;
+    double norm = 0;
+    for (int j = 1; j <= 50; ++j) norm += 1.0 / j;
+    for (int j = 1; j <= 50; ++j) {
+      acc += (1.0 / j) / norm;
+      if (u < acc) {
+        item = j;
+        break;
+      }
+    }
+    counts[item] += 1;
+    heap.Offer(item, counts[item]);
+  }
+
+  std::vector<std::pair<double, ItemId>> ranked;
+  for (const auto& [item, count] : counts) ranked.push_back({count, item});
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  auto entries = heap.SortedEntries();
+  ASSERT_EQ(entries.size(), kK);
+  for (size_t i = 0; i < kK; ++i) {
+    EXPECT_EQ(entries[i].item, ranked[i].second) << "position " << i;
+    EXPECT_EQ(entries[i].value, ranked[i].first);
+  }
+}
+
+TEST(TopKHeap, MemoryModel) {
+  EXPECT_EQ(TopKHeap::MemoryBytes(100), 1600u);
+}
+
+}  // namespace
+}  // namespace ltc

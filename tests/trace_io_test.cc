@@ -1,0 +1,119 @@
+// Tests for the text trace reader/writer.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "stream/generators.h"
+#include "stream/trace_io.h"
+
+namespace ltc {
+namespace {
+
+TEST(TraceIo, NumericPlainLinesGetIndexTimestamps) {
+  auto result = ReadTraceFromString("5\n7\n5\n9\n", 2);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->used_interner);
+  const Stream& s = result->stream;
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.records()[0].item, 5u);
+  EXPECT_EQ(s.records()[3].item, 9u);
+  EXPECT_EQ(s.num_periods(), 2u);
+  // Index timestamps: first two records in period 0, last two in 1.
+  EXPECT_EQ(s.PeriodOf(s.records()[1].time), 0u);
+  EXPECT_EQ(s.PeriodOf(s.records()[2].time), 1u);
+}
+
+TEST(TraceIo, TimestampedLinesAndComments) {
+  std::string text =
+      "# a comment\n"
+      "\n"
+      "10,0.5\n"
+      "11,1.5\n"
+      "10,7.0\n";
+  auto result = ReadTraceFromString(text, 4, 8.0);
+  ASSERT_TRUE(result.has_value());
+  const Stream& s = result->stream;
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.duration(), 8.0);
+  EXPECT_EQ(s.PeriodOf(s.records()[2].time), 3u);
+}
+
+TEST(TraceIo, StringTokensAreInterned) {
+  auto result = ReadTraceFromString("alice\nbob\nalice\n", 1);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->used_interner);
+  const Stream& s = result->stream;
+  EXPECT_EQ(s.records()[0].item, s.records()[2].item);
+  EXPECT_NE(s.records()[0].item, s.records()[1].item);
+  EXPECT_EQ(result->interner.Name(s.records()[0].item), "alice");
+}
+
+TEST(TraceIo, MixedTokensInternEverything) {
+  // One non-numeric token flips the whole trace to interning, so the
+  // numeric-looking "7" cannot collide with an interned ID 7.
+  auto result = ReadTraceFromString("7\nweb01\n7\n", 1);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->used_interner);
+  EXPECT_EQ(result->interner.Lookup("7"), result->stream.records()[0].item);
+  EXPECT_EQ(result->stream.records()[0].item,
+            result->stream.records()[2].item);
+}
+
+TEST(TraceIo, ZeroIdIsTreatedAsToken) {
+  // ItemId 0 is reserved; a literal 0 goes through the interner.
+  auto result = ReadTraceFromString("0\n1\n", 1);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->used_interner);
+  EXPECT_NE(result->stream.records()[0].item, 0u);
+}
+
+TEST(TraceIo, ErrorsAreReportedWithLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(ReadTraceFromString("1,abc\n", 1, 0, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+
+  EXPECT_FALSE(ReadTraceFromString("1,5.0\n2,3.0\n", 1, 0, &error)
+                   .has_value());
+  EXPECT_NE(error.find("nondecreasing"), std::string::npos);
+
+  EXPECT_FALSE(ReadTraceFromString("1\n2,1.0\n", 1, 0, &error).has_value());
+  EXPECT_NE(error.find("mixed"), std::string::npos);
+
+  EXPECT_FALSE(ReadTraceFromString("", 1, 0, &error).has_value());
+  EXPECT_NE(error.find("no records"), std::string::npos);
+
+  EXPECT_FALSE(ReadTraceFromString("1\n", 0, 0, &error).has_value());
+  EXPECT_FALSE(ReadTraceFromString("1,-3\n", 1, 0, &error).has_value());
+  EXPECT_FALSE(
+      ReadTraceFromString("1,9.0\n", 1, /*duration=*/5.0, &error)
+          .has_value());
+}
+
+TEST(TraceIo, FileRoundTripPreservesStream) {
+  Stream original = MakeZipfStream(2'000, 300, 1.0, 10, 3);
+  std::string path = ::testing::TempDir() + "/ltc_trace_test.csv";
+  ASSERT_TRUE(WriteTrace(original, path));
+
+  std::string error;
+  auto loaded = ReadTrace(path, original.num_periods(), original.duration(),
+                          &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  const Stream& s = loaded->stream;
+  ASSERT_EQ(s.size(), original.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.records()[i].item, original.records()[i].item);
+    EXPECT_NEAR(s.records()[i].time, original.records()[i].time, 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileReportsPath) {
+  std::string error;
+  EXPECT_FALSE(ReadTrace("/nonexistent/ltc.csv", 1, 0, &error).has_value());
+  EXPECT_NE(error.find("/nonexistent/ltc.csv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ltc

@@ -1,0 +1,116 @@
+// Tests for the jumping-window LTC extension.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/windowed_ltc.h"
+
+namespace ltc {
+namespace {
+
+LtcConfig WindowConfig(size_t memory = 8 * 1024) {
+  LtcConfig config;
+  config.memory_bytes = memory;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = 1.0;
+  return config;
+}
+
+TEST(WindowedLtc, GeometryAndBudget) {
+  WindowedLtc window(WindowConfig(16 * 1024), 10);
+  EXPECT_EQ(window.window_periods(), 10u);
+  EXPECT_EQ(window.pane_periods(), 5u);
+  EXPECT_LE(window.MemoryBytes(), 16u * 1024);
+}
+
+TEST(WindowedLtc, CountsWithinTheActiveWindow) {
+  WindowedLtc window(WindowConfig(), 4);  // panes of 2 periods
+  // Item 7 once per period in periods 0..3.
+  for (int p = 0; p < 4; ++p) window.Insert(7, p + 0.5);
+  auto top = window.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].item, 7u);
+  // Coverage: previous pane (periods 0-1) + active (2-3) -> f=4, p=4.
+  EXPECT_EQ(top[0].frequency, 4u);
+  EXPECT_EQ(top[0].persistency, 4u);
+  EXPECT_EQ(window.WindowStartPeriod(), 0u);
+}
+
+TEST(WindowedLtc, OldHistoryExpires) {
+  WindowedLtc window(WindowConfig(), 4);  // panes of 2 periods
+  // A storm of item 9 confined to periods 0-1 (pane 0).
+  for (int i = 0; i < 1'000; ++i) {
+    window.Insert(9, 0.001 * i);  // all inside period 0-1
+  }
+  // Quiet item 7 afterwards, periods 2..7 (panes 1..3).
+  for (int p = 2; p < 8; ++p) window.Insert(7, p + 0.5);
+
+  // By period 6-7 (pane 3), pane 0's storm is gone entirely.
+  EXPECT_EQ(window.QuerySignificance(9), 0.0);
+  EXPECT_GT(window.QuerySignificance(7), 0.0);
+  auto top = window.TopK(5);
+  for (const auto& report : top) EXPECT_NE(report.item, 9u);
+  EXPECT_GE(window.WindowStartPeriod(), 4u);
+}
+
+TEST(WindowedLtc, SkippedPanesClearEverything) {
+  WindowedLtc window(WindowConfig(), 4);
+  window.Insert(5, 0.5);
+  // Next arrival far in the future: several empty panes in between.
+  window.Insert(6, 100.5);
+  EXPECT_EQ(window.QuerySignificance(5), 0.0);
+  EXPECT_GT(window.QuerySignificance(6), 0.0);
+}
+
+TEST(WindowedLtc, QueriesAreNonDestructive) {
+  WindowedLtc window(WindowConfig(), 6);
+  window.Insert(1, 0.5);
+  window.Insert(1, 1.5);
+  double first = window.QuerySignificance(1);
+  double second = window.QuerySignificance(1);
+  EXPECT_EQ(first, second);
+  auto a = window.TopK(3);
+  auto b = window.TopK(3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].significance, b[i].significance);
+  }
+  // And inserts still work afterwards.
+  window.Insert(1, 2.5);
+  EXPECT_GT(window.QuerySignificance(1), first);
+}
+
+TEST(WindowedLtc, PaneTransitionAddsFieldsExactly) {
+  WindowedLtc window(WindowConfig(), 4);  // panes of 2 periods
+  // Item 3: twice in period 1 (pane 0) and once in period 2 (pane 1).
+  window.Insert(3, 1.2);
+  window.Insert(3, 1.7);
+  window.Insert(3, 2.5);
+  auto top = window.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].frequency, 3u);
+  EXPECT_EQ(top[0].persistency, 2u);  // periods 1 and 2
+}
+
+TEST(WindowedLtc, TracksRecentHeavyItemsUnderChurn) {
+  WindowedLtc window(WindowConfig(16 * 1024), 10);
+  Rng rng(42);
+  // Phase 1 (periods 0..19): item A heavy; phase 2 (20..39): item B.
+  for (int p = 0; p < 40; ++p) {
+    ItemId heavy = p < 20 ? 111 : 222;
+    for (int i = 0; i < 50; ++i) {
+      window.Insert(heavy, p + 0.01 * i);
+      window.Insert(rng.Uniform(5'000) + 1, p + 0.01 * i + 0.005);
+    }
+  }
+  // End of phase 2: B dominates the window; A has fully expired.
+  auto top = window.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].item, 222u);
+  EXPECT_EQ(window.QuerySignificance(111), 0.0);
+}
+
+}  // namespace
+}  // namespace ltc

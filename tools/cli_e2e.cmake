@@ -1,0 +1,26 @@
+# End-to-end: generate a trace, run the CLI on it with a checkpoint,
+# restore the checkpoint on an empty continuation, verify csv output.
+execute_process(COMMAND ${LTC_GEN} --dataset zipf --records 5000
+                --periods 10 ${WORK_DIR}/e2e_trace.csv
+                RESULT_VARIABLE gen_rc)
+if(NOT gen_rc EQUAL 0)
+  message(FATAL_ERROR "ltc_gen failed: ${gen_rc}")
+endif()
+
+execute_process(COMMAND ${LTC_CLI} --k 5 --periods 10 --csv
+                --save ${WORK_DIR}/e2e_ckpt.bin ${WORK_DIR}/e2e_trace.csv
+                OUTPUT_VARIABLE out RESULT_VARIABLE cli_rc)
+if(NOT cli_rc EQUAL 0)
+  message(FATAL_ERROR "ltc_cli failed: ${cli_rc}")
+endif()
+string(FIND "${out}" "item,frequency,persistency,significance" header_pos)
+if(header_pos EQUAL -1)
+  message(FATAL_ERROR "csv header missing in: ${out}")
+endif()
+
+execute_process(COMMAND ${LTC_CLI} --k 5 --periods 10 --csv
+                --load ${WORK_DIR}/e2e_ckpt.bin ${WORK_DIR}/e2e_trace.csv
+                RESULT_VARIABLE reload_rc)
+if(NOT reload_rc EQUAL 0)
+  message(FATAL_ERROR "ltc_cli --load failed: ${reload_rc}")
+endif()

@@ -1,0 +1,154 @@
+#include "cli_options.h"
+
+#include <cstdlib>
+
+namespace ltc {
+namespace {
+
+bool ParseDoubleArg(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+bool ParseU64Arg(const std::string& text, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+}  // namespace
+
+std::optional<size_t> ParseMemorySize(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::string digits = text;
+  size_t multiplier = 1;
+  char suffix = digits.back();
+  if (suffix == 'K' || suffix == 'k') {
+    multiplier = 1024;
+    digits.pop_back();
+  } else if (suffix == 'M' || suffix == 'm') {
+    multiplier = 1024 * 1024;
+    digits.pop_back();
+  }
+  uint64_t value = 0;
+  if (!ParseU64Arg(digits, &value) || value == 0) return std::nullopt;
+  return static_cast<size_t>(value) * multiplier;
+}
+
+LtcConfig CliOptions::ToLtcConfig() const {
+  LtcConfig config;
+  config.memory_bytes = memory_bytes;
+  config.cells_per_bucket = cells_per_bucket;
+  config.alpha = alpha;
+  config.beta = beta;
+  config.long_tail_replacement = long_tail_replacement;
+  config.deviation_eliminator = deviation_eliminator;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = 1.0;  // runner overwrites from the stream
+  return config;
+}
+
+std::string CliUsage() {
+  return R"(usage: ltc_cli [options] <trace-file | ->
+
+Finds the top-k significant items (s = alpha*f + beta*p) of a trace.
+Trace format: one record per line, "<item>" or "<item>,<time-seconds>";
+items may be integers or arbitrary tokens; '#' starts a comment.
+
+options:
+  --memory SIZE     memory budget, e.g. 65536, 64K, 1M   [64K]
+  --alpha F         weight of frequency                  [1]
+  --beta F          weight of persistency                [1]
+  --k N             how many items to report             [10]
+  --periods T       number of periods                    [100]
+  --duration SEC    total trace span (0 = infer)         [infer]
+  --d N             cells per bucket                     [8]
+  --no-ltr          disable Long-tail Replacement
+  --no-de           disable the Deviation Eliminator
+  --csv             machine-readable output
+  --save FILE       write a checkpoint of the table after the run
+  --load FILE       restore the table from a checkpoint before the run
+  --help            this text
+)";
+}
+
+std::optional<CliOptions> ParseCliOptions(
+    const std::vector<std::string>& args, std::string* error) {
+  CliOptions options;
+  auto fail = [&](const std::string& message) -> std::optional<CliOptions> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  size_t i = 0;
+  auto next_value = [&](const std::string& flag,
+                        std::string* out) -> bool {
+    if (i + 1 >= args.size()) {
+      if (error != nullptr) *error = flag + " needs a value";
+      return false;
+    }
+    *out = args[++i];
+    return true;
+  };
+
+  for (; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      options.show_help = true;
+      return options;
+    } else if (arg == "--memory") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      auto parsed = ParseMemorySize(value);
+      if (!parsed) return fail("bad --memory '" + value + "'");
+      options.memory_bytes = *parsed;
+    } else if (arg == "--alpha" || arg == "--beta" || arg == "--duration") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      double parsed;
+      if (!ParseDoubleArg(value, &parsed) || parsed < 0) {
+        return fail("bad " + arg + " '" + value + "'");
+      }
+      if (arg == "--alpha") options.alpha = parsed;
+      if (arg == "--beta") options.beta = parsed;
+      if (arg == "--duration") options.duration = parsed;
+    } else if (arg == "--k" || arg == "--periods" || arg == "--d") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      uint64_t parsed;
+      if (!ParseU64Arg(value, &parsed) || parsed == 0) {
+        return fail("bad " + arg + " '" + value + "'");
+      }
+      if (arg == "--k") options.k = parsed;
+      if (arg == "--periods") options.periods = static_cast<uint32_t>(parsed);
+      if (arg == "--d") {
+        options.cells_per_bucket = static_cast<uint32_t>(parsed);
+      }
+    } else if (arg == "--no-ltr") {
+      options.long_tail_replacement = false;
+    } else if (arg == "--no-de") {
+      options.deviation_eliminator = false;
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--save" || arg == "--load") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      (arg == "--save" ? options.save_path : options.load_path) = value;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return fail("unknown option '" + arg + "'");
+    } else {
+      if (!options.trace_path.empty()) {
+        return fail("multiple trace files given");
+      }
+      options.trace_path = arg;
+    }
+  }
+
+  if (options.trace_path.empty()) {
+    return fail("no trace file given (use '-' for stdin)");
+  }
+  if (options.alpha == 0.0 && options.beta == 0.0) {
+    return fail("alpha and beta cannot both be 0");
+  }
+  return options;
+}
+
+}  // namespace ltc

@@ -1,0 +1,49 @@
+// Option parsing for the ltc_cli tool, separated from main() so the
+// parser is unit-testable.
+
+#ifndef LTC_TOOLS_CLI_OPTIONS_H_
+#define LTC_TOOLS_CLI_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ltc.h"
+
+namespace ltc {
+
+struct CliOptions {
+  std::string trace_path;     // "-" = stdin
+  size_t memory_bytes = 64 * 1024;
+  double alpha = 1.0;
+  double beta = 1.0;
+  size_t k = 10;
+  uint32_t periods = 100;
+  double duration = 0.0;      // 0 = infer from the trace
+  uint32_t cells_per_bucket = 8;
+  bool long_tail_replacement = true;
+  bool deviation_eliminator = true;
+  bool csv = false;
+  std::string save_path;      // checkpoint the table here after the run
+  std::string load_path;      // restore the table from here before the run
+  bool show_help = false;
+
+  /// The LtcConfig these options describe (period pacing filled by the
+  /// runner once the stream's duration is known).
+  LtcConfig ToLtcConfig() const;
+};
+
+/// Parses argv. On failure returns nullopt and sets `error`.
+std::optional<CliOptions> ParseCliOptions(
+    const std::vector<std::string>& args, std::string* error);
+
+/// Parses a memory size: plain bytes, or with a K/M suffix ("64K", "2M").
+std::optional<size_t> ParseMemorySize(const std::string& text);
+
+/// The --help text.
+std::string CliUsage();
+
+}  // namespace ltc
+
+#endif  // LTC_TOOLS_CLI_OPTIONS_H_

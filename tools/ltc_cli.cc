@@ -1,0 +1,114 @@
+// ltc_cli — run LTC over a text trace and print the top-k significant
+// items. See CliUsage() / --help for the interface.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli_options.h"
+#include "common/format.h"
+#include "common/serial.h"
+#include "core/ltc.h"
+#include "stream/trace_io.h"
+
+namespace ltc {
+namespace {
+
+int Run(const CliOptions& options) {
+  // 1. Load the trace (file or stdin).
+  std::string error;
+  std::optional<TraceReadResult> trace;
+  if (options.trace_path == "-") {
+    std::string text((std::istreambuf_iterator<char>(std::cin)),
+                     std::istreambuf_iterator<char>());
+    trace = ReadTraceFromString(text, options.periods, options.duration,
+                                &error);
+  } else {
+    trace = ReadTrace(options.trace_path, options.periods, options.duration,
+                      &error);
+  }
+  if (!trace) {
+    std::fprintf(stderr, "ltc_cli: %s\n", error.c_str());
+    return 1;
+  }
+  const Stream& stream = trace->stream;
+
+  // 2. Build or restore the table.
+  LtcConfig config = options.ToLtcConfig();
+  config.period_seconds = stream.duration() / stream.num_periods();
+  std::optional<Ltc> table;
+  if (!options.load_path.empty()) {
+    auto bytes = ReadFileToString(options.load_path);
+    if (!bytes) {
+      std::fprintf(stderr, "ltc_cli: cannot read checkpoint '%s'\n",
+                   options.load_path.c_str());
+      return 1;
+    }
+    BinaryReader reader(*bytes);
+    table = Ltc::Deserialize(reader);
+    if (!table) {
+      std::fprintf(stderr, "ltc_cli: corrupt checkpoint '%s'\n",
+                   options.load_path.c_str());
+      return 1;
+    }
+  } else {
+    table.emplace(config);
+  }
+
+  // 3. Feed the stream.
+  for (const Record& r : stream.records()) table->Insert(r.item, r.time);
+
+  // 4. Checkpoint before Finalize so a later --load continues cleanly.
+  if (!options.save_path.empty()) {
+    BinaryWriter writer;
+    table->Serialize(writer);
+    if (!WriteFile(options.save_path, writer.data())) {
+      std::fprintf(stderr, "ltc_cli: cannot write checkpoint '%s'\n",
+                   options.save_path.c_str());
+      return 1;
+    }
+  }
+  table->Finalize();
+
+  // 5. Report.
+  auto name_of = [&](ItemId item) -> std::string {
+    if (trace->used_interner) return trace->interner.Name(item);
+    return std::to_string(item);
+  };
+  TextTable report({"item", "frequency", "persistency", "significance"});
+  for (const auto& r : table->TopK(options.k)) {
+    report.AddRow({name_of(r.item), std::to_string(r.frequency),
+                   std::to_string(r.persistency),
+                   FormatMetric(r.significance)});
+  }
+  if (options.csv) {
+    report.PrintCsv(std::cout);
+  } else {
+    std::printf("# %zu records, %u periods, %s memory, s = %g*f + %g*p\n",
+                stream.size(), stream.num_periods(),
+                FormatMemory(table->MemoryBytes()).c_str(), config.alpha,
+                config.beta);
+    report.Print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ltc
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  auto options = ltc::ParseCliOptions(args, &error);
+  if (!options) {
+    std::fprintf(stderr, "ltc_cli: %s\n%s", error.c_str(),
+                 ltc::CliUsage().c_str());
+    return 2;
+  }
+  if (options->show_help) {
+    std::fputs(ltc::CliUsage().c_str(), stdout);
+    return 0;
+  }
+  return ltc::Run(*options);
+}

@@ -1,0 +1,117 @@
+// ltc_gen — synthesize a workload trace (the DESIGN.md §3 dataset
+// stand-ins or raw Zipf/uniform streams) as text consumable by ltc_cli
+// and by any external tool.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "stream/generators.h"
+#include "stream/trace_io.h"
+
+namespace {
+
+const char kUsage[] =
+    R"(usage: ltc_gen [options] <output-file | ->
+
+options:
+  --dataset NAME   caida | network | social | zipf | uniform   [caida]
+  --records N      stream length                               [1000000]
+  --seed S                                                     [1]
+  --gamma G        Zipf skew (zipf only)                       [1.0]
+  --distinct M     distinct items (zipf/uniform only)          [records/10]
+  --periods T      periods (zipf/uniform only)                 [100]
+)";
+
+struct Options {
+  std::string dataset = "caida";
+  uint64_t records = 1'000'000;
+  uint64_t seed = 1;
+  double gamma = 1.0;
+  uint64_t distinct = 0;
+  uint32_t periods = 100;
+  std::string output;
+};
+
+bool Parse(int argc, char** argv, Options* options) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto need = [&](uint64_t* out) {
+      if (i + 1 >= args.size()) return false;
+      *out = std::strtoull(args[++i].c_str(), nullptr, 10);
+      return *out > 0;
+    };
+    if (args[i] == "--dataset" && i + 1 < args.size()) {
+      options->dataset = args[++i];
+    } else if (args[i] == "--records") {
+      if (!need(&options->records)) return false;
+    } else if (args[i] == "--seed") {
+      if (!need(&options->seed)) return false;
+    } else if (args[i] == "--distinct") {
+      if (!need(&options->distinct)) return false;
+    } else if (args[i] == "--periods") {
+      uint64_t v;
+      if (!need(&v)) return false;
+      options->periods = static_cast<uint32_t>(v);
+    } else if (args[i] == "--gamma" && i + 1 < args.size()) {
+      options->gamma = std::strtod(args[++i].c_str(), nullptr);
+      if (options->gamma < 0) return false;
+    } else if (!args[i].empty() && args[i][0] == '-' && args[i] != "-") {
+      return false;
+    } else if (options->output.empty()) {
+      options->output = args[i];
+    } else {
+      return false;
+    }
+  }
+  return !options->output.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!Parse(argc, argv, &options)) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  if (options.distinct == 0) {
+    options.distinct = std::max<uint64_t>(1, options.records / 10);
+  }
+
+  ltc::Stream stream;
+  if (options.dataset == "caida") {
+    stream = ltc::MakeCaidaLike(options.records, options.seed);
+  } else if (options.dataset == "network") {
+    stream = ltc::MakeNetworkLike(options.records, options.seed);
+  } else if (options.dataset == "social") {
+    stream = ltc::MakeSocialLike(options.records, options.seed);
+  } else if (options.dataset == "zipf") {
+    stream = ltc::MakeZipfStream(options.records, options.distinct,
+                                 options.gamma, options.periods,
+                                 options.seed);
+  } else if (options.dataset == "uniform") {
+    stream = ltc::MakeUniformStream(options.records, options.distinct,
+                                    options.periods, options.seed);
+  } else {
+    std::fprintf(stderr, "ltc_gen: unknown dataset '%s'\n%s",
+                 options.dataset.c_str(), kUsage);
+    return 2;
+  }
+
+  if (options.output == "-") {
+    std::string text = ltc::TraceToString(stream);
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+  if (!ltc::WriteTrace(stream, options.output)) {
+    std::fprintf(stderr, "ltc_gen: cannot write '%s'\n",
+                 options.output.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "ltc_gen: wrote %zu records (%u periods) to %s\n",
+               stream.size(), stream.num_periods(),
+               options.output.c_str());
+  return 0;
+}
