@@ -1,0 +1,38 @@
+#include "core/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ltc {
+namespace {
+
+void DefaultAuditFailureHandler(const std::string& message) {
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+AuditFailureHandler g_handler = &DefaultAuditFailureHandler;
+
+}  // namespace
+
+AuditFailureHandler SetAuditFailureHandler(AuditFailureHandler handler) {
+  AuditFailureHandler previous = g_handler;
+  g_handler = handler != nullptr ? handler : &DefaultAuditFailureHandler;
+  return previous;
+}
+
+void AuditFail(const char* structure, const char* invariant,
+               const std::string& detail) {
+  std::string message;
+  message.reserve(64 + detail.size());
+  message += "LTC_AUDIT violation [";
+  message += structure;
+  message += " / ";
+  message += invariant;
+  message += "]: ";
+  message += detail;
+  g_handler(message);
+}
+
+}  // namespace ltc

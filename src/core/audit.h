@@ -1,0 +1,73 @@
+// Ground-truth interface and failure reporting for the LTC_AUDIT
+// invariant hooks.
+//
+// When the CMake option LTC_AUDIT is ON, Ltc / ShardedLtc / WindowedLtc
+// compile a hook that runs after EVERY insert and cross-checks the
+// paper's guarantees against an attached oracle:
+//
+//  * no overestimation (Theorem IV.1) — estimated frequency never
+//    exceeds the true frequency, and (with the Deviation Eliminator on)
+//    estimated persistency, pending flags included, never exceeds the
+//    true persistency. Checked only for InitPolicy::kOne, the
+//    configuration the theorem covers;
+//  * CLOCK pointer pacing (§III-B) — the pointer sits exactly where the
+//    fractional-step formula says: ⌊i·m/n⌋ within a count-based period,
+//    (x − p·t)/t·m within a time-based one, i.e. exactly m slots are
+//    swept per period;
+//  * parity-flag consistency (§III-C) — no flag bits outside the active
+//    scheme, and the freshly inserted item carries its period's flag;
+//  * bucket-local integrity — every occupant hashes to the bucket it
+//    sits in and no bucket holds the same ID twice.
+//
+// The oracle side of the contract is deliberately tiny so the core
+// library does not depend on src/metrics; ExactSignificanceOracle
+// (metrics/significance_oracle.h) is the canonical implementation, and
+// tests may supply lying oracles to prove the hooks fire.
+//
+// With the option OFF (the default), none of this is compiled and the
+// hot path is untouched.
+
+#ifndef LTC_CORE_AUDIT_H_
+#define LTC_CORE_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stream/stream.h"
+
+namespace ltc {
+
+/// Ground truth consulted by the LTC_AUDIT hooks. Implementations must
+/// reflect every arrival BEFORE the corresponding Insert runs (observe,
+/// then insert), or the no-overestimation check will misfire on the
+/// arrival that is being counted.
+class AuditOracle {
+ public:
+  virtual ~AuditOracle() = default;
+
+  /// True number of arrivals of `item` so far.
+  virtual uint64_t TrueFrequency(ItemId item) const = 0;
+
+  /// True number of distinct periods containing `item` so far.
+  virtual uint64_t TruePersistency(ItemId item) const = 0;
+};
+
+/// What the hooks do on a violated invariant. Receives a full diagnostic
+/// (structure, invariant, item, estimate vs. truth, clock state). The
+/// default handler prints to stderr and aborts; tests install a throwing
+/// handler to assert that a deliberately broken build is caught.
+using AuditFailureHandler = void (*)(const std::string& message);
+
+/// Installs `handler` and returns the previous one. Passing nullptr
+/// restores the default print-and-abort handler.
+AuditFailureHandler SetAuditFailureHandler(AuditFailureHandler handler);
+
+/// Invoked by the hooks; formats the diagnostic and calls the installed
+/// handler. Declared unconditionally so tooling can reuse the reporting
+/// path, but only LTC_AUDIT builds generate callers in the core.
+void AuditFail(const char* structure, const char* invariant,
+               const std::string& detail);
+
+}  // namespace ltc
+
+#endif  // LTC_CORE_AUDIT_H_

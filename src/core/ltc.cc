@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "common/bob_hash.h"
 #include "common/hash.h"
@@ -78,7 +79,11 @@ void Ltc::AdvanceClock(double time) {
   // Time-based (§III-B "when the period is defined by time"): the pointer
   // tracks absolute time, so an arrival gap of (x−y) advances it by
   // (x−y)/t·m slots, completing full sweeps over any skipped periods.
-  assert(time >= last_time_);
+  // The clock never runs backwards: a regressing timestamp is clamped to
+  // the latest one seen (pinned by period_edge_test; previously this was
+  // an assert, which release builds skipped right into a negative-offset
+  // cast).
+  if (time < last_time_) time = last_time_;
   last_time_ = time;
   const double t = config_.period_seconds;
   while (time >= (static_cast<double>(current_period_) + 1.0) * t) {
@@ -197,6 +202,10 @@ void Ltc::Insert(ItemId item, double time) {
   if (config_.period_mode == PeriodMode::kCountBased) {
     AdvanceClock(time);
   }
+
+#ifdef LTC_AUDIT
+  AuditAfterInsert(item);
+#endif
 }
 
 void Ltc::Finalize() {
@@ -474,22 +483,204 @@ std::optional<Ltc> Ltc::Deserialize(BinaryReader& reader) {
     cell.flags = reader.GetU8();
   }
   if (reader.failed() || !table.CheckInvariants()) return std::nullopt;
+
+  // Clock-state consistency: the pacing relations AdvanceClock maintains
+  // hold at every instant (Finalize touches only flags), so a checkpoint
+  // that breaks them is corrupt. The expressions mirror AdvanceClock's
+  // exactly, so the comparison is exact.
+  const uint64_t m = table.cells_.size();
+  if (config.period_mode == PeriodMode::kCountBased) {
+    if (table.items_seen_ >= config.items_per_period ||
+        table.scan_cursor_ !=
+            table.items_seen_ * m / config.items_per_period) {
+      return std::nullopt;
+    }
+  } else {
+    const double t = config.period_seconds;
+    const double period_start =
+        static_cast<double>(table.current_period_) * t;
+    const double period_end =
+        (static_cast<double>(table.current_period_) + 1.0) * t;
+    if (!(table.last_time_ >= period_start) ||
+        !(table.last_time_ < period_end)) {
+      return std::nullopt;
+    }
+    const double offset = table.last_time_ - period_start;
+    const auto target =
+        static_cast<uint64_t>(offset / t * static_cast<double>(m));
+    if (table.scan_cursor_ != std::min(target, m)) return std::nullopt;
+  }
   return table;
 }
 
+#ifdef LTC_AUDIT
+namespace {
+
+// Diagnostic context appended to every audit failure so a violation is
+// actionable without a debugger.
+std::string AuditContext(ItemId item, uint64_t period, uint64_t cursor,
+                         uint64_t items_seen) {
+  return " [item=" + std::to_string(item) +
+         " period=" + std::to_string(period) +
+         " cursor=" + std::to_string(cursor) +
+         " items_seen=" + std::to_string(items_seen) + "]";
+}
+
+}  // namespace
+
+void Ltc::AuditAfterInsert(ItemId item) {
+  const uint64_t m = cells_.size();
+  const uint32_t d = config_.cells_per_bucket;
+  auto context = [&] {
+    return AuditContext(item, current_period_, scan_cursor_, items_seen_);
+  };
+
+  if (!CheckInvariants()) {
+    AuditFail("Ltc", "structural", "CheckInvariants failed" + context());
+  }
+
+  // CLOCK pointer pacing (§III-B): the pointer must sit exactly where the
+  // fractional-step formula places it, so each period sweeps exactly m
+  // slots. The expected value is recomputed with the same expressions
+  // AdvanceClock uses, so equality is exact (no float tolerance needed).
+  if (config_.period_mode == PeriodMode::kCountBased) {
+    if (items_seen_ >= config_.items_per_period) {
+      AuditFail("Ltc", "clock-pacing",
+                "items_seen did not wrap at period end" + context());
+    }
+    uint64_t expected = items_seen_ * m / config_.items_per_period;
+    if (scan_cursor_ != expected) {
+      AuditFail("Ltc", "clock-pacing",
+                "cursor " + std::to_string(scan_cursor_) + " != expected " +
+                    std::to_string(expected) + context());
+    }
+  } else {
+    // Same float expressions as AdvanceClock, so equality is exact.
+    const double t = config_.period_seconds;
+    const double period_start = static_cast<double>(current_period_) * t;
+    const double period_end =
+        (static_cast<double>(current_period_) + 1.0) * t;
+    if (last_time_ >= period_end ||
+        (current_period_ > 0 && last_time_ < period_start)) {
+      AuditFail("Ltc", "clock-pacing",
+                "time " + std::to_string(last_time_) +
+                    " outside current period" + context());
+    }
+    double offset = last_time_ - period_start;
+    auto target = static_cast<uint64_t>(offset / t * static_cast<double>(m));
+    uint64_t expected = std::min(target, m);
+    if (scan_cursor_ != expected) {
+      AuditFail("Ltc", "clock-pacing",
+                "cursor " + std::to_string(scan_cursor_) + " != expected " +
+                    std::to_string(expected) + context());
+    }
+  }
+
+  // The period the arrival was flagged under. In count-based mode the
+  // clock advances AFTER the bucket update, so an arrival that completed
+  // a period carries the previous period's flag.
+  uint64_t insert_period = current_period_;
+  if (config_.period_mode == PeriodMode::kCountBased && items_seen_ == 0 &&
+      current_period_ > 0) {
+    insert_period = current_period_ - 1;
+  }
+  const uint8_t insert_mask =
+      config_.deviation_eliminator
+          ? static_cast<uint8_t>(1u << (insert_period & 1))
+          : uint8_t{0x1};
+
+  // Bucket-local integrity + per-cell checks over the whole table. The
+  // O(m) cost is the point of an audit build: a violation is caught on
+  // the exact insert that introduced it.
+  for (uint32_t b = 0; b < num_buckets_; ++b) {
+    const uint32_t base = b * d;
+    for (uint32_t i = 0; i < d; ++i) {
+      const Cell& cell = cells_[base + i];
+      if (IsEmpty(cell)) continue;
+      if (BucketOf(cell.id) != b) {
+        AuditFail("Ltc", "bucket-integrity",
+                  "occupant " + std::to_string(cell.id) +
+                      " does not hash to bucket " + std::to_string(b) +
+                      context());
+      }
+      for (uint32_t j = i + 1; j < d; ++j) {
+        if (!IsEmpty(cells_[base + j]) && cells_[base + j].id == cell.id) {
+          AuditFail("Ltc", "bucket-integrity",
+                    "duplicate occupant " + std::to_string(cell.id) +
+                        " in bucket " + std::to_string(b) + context());
+        }
+      }
+      if (cell.id == item && !(cell.flags & insert_mask) &&
+          cell.counter == 0) {
+        // Parity-flag consistency (§III-C): the arrival must leave a
+        // trace — either its period flag is still pending, or the sweep
+        // already passed the cell and converted it into a credit (which
+        // the same Insert's clock advance may legitimately do, e.g. under
+        // the single-flag scheme or on a period rollover).
+        AuditFail("Ltc", "parity-flags",
+                  "inserted item lost its period flag (flags=" +
+                      std::to_string(cell.flags) + ")" + context());
+      }
+      if (audit_oracle_ != nullptr &&
+          config_.EffectiveInitPolicy() == InitPolicy::kOne) {
+        // No overestimation (Theorem IV.1). Frequency is one-sided for
+        // the basic initializer regardless of the flag scheme; the
+        // persistency bound additionally needs the Deviation Eliminator
+        // (the single-flag scheme may credit one period twice, §III-C).
+        uint64_t true_freq = audit_oracle_->TrueFrequency(cell.id);
+        if (cell.freq > true_freq) {
+          AuditFail("Ltc", "no-overestimation",
+                    "frequency " + std::to_string(cell.freq) + " > true " +
+                        std::to_string(true_freq) + " for item " +
+                        std::to_string(cell.id) + context());
+        }
+        if (config_.deviation_eliminator) {
+          uint64_t pending = static_cast<uint64_t>(
+              __builtin_popcount(cell.flags & ScanFlagMask())) +
+              static_cast<uint64_t>(
+                  __builtin_popcount(cell.flags & CurrentFlagMask()));
+          uint64_t true_pers = audit_oracle_->TruePersistency(cell.id);
+          if (cell.counter + pending > true_pers) {
+            AuditFail("Ltc", "no-overestimation",
+                      "persistency " + std::to_string(cell.counter) + "+" +
+                          std::to_string(pending) + " pending > true " +
+                          std::to_string(true_pers) + " for item " +
+                          std::to_string(cell.id) + context());
+          }
+        }
+      }
+    }
+  }
+}
+#endif  // LTC_AUDIT
+
 bool Ltc::CheckInvariants() const {
   const uint8_t allowed = config_.deviation_eliminator ? 0x3 : 0x1;
-  for (const Cell& cell : cells_) {
+  const uint32_t d = config_.cells_per_bucket;
+  for (size_t index = 0; index < cells_.size(); ++index) {
+    const Cell& cell = cells_[index];
     if (cell.flags & ~allowed) return false;
     if (cell.id == 0) {
       if (cell.freq != 0 || cell.counter != 0 || cell.flags != 0) {
         return false;
       }
     } else {
+      // Bucket integrity: every occupant must hash to the bucket it sits
+      // in, and appear there only once. Catches corrupt checkpoints at
+      // Deserialize time (which calls this) before any query trusts them.
+      const uint32_t bucket = static_cast<uint32_t>(index) / d;
+      if (BucketOf(cell.id) != bucket) return false;
+      for (size_t j = index + 1; j < (bucket + 1) * static_cast<size_t>(d);
+           ++j) {
+        if (cells_[j].id == cell.id) return false;
+      }
       // Persistency can never exceed the number of periods touched so
-      // far — plus whatever history merged-in peers contributed.
-      if (cell.counter >
-          current_period_ + 1 + merged_history_periods_) {
+      // far — plus whatever history merged-in peers contributed. Under
+      // the basic single-flag scheme a period can be credited twice
+      // (the 2× deviation of §III-C), so the cap doubles.
+      uint64_t cap = current_period_ + 1 + merged_history_periods_;
+      if (!config_.deviation_eliminator) cap *= 2;
+      if (cell.counter > cap) {
         return false;
       }
     }

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/serial.h"
+#include "core/audit.h"
 #include "stream/stream.h"
 
 namespace ltc {
@@ -121,7 +122,11 @@ class Ltc {
   explicit Ltc(const LtcConfig& config);
 
   /// Processes one arrival. In count-based mode `time` is ignored and may
-  /// be omitted; in time-based mode times must be nondecreasing.
+  /// be omitted. In time-based mode the clock never runs backwards: a
+  /// timestamp earlier than the latest one seen is clamped to it (the
+  /// arrival is processed as if it happened "now"), so mildly out-of-order
+  /// feeds degrade gracefully instead of corrupting the CLOCK. See
+  /// docs/TESTING.md "Time-based edge cases".
   void Insert(ItemId item, double time = 0.0);
 
   /// Credits all still-pending period flags. Call once after the stream
@@ -201,6 +206,17 @@ class Ltc {
   /// Finalize() on both sides first so no period flags are pending.
   void MergeFrom(const Ltc& other);
 
+#ifdef LTC_AUDIT
+  /// Attaches a ground-truth oracle for the after-insert audit hook (see
+  /// core/audit.h). The oracle must outlive the table and must observe
+  /// every arrival before the matching Insert. nullptr detaches; the
+  /// structural checks (pacing, flags, bucket integrity) still run.
+  /// Not serialized; a deserialized table starts detached.
+  void AttachAuditOracle(const AuditOracle* oracle) {
+    audit_oracle_ = oracle;
+  }
+#endif
+
  private:
   struct Cell {
     ItemId id = 0;
@@ -239,6 +255,13 @@ class Ltc {
 
   uint32_t BucketOf(ItemId item) const;
 
+#ifdef LTC_AUDIT
+  /// Runs at the end of every Insert: no-overestimation vs. the attached
+  /// oracle, CLOCK pointer pacing, parity-flag consistency, bucket-local
+  /// integrity. Reports through AuditFail on violation.
+  void AuditAfterInsert(ItemId item);
+#endif
+
   LtcConfig config_;
   uint32_t num_buckets_;
   std::vector<Cell> cells_;  // bucket-major: bucket b = cells_[b·d .. b·d+d)
@@ -248,6 +271,10 @@ class Ltc {
   uint64_t merged_history_periods_ = 0;  // extra periods from MergeFrom
   uint64_t scan_cursor_ = 0;      // next slot the pointer will scan, in [0, m]
   double last_time_ = 0.0;        // previous arrival's timestamp (time mode)
+
+#ifdef LTC_AUDIT
+  const AuditOracle* audit_oracle_ = nullptr;  // transient, not serialized
+#endif
 };
 
 }  // namespace ltc

@@ -94,6 +94,13 @@ std::optional<ShardedLtc> ShardedLtc::Deserialize(BinaryReader& reader) {
   return sharded;
 }
 
+bool ShardedLtc::CheckInvariants() const {
+  for (const Ltc& shard : shards_) {
+    if (!shard.CheckInvariants()) return false;
+  }
+  return true;
+}
+
 size_t ShardedLtc::MemoryBytes() const {
   size_t total = 0;
   for (const Ltc& shard : shards_) total += shard.MemoryBytes();

@@ -55,9 +55,22 @@ class ShardedLtc {
 
   size_t MemoryBytes() const;
 
+  /// True iff every shard's structural invariants hold.
+  bool CheckInvariants() const;
+
   /// Checkpointing: serializes the router seed and every shard.
   void Serialize(BinaryWriter& writer) const;
   static std::optional<ShardedLtc> Deserialize(BinaryReader& reader);
+
+#ifdef LTC_AUDIT
+  /// Attaches a per-shard ground-truth oracle (see core/audit.h). Each
+  /// shard paces its CLOCK on its own substream, so in count-based mode
+  /// the truth must be computed with the per-shard period length — build
+  /// the oracle from shard(i).config(), not from the global config.
+  void AttachAuditOracle(uint32_t shard_index, const AuditOracle* oracle) {
+    shards_[shard_index].AttachAuditOracle(oracle);
+  }
+#endif
 
  private:
   ShardedLtc() = default;  // Deserialize constructs piecewise

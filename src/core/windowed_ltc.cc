@@ -1,6 +1,8 @@
 #include "core/windowed_ltc.h"
 
 #include <cassert>
+#include <string>
+#include <utility>
 
 namespace ltc {
 namespace {
@@ -17,15 +19,29 @@ WindowedLtc::WindowedLtc(const LtcConfig& config, uint32_t window_periods)
     : pane_config_(MakePaneConfig(config)),
       window_periods_(window_periods),
       pane_periods_((window_periods + 1) / 2),
+      pane_span_(pane_config_.period_seconds *
+                 static_cast<double>(pane_periods_)),
       active_(pane_config_),
       previous_(pane_config_) {
   assert(window_periods >= 2);
 }
 
+WindowedLtc::WindowedLtc(Ltc active, Ltc previous, uint32_t window_periods,
+                         uint64_t current_pane, bool previous_live,
+                         double last_time)
+    : pane_config_(active.config()),
+      window_periods_(window_periods),
+      pane_periods_((window_periods + 1) / 2),
+      pane_span_(pane_config_.period_seconds *
+                 static_cast<double>(pane_periods_)),
+      current_pane_(current_pane),
+      active_(std::move(active)),
+      previous_(std::move(previous)),
+      previous_live_(previous_live),
+      last_time_(last_time) {}
+
 uint64_t WindowedLtc::PaneOf(double time) const {
-  double pane_span =
-      pane_config_.period_seconds * static_cast<double>(pane_periods_);
-  return static_cast<uint64_t>(time / pane_span);
+  return static_cast<uint64_t>(time / pane_span_);
 }
 
 void WindowedLtc::Rotate(uint64_t pane_index) {
@@ -42,20 +58,39 @@ void WindowedLtc::Rotate(uint64_t pane_index) {
     previous_live_ = false;
   }
   active_ = Ltc(pane_config_);
+#ifdef LTC_AUDIT
+  active_.AttachAuditOracle(audit_oracle_);
+#endif
   current_pane_ = pane_index;
 }
 
 void WindowedLtc::Insert(ItemId item, double time) {
+  // The window never moves backwards (same clamp as Ltc::AdvanceClock):
+  // a regressing timestamp would otherwise rotate into a stale pane.
+  if (time < last_time_) time = last_time_;
+  last_time_ = time;
   uint64_t pane = PaneOf(time);
   if (pane != current_pane_) {
-    assert(pane > current_pane_ && "timestamps must be nondecreasing");
     Rotate(pane);
   }
   // Each pane's internal clock runs on pane-relative time so its CLOCK
   // sweep stays aligned with global periods regardless of rotation.
-  double pane_start = static_cast<double>(pane) * pane_periods_ *
-                      pane_config_.period_seconds;
+  // pane·pane_span_ exactly, so external mirrors of the pane arithmetic
+  // (the differential harness) agree bit-for-bit.
+  double pane_start = static_cast<double>(pane) * pane_span_;
   active_.Insert(item, time - pane_start);
+#ifdef LTC_AUDIT
+  if (PaneOf(last_time_) != current_pane_) {
+    AuditFail("WindowedLtc", "pane-rotation",
+              "pane of latest timestamp " + std::to_string(last_time_) +
+                  " != current pane " + std::to_string(current_pane_));
+  }
+  if (!previous_.CheckInvariants()) {
+    AuditFail("WindowedLtc", "structural",
+              "previous pane invariants broken at pane " +
+                  std::to_string(current_pane_));
+  }
+#endif
 }
 
 std::vector<Ltc::Report> WindowedLtc::TopK(size_t k) const {
@@ -81,6 +116,47 @@ uint64_t WindowedLtc::WindowStartPeriod() const {
     return current_pane_ * pane_periods_;
   }
   return (current_pane_ - 1) * pane_periods_;
+}
+
+bool WindowedLtc::CheckInvariants() const {
+  if (window_periods_ < 2 || pane_periods_ == 0) return false;
+  if (previous_live_ && current_pane_ == 0) return false;
+  return active_.CheckInvariants() && previous_.CheckInvariants() &&
+         active_.CanMergeWith(previous_);
+}
+
+namespace {
+constexpr uint32_t kWindowedMagic = 0x574c5431;  // "WLT1"
+}  // namespace
+
+void WindowedLtc::Serialize(BinaryWriter& writer) const {
+  writer.PutU32(kWindowedMagic);
+  writer.PutU32(window_periods_);
+  writer.PutU64(current_pane_);
+  writer.PutU8(previous_live_ ? 1 : 0);
+  writer.PutDouble(last_time_);
+  active_.Serialize(writer);
+  previous_.Serialize(writer);
+}
+
+std::optional<WindowedLtc> WindowedLtc::Deserialize(BinaryReader& reader) {
+  if (reader.GetU32() != kWindowedMagic) return std::nullopt;
+  uint32_t window_periods = reader.GetU32();
+  uint64_t current_pane = reader.GetU64();
+  bool previous_live = reader.GetU8() != 0;
+  double last_time = reader.GetDouble();
+  if (reader.failed() || window_periods < 2) return std::nullopt;
+  auto active = Ltc::Deserialize(reader);
+  if (!active) return std::nullopt;
+  auto previous = Ltc::Deserialize(reader);
+  if (!previous) return std::nullopt;
+  if (active->config().period_mode != PeriodMode::kTimeBased) {
+    return std::nullopt;
+  }
+  WindowedLtc window(std::move(*active), std::move(*previous),
+                     window_periods, current_pane, previous_live, last_time);
+  if (!window.CheckInvariants()) return std::nullopt;
+  return window;
 }
 
 }  // namespace ltc

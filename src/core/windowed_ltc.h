@@ -14,8 +14,10 @@
 #define LTC_CORE_WINDOWED_LTC_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "common/serial.h"
 #include "core/ltc.h"
 
 namespace ltc {
@@ -29,7 +31,10 @@ class WindowedLtc {
   /// \param window_periods  W >= 2, the history horizon in periods
   WindowedLtc(const LtcConfig& config, uint32_t window_periods);
 
-  /// Processes one arrival; timestamps must be nondecreasing.
+  /// Processes one arrival. Like Ltc in time-based mode, the window never
+  /// moves backwards: a timestamp earlier than the latest one seen is
+  /// clamped to it, so a regressing feed can never resurrect an expired
+  /// pane (see docs/TESTING.md "Time-based edge cases").
   void Insert(ItemId item, double time);
 
   /// Top-k significant items over the covered window (the last
@@ -45,21 +50,56 @@ class WindowedLtc {
   uint32_t window_periods() const { return window_periods_; }
   uint32_t pane_periods() const { return pane_periods_; }
   uint64_t current_pane() const { return current_pane_; }
+  /// Per-pane configuration (memory already halved, time-based).
+  const LtcConfig& pane_config() const { return pane_config_; }
+  /// Wall-clock span of one pane: pane_periods · period_seconds. Pane
+  /// boundaries are multiples of this exact double, so external mirrors
+  /// (the differential harness) can reproduce them bit-for-bit.
+  double pane_span() const { return pane_span_; }
   size_t MemoryBytes() const {
     return active_.MemoryBytes() + previous_.MemoryBytes();
   }
 
+  /// True iff both panes' structural invariants hold and the rotation
+  /// bookkeeping is consistent.
+  bool CheckInvariants() const;
+
+  /// Checkpointing: writes both panes plus the rotation state; a restored
+  /// window continues the stream exactly where the original left off.
+  void Serialize(BinaryWriter& writer) const;
+  static std::optional<WindowedLtc> Deserialize(BinaryReader& reader);
+
+#ifdef LTC_AUDIT
+  /// Attaches a ground-truth oracle to the ACTIVE pane. Panes are reset
+  /// on rotation, so the truth must be pane-relative: the harness resets
+  /// its oracle whenever current_pane() changes and observes times
+  /// relative to the pane start (time − pane·pane_periods·t).
+  void AttachAuditOracle(const AuditOracle* oracle) {
+    audit_oracle_ = oracle;
+    active_.AttachAuditOracle(oracle);
+  }
+#endif
+
  private:
+  WindowedLtc(Ltc active, Ltc previous, uint32_t window_periods,
+              uint64_t current_pane, bool previous_live, double last_time);
+
   void Rotate(uint64_t pane_index);
   uint64_t PaneOf(double time) const;
 
   LtcConfig pane_config_;
   uint32_t window_periods_;
   uint32_t pane_periods_;
+  double pane_span_;
   uint64_t current_pane_ = 0;
   Ltc active_;
   Ltc previous_;
   bool previous_live_ = false;  // previous_ holds the preceding pane
+  double last_time_ = 0.0;      // latest (clamped) timestamp seen
+
+#ifdef LTC_AUDIT
+  const AuditOracle* audit_oracle_ = nullptr;  // transient, not serialized
+#endif
 };
 
 }  // namespace ltc

@@ -1,0 +1,72 @@
+#include "metrics/significance_oracle.h"
+
+#include <algorithm>
+
+namespace ltc {
+
+ExactSignificanceOracle::ExactSignificanceOracle(const LtcConfig& config)
+    : config_(config) {}
+
+uint64_t ExactSignificanceOracle::current_period() const {
+  if (config_.period_mode == PeriodMode::kCountBased) {
+    return total_observed_ / config_.items_per_period;
+  }
+  return static_cast<uint64_t>(last_time_ / config_.period_seconds);
+}
+
+void ExactSignificanceOracle::Observe(ItemId item, double time) {
+  uint64_t period;
+  if (config_.period_mode == PeriodMode::kCountBased) {
+    // Arrival i (0-based) falls into period ⌊i/n⌋ — the period Ltc's
+    // clock is in when the matching Insert updates the bucket (the clock
+    // advances after the bucket update).
+    period = total_observed_ / config_.items_per_period;
+  } else {
+    // Mirror Ltc's backwards-timestamp clamp so the two period sequences
+    // are identical on non-monotonic feeds.
+    if (time < last_time_) time = last_time_;
+    last_time_ = time;
+    period = static_cast<uint64_t>(time / config_.period_seconds);
+  }
+  ++total_observed_;
+
+  Info& info = items_[item];
+  ++info.frequency;
+  // Clamped timestamps are nondecreasing, so one remembered period per
+  // item dedups (item, period) pairs without a set.
+  if (info.last_period != period) {
+    ++info.persistency;
+    info.last_period = period;
+  }
+}
+
+uint64_t ExactSignificanceOracle::TrueFrequency(ItemId item) const {
+  auto it = items_.find(item);
+  return it == items_.end() ? 0 : it->second.frequency;
+}
+
+uint64_t ExactSignificanceOracle::TruePersistency(ItemId item) const {
+  auto it = items_.find(item);
+  return it == items_.end() ? 0 : it->second.persistency;
+}
+
+std::vector<ExactSignificanceOracle::Entry> ExactSignificanceOracle::TopK(
+    size_t k, double alpha, double beta) const {
+  std::vector<Entry> all;
+  all.reserve(items_.size());
+  for (const auto& [item, info] : items_) {
+    all.push_back({item, info.frequency, info.persistency,
+                   alpha * static_cast<double>(info.frequency) +
+                       beta * static_cast<double>(info.persistency)});
+  }
+  std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+    if (a.significance != b.significance) {
+      return a.significance > b.significance;
+    }
+    return a.item < b.item;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace ltc

@@ -1,0 +1,92 @@
+// Incremental exact-truth oracle for the LTC family.
+//
+// GroundTruth (ground_truth.h) computes truth in one batch pass over a
+// finished Stream; the differential harness and the LTC_AUDIT hooks need
+// the truth DURING the stream, after every arrival, under the exact same
+// period definition the sketch under test uses. ExactSignificanceOracle
+// is that online counterpart: feed it each arrival (Observe BEFORE the
+// matching Insert), and at any moment it answers true frequency,
+// persistency and significance per item, plus the true top-k — for both
+// count-based and time-based periods, including the documented edge
+// behaviours (periods skipped by time gaps, boundary arrivals, and the
+// backwards-timestamp clamp, which it mirrors bit-for-bit).
+//
+// This is the role the exact reference counts play in BPTree's and
+// FDCMSS's validation suites: an implementation-independent referee the
+// sketch can be diffed against on arbitrary streams.
+
+#ifndef LTC_METRICS_SIGNIFICANCE_ORACLE_H_
+#define LTC_METRICS_SIGNIFICANCE_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/audit.h"
+#include "core/ltc.h"
+
+namespace ltc {
+
+class ExactSignificanceOracle : public AuditOracle {
+ public:
+  /// Period pacing is taken from `config` (period_mode plus
+  /// items_per_period / period_seconds); the significance weights default
+  /// to the config's α and β but can be overridden per query.
+  explicit ExactSignificanceOracle(const LtcConfig& config);
+
+  /// Counts one arrival. Count-based mode ignores `time`; time-based mode
+  /// clamps a regressing timestamp to the latest one seen, exactly as
+  /// Ltc::Insert does.
+  void Observe(ItemId item, double time = 0.0);
+
+  // AuditOracle:
+  uint64_t TrueFrequency(ItemId item) const override;
+  uint64_t TruePersistency(ItemId item) const override;
+
+  double TrueSignificance(ItemId item) const {
+    return TrueSignificance(item, config_.alpha, config_.beta);
+  }
+  double TrueSignificance(ItemId item, double alpha, double beta) const {
+    return alpha * static_cast<double>(TrueFrequency(item)) +
+           beta * static_cast<double>(TruePersistency(item));
+  }
+
+  bool Contains(ItemId item) const { return items_.count(item) != 0; }
+
+  struct Entry {
+    ItemId item;
+    uint64_t frequency;
+    uint64_t persistency;
+    double significance;
+  };
+
+  /// True top-k by significance, descending, ties broken by item ID —
+  /// same ordering contract as Ltc::TopK.
+  std::vector<Entry> TopK(size_t k) const {
+    return TopK(k, config_.alpha, config_.beta);
+  }
+  std::vector<Entry> TopK(size_t k, double alpha, double beta) const;
+
+  /// 0-based period the NEXT arrival will fall into (count-based), or the
+  /// period of the latest observed timestamp (time-based).
+  uint64_t current_period() const;
+
+  uint64_t total_observed() const { return total_observed_; }
+  size_t num_distinct() const { return items_.size(); }
+
+ private:
+  struct Info {
+    uint64_t frequency = 0;
+    uint64_t persistency = 0;
+    uint64_t last_period = ~uint64_t{0};  // dedup within a period
+  };
+
+  LtcConfig config_;
+  std::unordered_map<ItemId, Info> items_;
+  uint64_t total_observed_ = 0;
+  double last_time_ = 0.0;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_METRICS_SIGNIFICANCE_ORACLE_H_

@@ -1,0 +1,849 @@
+#include "testing/trace_fuzzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/serial.h"
+#include "core/sharded_ltc.h"
+#include "core/windowed_ltc.h"
+#include "metrics/significance_oracle.h"
+
+namespace ltc {
+
+void ThrowingAuditHandler(const std::string& message) {
+  throw AuditViolation(message);
+}
+
+const char* SubjectName(SubjectKind kind) {
+  switch (kind) {
+    case SubjectKind::kLtc: return "ltc";
+    case SubjectKind::kSharded: return "sharded";
+    case SubjectKind::kWindowed: return "windowed";
+  }
+  return "?";
+}
+
+std::string FuzzCombo::Name() const {
+  std::string name;
+  switch (init_policy) {
+    case InitPolicy::kOne: name = "one"; break;
+    case InitPolicy::kLongTail: name = "longtail"; break;
+    case InitPolicy::kMinPlusOne: name = "minplus"; break;
+  }
+  name += deviation_eliminator ? "_dev" : "_nodev";
+  name += period_mode == PeriodMode::kCountBased ? "_count" : "_time";
+  return name;
+}
+
+std::vector<FuzzCombo> AllCombos() {
+  std::vector<FuzzCombo> combos;
+  for (InitPolicy policy : {InitPolicy::kOne, InitPolicy::kLongTail,
+                            InitPolicy::kMinPlusOne}) {
+    for (bool dev : {true, false}) {
+      for (PeriodMode mode : {PeriodMode::kCountBased,
+                              PeriodMode::kTimeBased}) {
+        combos.push_back({policy, dev, mode});
+      }
+    }
+  }
+  return combos;
+}
+
+LtcConfig FuzzOptions::MakeConfig() const {
+  LtcConfig config;
+  config.memory_bytes = memory_bytes;
+  config.cells_per_bucket = cells_per_bucket;
+  config.alpha = alpha;
+  config.beta = beta;
+  config.long_tail_replacement = combo.init_policy != InitPolicy::kOne;
+  config.init_policy = combo.init_policy;
+  config.deviation_eliminator = combo.deviation_eliminator;
+  config.period_mode = combo.period_mode;
+  if (subject == SubjectKind::kWindowed) {
+    // A window of periods needs a wall-clock period definition.
+    config.period_mode = PeriodMode::kTimeBased;
+  }
+  config.items_per_period = items_per_period;
+  config.period_seconds = period_seconds;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<TraceOp> GenerateTrace(const FuzzOptions& options) {
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + options.seed + 1);
+  std::vector<TraceOp> trace;
+  trace.reserve(options.num_ops);
+  const double ps = options.period_seconds;
+  double t = 0.0;  // the clock the subject will see (after clamping)
+  for (uint64_t i = 0; i < options.num_ops; ++i) {
+    uint64_t r = rng.Uniform(100);
+    TraceOp op;
+    if (r < 88) {
+      op.kind = TraceOp::kInsert;
+      op.item = rng.Uniform(2) == 0
+                    ? 1 + rng.Uniform(16)  // hot head
+                    : 1 + rng.Uniform(options.universe);
+      // Adversarial timing mix (time-based pacing; count-based ignores
+      // it): repeated equal stamps, exact period-boundary landings,
+      // multi-period gaps, and regressions that exercise the clamp.
+      uint64_t tr = rng.Uniform(100);
+      double next = t;
+      if (tr < 55) {
+        // zero elapsed time
+      } else if (tr < 80) {
+        next = t + rng.UniformDouble() * ps * 0.25;
+      } else if (tr < 88) {
+        // land exactly on the next period boundary
+        next = (std::floor(t / ps) + 1.0) * ps;
+      } else if (tr < 94) {
+        // jump over up to 3 whole periods
+        next = t + ps * (1.0 + rng.UniformDouble() * 3.0);
+      } else {
+        // regressing timestamp; the subject must clamp to t
+        next = t - rng.UniformDouble() * ps;
+      }
+      op.time = next;
+      t = std::max(t, next);
+    } else if (r < 94) {
+      op.kind = TraceOp::kPointQuery;
+      op.item = rng.Uniform(8) == 0
+                    ? options.universe + 1 + rng.Uniform(64)  // never seen
+                    : 1 + rng.Uniform(options.universe);
+    } else if (r < 98) {
+      op.kind = TraceOp::kTopKDiff;
+    } else if (r < 99) {
+      op.kind = TraceOp::kSerializeRoundTrip;
+    } else {
+      op.kind = TraceOp::kMergeCheck;
+    }
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+namespace {
+
+constexpr double kSigEps = 1e-9;
+
+// What the configuration actually guarantees; every check below is gated
+// on these (see the header comment).
+struct Gates {
+  bool freq_one_sided;  // InitPolicy::kOne
+  bool pers_one_sided;  // kOne + Deviation Eliminator
+};
+
+Gates GatesFor(const LtcConfig& config) {
+  bool one = config.EffectiveInitPolicy() == InitPolicy::kOne;
+  return {one, one && config.deviation_eliminator};
+}
+
+// Per-item truth as seen by the checker; `present` = the item truly
+// appeared at least once in the relevant (sub)stream.
+struct TruthView {
+  bool present = false;
+  uint64_t freq = 0;
+  uint64_t pers = 0;
+};
+
+using TruthFn = std::function<TruthView(ItemId)>;
+
+std::string Describe(const Ltc::Report& r) {
+  return "item=" + std::to_string(r.item) +
+         " f=" + std::to_string(r.frequency) +
+         " p=" + std::to_string(r.persistency) +
+         " s=" + std::to_string(r.significance);
+}
+
+// Field-exact table equality via the full TopK report; `what` prefixes
+// the diagnostic.
+std::optional<std::string> DiffTables(const Ltc& a, const Ltc& b,
+                                      const std::string& what) {
+  auto ra = a.TopK(a.num_cells());
+  auto rb = b.TopK(b.num_cells());
+  if (ra.size() != rb.size()) {
+    return what + ": report count " + std::to_string(ra.size()) + " vs " +
+           std::to_string(rb.size());
+  }
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i].item != rb[i].item || ra[i].frequency != rb[i].frequency ||
+        ra[i].persistency != rb[i].persistency) {
+      return what + ": rank " + std::to_string(i) + " differs, " +
+             Describe(ra[i]) + " vs " + Describe(rb[i]);
+    }
+  }
+  return std::nullopt;
+}
+
+// MergeFrom identities on a finalized clone of `table`: merging an empty
+// peer must change nothing, and merging the clone into an empty table
+// must reproduce it exactly. The summing behavior on disjoint inputs is
+// pinned separately (tests/differential_test.cc metamorphic suite).
+std::optional<std::string> MergeIdentityCheck(const Ltc& table) {
+  Ltc finalized = table;
+  finalized.Finalize();
+  Ltc empty(finalized.config());
+  if (!finalized.CanMergeWith(empty)) {
+    return std::string("merge: clone cannot merge with empty peer");
+  }
+  Ltc self_plus_empty = finalized;
+  self_plus_empty.MergeFrom(empty);
+  if (auto err = DiffTables(self_plus_empty, finalized,
+                            "merge: A+0 != A")) {
+    return err;
+  }
+  Ltc empty_plus_self(finalized.config());
+  empty_plus_self.MergeFrom(finalized);
+  if (auto err = DiffTables(empty_plus_self, finalized,
+                            "merge: 0+A != A")) {
+    return err;
+  }
+  if (!self_plus_empty.CheckInvariants() ||
+      !empty_plus_self.CheckInvariants()) {
+    return std::string("merge: merged table fails CheckInvariants");
+  }
+  return std::nullopt;
+}
+
+// Shared validator for TopK / SnapshotTopK / ItemsAbove output: ordering
+// contract, duplicate-freedom, α·f̂+β·p̂ consistency, and the one-sided
+// bounds the active configuration promises.
+std::optional<std::string> CheckReports(const std::vector<Ltc::Report>& top,
+                                        size_t k, const LtcConfig& config,
+                                        const Gates& gates,
+                                        const TruthFn& truth,
+                                        const char* what) {
+  if (top.size() > k) {
+    return std::string(what) + ": returned " + std::to_string(top.size()) +
+           " items for k=" + std::to_string(k);
+  }
+  std::unordered_set<ItemId> seen;
+  for (size_t i = 0; i < top.size(); ++i) {
+    const Ltc::Report& r = top[i];
+    if (i > 0) {
+      const Ltc::Report& prev = top[i - 1];
+      bool ordered = prev.significance > r.significance ||
+                     (prev.significance == r.significance &&
+                      prev.item < r.item);
+      if (!ordered) {
+        return std::string(what) + ": not sorted at rank " +
+               std::to_string(i) + " (" + Describe(prev) + " then " +
+               Describe(r) + ")";
+      }
+    }
+    if (!seen.insert(r.item).second) {
+      return std::string(what) + ": duplicate " + Describe(r);
+    }
+    double expected_sig = config.alpha * static_cast<double>(r.frequency) +
+                          config.beta * static_cast<double>(r.persistency);
+    if (std::fabs(r.significance - expected_sig) > kSigEps) {
+      return std::string(what) + ": significance inconsistent with fields, " +
+             Describe(r) + " expected s=" + std::to_string(expected_sig);
+    }
+    TruthView tv = truth(r.item);
+    if (!tv.present) {
+      return std::string(what) + ": reported item never appeared, " +
+             Describe(r);
+    }
+    if (gates.freq_one_sided && r.frequency > tv.freq) {
+      return std::string(what) + ": frequency overestimated, " + Describe(r) +
+             " true f=" + std::to_string(tv.freq);
+    }
+    if (gates.pers_one_sided && r.persistency > tv.pers) {
+      return std::string(what) + ": persistency overestimated, " +
+             Describe(r) + " true p=" + std::to_string(tv.pers);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string ReplayCommand(const FuzzOptions& options) {
+  return std::string("tools/ltc_fuzz --subject=") +
+         SubjectName(options.subject) + " --combo=" + options.combo.Name() +
+         " --seed=" + std::to_string(options.seed) +
+         " --ops=" + std::to_string(options.num_ops);
+}
+
+// ------------------------------------------------------------------ Ltc
+
+class LtcRunner {
+ public:
+  explicit LtcRunner(const FuzzOptions& options)
+      : config_(options.MakeConfig()),
+        gates_(GatesFor(config_)),
+        oracle_(config_),
+        table_(config_) {
+#ifdef LTC_AUDIT
+    table_.AttachAuditOracle(&oracle_);
+#endif
+  }
+
+  std::optional<std::string> Apply(const TraceOp& op) {
+    switch (op.kind) {
+      case TraceOp::kInsert:
+        oracle_.Observe(op.item, op.time);
+        table_.Insert(op.item, op.time);
+        return std::nullopt;
+      case TraceOp::kPointQuery:
+        return PointQuery(op.item);
+      case TraceOp::kTopKDiff:
+        return TopKDiff();
+      case TraceOp::kSerializeRoundTrip:
+        return RoundTrip();
+      case TraceOp::kMergeCheck:
+        return MergeIdentityCheck(table_);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> Finish() {
+    table_.Finalize();
+    if (!table_.CheckInvariants()) {
+      return std::string("final: CheckInvariants failed");
+    }
+    auto full = table_.TopK(table_.num_cells());
+    if (auto err = CheckReports(full, table_.num_cells(), config_, gates_,
+                                Truth(), "final TopK")) {
+      return err;
+    }
+    if (gates_.freq_one_sided && !config_.deviation_eliminator) {
+      // Single-flag scheme: a period can be credited at most twice
+      // (§III-C), so even without the eliminator p̂ ≤ 2·p.
+      for (const auto& r : full) {
+        uint64_t true_pers = oracle_.TruePersistency(r.item);
+        if (r.persistency > 2 * true_pers) {
+          return "final: persistency beyond the 2x deviation bound, " +
+                 Describe(r) + " true p=" + std::to_string(true_pers);
+        }
+      }
+    }
+    auto above = table_.ItemsAbove(0.0);
+    if (auto err = CheckReports(above, table_.num_cells(), config_, gates_,
+                                Truth(), "final ItemsAbove(0)")) {
+      return err;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  TruthFn Truth() const {
+    return [this](ItemId item) {
+      return TruthView{oracle_.Contains(item), oracle_.TrueFrequency(item),
+                       oracle_.TruePersistency(item)};
+    };
+  }
+
+  std::optional<std::string> PointQuery(ItemId item) const {
+    uint64_t freq = table_.EstimateFrequency(item);
+    uint64_t pers = table_.EstimatePersistency(item);
+    double sig = table_.QuerySignificance(item);
+    if (!oracle_.Contains(item)) {
+      if (freq != 0 || pers != 0 || sig != 0.0 || table_.IsTracked(item)) {
+        return "point: never-inserted item " + std::to_string(item) +
+               " answered f=" + std::to_string(freq) +
+               " p=" + std::to_string(pers) + " s=" + std::to_string(sig);
+      }
+      return std::nullopt;
+    }
+    if (table_.IsTracked(item)) {
+      double expected = config_.alpha * static_cast<double>(freq) +
+                        config_.beta * static_cast<double>(pers);
+      if (std::fabs(sig - expected) > kSigEps) {
+        return "point: significance inconsistent for item " +
+               std::to_string(item) + " (s=" + std::to_string(sig) +
+               " expected " + std::to_string(expected) + ")";
+      }
+    }
+    if (gates_.freq_one_sided && freq > oracle_.TrueFrequency(item)) {
+      return "point: frequency overestimated for item " +
+             std::to_string(item) + " (" + std::to_string(freq) + " > " +
+             std::to_string(oracle_.TrueFrequency(item)) + ")";
+    }
+    if (gates_.pers_one_sided) {
+      if (pers > oracle_.TruePersistency(item)) {
+        return "point: persistency overestimated for item " +
+               std::to_string(item) + " (" + std::to_string(pers) + " > " +
+               std::to_string(oracle_.TruePersistency(item)) + ")";
+      }
+      if (sig > oracle_.TrueSignificance(item) + kSigEps) {
+        return "point: significance overestimated for item " +
+               std::to_string(item);
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> TopKDiff() const {
+    if (auto err =
+            CheckReports(table_.TopK(10), 10, config_, gates_, Truth(),
+                         "TopK(10)")) {
+      return err;
+    }
+    return CheckReports(table_.SnapshotTopK(10), 10, config_, gates_,
+                        Truth(), "SnapshotTopK(10)");
+  }
+
+  std::optional<std::string> RoundTrip() {
+    BinaryWriter writer;
+    table_.Serialize(writer);
+    BinaryReader reader(writer.data());
+    auto restored = Ltc::Deserialize(reader);
+    if (!restored || !reader.AtEnd()) {
+      return std::string("roundtrip: checkpoint did not restore");
+    }
+    if (restored->current_period() != table_.current_period() ||
+        restored->num_cells() != table_.num_cells()) {
+      return std::string("roundtrip: clock/geometry mismatch");
+    }
+    auto before = table_.TopK(table_.num_cells());
+    auto after = restored->TopK(table_.num_cells());
+    if (before.size() != after.size()) {
+      return std::string("roundtrip: report count changed");
+    }
+    for (size_t i = 0; i < before.size(); ++i) {
+      if (before[i].item != after[i].item ||
+          before[i].frequency != after[i].frequency ||
+          before[i].persistency != after[i].persistency) {
+        return "roundtrip: rank " + std::to_string(i) + " changed, " +
+               Describe(before[i]) + " vs " + Describe(after[i]);
+      }
+    }
+    // Behavior-identical: the restored table replaces the subject and the
+    // trace continues on it.
+    table_ = std::move(*restored);
+#ifdef LTC_AUDIT
+    table_.AttachAuditOracle(&oracle_);
+#endif
+    return std::nullopt;
+  }
+
+  LtcConfig config_;
+  Gates gates_;
+  ExactSignificanceOracle oracle_;
+  Ltc table_;
+};
+
+// -------------------------------------------------------------- Sharded
+
+class ShardedRunner {
+ public:
+  explicit ShardedRunner(const FuzzOptions& options)
+      : config_(options.MakeConfig()),
+        gates_(GatesFor(config_)),
+        subject_(config_, options.num_shards) {
+    // Per-shard truth and per-shard standalone mirrors: each shard paces
+    // its CLOCK on its own substream (per-shard items_per_period), so
+    // truth and mirror both must use shard(i).config().
+    oracles_.reserve(options.num_shards);
+    mirrors_.reserve(options.num_shards);
+    for (uint32_t s = 0; s < options.num_shards; ++s) {
+      oracles_.emplace_back(
+          std::make_unique<ExactSignificanceOracle>(subject_.shard(s).config()));
+      mirrors_.emplace_back(subject_.shard(s).config());
+    }
+#ifdef LTC_AUDIT
+    for (uint32_t s = 0; s < options.num_shards; ++s) {
+      subject_.AttachAuditOracle(s, oracles_[s].get());
+    }
+#endif
+  }
+
+  std::optional<std::string> Apply(const TraceOp& op) {
+    switch (op.kind) {
+      case TraceOp::kInsert: {
+        uint32_t s = subject_.ShardOf(op.item);
+        oracles_[s]->Observe(op.item, op.time);
+        subject_.Insert(op.item, op.time);
+        mirrors_[s].Insert(op.item, op.time);
+        return std::nullopt;
+      }
+      case TraceOp::kPointQuery:
+        return PointQuery(op.item);
+      case TraceOp::kTopKDiff:
+        return TopKDiff();
+      case TraceOp::kSerializeRoundTrip:
+        return RoundTrip();
+      case TraceOp::kMergeCheck:
+        // Per shard: the same MergeFrom identities the standalone runner
+        // checks, on each shard's (independently configured) table.
+        for (uint32_t s = 0; s < subject_.num_shards(); ++s) {
+          if (auto err = MergeIdentityCheck(subject_.shard(s))) {
+            return "shard " + std::to_string(s) + " " + *err;
+          }
+        }
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> Finish() {
+    subject_.Finalize();
+    for (Ltc& mirror : mirrors_) mirror.Finalize();
+    if (!subject_.CheckInvariants()) {
+      return std::string("final: CheckInvariants failed");
+    }
+    if (auto err = MirrorDiff("final")) return err;
+    return CheckReports(subject_.TopK(50), 50, config_, gates_, Truth(),
+                        "final TopK(50)");
+  }
+
+ private:
+  TruthFn Truth() const {
+    return [this](ItemId item) {
+      const auto& oracle = *oracles_[subject_.ShardOf(item)];
+      return TruthView{oracle.Contains(item), oracle.TrueFrequency(item),
+                       oracle.TruePersistency(item)};
+    };
+  }
+
+  std::optional<std::string> PointQuery(ItemId item) const {
+    uint32_t s = subject_.ShardOf(item);
+    const auto& oracle = *oracles_[s];
+    uint64_t freq = subject_.EstimateFrequency(item);
+    uint64_t pers = subject_.EstimatePersistency(item);
+    if (!oracle.Contains(item) &&
+        (freq != 0 || pers != 0 || subject_.QuerySignificance(item) != 0.0)) {
+      return "point: never-inserted item " + std::to_string(item) +
+             " answered nonzero";
+    }
+    if (gates_.freq_one_sided && freq > oracle.TrueFrequency(item)) {
+      return "point: frequency overestimated for item " +
+             std::to_string(item);
+    }
+    if (gates_.pers_one_sided && pers > oracle.TruePersistency(item)) {
+      return "point: persistency overestimated for item " +
+             std::to_string(item);
+    }
+    // Metamorphic: routing is per-item stable, so the sharded answer must
+    // equal the standalone mirror's answer exactly.
+    if (freq != mirrors_[s].EstimateFrequency(item) ||
+        pers != mirrors_[s].EstimatePersistency(item)) {
+      return "point: sharded answer diverged from per-shard mirror for "
+             "item " + std::to_string(item);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> MirrorDiff(const char* when) const {
+    for (uint32_t s = 0; s < subject_.num_shards(); ++s) {
+      auto got = subject_.shard(s).TopK(subject_.shard(s).num_cells());
+      auto want = mirrors_[s].TopK(mirrors_[s].num_cells());
+      if (got.size() != want.size()) {
+        return std::string(when) + ": shard " + std::to_string(s) +
+               " occupancy diverged from mirror";
+      }
+      for (size_t i = 0; i < got.size(); ++i) {
+        if (got[i].item != want[i].item ||
+            got[i].frequency != want[i].frequency ||
+            got[i].persistency != want[i].persistency) {
+          return std::string(when) + ": shard " + std::to_string(s) +
+                 " rank " + std::to_string(i) + " diverged, " +
+                 Describe(got[i]) + " vs mirror " + Describe(want[i]);
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> TopKDiff() const {
+    if (auto err = CheckReports(subject_.TopK(10), 10, config_, gates_,
+                                Truth(), "TopK(10)")) {
+      return err;
+    }
+    return MirrorDiff("topk");
+  }
+
+  std::optional<std::string> RoundTrip() {
+    BinaryWriter writer;
+    subject_.Serialize(writer);
+    BinaryReader reader(writer.data());
+    auto restored = ShardedLtc::Deserialize(reader);
+    if (!restored || !reader.AtEnd()) {
+      return std::string("roundtrip: checkpoint did not restore");
+    }
+    if (restored->num_shards() != subject_.num_shards()) {
+      return std::string("roundtrip: shard count changed");
+    }
+    subject_ = std::move(*restored);
+#ifdef LTC_AUDIT
+    for (uint32_t s = 0; s < subject_.num_shards(); ++s) {
+      subject_.AttachAuditOracle(s, oracles_[s].get());
+    }
+#endif
+    return MirrorDiff("roundtrip");
+  }
+
+  LtcConfig config_;
+  Gates gates_;
+  ShardedLtc subject_;
+  std::vector<std::unique_ptr<ExactSignificanceOracle>> oracles_;
+  std::vector<Ltc> mirrors_;
+};
+
+// ------------------------------------------------------------- Windowed
+
+class WindowedRunner {
+ public:
+  explicit WindowedRunner(const FuzzOptions& options)
+      : config_(options.MakeConfig()),  // forced time-based
+        gates_(GatesFor(config_)),
+        subject_(config_, options.window_periods) {
+    ResetPaneOracles(/*adjacent=*/false);
+  }
+
+  std::optional<std::string> Apply(const TraceOp& op) {
+    switch (op.kind) {
+      case TraceOp::kInsert:
+        return Insert(op.item, op.time);
+      case TraceOp::kPointQuery:
+        return PointQuery(op.item);
+      case TraceOp::kTopKDiff:
+        return TopKDiff();
+      case TraceOp::kSerializeRoundTrip:
+        return RoundTrip();
+      case TraceOp::kMergeCheck:
+        // WindowedLtc has no merge surface; nothing to exercise.
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> Finish() {
+    if (!subject_.CheckInvariants()) {
+      return std::string("final: CheckInvariants failed");
+    }
+    return CheckReports(subject_.TopK(50), 50, config_, gates_, Truth(),
+                        "final TopK(50)");
+  }
+
+ private:
+  // Pane-relative truth: the window rotates panes, so the harness keeps
+  // one oracle per live pane and retires them exactly as the subject
+  // retires panes (mirroring WindowedLtc::Rotate's adjacency rule).
+  void ResetPaneOracles(bool adjacent) {
+    if (adjacent && active_oracle_ != nullptr) {
+      previous_oracle_ = std::move(active_oracle_);
+    } else {
+      previous_oracle_.reset();
+    }
+    active_oracle_ =
+        std::make_unique<ExactSignificanceOracle>(subject_.pane_config());
+  }
+
+  std::optional<std::string> Insert(ItemId item, double time) {
+    // Mirror the subject's clamp + rotation BEFORE inserting so the
+    // oracle observes first (the LTC_AUDIT contract).
+    if (time < last_time_) time = last_time_;
+    last_time_ = time;
+    uint64_t pane = static_cast<uint64_t>(time / subject_.pane_span());
+    if (pane != tracked_pane_) {
+      ResetPaneOracles(/*adjacent=*/pane == tracked_pane_ + 1);
+      tracked_pane_ = pane;
+    }
+    double pane_start = static_cast<double>(pane) * subject_.pane_span();
+    active_oracle_->Observe(item, time - pane_start);
+#ifdef LTC_AUDIT
+    subject_.AttachAuditOracle(active_oracle_.get());
+#endif
+    subject_.Insert(item, time);
+    if (subject_.current_pane() != tracked_pane_) {
+      return "insert: subject pane " +
+             std::to_string(subject_.current_pane()) +
+             " diverged from expected pane " + std::to_string(tracked_pane_);
+    }
+    return std::nullopt;
+  }
+
+  // Window truth = sum over the live panes (they partition time).
+  TruthFn Truth() const {
+    return [this](ItemId item) {
+      TruthView tv;
+      tv.present = active_oracle_->Contains(item) ||
+                   (previous_oracle_ && previous_oracle_->Contains(item));
+      tv.freq = active_oracle_->TrueFrequency(item);
+      tv.pers = active_oracle_->TruePersistency(item);
+      if (previous_oracle_) {
+        tv.freq += previous_oracle_->TrueFrequency(item);
+        tv.pers += previous_oracle_->TruePersistency(item);
+      }
+      return tv;
+    };
+  }
+
+  std::optional<std::string> PointQuery(ItemId item) const {
+    double sig = subject_.QuerySignificance(item);
+    TruthView tv = Truth()(item);
+    if (!tv.present && sig != 0.0) {
+      return "point: item " + std::to_string(item) +
+             " absent from the window answered s=" + std::to_string(sig);
+    }
+    if (gates_.pers_one_sided) {
+      double bound = config_.alpha * static_cast<double>(tv.freq) +
+                     config_.beta * static_cast<double>(tv.pers);
+      if (sig > bound + kSigEps) {
+        return "point: window significance overestimated for item " +
+               std::to_string(item) + " (s=" + std::to_string(sig) +
+               " > true " + std::to_string(bound) + ")";
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> TopKDiff() const {
+    return CheckReports(subject_.TopK(10), 10, config_, gates_, Truth(),
+                        "TopK(10)");
+  }
+
+  std::optional<std::string> RoundTrip() {
+    BinaryWriter writer;
+    subject_.Serialize(writer);
+    BinaryReader reader(writer.data());
+    auto restored = WindowedLtc::Deserialize(reader);
+    if (!restored || !reader.AtEnd()) {
+      return std::string("roundtrip: checkpoint did not restore");
+    }
+    if (restored->current_pane() != subject_.current_pane() ||
+        restored->window_periods() != subject_.window_periods()) {
+      return std::string("roundtrip: rotation state changed");
+    }
+    auto before = subject_.TopK(50);
+    auto after = restored->TopK(50);
+    if (before.size() != after.size()) {
+      return std::string("roundtrip: report count changed");
+    }
+    for (size_t i = 0; i < before.size(); ++i) {
+      if (before[i].item != after[i].item ||
+          before[i].frequency != after[i].frequency ||
+          before[i].persistency != after[i].persistency) {
+        return "roundtrip: rank " + std::to_string(i) + " changed";
+      }
+    }
+    subject_ = std::move(*restored);
+    return std::nullopt;
+  }
+
+  LtcConfig config_;
+  Gates gates_;
+  WindowedLtc subject_;
+  double last_time_ = 0.0;
+  uint64_t tracked_pane_ = 0;
+  std::unique_ptr<ExactSignificanceOracle> active_oracle_;
+  std::unique_ptr<ExactSignificanceOracle> previous_oracle_;
+};
+
+// --------------------------------------------------------------- driver
+
+#ifdef LTC_AUDIT
+// Installs the throwing handler for one run so hook violations become
+// shrinkable failures; restores the previous handler on scope exit.
+class ScopedThrowingAuditHandler {
+ public:
+  ScopedThrowingAuditHandler()
+      : previous_(SetAuditFailureHandler(&ThrowingAuditHandler)) {}
+  ~ScopedThrowingAuditHandler() { SetAuditFailureHandler(previous_); }
+
+ private:
+  AuditFailureHandler previous_;
+};
+#endif
+
+template <typename Runner>
+std::optional<FuzzFailure> RunWith(const FuzzOptions& options,
+                                   const std::vector<TraceOp>& trace) {
+#ifdef LTC_AUDIT
+  ScopedThrowingAuditHandler scoped_handler;
+#endif
+  Runner runner(options);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    std::optional<std::string> err;
+#ifdef LTC_AUDIT
+    try {
+      err = runner.Apply(trace[i]);
+    } catch (const AuditViolation& violation) {
+      err = std::string(violation.what());
+    }
+#else
+    err = runner.Apply(trace[i]);
+#endif
+    if (err) {
+      return FuzzFailure{i, trace.size(), *err, ReplayCommand(options)};
+    }
+  }
+  std::optional<std::string> err;
+#ifdef LTC_AUDIT
+  try {
+    err = runner.Finish();
+  } catch (const AuditViolation& violation) {
+    err = std::string(violation.what());
+  }
+#else
+  err = runner.Finish();
+#endif
+  if (err) {
+    return FuzzFailure{trace.size(), trace.size(), *err,
+                       ReplayCommand(options)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<FuzzFailure> RunTrace(const FuzzOptions& options,
+                                    const std::vector<TraceOp>& trace) {
+  switch (options.subject) {
+    case SubjectKind::kLtc:
+      return RunWith<LtcRunner>(options, trace);
+    case SubjectKind::kSharded:
+      return RunWith<ShardedRunner>(options, trace);
+    case SubjectKind::kWindowed:
+      return RunWith<WindowedRunner>(options, trace);
+  }
+  return std::nullopt;
+}
+
+std::optional<FuzzFailure> RunDifferential(const FuzzOptions& options) {
+  std::vector<TraceOp> trace = GenerateTrace(options);
+  std::optional<FuzzFailure> failure = RunTrace(options, trace);
+  if (!failure) return std::nullopt;
+
+  // ddmin-style shrink: drop chunks as long as SOME failure reproduces,
+  // halving the chunk size when a full scan removes nothing. Bounded so a
+  // pathological trace cannot stall the suite.
+  trace.resize(std::min(trace.size(), failure->op_index + 1));
+  int runs_left = 200;
+  size_t chunk = std::max<size_t>(1, trace.size() / 2);
+  while (chunk >= 1 && runs_left > 0) {
+    bool removed = false;
+    for (size_t start = 0; start < trace.size() && runs_left > 0;
+         start += chunk) {
+      std::vector<TraceOp> candidate;
+      candidate.reserve(trace.size());
+      candidate.insert(candidate.end(), trace.begin(),
+                       trace.begin() + static_cast<ptrdiff_t>(start));
+      size_t end = std::min(trace.size(), start + chunk);
+      candidate.insert(candidate.end(),
+                       trace.begin() + static_cast<ptrdiff_t>(end),
+                       trace.end());
+      --runs_left;
+      if (auto shrunk = RunTrace(options, candidate)) {
+        trace = std::move(candidate);
+        failure = std::move(shrunk);
+        removed = true;
+        break;  // rescan at the same granularity
+      }
+    }
+    if (!removed) {
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+  }
+  failure->replay_command = ReplayCommand(options) + "  # shrinks to " +
+                            std::to_string(trace.size()) + " ops";
+  return failure;
+}
+
+}  // namespace ltc

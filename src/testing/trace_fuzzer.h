@@ -1,0 +1,140 @@
+// Deterministic stateful differential fuzzer for the LTC family.
+//
+// A seeded generator produces an operation trace (inserts with
+// adversarial timing, point queries, top-k diffs, serialize round-trips);
+// a runner replays the trace against a subject (Ltc, ShardedLtc or
+// WindowedLtc) in lockstep with ExactSignificanceOracle and diffs every
+// answer against the guarantees the configuration actually makes:
+//
+//  * InitPolicy::kOne            → frequency is one-sided (never above truth)
+//  * kOne + Deviation Eliminator → persistency and significance one-sided
+//                                  (Theorem IV.1)
+//  * kOne, single-flag scheme    → persistency ≤ 2× truth after Finalize
+//                                  (the §III-C deviation bound)
+//  * every config                → reported significance ≡ α·f̂ + β·p̂,
+//                                  top-k sorted and duplicate-free, only
+//                                  items that truly appeared are reported,
+//                                  never-inserted items answer 0, and a
+//                                  serialize → deserialize round-trip is
+//                                  behavior-identical (the restored table
+//                                  REPLACES the subject mid-trace)
+//
+// Failures do not assert: the runner returns the failing op index and a
+// diagnostic, RunDifferential then shrinks the trace ddmin-style and
+// reports a replay command for tools/ltc_fuzz. In LTC_AUDIT builds the
+// oracle is also attached to the subject, arming the after-insert hooks.
+//
+// Everything is reproducible from (options, seed): generation uses only
+// ltc::Rng, whose sequence is stable across platforms.
+
+#ifndef LTC_TESTING_TRACE_FUZZER_H_
+#define LTC_TESTING_TRACE_FUZZER_H_
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/ltc.h"
+
+namespace ltc {
+
+/// Thrown by ThrowingAuditHandler. RunTrace installs the handler for the
+/// duration of a run, so in LTC_AUDIT builds a hook violation surfaces as
+/// a shrinkable FuzzFailure (with a replay seed) instead of a process
+/// abort.
+struct AuditViolation : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void ThrowingAuditHandler(const std::string& message);
+
+/// Which structure the trace drives.
+enum class SubjectKind { kLtc, kSharded, kWindowed };
+
+const char* SubjectName(SubjectKind kind);
+
+/// One cell of the InitPolicy × PeriodMode × Deviation-Eliminator grid.
+struct FuzzCombo {
+  InitPolicy init_policy = InitPolicy::kOne;
+  bool deviation_eliminator = true;
+  PeriodMode period_mode = PeriodMode::kCountBased;
+
+  /// e.g. "one_dev_count", "longtail_nodev_time".
+  std::string Name() const;
+};
+
+/// All 12 combinations, in a fixed order (index = the --combo of
+/// tools/ltc_fuzz). Combos that force time-based pacing for a subject
+/// (WindowedLtc) are filtered by the caller.
+std::vector<FuzzCombo> AllCombos();
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  uint64_t num_ops = 10'000;
+  SubjectKind subject = SubjectKind::kLtc;
+  FuzzCombo combo;
+
+  // Table shape: small enough that buckets fill and Case-3 replacement,
+  // decrements and evictions all exercise; big enough to keep real top-k.
+  size_t memory_bytes = 2 * 1024;
+  uint32_t cells_per_bucket = 4;
+  double alpha = 1.0;
+  double beta = 1.0;
+  uint64_t items_per_period = 512;  // count-based period length
+  double period_seconds = 1.0;      // time-based period length
+  uint32_t num_shards = 4;          // kSharded only
+  uint32_t window_periods = 6;      // kWindowed only
+
+  /// Item universe [1, universe]; queries also probe [universe+1,
+  /// universe+64], which must always answer zero.
+  uint64_t universe = 4'000;
+
+  LtcConfig MakeConfig() const;
+};
+
+/// One generated operation. Inserts carry an ABSOLUTE timestamp (may
+/// regress — both subject and oracle clamp), so removing ops while
+/// shrinking never shifts the timing of the ops that remain.
+struct TraceOp {
+  enum Kind : uint8_t {
+    kInsert,             // insert `item` at `time`
+    kPointQuery,         // diff per-item estimates vs. the oracle
+    kTopKDiff,           // diff a TopK / SnapshotTopK report
+    kSerializeRoundTrip, // checkpoint, restore, swap the subject
+    kMergeCheck          // MergeFrom identities on a finalized clone
+                         // (no-op for WindowedLtc, which has no merge)
+  };
+  Kind kind = kInsert;
+  ItemId item = 0;
+  double time = 0.0;
+};
+
+struct FuzzFailure {
+  size_t op_index = 0;        // index into the trace that was run
+  size_t trace_size = 0;      // size of the (possibly shrunk) trace
+  std::string message;        // what diverged, estimate vs. truth
+  std::string replay_command; // exact tools/ltc_fuzz invocation
+};
+
+/// Deterministically generates the op trace for `options` (~90% inserts
+/// with a hot/cold skewed item mix, timing that includes zero-elapsed
+/// arrivals, exact period-boundary hits, multi-period gaps and backwards
+/// timestamps; ~10% queries and round-trips).
+std::vector<TraceOp> GenerateTrace(const FuzzOptions& options);
+
+/// Replays `trace` against the subject + oracle; returns the first
+/// divergence, or nullopt if the run (including the final Finalize-and-
+/// diff pass) is clean.
+std::optional<FuzzFailure> RunTrace(const FuzzOptions& options,
+                                    const std::vector<TraceOp>& trace);
+
+/// Generate → run → on failure, shrink the trace (ddmin-style chunk
+/// removal, bounded) and return the failure of the smallest still-failing
+/// trace, with a replayable command line.
+std::optional<FuzzFailure> RunDifferential(const FuzzOptions& options);
+
+}  // namespace ltc
+
+#endif  // LTC_TESTING_TRACE_FUZZER_H_

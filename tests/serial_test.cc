@@ -10,6 +10,8 @@
 
 #include "common/serial.h"
 #include "core/ltc.h"
+#include "core/sharded_ltc.h"
+#include "core/windowed_ltc.h"
 #include "sketch/bloom_filter.h"
 #include "sketch/count_min.h"
 #include "stream/generators.h"
@@ -147,6 +149,150 @@ TEST(SerialLtc, GarbageRejected) {
   EXPECT_FALSE(Ltc::Deserialize(reader).has_value());
   BinaryReader empty("");
   EXPECT_FALSE(Ltc::Deserialize(empty).has_value());
+}
+
+// -------------------------------------------------------------- ShardedLtc
+
+TEST(SerialSharded, RestoredContinuesIdentically) {
+  Stream stream = MakeZipfStream(40'000, 4'000, 1.0, 40, 23);
+  LtcConfig config;
+  config.memory_bytes = 16 * 1024;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  const uint32_t kShards = 4;
+
+  ShardedLtc full(config, kShards);
+  for (const Record& r : stream.records()) full.Insert(r.item, r.time);
+  full.Finalize();
+
+  ShardedLtc first_half(config, kShards);
+  size_t half = stream.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    first_half.Insert(stream.records()[i].item, stream.records()[i].time);
+  }
+  BinaryWriter writer;
+  first_half.Serialize(writer);
+  BinaryReader reader(writer.data());
+  auto restored = ShardedLtc::Deserialize(reader);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(reader.AtEnd());
+  ASSERT_EQ(restored->num_shards(), kShards);
+  for (size_t i = half; i < stream.size(); ++i) {
+    // The restored router must send every item to its original shard.
+    EXPECT_EQ(restored->ShardOf(stream.records()[i].item),
+              full.ShardOf(stream.records()[i].item));
+    restored->Insert(stream.records()[i].item, stream.records()[i].time);
+  }
+  restored->Finalize();
+
+  auto a = full.TopK(200);
+  auto b = restored->TopK(200);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item) << "rank " << i;
+    EXPECT_EQ(a[i].frequency, b[i].frequency);
+    EXPECT_EQ(a[i].persistency, b[i].persistency);
+  }
+  EXPECT_TRUE(restored->CheckInvariants());
+}
+
+TEST(SerialSharded, GarbageRejected) {
+  BinaryReader bad_magic(std::string_view("\x12\x34\x56\x78 garbage", 12));
+  EXPECT_FALSE(ShardedLtc::Deserialize(bad_magic).has_value());
+
+  ShardedLtc sharded((LtcConfig()), 2);
+  sharded.Insert(1);
+  BinaryWriter writer;
+  sharded.Serialize(writer);
+  std::string truncated = writer.data().substr(0, writer.size() / 2);
+  BinaryReader reader(truncated);
+  EXPECT_FALSE(ShardedLtc::Deserialize(reader).has_value());
+  BinaryReader empty("");
+  EXPECT_FALSE(ShardedLtc::Deserialize(empty).has_value());
+}
+
+// -------------------------------------------------------------- WindowedLtc
+
+TEST(SerialWindowed, RestoredContinuesIdentically) {
+  Stream stream = MakeZipfStream(40'000, 4'000, 1.0, 40, 31);
+  LtcConfig config;
+  config.memory_bytes = 8 * 1024;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  const uint32_t kWindow = 6;
+
+  WindowedLtc full(config, kWindow);
+  for (const Record& r : stream.records()) full.Insert(r.item, r.time);
+
+  WindowedLtc first_half(config, kWindow);
+  size_t half = stream.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    first_half.Insert(stream.records()[i].item, stream.records()[i].time);
+  }
+  BinaryWriter writer;
+  first_half.Serialize(writer);
+  BinaryReader reader(writer.data());
+  auto restored = WindowedLtc::Deserialize(reader);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(restored->window_periods(), kWindow);
+  EXPECT_EQ(restored->current_pane(), first_half.current_pane());
+  for (size_t i = half; i < stream.size(); ++i) {
+    restored->Insert(stream.records()[i].item, stream.records()[i].time);
+  }
+
+  auto a = full.TopK(200);
+  auto b = restored->TopK(200);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item) << "rank " << i;
+    EXPECT_EQ(a[i].frequency, b[i].frequency);
+    EXPECT_EQ(a[i].persistency, b[i].persistency);
+  }
+  EXPECT_TRUE(restored->CheckInvariants());
+}
+
+TEST(SerialWindowed, RoundTripPreservesPaneRotationState) {
+  LtcConfig config;
+  config.memory_bytes = 4 * 1024;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = 1.0;
+  WindowedLtc window(config, 4);  // pane = 2 periods, span = 2.0 s
+  window.Insert(1, 0.5);
+  window.Insert(2, 2.5);  // rotates: pane 1 active, pane 0 previous
+  ASSERT_EQ(window.current_pane(), 1u);
+
+  BinaryWriter writer;
+  window.Serialize(writer);
+  BinaryReader reader(writer.data());
+  auto restored = WindowedLtc::Deserialize(reader);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->current_pane(), 1u);
+  // Item 1 lives in the previous (still live) pane and must survive.
+  EXPECT_GT(restored->QuerySignificance(1), 0.0);
+  EXPECT_GT(restored->QuerySignificance(2), 0.0);
+  // A regressing timestamp after restore still clamps instead of
+  // rotating backwards.
+  restored->Insert(3, 0.1);
+  EXPECT_EQ(restored->current_pane(), 1u);
+  EXPECT_TRUE(restored->CheckInvariants());
+}
+
+TEST(SerialWindowed, GarbageRejected) {
+  BinaryReader bad_magic(std::string_view("\x12\x34\x56\x78 garbage", 12));
+  EXPECT_FALSE(WindowedLtc::Deserialize(bad_magic).has_value());
+
+  LtcConfig config;
+  config.period_mode = PeriodMode::kTimeBased;
+  WindowedLtc window(config, 4);
+  window.Insert(1, 0.5);
+  BinaryWriter writer;
+  window.Serialize(writer);
+  std::string truncated = writer.data().substr(0, writer.size() / 2);
+  BinaryReader reader(truncated);
+  EXPECT_FALSE(WindowedLtc::Deserialize(reader).has_value());
+  BinaryReader empty("");
+  EXPECT_FALSE(WindowedLtc::Deserialize(empty).has_value());
 }
 
 // -------------------------------------------------------------- sketches

@@ -1,0 +1,151 @@
+// ltc_fuzz — replay driver for the differential oracle harness
+// (src/testing/trace_fuzzer.h). The CI test tests/differential_test.cc
+// runs the same traces; when it (or a local run) reports a failure it
+// prints a command line for this tool, which regenerates the identical
+// trace, re-runs it, shrinks the failure and prints the minimal
+// reproduction. Exit status: 0 clean, 1 divergence found, 2 bad usage.
+//
+// Usage:
+//   ltc_fuzz [--subject=ltc|sharded|windowed] [--combo=NAME|INDEX]
+//            [--seed=N] [--ops=N] [--all] [--list]
+//
+// --list prints the combo names in index order. --all sweeps every
+// subject × combo cell with the given seed/ops (the CI grid).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testing/trace_fuzzer.h"
+
+namespace ltc {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: ltc_fuzz [--subject=ltc|sharded|windowed] [--combo=NAME|INDEX]\n"
+    "                [--seed=N] [--ops=N] [--all] [--list]\n"
+    "\n"
+    "Replays a seeded differential-fuzz trace against the exact oracle.\n"
+    "Prints nothing but a summary on success; on divergence prints the\n"
+    "failing op, the shrunk trace size and a replay command, and exits 1.\n";
+
+bool ParseSubject(const std::string& value, SubjectKind* out) {
+  if (value == "ltc") *out = SubjectKind::kLtc;
+  else if (value == "sharded") *out = SubjectKind::kSharded;
+  else if (value == "windowed") *out = SubjectKind::kWindowed;
+  else return false;
+  return true;
+}
+
+bool ParseCombo(const std::string& value, FuzzCombo* out) {
+  const std::vector<FuzzCombo> combos = AllCombos();
+  char* end = nullptr;
+  unsigned long index = std::strtoul(value.c_str(), &end, 10);
+  if (end && *end == '\0' && !value.empty()) {
+    if (index >= combos.size()) return false;
+    *out = combos[index];
+    return true;
+  }
+  for (const FuzzCombo& combo : combos) {
+    if (combo.Name() == value) {
+      *out = combo;
+      return true;
+    }
+  }
+  return false;
+}
+
+int RunCell(const FuzzOptions& options) {
+  auto failure = RunDifferential(options);
+  if (!failure) {
+    std::printf("OK    %-8s %-16s seed=%llu ops=%llu\n",
+                SubjectName(options.subject), options.combo.Name().c_str(),
+                static_cast<unsigned long long>(options.seed),
+                static_cast<unsigned long long>(options.num_ops));
+    return 0;
+  }
+  std::printf("FAIL  %-8s %-16s seed=%llu ops=%llu\n",
+              SubjectName(options.subject), options.combo.Name().c_str(),
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(options.num_ops));
+  std::printf("  at op %zu of %zu:\n  %s\n", failure->op_index,
+              failure->trace_size, failure->message.c_str());
+  std::printf("  replay: %s\n", failure->replay_command.c_str());
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  FuzzOptions options;
+  bool run_all = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg == "--list") {
+      const std::vector<FuzzCombo> combos = AllCombos();
+      for (size_t c = 0; c < combos.size(); ++c) {
+        std::printf("%2zu  %s\n", c, combos[c].Name().c_str());
+      }
+      return 0;
+    }
+    if (arg == "--all") {
+      run_all = true;
+    } else if (const char* v = value_of("--subject=")) {
+      if (!ParseSubject(v, &options.subject)) {
+        std::fprintf(stderr, "ltc_fuzz: unknown subject '%s'\n%s", v, kUsage);
+        return 2;
+      }
+    } else if (const char* v = value_of("--combo=")) {
+      if (!ParseCombo(v, &options.combo)) {
+        std::fprintf(stderr,
+                     "ltc_fuzz: unknown combo '%s' (see --list)\n%s", v,
+                     kUsage);
+        return 2;
+      }
+    } else if (const char* v = value_of("--seed=")) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--ops=")) {
+      options.num_ops = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "ltc_fuzz: unknown option '%s'\n%s", arg.c_str(),
+                   kUsage);
+      return 2;
+    }
+  }
+
+  if (!run_all) return RunCell(options);
+
+  int failures = 0;
+  for (SubjectKind subject :
+       {SubjectKind::kLtc, SubjectKind::kSharded, SubjectKind::kWindowed}) {
+    for (const FuzzCombo& combo : AllCombos()) {
+      if (subject == SubjectKind::kWindowed &&
+          combo.period_mode != PeriodMode::kTimeBased) {
+        continue;  // WindowedLtc is time-based only
+      }
+      FuzzOptions cell = options;
+      cell.subject = subject;
+      cell.combo = combo;
+      failures += RunCell(cell);
+    }
+  }
+  if (failures > 0) {
+    std::printf("%d cell(s) diverged\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ltc
+
+int main(int argc, char** argv) { return ltc::Main(argc, argv); }
