@@ -1,0 +1,108 @@
+// Ingestion-throughput benchmark for the parallel pipeline: single-table
+// batch insertion vs sequential ShardedLtc vs IngestPipeline at 1/2/4/8
+// shards on a Zipf speed workload. Emits one JSON document on stdout so
+// CI and scripts can consume the numbers directly.
+//
+// Throughput scales with available cores: the router thread plus one
+// worker per shard all need somewhere to run, so `hardware_threads` is
+// part of the output — on a single-core host the pipeline numbers mostly
+// measure scheduling overhead, not the design's ceiling.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sharded_ltc.h"
+#include "ingest/ingest_pipeline.h"
+
+namespace ltc {
+namespace bench {
+namespace {
+
+constexpr size_t kMemory = 100 * 1024;
+constexpr int kRepeats = 3;  // best-of to shed scheduler noise
+
+LtcConfig PacedConfig(const Stream& stream) {
+  LtcConfig config;
+  config.memory_bytes = kMemory;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  return config;
+}
+
+struct Row {
+  std::string mode;
+  uint32_t shards;
+  double mops;
+};
+
+template <typename Feed>
+double BestMops(const Stream& stream, const Feed& feed) {
+  double best = 0.0;
+  for (int r = 0; r < kRepeats; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    feed();
+    auto end = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(end - start).count();
+    if (seconds <= 0.0) continue;
+    double mops = static_cast<double>(stream.size()) / seconds / 1e6;
+    if (mops > best) best = mops;
+  }
+  return best;
+}
+
+}  // namespace
+
+int Main() {
+  Stream stream = MakeZipfStream(ScaledRecords(2'000'000, 10'000'000),
+                                 100'000, 1.0, 100, 42);
+  const LtcConfig config = PacedConfig(stream);
+  std::vector<Row> rows;
+
+  rows.push_back({"single_ltc_batch", 1, BestMops(stream, [&] {
+                    Ltc table(config);
+                    table.InsertBatch(stream.records());
+                  })});
+  const double single_mops = rows[0].mops;
+
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    rows.push_back({"sharded_sequential", shards, BestMops(stream, [&] {
+                      ShardedLtc sharded(config, shards);
+                      sharded.InsertBatch(stream.records());
+                    })});
+    // Pipeline timing includes worker spawn and join: that is the real
+    // cost of the parallel mode, not just its steady state.
+    rows.push_back({"pipeline", shards, BestMops(stream, [&] {
+                      ShardedLtc sharded(config, shards);
+                      IngestPipeline pipeline(sharded);
+                      pipeline.PushBatch(stream.records());
+                      pipeline.Stop();
+                    })});
+  }
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"bench_ingest\",\n");
+  std::printf("  \"records\": %zu,\n", stream.size());
+  std::printf("  \"memory_bytes\": %zu,\n", kMemory);
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    double speedup = single_mops > 0.0 ? row.mops / single_mops : 0.0;
+    std::printf("    {\"mode\": \"%s\", \"shards\": %u, \"mops\": %.3f, "
+                "\"speedup_vs_single\": %.3f}%s\n",
+                row.mode.c_str(), row.shards, row.mops, speedup,
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace ltc
+
+int main() { return ltc::bench::Main(); }

@@ -27,9 +27,7 @@ const Stream& SharedStream() {
 void FeedAll(SignificantReporter& reporter, const Stream& stream,
              benchmark::State& state) {
   for (auto _ : state) {
-    for (const Record& r : stream.records()) {
-      reporter.Insert(r.item, r.time, stream.PeriodOf(r.time));
-    }
+    reporter.InsertBatch(stream.records(), stream);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(stream.size()));

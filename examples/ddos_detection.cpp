@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "core/ltc.h"
+#include "core/significance_estimator.h"
 #include "stream/stream.h"
 
 namespace {
@@ -85,15 +86,17 @@ ltc::Ltc RunLtc(const Traffic& traffic, double alpha, double beta) {
   config.period_mode = ltc::PeriodMode::kTimeBased;
   config.period_seconds = 60.0;
   ltc::Ltc table(config);
-  for (const ltc::Record& r : traffic.records) table.Insert(r.item, r.time);
+  table.InsertBatch(traffic.records);
   table.Finalize();
   return table;
 }
 
-int CountBots(const ltc::Ltc& table, const std::set<ltc::ItemId>& bots,
-              size_t k) {
+// Scoring is written against the SignificanceEstimator interface, so the
+// same detector logic would work over a ShardedLtc or WindowedLtc sketch.
+int CountBots(const ltc::SignificanceEstimator& sketch,
+              const std::set<ltc::ItemId>& bots, size_t k) {
   int hits = 0;
-  for (const auto& report : table.TopK(k)) {
+  for (const auto& report : sketch.TopK(k)) {
     if (bots.count(report.item)) ++hits;
   }
   return hits;

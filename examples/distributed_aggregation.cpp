@@ -4,21 +4,22 @@
 // over the data center". This example shows both composition patterns the
 // library supports:
 //
-//   1. ShardedLtc — one process, many threads: items are hash-partitioned
-//      across S independent tables; the global top-k is the best of the
-//      shard union.
+//   1. ShardedLtc fed by an IngestPipeline — one process, many threads:
+//      a router hashes records into per-shard rings, one worker per shard
+//      drains them through the batch fast path; the global top-k is the
+//      best of the shard union.
 //   2. Ltc::MergeFrom + serialization — many vantage points: each site
 //      summarizes its slice of the traffic, ships the checkpoint, and the
 //      collector folds the tables together.
 
 #include <algorithm>
 #include <cstdio>
-#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/serial.h"
 #include "core/sharded_ltc.h"
+#include "ingest/ingest_pipeline.h"
 #include "stream/generators.h"
 
 namespace {
@@ -33,7 +34,10 @@ ltc::LtcConfig BaseConfig(const ltc::Stream& stream) {
   return config;
 }
 
-void PrintTop(const char* title, const std::vector<ltc::Ltc::Report>& top) {
+// Reporting is interface-driven: both patterns below hand their results
+// over as SignificanceReports, whatever sketch produced them.
+void PrintTop(const char* title,
+              const std::vector<ltc::SignificanceReport>& top) {
   std::printf("%s\n%-20s %10s %12s %14s\n", title, "flow", "packets",
               "periods", "significance");
   for (const auto& r : top) {
@@ -52,24 +56,19 @@ int main() {
   std::printf("trace: %zu records, %u periods\n\n", stream.size(),
               stream.num_periods());
 
-  // ---- Pattern 1: sharded, one thread per shard. ----------------------
+  // ---- Pattern 1: sharded, fed by the ingestion pipeline. -------------
   constexpr uint32_t kShards = 4;
   ltc::ShardedLtc sharded(BaseConfig(stream), kShards);
-  std::vector<std::vector<ltc::Record>> per_shard(kShards);
-  for (const ltc::Record& r : stream.records()) {
-    per_shard[sharded.ShardOf(r.item)].push_back(r);
+  {
+    ltc::IngestPipeline pipeline(sharded);
+    pipeline.PushBatch(stream.records());
+    pipeline.Stop();
+    std::printf("pipeline: %llu records through %u shard workers\n",
+                static_cast<unsigned long long>(pipeline.TotalEnqueued()),
+                pipeline.num_shards());
   }
-  std::vector<std::thread> threads;
-  for (uint32_t s = 0; s < kShards; ++s) {
-    threads.emplace_back([&sharded, &per_shard, s] {
-      for (const ltc::Record& r : per_shard[s]) {
-        sharded.shard(s).Insert(r.item, r.time);
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
   sharded.Finalize();
-  PrintTop("== sharded (4 threads, hash-partitioned) top-5 ==",
+  PrintTop("== sharded (4 worker threads, hash-partitioned) top-5 ==",
            sharded.TopK(5));
 
   // ---- Pattern 2: two vantage points + checkpoint shipping. -----------

@@ -36,10 +36,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/serial.h"
 #include "core/audit.h"
+#include "core/significance_estimator.h"
 #include "stream/stream.h"
 
 namespace ltc {
@@ -107,18 +110,22 @@ struct LtcConfig {
   /// Model memory per cell: 8B ID + 4B frequency + 4B persistency counter
   /// incl. the two flag bits (§III-A, Fig. 1).
   static constexpr size_t BytesPerCell() { return 16; }
+
+  /// Checks the configuration for values no table can run on: negative
+  /// α/β (or both zero), zero cells_per_bucket, a non-positive period
+  /// length in the active pacing mode. Returns std::nullopt when valid,
+  /// else a description of the first problem. The Ltc constructor calls
+  /// this and throws std::invalid_argument on failure; Deserialize calls
+  /// it to reject corrupt checkpoints.
+  std::optional<std::string> Validate() const;
 };
 
-class Ltc {
+class Ltc final : public SignificanceEstimator {
  public:
-  /// One reported item.
-  struct Report {
-    ItemId item;
-    uint64_t frequency;
-    uint64_t persistency;
-    double significance;
-  };
+  /// One reported item (the shared report type of the estimator family).
+  using Report = SignificanceReport;
 
+  /// Throws std::invalid_argument when `config.Validate()` rejects.
   explicit Ltc(const LtcConfig& config);
 
   /// Processes one arrival. In count-based mode `time` is ignored and may
@@ -127,27 +134,34 @@ class Ltc {
   /// arrival is processed as if it happened "now"), so mildly out-of-order
   /// feeds degrade gracefully instead of corrupting the CLOCK. See
   /// docs/TESTING.md "Time-based edge cases".
-  void Insert(ItemId item, double time = 0.0);
+  void Insert(ItemId item, double time = 0.0) override;
+
+  /// Bulk insertion fast path: identical table state to one Insert per
+  /// record, but the pacing-mode branch and configuration loads are
+  /// hoisted out of the loop and the count-based CLOCK advance is inlined
+  /// (no per-record function call / config reload). The parallel
+  /// IngestPipeline drains its per-shard rings through this.
+  void InsertBatch(std::span<const Record> records) override;
 
   /// Credits all still-pending period flags. Call once after the stream
   /// ends and before querying; mid-stream estimates lag by up to one
   /// period of persistency otherwise. Idempotent only if no Insert
   /// intervenes.
-  void Finalize();
+  void Finalize() override;
 
   /// Estimated significance α·f̂ + β·p̂; 0 when the item is not tracked
   /// (the paper's "did not appear" answer).
-  double QuerySignificance(ItemId item) const;
+  double QuerySignificance(ItemId item) const override;
 
   /// Estimated frequency / persistency; 0 when untracked.
-  uint64_t EstimateFrequency(ItemId item) const;
-  uint64_t EstimatePersistency(ItemId item) const;
+  uint64_t EstimateFrequency(ItemId item) const override;
+  uint64_t EstimatePersistency(ItemId item) const override;
 
   bool IsTracked(ItemId item) const;
 
   /// The k tracked items of largest significance, descending (ties broken
   /// by item ID for determinism).
-  std::vector<Report> TopK(size_t k) const;
+  std::vector<Report> TopK(size_t k) const override;
 
   /// Mid-stream top-k WITHOUT mutating the table: reports each cell as if
   /// its pending period flags had already been credited (what Finalize
@@ -168,7 +182,7 @@ class Ltc {
   uint64_t current_period() const { return current_period_; }
 
   /// Model memory actually allocated (w·d cells).
-  size_t MemoryBytes() const {
+  size_t MemoryBytes() const override {
     return cells_.size() * LtcConfig::BytesPerCell();
   }
 
@@ -247,6 +261,11 @@ class Ltc {
   void AdvanceClock(double time);
 
   void ScanCell(Cell& cell);
+
+  /// The bucket update of one arrival (Cases 1–3 of §III-B), without the
+  /// CLOCK advance — shared by Insert and InsertBatch, which wrap it in
+  /// the pacing-mode-appropriate clock bookkeeping.
+  void UpdateBucket(ItemId item);
 
   /// Inserts item into `cell`, honouring Long-tail Replacement when
   /// enabled: fields start at the bucket's second-smallest values − 1

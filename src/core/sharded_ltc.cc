@@ -34,6 +34,22 @@ void ShardedLtc::Insert(ItemId item, double time) {
   shards_[ShardOf(item)].Insert(item, time);
 }
 
+void ShardedLtc::InsertBatch(std::span<const Record> records) {
+  // Partition into per-shard runs. Routing preserves each shard's
+  // arrival order and shards are independent, so handing every shard its
+  // run as one batch reproduces the sequential-Insert state exactly.
+  if (batch_runs_.size() != shards_.size()) {
+    batch_runs_.assign(shards_.size(), {});
+  }
+  for (auto& run : batch_runs_) run.clear();
+  for (const Record& record : records) {
+    batch_runs_[ShardOf(record.item)].push_back(record);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!batch_runs_[s].empty()) shards_[s].InsertBatch(batch_runs_[s]);
+  }
+}
+
 void ShardedLtc::Finalize() {
   for (Ltc& shard : shards_) shard.Finalize();
 }

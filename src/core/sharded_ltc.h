@@ -10,21 +10,27 @@
 //
 // Threading: the class itself is not synchronized; the intended parallel
 // pattern is one thread per shard, each feeding shard(i) with the records
-// the router assigns to it (see FeedParallel in examples/tests).
+// the router assigns to it. ingest/ingest_pipeline.h packages exactly
+// that — a router thread hashing records into per-shard SPSC rings, one
+// worker per shard draining in batches — and
+// tests/ingest_pipeline_test.cc pins that its final state is identical to
+// sequential Insert calls.
 
 #ifndef LTC_CORE_SHARDED_LTC_H_
 #define LTC_CORE_SHARDED_LTC_H_
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/serial.h"
 #include "core/ltc.h"
+#include "core/significance_estimator.h"
 
 namespace ltc {
 
-class ShardedLtc {
+class ShardedLtc final : public SignificanceEstimator {
  public:
   /// \param config      per-table configuration; memory_bytes is the
   ///                    TOTAL budget, split evenly across shards
@@ -35,17 +41,24 @@ class ShardedLtc {
   uint32_t ShardOf(ItemId item) const;
 
   /// Routes to the owning shard. Not thread-safe; for parallel ingestion
-  /// feed each shard from its own thread via shard().
-  void Insert(ItemId item, double time = 0.0);
+  /// feed each shard from its own thread via shard(), or use
+  /// ingest::IngestPipeline.
+  void Insert(ItemId item, double time = 0.0) override;
 
-  void Finalize();
+  /// Routed batch insertion: records are partitioned into per-shard runs
+  /// (preserving each shard's arrival order, so the result is identical
+  /// to one Insert per record) and each shard consumes its run through
+  /// Ltc::InsertBatch's hoisted loop.
+  void InsertBatch(std::span<const Record> records) override;
+
+  void Finalize() override;
 
   /// Global top-k: the k most significant entries of the shard union.
-  std::vector<Ltc::Report> TopK(size_t k) const;
+  std::vector<Ltc::Report> TopK(size_t k) const override;
 
-  double QuerySignificance(ItemId item) const;
-  uint64_t EstimateFrequency(ItemId item) const;
-  uint64_t EstimatePersistency(ItemId item) const;
+  double QuerySignificance(ItemId item) const override;
+  uint64_t EstimateFrequency(ItemId item) const override;
+  uint64_t EstimatePersistency(ItemId item) const override;
 
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
@@ -53,7 +66,7 @@ class ShardedLtc {
   Ltc& shard(uint32_t i) { return shards_[i]; }
   const Ltc& shard(uint32_t i) const { return shards_[i]; }
 
-  size_t MemoryBytes() const;
+  size_t MemoryBytes() const override;
 
   /// True iff every shard's structural invariants hold.
   bool CheckInvariants() const;
@@ -77,6 +90,9 @@ class ShardedLtc {
 
   uint64_t route_seed_ = 0;
   std::vector<Ltc> shards_;
+  // Per-shard routing runs reused across InsertBatch calls (capacity is
+  // retained, so steady-state batches allocate nothing).
+  std::vector<std::vector<Record>> batch_runs_;
 };
 
 }  // namespace ltc

@@ -1,0 +1,75 @@
+// The unified query/insert surface of the LTC family.
+//
+// Ltc, ShardedLtc and WindowedLtc answer the same questions — "how
+// significant / frequent / persistent is this item, and which items lead?"
+// — but grew slightly different surfaces. SignificanceEstimator is the
+// shared contract, so tools, examples and services can be written once and
+// pointed at a single table, a sharded table, or a jumping window without
+// caring which (tools/ltc_cli and examples/ddos_detection do exactly
+// that).
+//
+// The batched entry point InsertBatch is the preferred feeding path for
+// bulk ingestion: implementations override it to hoist per-insert
+// configuration loads and amortize CLOCK bookkeeping (see
+// Ltc::InsertBatch), and the default keeps any implementation correct via
+// the one-record loop. Batching NEVER changes estimates — a batch of
+// records must leave the estimator in exactly the state the equivalent
+// sequence of Insert calls would (pinned by tests/ingest_pipeline_test).
+
+#ifndef LTC_CORE_SIGNIFICANCE_ESTIMATOR_H_
+#define LTC_CORE_SIGNIFICANCE_ESTIMATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace ltc {
+
+/// One reported item, shared by every estimator (Ltc::Report is an alias).
+struct SignificanceReport {
+  ItemId item;
+  uint64_t frequency;
+  uint64_t persistency;
+  double significance;
+};
+
+class SignificanceEstimator {
+ public:
+  virtual ~SignificanceEstimator() = default;
+
+  /// Processes one arrival. Implementations in count-based mode ignore
+  /// `time`; time-based implementations clamp regressing timestamps.
+  virtual void Insert(ItemId item, double time = 0.0) = 0;
+
+  /// Processes a run of arrivals, in order. Semantically identical to
+  /// calling Insert once per record; implementations override it purely
+  /// for speed (config-load hoisting, CLOCK amortization, shard routing).
+  virtual void InsertBatch(std::span<const Record> records) {
+    for (const Record& record : records) Insert(record.item, record.time);
+  }
+
+  /// Credits all still-pending period flags. Call once after the stream
+  /// ends and before querying.
+  virtual void Finalize() = 0;
+
+  /// Estimated significance α·f̂ + β·p̂; 0 when the item is untracked.
+  virtual double QuerySignificance(ItemId item) const = 0;
+
+  /// Estimated frequency / persistency; 0 when untracked.
+  virtual uint64_t EstimateFrequency(ItemId item) const = 0;
+  virtual uint64_t EstimatePersistency(ItemId item) const = 0;
+
+  /// The k tracked items of largest significance, descending (ties broken
+  /// by item ID for determinism).
+  virtual std::vector<SignificanceReport> TopK(size_t k) const = 0;
+
+  /// Model memory actually allocated.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_CORE_SIGNIFICANCE_ESTIMATOR_H_

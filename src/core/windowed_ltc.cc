@@ -111,6 +111,22 @@ double WindowedLtc::QuerySignificance(ItemId item) const {
   return total;
 }
 
+uint64_t WindowedLtc::EstimateFrequency(ItemId item) const {
+  Ltc snapshot = active_;
+  snapshot.Finalize();
+  uint64_t total = snapshot.EstimateFrequency(item);
+  if (previous_live_) total += previous_.EstimateFrequency(item);
+  return total;
+}
+
+uint64_t WindowedLtc::EstimatePersistency(ItemId item) const {
+  Ltc snapshot = active_;
+  snapshot.Finalize();
+  uint64_t total = snapshot.EstimatePersistency(item);
+  if (previous_live_) total += previous_.EstimatePersistency(item);
+  return total;
+}
+
 uint64_t WindowedLtc::WindowStartPeriod() const {
   if (!previous_live_ || current_pane_ == 0) {
     return current_pane_ * pane_periods_;

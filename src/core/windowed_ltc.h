@@ -19,10 +19,11 @@
 
 #include "common/serial.h"
 #include "core/ltc.h"
+#include "core/significance_estimator.h"
 
 namespace ltc {
 
-class WindowedLtc {
+class WindowedLtc final : public SignificanceEstimator {
  public:
   /// \param config          per-pane configuration; memory_bytes is the
   ///                        TOTAL budget (halved per pane). Must be
@@ -35,14 +36,26 @@ class WindowedLtc {
   /// moves backwards: a timestamp earlier than the latest one seen is
   /// clamped to it, so a regressing feed can never resurrect an expired
   /// pane (see docs/TESTING.md "Time-based edge cases").
-  void Insert(ItemId item, double time);
+  void Insert(ItemId item, double time = 0.0) override;
+
+  /// No-op, kept for the SignificanceEstimator contract: every query
+  /// already finalizes a pane *copy* internally (rotation must keep the
+  /// live panes' pending flags intact), so there is never anything for
+  /// the caller to credit.
+  void Finalize() override {}
 
   /// Top-k significant items over the covered window (the last
   /// ⌈W/2⌉..W periods). Non-destructive; callable at any time.
-  std::vector<Ltc::Report> TopK(size_t k) const;
+  std::vector<Ltc::Report> TopK(size_t k) const override;
 
   /// Significance of one item over the covered window (0 if untracked).
-  double QuerySignificance(ItemId item) const;
+  double QuerySignificance(ItemId item) const override;
+
+  /// Frequency / persistency of one item over the covered window (0 if
+  /// untracked): the active pane's (pending flags credited on a copy)
+  /// plus the previous pane's — exact, as the panes partition time.
+  uint64_t EstimateFrequency(ItemId item) const override;
+  uint64_t EstimatePersistency(ItemId item) const override;
 
   /// Oldest period index the current answer can include.
   uint64_t WindowStartPeriod() const;
@@ -56,7 +69,7 @@ class WindowedLtc {
   /// boundaries are multiples of this exact double, so external mirrors
   /// (the differential harness) can reproduce them bit-for-bit.
   double pane_span() const { return pane_span_; }
-  size_t MemoryBytes() const {
+  size_t MemoryBytes() const override {
     return active_.MemoryBytes() + previous_.MemoryBytes();
   }
 

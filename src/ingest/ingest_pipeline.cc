@@ -1,0 +1,133 @@
+#include "ingest/ingest_pipeline.h"
+
+#include <cassert>
+
+namespace ltc {
+
+IngestPipeline::IngestPipeline(ShardedLtc& sink, const IngestConfig& config)
+    : sink_(sink), config_(config) {
+  assert(config_.drain_batch >= 1);
+  const uint32_t shards = sink.num_shards();
+  lanes_.reserve(shards);
+  route_runs_.assign(shards, {});
+  for (uint32_t s = 0; s < shards; ++s) {
+    lanes_.push_back(std::make_unique<Lane>(config_.ring_capacity));
+  }
+  // Spawn only after every lane exists: a worker touches just its own
+  // lane and shard, but the vector itself must never reallocate under it.
+  for (uint32_t s = 0; s < shards; ++s) {
+    lanes_[s]->worker = std::thread([this, s] { WorkerLoop(s); });
+  }
+}
+
+IngestPipeline::~IngestPipeline() { Stop(); }
+
+void IngestPipeline::WorkerLoop(uint32_t shard_index) {
+  Lane& lane = *lanes_[shard_index];
+  Ltc& shard = sink_.shard(shard_index);
+  std::vector<Record> batch(config_.drain_batch);
+  for (;;) {
+    size_t n = lane.ring.PopBatch(batch.data(), batch.size());
+    if (n == 0) {
+      if (stop_.load(std::memory_order_acquire)) {
+        // The producer publishes its last records BEFORE setting stop_
+        // (release/acquire pair), so one more pop observes everything.
+        n = lane.ring.PopBatch(batch.data(), batch.size());
+        if (n == 0) break;
+      } else {
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    shard.InsertBatch({batch.data(), n});
+    lane.batches.fetch_add(1, std::memory_order_relaxed);
+    // Release so a Flush() that acquire-reads `drained` also sees the
+    // table mutations above.
+    lane.drained.fetch_add(n, std::memory_order_release);
+  }
+}
+
+uint64_t IngestPipeline::PushRun(Lane& lane, std::span<const Record> run) {
+  uint64_t accepted = 0;
+  while (!run.empty()) {
+    size_t pushed = lane.ring.TryPushBatch(run);
+    accepted += pushed;
+    run = run.subspan(pushed);
+    if (run.empty()) break;
+    if (config_.backpressure == BackpressureMode::kDrop) {
+      lane.dropped.fetch_add(run.size(), std::memory_order_relaxed);
+      break;
+    }
+    std::this_thread::yield();  // kBlock: wait for the worker to drain
+  }
+  lane.enqueued.fetch_add(accepted, std::memory_order_relaxed);
+  return accepted;
+}
+
+void IngestPipeline::Push(ItemId item, double time) {
+  assert(!stopped_ && "Push after Stop()");
+  const Record record{item, time};
+  PushRun(*lanes_[sink_.ShardOf(item)], {&record, 1});
+}
+
+void IngestPipeline::PushBatch(std::span<const Record> records) {
+  assert(!stopped_ && "PushBatch after Stop()");
+  for (auto& run : route_runs_) run.clear();
+  for (const Record& record : records) {
+    route_runs_[sink_.ShardOf(record.item)].push_back(record);
+  }
+  for (uint32_t s = 0; s < lanes_.size(); ++s) {
+    if (!route_runs_[s].empty()) PushRun(*lanes_[s], route_runs_[s]);
+  }
+}
+
+void IngestPipeline::Flush() {
+  for (auto& lane : lanes_) {
+    const uint64_t target = lane->enqueued.load(std::memory_order_relaxed);
+    while (lane->drained.load(std::memory_order_acquire) < target) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void IngestPipeline::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // Release-publish after the last push; workers acquire-read stop_ and
+  // then drain whatever remains (see WorkerLoop). join() makes every
+  // worker's table mutations visible to this thread.
+  stop_.store(true, std::memory_order_release);
+  for (auto& lane : lanes_) {
+    if (lane->worker.joinable()) lane->worker.join();
+  }
+}
+
+uint64_t IngestPipeline::TotalEnqueued() const {
+  uint64_t total = 0;
+  for (const auto& lane : lanes_) {
+    total += lane->enqueued.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t IngestPipeline::TotalDropped() const {
+  uint64_t total = 0;
+  for (const auto& lane : lanes_) {
+    total += lane->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+IngestShardStats IngestPipeline::ShardStatsOf(uint32_t shard) const {
+  const Lane& lane = *lanes_[shard];
+  IngestShardStats stats;
+  stats.enqueued = lane.enqueued.load(std::memory_order_relaxed);
+  stats.dropped = lane.dropped.load(std::memory_order_relaxed);
+  stats.drained = lane.drained.load(std::memory_order_relaxed);
+  stats.batches = lane.batches.load(std::memory_order_relaxed);
+  stats.queue_depth = lane.ring.SizeApprox();
+  stats.ring_capacity = lane.ring.capacity();
+  return stats;
+}
+
+}  // namespace ltc

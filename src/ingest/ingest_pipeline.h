@@ -1,0 +1,142 @@
+// Parallel ingestion engine for ShardedLtc — the FeedParallel pattern the
+// sharded header promises, packaged as a component (docs/INGEST.md).
+//
+//   producer thread                     worker threads (one per shard)
+//   Push / PushBatch ──route by hash──▶ SPSC ring ──drain in batches──▶
+//                                       shard(i).InsertBatch(...)
+//
+// One router (the caller's thread) hashes each record to its owning shard
+// with ShardedLtc::ShardOf and appends it to that shard's bounded SPSC
+// ring; one worker per shard drains its ring in batches through the
+// Ltc::InsertBatch fast path. Because routing preserves each shard's
+// arrival order and shards are independent tables, the final state is
+// item-for-item identical to sequential ShardedLtc::Insert of the same
+// stream — parallelism buys throughput, never a different answer
+// (pinned by tests/ingest_pipeline_test.cc).
+//
+// Backpressure on a full ring is configurable: kBlock (the producer spins
+// with yields — no record is ever lost) or kDrop (the record is counted
+// and discarded — bounded producer latency under overload, like a NIC
+// queue).
+//
+// Threading contract: Push / PushBatch / Flush / Stop must all be called
+// from ONE producer thread. Queries on the ShardedLtc are only safe after
+// Flush() (all queued records applied, memory-visible) or Stop().
+
+#ifndef LTC_INGEST_INGEST_PIPELINE_H_
+#define LTC_INGEST_INGEST_PIPELINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_ltc.h"
+#include "ingest/spsc_ring.h"
+
+namespace ltc {
+
+/// What the router does when a shard's ring is full.
+enum class BackpressureMode {
+  kBlock,  // spin/yield until the worker frees space; lossless
+  kDrop,   // discard the record and count it; bounded producer latency
+};
+
+struct IngestConfig {
+  /// Per-shard ring capacity in records (rounded up to a power of two).
+  size_t ring_capacity = 1 << 14;
+
+  /// Worker drain granularity: how many records a worker pops and hands
+  /// to Ltc::InsertBatch at once.
+  size_t drain_batch = 512;
+
+  BackpressureMode backpressure = BackpressureMode::kBlock;
+};
+
+/// Per-shard operational counters (see IngestPipeline::ShardStatsOf).
+struct IngestShardStats {
+  uint64_t enqueued = 0;     // records accepted into the ring
+  uint64_t dropped = 0;      // records discarded (kDrop mode only)
+  uint64_t drained = 0;      // records applied to the shard table
+  uint64_t batches = 0;      // InsertBatch calls the worker issued
+  size_t queue_depth = 0;    // ring occupancy at sampling time (racy)
+  size_t ring_capacity = 0;
+};
+
+class IngestPipeline {
+ public:
+  /// Spawns one worker thread per shard of `sink`. The sink must outlive
+  /// the pipeline, and nothing else may touch it until Flush()/Stop().
+  explicit IngestPipeline(ShardedLtc& sink, const IngestConfig& config = {});
+
+  /// Stops and joins the workers (all accepted records are applied).
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Routes one record to its shard's ring. Producer thread only.
+  void Push(ItemId item, double time = 0.0);
+
+  /// Routes a run of records. The records are partitioned into per-shard
+  /// runs first so each ring is published to once per run instead of once
+  /// per record — feed the pipeline in batches whenever the stream allows.
+  void PushBatch(std::span<const Record> records);
+
+  /// Blocks until every accepted record has been applied to its shard
+  /// table (and is memory-visible to this thread). The pipeline stays
+  /// usable: Push may resume after Flush — that is how mid-stream
+  /// snapshots are taken (flush, query, keep feeding).
+  void Flush();
+
+  /// Flushes, stops and joins all workers. Idempotent; called by the
+  /// destructor. After Stop() the pipeline accepts no more records.
+  void Stop();
+
+  /// Total records accepted across shards (excludes drops).
+  uint64_t TotalEnqueued() const;
+
+  /// Total records discarded by kDrop backpressure.
+  uint64_t TotalDropped() const;
+
+  IngestShardStats ShardStatsOf(uint32_t shard) const;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(lanes_.size());
+  }
+
+ private:
+  // One shard's lane: its ring, its worker, and its counters. The
+  // counters the producer writes (enqueued/dropped) and the ones the
+  // worker writes (drained/batches) live on separate cache lines.
+  struct Lane {
+    explicit Lane(size_t ring_capacity) : ring(ring_capacity) {}
+
+    SpscRing ring;
+    alignas(64) std::atomic<uint64_t> enqueued{0};  // producer-written
+    std::atomic<uint64_t> dropped{0};               // producer-written
+    alignas(64) std::atomic<uint64_t> drained{0};   // worker-written
+    std::atomic<uint64_t> batches{0};               // worker-written
+    std::thread worker;
+  };
+
+  void WorkerLoop(uint32_t shard_index);
+
+  // Pushes one shard's routed run, honouring backpressure. Returns the
+  // number of records accepted (the rest were dropped).
+  uint64_t PushRun(Lane& lane, std::span<const Record> run);
+
+  ShardedLtc& sink_;
+  IngestConfig config_;
+  std::vector<std::unique_ptr<Lane>> lanes_;  // stable addresses for threads
+  std::vector<std::vector<Record>> route_runs_;  // PushBatch scratch
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;  // producer-side latch; Stop is idempotent
+};
+
+}  // namespace ltc
+
+#endif  // LTC_INGEST_INGEST_PIPELINE_H_

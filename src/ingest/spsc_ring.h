@@ -1,0 +1,112 @@
+// Bounded single-producer / single-consumer ring buffer of Records — the
+// per-shard queue of the ingestion pipeline (ingest_pipeline.h).
+//
+// Lock-free in the standard SPSC way: the producer owns `tail_`, the
+// consumer owns `head_`, and each side publishes with a release store
+// that the other side acquire-loads. Both sides keep a local cache of the
+// opposite index so the steady-state fast path touches only its own cache
+// line (the acquire reload happens only when the cached view says
+// full/empty). Capacity is rounded up to a power of two so the index maps
+// with a mask instead of a modulo.
+//
+// The batch operations exist for throughput: TryPushBatch publishes a
+// whole run of records with ONE release store, and PopBatch consumes up
+// to a whole batch with one acquire/release pair — this is where the
+// pipeline's amortization comes from.
+
+#ifndef LTC_INGEST_SPSC_RING_H_
+#define LTC_INGEST_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace ltc {
+
+class SpscRing {
+ public:
+  /// Capacity is `min_capacity` rounded up to a power of two (min 2).
+  explicit SpscRing(size_t min_capacity) {
+    size_t capacity = 2;
+    while (capacity < min_capacity) capacity *= 2;
+    slots_.resize(capacity);
+    mask_ = capacity - 1;
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(const Record& record) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= slots_.size()) return false;
+    }
+    slots_[tail & mask_] = record;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: pushes a prefix of `records`, as much as fits, with a
+  /// single publish. Returns how many were pushed.
+  size_t TryPushBatch(std::span<const Record> records) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t free = slots_.size() - (tail - head_cache_);
+    if (free < records.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = slots_.size() - (tail - head_cache_);
+    }
+    const size_t count =
+        free < records.size() ? static_cast<size_t>(free) : records.size();
+    for (size_t i = 0; i < count; ++i) {
+      slots_[(tail + i) & mask_] = records[i];
+    }
+    if (count > 0) tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Consumer side: pops up to `max_count` records into `out`. Returns
+  /// how many were popped (0 when the ring is empty).
+  size_t PopBatch(Record* out, size_t max_count) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_cache_ == head) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (tail_cache_ == head) return 0;
+    }
+    uint64_t available = tail_cache_ - head;
+    const size_t count = available < max_count
+                             ? static_cast<size_t>(available)
+                             : max_count;
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Racy size estimate, for stats/monitoring only.
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+ private:
+  std::vector<Record> slots_;
+  size_t mask_ = 0;
+  // Producer cache line: its own index plus a cached view of the
+  // consumer's, so uncontended pushes never load the consumer's line.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t head_cache_ = 0;
+  // Consumer cache line, symmetrically.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t tail_cache_ = 0;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_INGEST_SPSC_RING_H_

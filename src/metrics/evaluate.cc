@@ -42,9 +42,9 @@ RunResult RunReporter(SignificantReporter& reporter, const Stream& stream,
                       const GroundTruth& truth, size_t k, double alpha,
                       double beta) {
   auto start = std::chrono::steady_clock::now();
-  for (const Record& record : stream.records()) {
-    reporter.Insert(record.item, record.time, stream.PeriodOf(record.time));
-  }
+  // Batched feed: algorithms with a native batch path (LTC) ride it, the
+  // rest fall back to the default per-record loop in the interface.
+  reporter.InsertBatch(stream.records(), stream);
   auto end = std::chrono::steady_clock::now();
   reporter.Finish();
 

@@ -11,6 +11,7 @@
 #define LTC_TOPK_INTERFACES_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,19 @@ class SignificantReporter {
   /// Processes one record. `period` is the record's 0-based period index;
   /// records arrive time-ordered, so periods are nondecreasing.
   virtual void Insert(ItemId item, double time, uint32_t period) = 0;
+
+  /// Processes a run of records, in order. `periods` supplies each
+  /// record's 0-based period index (the Stream that produced the records,
+  /// typically). Semantically identical to one Insert per record — the
+  /// default IS that loop — but implementations with a native batch path
+  /// override it for speed (LtcReporter rides Ltc::InsertBatch); the
+  /// harness (RunReporter, bench_speed) always feeds through this.
+  virtual void InsertBatch(std::span<const Record> records,
+                           const Stream& periods) {
+    for (const Record& record : records) {
+      Insert(record.item, record.time, periods.PeriodOf(record.time));
+    }
+  }
 
   /// Called once after the last record, before TopK / Estimate.
   virtual void Finish() {}

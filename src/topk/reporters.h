@@ -41,6 +41,12 @@ class LtcReporter : public SignificantReporter {
   LtcReporter(const LtcConfig& config, uint32_t num_periods, double duration);
 
   void Insert(ItemId item, double time, uint32_t period) override;
+  /// LTC ignores the harness period index (its CLOCK paces itself), so
+  /// the batch rides the core fast path directly.
+  void InsertBatch(std::span<const Record> records,
+                   const Stream& /*periods*/) override {
+    ltc_.InsertBatch(records);
+  }
   void Finish() override { ltc_.Finalize(); }
   std::vector<TopKEntry> TopK(size_t k) const override;
   double Estimate(ItemId item) const override {

@@ -51,6 +51,27 @@ TEST(CliOptions, AllFlagsParsed) {
   EXPECT_EQ(options->load_path, "old.bin");
 }
 
+TEST(CliOptions, ThreadsDefaultsToOne) {
+  auto options = Parse({"trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->threads, 1u);
+}
+
+TEST(CliOptions, ThreadsParsed) {
+  auto options = Parse({"--threads", "4", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->threads, 4u);
+}
+
+TEST(CliOptions, ThreadsRejections) {
+  std::string error;
+  EXPECT_FALSE(Parse({"--threads", "0", "t"}, &error).has_value());
+  EXPECT_NE(error.find("--threads"), std::string::npos);
+  EXPECT_FALSE(Parse({"--threads", "potato", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--threads", "1000", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--threads"}, &error).has_value());
+}
+
 TEST(CliOptions, ToLtcConfigReflectsFlags) {
   auto options = Parse({"--memory", "10K", "--alpha", "2", "--beta", "3",
                         "--d", "4", "--no-ltr", "t.csv"});

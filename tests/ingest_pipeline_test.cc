@@ -1,0 +1,340 @@
+// Tests for the batched insertion fast paths (Ltc::InsertBatch,
+// ShardedLtc::InsertBatch) and the parallel IngestPipeline. The central
+// claim under test is DETERMINISM: batching and pipelining buy
+// throughput, never a different answer — the final sketch state must be
+// bit-identical (serialized-bytes equal) to sequential Insert calls over
+// the same stream. The concurrency tests double as the tsan workload.
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/serial.h"
+#include "core/sharded_ltc.h"
+#include "ingest/ingest_pipeline.h"
+#include "ingest/spsc_ring.h"
+#include "stream/generators.h"
+
+namespace ltc {
+namespace {
+
+LtcConfig TimePaced(const Stream& stream, size_t memory) {
+  LtcConfig config;
+  config.memory_bytes = memory;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  return config;
+}
+
+LtcConfig CountPaced(size_t memory, uint64_t items_per_period) {
+  LtcConfig config;
+  config.memory_bytes = memory;
+  config.period_mode = PeriodMode::kCountBased;
+  config.items_per_period = items_per_period;
+  return config;
+}
+
+std::string Bytes(const Ltc& table) {
+  BinaryWriter writer;
+  table.Serialize(writer);
+  return writer.data();
+}
+
+std::string Bytes(const ShardedLtc& sharded) {
+  BinaryWriter writer;
+  sharded.Serialize(writer);
+  return writer.data();
+}
+
+void ExpectSameTopK(const SignificanceEstimator& a,
+                    const SignificanceEstimator& b, size_t k) {
+  auto ra = a.TopK(k);
+  auto rb = b.TopK(k);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].item, rb[i].item) << "rank " << i;
+    EXPECT_EQ(ra[i].frequency, rb[i].frequency) << "rank " << i;
+    EXPECT_EQ(ra[i].persistency, rb[i].persistency) << "rank " << i;
+    EXPECT_DOUBLE_EQ(ra[i].significance, rb[i].significance) << "rank " << i;
+  }
+}
+
+// ------------------------------------------------------------- spsc ring
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRing(1024).capacity(), 1024u);
+}
+
+TEST(SpscRing, FifoOrderAcrossWraps) {
+  SpscRing ring(4);
+  Record out[8];
+  ItemId next_in = 1, next_out = 1;
+  // Push/pop in a ragged pattern so the indices wrap several times.
+  for (int round = 0; round < 50; ++round) {
+    size_t pushed = 0;
+    while (pushed < 3 && ring.TryPush({next_in, 0.5 * next_in})) {
+      ++next_in;
+      ++pushed;
+    }
+    size_t popped = ring.PopBatch(out, round % 2 ? 2 : 4);
+    for (size_t i = 0; i < popped; ++i) {
+      EXPECT_EQ(out[i].item, next_out);
+      EXPECT_DOUBLE_EQ(out[i].time, 0.5 * next_out);
+      ++next_out;
+    }
+  }
+  while (size_t n = ring.PopBatch(out, 8)) {
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(out[i].item, next_out++);
+  }
+  EXPECT_EQ(next_out, next_in);  // nothing lost, nothing duplicated
+}
+
+TEST(SpscRing, PushBatchStopsAtCapacity) {
+  SpscRing ring(4);
+  std::vector<Record> records;
+  for (ItemId i = 1; i <= 10; ++i) records.push_back({i, 0.0});
+  EXPECT_EQ(ring.TryPushBatch(records), 4u);
+  EXPECT_EQ(ring.TryPushBatch(records), 0u);  // full
+  Record out[4];
+  EXPECT_EQ(ring.PopBatch(out, 4), 4u);
+  EXPECT_EQ(out[0].item, 1u);
+  EXPECT_EQ(ring.PopBatch(out, 4), 0u);  // empty
+}
+
+// ---------------------------------------------------------- batch insert
+
+TEST(LtcInsertBatch, BitIdenticalToSequentialTimeBased) {
+  Stream stream = MakeZipfStream(30'000, 2'000, 1.1, 30, 101);
+  LtcConfig config = TimePaced(stream, 8 * 1024);
+  Ltc sequential(config), batched(config);
+  for (const Record& r : stream.records()) sequential.Insert(r.item, r.time);
+  // Feed in ragged chunk sizes so batch boundaries land everywhere.
+  std::span<const Record> rest = stream.records();
+  size_t chunk = 1;
+  while (!rest.empty()) {
+    size_t n = std::min(chunk, rest.size());
+    batched.InsertBatch(rest.subspan(0, n));
+    rest = rest.subspan(n);
+    chunk = chunk * 2 + 1;
+  }
+  EXPECT_EQ(Bytes(sequential), Bytes(batched));
+  sequential.Finalize();
+  batched.Finalize();
+  ExpectSameTopK(sequential, batched, 50);
+}
+
+TEST(LtcInsertBatch, BitIdenticalToSequentialCountBased) {
+  Stream stream = MakeZipfStream(30'000, 2'000, 1.1, 30, 103);
+  LtcConfig config = CountPaced(8 * 1024, 997);  // deliberately ragged n
+  Ltc sequential(config), batched(config);
+  for (const Record& r : stream.records()) sequential.Insert(r.item, r.time);
+  batched.InsertBatch(stream.records());
+  EXPECT_EQ(Bytes(sequential), Bytes(batched));
+  EXPECT_TRUE(batched.CheckInvariants());
+}
+
+TEST(LtcInsertBatch, EmptyBatchIsANoOp) {
+  LtcConfig config = CountPaced(4 * 1024, 100);
+  Ltc table(config);
+  table.Insert(7);
+  std::string before = Bytes(table);
+  table.InsertBatch({});
+  EXPECT_EQ(Bytes(table), before);
+}
+
+TEST(ShardedLtcInsertBatch, BitIdenticalToSequential) {
+  Stream stream = MakeZipfStream(40'000, 3'000, 1.0, 40, 107);
+  LtcConfig config = TimePaced(stream, 16 * 1024);
+  ShardedLtc sequential(config, 4), batched(config, 4);
+  for (const Record& r : stream.records()) sequential.Insert(r.item, r.time);
+  batched.InsertBatch(stream.records());
+  EXPECT_EQ(Bytes(sequential), Bytes(batched));
+  sequential.Finalize();
+  batched.Finalize();
+  ExpectSameTopK(sequential, batched, 50);
+}
+
+// -------------------------------------------------------------- pipeline
+
+TEST(IngestPipeline, BitIdenticalToSequentialTimeBased) {
+  Stream stream = MakeZipfStream(40'000, 3'000, 1.0, 40, 109);
+  LtcConfig config = TimePaced(stream, 16 * 1024);
+
+  ShardedLtc sequential(config, 4);
+  for (const Record& r : stream.records()) sequential.Insert(r.item, r.time);
+
+  ShardedLtc piped(config, 4);
+  {
+    IngestPipeline pipeline(piped);
+    pipeline.PushBatch(stream.records());
+    pipeline.Stop();
+    EXPECT_EQ(pipeline.TotalEnqueued(), stream.size());
+    EXPECT_EQ(pipeline.TotalDropped(), 0u);
+  }
+  EXPECT_EQ(Bytes(sequential), Bytes(piped));
+  EXPECT_TRUE(piped.CheckInvariants());
+
+  sequential.Finalize();
+  piped.Finalize();
+  ExpectSameTopK(sequential, piped, 50);
+  for (const auto& report : piped.TopK(50)) {
+    EXPECT_EQ(piped.EstimateFrequency(report.item),
+              sequential.EstimateFrequency(report.item));
+    EXPECT_EQ(piped.EstimatePersistency(report.item),
+              sequential.EstimatePersistency(report.item));
+  }
+}
+
+TEST(IngestPipeline, BitIdenticalToSequentialCountBased) {
+  Stream stream = MakeZipfStream(40'000, 3'000, 1.0, 40, 113);
+  LtcConfig config = CountPaced(16 * 1024, 1'000);
+
+  ShardedLtc sequential(config, 4);
+  for (const Record& r : stream.records()) sequential.Insert(r.item, r.time);
+
+  ShardedLtc piped(config, 4);
+  IngestPipeline pipeline(piped);
+  pipeline.PushBatch(stream.records());
+  pipeline.Stop();
+  EXPECT_EQ(Bytes(sequential), Bytes(piped));
+}
+
+// Small rings + per-record Push: the producer blocks on full rings and
+// the workers wrap the rings thousands of times. This is the main tsan
+// workload for the ring's release/acquire protocol.
+TEST(IngestPipeline, TinyRingsBackpressureIsLossless) {
+  Stream stream = MakeZipfStream(30'000, 2'000, 1.0, 30, 127);
+  LtcConfig config = TimePaced(stream, 16 * 1024);
+
+  ShardedLtc sequential(config, 4);
+  for (const Record& r : stream.records()) sequential.Insert(r.item, r.time);
+
+  ShardedLtc piped(config, 4);
+  IngestConfig ingest;
+  ingest.ring_capacity = 8;  // forces constant producer/worker handoff
+  ingest.drain_batch = 4;
+  ingest.backpressure = BackpressureMode::kBlock;
+  IngestPipeline pipeline(piped, ingest);
+  for (const Record& r : stream.records()) pipeline.Push(r.item, r.time);
+  pipeline.Stop();
+
+  EXPECT_EQ(pipeline.TotalEnqueued(), stream.size());
+  EXPECT_EQ(pipeline.TotalDropped(), 0u);
+  EXPECT_EQ(Bytes(sequential), Bytes(piped));
+}
+
+TEST(IngestPipeline, DropModeAccountsForEveryRecord) {
+  Stream stream = MakeZipfStream(30'000, 2'000, 1.0, 30, 131);
+  LtcConfig config = TimePaced(stream, 16 * 1024);
+  ShardedLtc piped(config, 4);
+  IngestConfig ingest;
+  ingest.ring_capacity = 8;  // guarantees overflow on a big batch
+  ingest.drain_batch = 4;
+  ingest.backpressure = BackpressureMode::kDrop;
+  IngestPipeline pipeline(piped, ingest);
+  pipeline.PushBatch(stream.records());
+  pipeline.Flush();
+
+  // Every record is either applied or counted as dropped — never lost.
+  EXPECT_EQ(pipeline.TotalEnqueued() + pipeline.TotalDropped(),
+            stream.size());
+  uint64_t enqueued_sum = 0, drained_sum = 0;
+  for (uint32_t s = 0; s < pipeline.num_shards(); ++s) {
+    IngestShardStats stats = pipeline.ShardStatsOf(s);
+    EXPECT_EQ(stats.drained, stats.enqueued) << "shard " << s;
+    EXPECT_EQ(stats.ring_capacity, 8u);
+    enqueued_sum += stats.enqueued;
+    drained_sum += stats.drained;
+  }
+  EXPECT_EQ(enqueued_sum, pipeline.TotalEnqueued());
+  EXPECT_EQ(drained_sum, pipeline.TotalEnqueued());
+  pipeline.Stop();
+  EXPECT_TRUE(piped.CheckInvariants());
+}
+
+TEST(IngestPipeline, FlushMakesMidStreamStateVisible) {
+  Stream stream = MakeZipfStream(20'000, 2'000, 1.0, 20, 137);
+  LtcConfig config = TimePaced(stream, 8 * 1024);
+  size_t half = stream.size() / 2;
+  std::span<const Record> records = stream.records();
+
+  ShardedLtc sequential(config, 4);
+  for (size_t i = 0; i < half; ++i) {
+    sequential.Insert(records[i].item, records[i].time);
+  }
+
+  ShardedLtc piped(config, 4);
+  IngestPipeline pipeline(piped);
+  pipeline.PushBatch(records.subspan(0, half));
+  pipeline.Flush();
+  // All accepted records applied and visible: mid-stream snapshot equals
+  // the sequential half-fed table exactly.
+  EXPECT_EQ(Bytes(sequential), Bytes(piped));
+
+  // The pipeline keeps accepting after a flush.
+  pipeline.PushBatch(records.subspan(half));
+  pipeline.Stop();
+  for (size_t i = half; i < records.size(); ++i) {
+    sequential.Insert(records[i].item, records[i].time);
+  }
+  EXPECT_EQ(Bytes(sequential), Bytes(piped));
+}
+
+TEST(IngestPipeline, DestructorStopsAndAppliesEverything) {
+  Stream stream = MakeZipfStream(10'000, 1'000, 1.0, 10, 139);
+  LtcConfig config = TimePaced(stream, 8 * 1024);
+  ShardedLtc sequential(config, 2);
+  for (const Record& r : stream.records()) sequential.Insert(r.item, r.time);
+
+  ShardedLtc piped(config, 2);
+  {
+    IngestPipeline pipeline(piped);
+    pipeline.PushBatch(stream.records());
+    // No explicit Stop: the destructor must flush and join.
+  }
+  EXPECT_EQ(Bytes(sequential), Bytes(piped));
+}
+
+TEST(IngestPipeline, StopIsIdempotentAndStatsSettle) {
+  Stream stream = MakeZipfStream(5'000, 500, 1.0, 10, 149);
+  ShardedLtc piped(TimePaced(stream, 8 * 1024), 4);
+  IngestPipeline pipeline(piped);
+  pipeline.PushBatch(stream.records());
+  pipeline.Stop();
+  pipeline.Stop();
+  EXPECT_EQ(pipeline.num_shards(), 4u);
+  for (uint32_t s = 0; s < pipeline.num_shards(); ++s) {
+    IngestShardStats stats = pipeline.ShardStatsOf(s);
+    EXPECT_EQ(stats.queue_depth, 0u) << "shard " << s;
+    EXPECT_EQ(stats.drained, stats.enqueued) << "shard " << s;
+    if (stats.enqueued > 0) {
+      EXPECT_GT(stats.batches, 0u);
+    }
+  }
+}
+
+TEST(IngestPipeline, SingleShardPipelineMatchesPlainLtc) {
+  Stream stream = MakeZipfStream(20'000, 2'000, 1.0, 20, 151);
+  LtcConfig config = TimePaced(stream, 8 * 1024);
+  Ltc plain(config);
+  plain.InsertBatch(stream.records());
+
+  ShardedLtc piped(config, 1);
+  IngestPipeline pipeline(piped);
+  pipeline.PushBatch(stream.records());
+  pipeline.Stop();
+
+  plain.Finalize();
+  piped.Finalize();
+  ExpectSameTopK(plain, piped, 50);
+}
+
+}  // namespace
+}  // namespace ltc

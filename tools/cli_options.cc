@@ -64,6 +64,9 @@ options:
   --periods T       number of periods                    [100]
   --duration SEC    total trace span (0 = infer)         [infer]
   --d N             cells per bucket                     [8]
+  --threads N       parallel ingestion: N hash-sharded tables, each fed
+                    by its own worker thread (same total memory budget;
+                    incompatible with --save/--load)      [1]
   --no-ltr          disable Long-tail Replacement
   --no-de           disable the Deviation Eliminator
   --csv             machine-readable output
@@ -112,7 +115,8 @@ std::optional<CliOptions> ParseCliOptions(
       if (arg == "--alpha") options.alpha = parsed;
       if (arg == "--beta") options.beta = parsed;
       if (arg == "--duration") options.duration = parsed;
-    } else if (arg == "--k" || arg == "--periods" || arg == "--d") {
+    } else if (arg == "--k" || arg == "--periods" || arg == "--d" ||
+               arg == "--threads") {
       if (!next_value(arg, &value)) return std::nullopt;
       uint64_t parsed;
       if (!ParseU64Arg(value, &parsed) || parsed == 0) {
@@ -122,6 +126,10 @@ std::optional<CliOptions> ParseCliOptions(
       if (arg == "--periods") options.periods = static_cast<uint32_t>(parsed);
       if (arg == "--d") {
         options.cells_per_bucket = static_cast<uint32_t>(parsed);
+      }
+      if (arg == "--threads") {
+        if (parsed > 256) return fail("bad --threads '" + value + "'");
+        options.threads = static_cast<uint32_t>(parsed);
       }
     } else if (arg == "--no-ltr") {
       options.long_tail_replacement = false;

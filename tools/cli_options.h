@@ -25,6 +25,7 @@ struct CliOptions {
   bool long_tail_replacement = true;
   bool deviation_eliminator = true;
   bool csv = false;
+  uint32_t threads = 1;       // >1 = ShardedLtc fed by an IngestPipeline
   std::string save_path;      // checkpoint the table here after the run
   std::string load_path;      // restore the table from here before the run
   bool show_help = false;

@@ -1,5 +1,9 @@
 // ltc_cli — run LTC over a text trace and print the top-k significant
 // items. See CliUsage() / --help for the interface.
+//
+// With --threads N the trace is ingested by an IngestPipeline feeding an
+// N-way ShardedLtc (same total memory budget); reporting is shared with
+// the single-table path through the SignificanceEstimator interface.
 
 #include <cstdio>
 #include <iostream>
@@ -10,12 +14,23 @@
 #include "common/format.h"
 #include "common/serial.h"
 #include "core/ltc.h"
+#include "core/sharded_ltc.h"
+#include "core/significance_estimator.h"
+#include "ingest/ingest_pipeline.h"
 #include "stream/trace_io.h"
 
 namespace ltc {
 namespace {
 
 int Run(const CliOptions& options) {
+  if (options.threads > 1 &&
+      (!options.save_path.empty() || !options.load_path.empty())) {
+    std::fprintf(stderr,
+                 "ltc_cli: --threads is incompatible with --save/--load "
+                 "(checkpoints hold a single table)\n");
+    return 1;
+  }
+
   // 1. Load the trace (file or stdin).
   std::string error;
   std::optional<TraceReadResult> trace;
@@ -34,11 +49,16 @@ int Run(const CliOptions& options) {
   }
   const Stream& stream = trace->stream;
 
-  // 2. Build or restore the table.
+  // 2. Build or restore the sketch.
   LtcConfig config = options.ToLtcConfig();
   config.period_seconds = stream.duration() / stream.num_periods();
   std::optional<Ltc> table;
-  if (!options.load_path.empty()) {
+  std::optional<ShardedLtc> sharded;
+  SignificanceEstimator* estimator = nullptr;
+  if (options.threads > 1) {
+    sharded.emplace(config, options.threads);
+    estimator = &*sharded;
+  } else if (!options.load_path.empty()) {
     auto bytes = ReadFileToString(options.load_path);
     if (!bytes) {
       std::fprintf(stderr, "ltc_cli: cannot read checkpoint '%s'\n",
@@ -52,12 +72,21 @@ int Run(const CliOptions& options) {
                    options.load_path.c_str());
       return 1;
     }
+    estimator = &*table;
   } else {
     table.emplace(config);
+    estimator = &*table;
   }
 
-  // 3. Feed the stream.
-  for (const Record& r : stream.records()) table->Insert(r.item, r.time);
+  // 3. Feed the stream: parallel pipeline when sharded, the batch fast
+  // path otherwise.
+  if (sharded) {
+    IngestPipeline pipeline(*sharded);
+    pipeline.PushBatch(stream.records());
+    pipeline.Stop();
+  } else {
+    estimator->InsertBatch(stream.records());
+  }
 
   // 4. Checkpoint before Finalize so a later --load continues cleanly.
   if (!options.save_path.empty()) {
@@ -69,7 +98,7 @@ int Run(const CliOptions& options) {
       return 1;
     }
   }
-  table->Finalize();
+  estimator->Finalize();
 
   // 5. Report.
   auto name_of = [&](ItemId item) -> std::string {
@@ -77,7 +106,7 @@ int Run(const CliOptions& options) {
     return std::to_string(item);
   };
   TextTable report({"item", "frequency", "persistency", "significance"});
-  for (const auto& r : table->TopK(options.k)) {
+  for (const auto& r : estimator->TopK(options.k)) {
     report.AddRow({name_of(r.item), std::to_string(r.frequency),
                    std::to_string(r.persistency),
                    FormatMetric(r.significance)});
@@ -85,10 +114,14 @@ int Run(const CliOptions& options) {
   if (options.csv) {
     report.PrintCsv(std::cout);
   } else {
-    std::printf("# %zu records, %u periods, %s memory, s = %g*f + %g*p\n",
+    std::printf("# %zu records, %u periods, %s memory, s = %g*f + %g*p",
                 stream.size(), stream.num_periods(),
-                FormatMemory(table->MemoryBytes()).c_str(), config.alpha,
+                FormatMemory(estimator->MemoryBytes()).c_str(), config.alpha,
                 config.beta);
+    if (options.threads > 1) {
+      std::printf(", %u shards", options.threads);
+    }
+    std::printf("\n");
     report.Print(std::cout);
   }
   return 0;
