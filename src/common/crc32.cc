@@ -1,0 +1,56 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace ltc {
+namespace {
+
+constexpr uint32_t kPoly = 0xEDB88320u;
+
+// tables[0] is the classic byte-at-a-time table; tables[1..3] extend it
+// so four bytes fold in per step (slice-by-4).
+struct Crc32Tables {
+  std::array<std::array<uint32_t, 256>, 4> t{};
+
+  constexpr Crc32Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xffu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xffu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xffu];
+    }
+  }
+};
+
+constexpr Crc32Tables kTables;
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (len >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xffu] ^ kTables.t[2][(crc >> 8) & 0xffu] ^
+          kTables.t[1][(crc >> 16) & 0xffu] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xffu];
+  }
+  return crc;
+}
+
+uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Final(Crc32Update(Crc32Init(), data, len));
+}
+
+}  // namespace ltc

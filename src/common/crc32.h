@@ -1,0 +1,34 @@
+// CRC-32 (the reflected IEEE 802.3 polynomial 0xEDB88320 — the same
+// checksum as zlib/gzip/PNG), used by the snapshot frame (src/snapshot)
+// to reject torn or bit-flipped checkpoint files at load time.
+//
+// The implementation is slice-by-4 over a compile-time table: fast
+// enough that checksumming a checkpoint is negligible next to writing
+// it, with no dependency on hardware CRC instructions.
+
+#ifndef LTC_COMMON_CRC32_H_
+#define LTC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ltc {
+
+/// One-shot CRC-32 of a buffer. Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t len);
+
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32(data.data(), data.size());
+}
+
+/// Incremental form: feed `crc` the previous return value (start from
+/// Crc32Init()) and finish with Crc32Final(). Equivalent to the
+/// one-shot call over the concatenated buffers.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+inline uint32_t Crc32Init() { return 0xffffffffu; }
+inline uint32_t Crc32Final(uint32_t crc) { return crc ^ 0xffffffffu; }
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_CRC32_H_

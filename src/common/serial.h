@@ -98,6 +98,27 @@ class BinaryReader {
   bool failed_ = false;
 };
 
+/// Every serializable structure opens its blob with a 4-byte type magic
+/// followed by a 4-byte format version (see docs/DURABILITY.md). The
+/// version is bumped whenever the byte layout changes; Deserialize
+/// rejects blobs whose version it does not speak rather than misreading
+/// them. Pre-versioning (v1) blobs had no version field and are
+/// rejected the same way.
+inline void PutVersionedMagic(BinaryWriter& writer, uint32_t magic,
+                              uint32_t version) {
+  writer.PutU32(magic);
+  writer.PutU32(version);
+}
+
+/// Consumes and checks a magic + version pair. False on mismatch or a
+/// short read (the reader's sticky failure flag is set by the read).
+inline bool CheckVersionedMagic(BinaryReader& reader, uint32_t magic,
+                                uint32_t version) {
+  const uint32_t got_magic = reader.GetU32();
+  const uint32_t got_version = reader.GetU32();
+  return !reader.failed() && got_magic == magic && got_version == version;
+}
+
 /// Whole-file helpers (binary). Load returns nullopt on I/O failure.
 bool WriteFile(const std::string& path, std::string_view contents);
 std::optional<std::string> ReadFileToString(const std::string& path);

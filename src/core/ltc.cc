@@ -456,10 +456,12 @@ void Ltc::MergeFrom(const Ltc& other) {
 
 namespace {
 constexpr uint32_t kLtcMagic = 0x4c544331;  // "LTC1"
+// v2: explicit format version after the magic (v1 had none).
+constexpr uint32_t kLtcFormatVersion = 2;
 }  // namespace
 
 void Ltc::Serialize(BinaryWriter& writer) const {
-  writer.PutU32(kLtcMagic);
+  PutVersionedMagic(writer, kLtcMagic, kLtcFormatVersion);
   writer.PutU64(config_.memory_bytes);
   writer.PutU32(config_.cells_per_bucket);
   writer.PutDouble(config_.alpha);
@@ -488,7 +490,9 @@ void Ltc::Serialize(BinaryWriter& writer) const {
 }
 
 std::optional<Ltc> Ltc::Deserialize(BinaryReader& reader) {
-  if (reader.GetU32() != kLtcMagic) return std::nullopt;
+  if (!CheckVersionedMagic(reader, kLtcMagic, kLtcFormatVersion)) {
+    return std::nullopt;
+  }
   LtcConfig config;
   config.memory_bytes = reader.GetU64();
   config.cells_per_bucket = reader.GetU32();

@@ -84,17 +84,21 @@ uint64_t ShardedLtc::EstimatePersistency(ItemId item) const {
 
 namespace {
 constexpr uint32_t kShardedMagic = 0x53484c31;  // "SHL1"
+// v2: explicit format version after the magic (v1 had none).
+constexpr uint32_t kShardedFormatVersion = 2;
 }  // namespace
 
 void ShardedLtc::Serialize(BinaryWriter& writer) const {
-  writer.PutU32(kShardedMagic);
+  PutVersionedMagic(writer, kShardedMagic, kShardedFormatVersion);
   writer.PutU64(route_seed_);
   writer.PutU32(static_cast<uint32_t>(shards_.size()));
   for (const Ltc& shard : shards_) shard.Serialize(writer);
 }
 
 std::optional<ShardedLtc> ShardedLtc::Deserialize(BinaryReader& reader) {
-  if (reader.GetU32() != kShardedMagic) return std::nullopt;
+  if (!CheckVersionedMagic(reader, kShardedMagic, kShardedFormatVersion)) {
+    return std::nullopt;
+  }
   ShardedLtc sharded;
   sharded.route_seed_ = reader.GetU64();
   uint32_t num_shards = reader.GetU32();

@@ -143,10 +143,12 @@ bool WindowedLtc::CheckInvariants() const {
 
 namespace {
 constexpr uint32_t kWindowedMagic = 0x574c5431;  // "WLT1"
+// v2: explicit format version after the magic (v1 had none).
+constexpr uint32_t kWindowedFormatVersion = 2;
 }  // namespace
 
 void WindowedLtc::Serialize(BinaryWriter& writer) const {
-  writer.PutU32(kWindowedMagic);
+  PutVersionedMagic(writer, kWindowedMagic, kWindowedFormatVersion);
   writer.PutU32(window_periods_);
   writer.PutU64(current_pane_);
   writer.PutU8(previous_live_ ? 1 : 0);
@@ -156,7 +158,9 @@ void WindowedLtc::Serialize(BinaryWriter& writer) const {
 }
 
 std::optional<WindowedLtc> WindowedLtc::Deserialize(BinaryReader& reader) {
-  if (reader.GetU32() != kWindowedMagic) return std::nullopt;
+  if (!CheckVersionedMagic(reader, kWindowedMagic, kWindowedFormatVersion)) {
+    return std::nullopt;
+  }
   uint32_t window_periods = reader.GetU32();
   uint64_t current_pane = reader.GetU64();
   bool previous_live = reader.GetU8() != 0;

@@ -1,6 +1,9 @@
 #include "ingest/ingest_pipeline.h"
 
 #include <cassert>
+#include <stdexcept>
+
+#include "snapshot/snapshot_store.h"
 
 namespace ltc {
 
@@ -27,6 +30,13 @@ void IngestPipeline::WorkerLoop(uint32_t shard_index) {
   Ltc& shard = sink_.shard(shard_index);
   std::vector<Record> batch(config_.drain_batch);
   for (;;) {
+    if (suspended_.load(std::memory_order_acquire) &&
+        !stop_.load(std::memory_order_acquire)) {
+      // Fault-injection seam: play dead until resumed or stopped (Stop
+      // still drains, so suspension never loses accepted records).
+      std::this_thread::yield();
+      continue;
+    }
     size_t n = lane.ring.PopBatch(batch.data(), batch.size());
     if (n == 0) {
       if (stop_.load(std::memory_order_acquire)) {
@@ -49,12 +59,23 @@ void IngestPipeline::WorkerLoop(uint32_t shard_index) {
 
 uint64_t IngestPipeline::PushRun(Lane& lane, std::span<const Record> run) {
   uint64_t accepted = 0;
+  uint64_t idle_yields = 0;
   while (!run.empty()) {
     size_t pushed = lane.ring.TryPushBatch(run);
     accepted += pushed;
     run = run.subspan(pushed);
     if (run.empty()) break;
     if (config_.backpressure == BackpressureMode::kDrop) {
+      lane.dropped.fetch_add(run.size(), std::memory_order_relaxed);
+      break;
+    }
+    if (pushed > 0) {
+      idle_yields = 0;
+    } else if (++idle_yields > config_.stall_yield_limit) {
+      // kBlock escape hatch: the worker made no room for the whole
+      // bounded wait — treat it as dead, surface the stall, and account
+      // for the records we could not deliver.
+      stalled_.store(true, std::memory_order_release);
       lane.dropped.fetch_add(run.size(), std::memory_order_relaxed);
       break;
     }
@@ -67,7 +88,9 @@ uint64_t IngestPipeline::PushRun(Lane& lane, std::span<const Record> run) {
 void IngestPipeline::Push(ItemId item, double time) {
   assert(!stopped_ && "Push after Stop()");
   const Record record{item, time};
-  PushRun(*lanes_[sink_.ShardOf(item)], {&record, 1});
+  const uint64_t accepted =
+      PushRun(*lanes_[sink_.ShardOf(item)], {&record, 1});
+  MaybeCheckpoint(accepted);
 }
 
 void IngestPipeline::PushBatch(std::span<const Record> records) {
@@ -76,18 +99,82 @@ void IngestPipeline::PushBatch(std::span<const Record> records) {
   for (const Record& record : records) {
     route_runs_[sink_.ShardOf(record.item)].push_back(record);
   }
+  uint64_t accepted = 0;
   for (uint32_t s = 0; s < lanes_.size(); ++s) {
-    if (!route_runs_[s].empty()) PushRun(*lanes_[s], route_runs_[s]);
-  }
-}
-
-void IngestPipeline::Flush() {
-  for (auto& lane : lanes_) {
-    const uint64_t target = lane->enqueued.load(std::memory_order_relaxed);
-    while (lane->drained.load(std::memory_order_acquire) < target) {
-      std::this_thread::yield();
+    if (!route_runs_[s].empty()) {
+      accepted += PushRun(*lanes_[s], route_runs_[s]);
     }
   }
+  MaybeCheckpoint(accepted);
+}
+
+bool IngestPipeline::Flush() {
+  bool complete = true;
+  for (auto& lane : lanes_) {
+    const uint64_t target = lane->enqueued.load(std::memory_order_relaxed);
+    uint64_t last = lane->drained.load(std::memory_order_acquire);
+    uint64_t idle_yields = 0;
+    while (last < target) {
+      if (++idle_yields > config_.stall_yield_limit) {
+        // Bounded wait expired without progress: a dead worker must
+        // surface as an error, not an infinite wait.
+        stalled_.store(true, std::memory_order_release);
+        complete = false;
+        break;
+      }
+      std::this_thread::yield();
+      const uint64_t now = lane->drained.load(std::memory_order_acquire);
+      if (now != last) {
+        last = now;
+        idle_yields = 0;
+      }
+    }
+  }
+  return complete;
+}
+
+void IngestPipeline::AttachSnapshotStore(SnapshotStore* store) {
+  snapshot_store_ = store;
+  since_checkpoint_ = 0;
+}
+
+void IngestPipeline::MaybeCheckpoint(uint64_t accepted) {
+  since_checkpoint_ += accepted;
+  if (snapshot_store_ == nullptr || config_.checkpoint_every == 0) return;
+  if (since_checkpoint_ < config_.checkpoint_every) return;
+  Checkpoint();  // best-effort; failures are counted, feeding continues
+}
+
+bool IngestPipeline::Checkpoint(std::string* error) {
+  assert(!stopped_ && "Checkpoint after Stop()");
+  // Reset the cadence even on failure so a persistent fault retries
+  // once per interval instead of once per push.
+  since_checkpoint_ = 0;
+  if (snapshot_store_ == nullptr) {
+    if (error != nullptr) *error = "no snapshot store attached";
+    ++checkpoint_failures_;
+    return false;
+  }
+  if (!Flush()) {
+    if (error != nullptr) *error = "pipeline stalled; checkpoint skipped";
+    ++checkpoint_failures_;
+    return false;
+  }
+  // After a complete Flush every worker has applied its backlog and is
+  // idle-polling an empty ring; only this (producer) thread can make
+  // new records appear, so reading the shard tables here is safe.
+  BinaryWriter writer;
+  sink_.Serialize(writer);
+  std::string save_error;
+  const auto seq = snapshot_store_->Save(writer.data(), &save_error);
+  if (!seq.has_value()) {
+    if (error != nullptr) *error = save_error;
+    ++checkpoint_failures_;
+    return false;
+  }
+  ++checkpoints_taken_;
+  last_checkpoint_seq_ = *seq;
+  return true;
 }
 
 void IngestPipeline::Stop() {
@@ -119,6 +206,11 @@ uint64_t IngestPipeline::TotalDropped() const {
 }
 
 IngestShardStats IngestPipeline::ShardStatsOf(uint32_t shard) const {
+  if (shard >= lanes_.size()) {
+    throw std::out_of_range("IngestPipeline::ShardStatsOf: shard " +
+                            std::to_string(shard) + " >= num_shards " +
+                            std::to_string(lanes_.size()));
+  }
   const Lane& lane = *lanes_[shard];
   IngestShardStats stats;
   stats.enqueued = lane.enqueued.load(std::memory_order_relaxed);

@@ -17,11 +17,20 @@
 // Backpressure on a full ring is configurable: kBlock (the producer spins
 // with yields — no record is ever lost) or kDrop (the record is counted
 // and discarded — bounded producer latency under overload, like a NIC
-// queue).
+// queue). kBlock's spin is BOUNDED: a worker that stops draining for
+// `stall_yield_limit` consecutive yields surfaces as a latched stalled()
+// flag (and the stuck records are counted as dropped) instead of
+// wedging the producer forever.
 //
-// Threading contract: Push / PushBatch / Flush / Stop must all be called
-// from ONE producer thread. Queries on the ShardedLtc are only safe after
-// Flush() (all queued records applied, memory-visible) or Stop().
+// Durability: attach a SnapshotStore and set checkpoint_every to have
+// the pipeline periodically persist the sink — each checkpoint rides
+// the Flush() barrier (flush → serialize → atomic save → resume
+// feeding; workers never restart). See docs/DURABILITY.md.
+//
+// Threading contract: Push / PushBatch / Flush / Stop / Checkpoint must
+// all be called from ONE producer thread. Queries on the ShardedLtc are
+// only safe after Flush() (all queued records applied, memory-visible)
+// or Stop().
 
 #ifndef LTC_INGEST_INGEST_PIPELINE_H_
 #define LTC_INGEST_INGEST_PIPELINE_H_
@@ -31,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -38,6 +48,8 @@
 #include "ingest/spsc_ring.h"
 
 namespace ltc {
+
+class SnapshotStore;
 
 /// What the router does when a shard's ring is full.
 enum class BackpressureMode {
@@ -54,6 +66,18 @@ struct IngestConfig {
   size_t drain_batch = 512;
 
   BackpressureMode backpressure = BackpressureMode::kBlock;
+
+  /// Escape hatch for kBlock spins and Flush() waits: after this many
+  /// consecutive yields with NO worker progress, the wait gives up,
+  /// stalled() latches true and (for a blocked push) the stuck records
+  /// are counted as dropped. A dead worker thus surfaces as an
+  /// observable error instead of an infinite producer spin. The default
+  /// is a few seconds of real time; tests use tiny values.
+  uint64_t stall_yield_limit = 4'000'000;
+
+  /// Auto-checkpoint cadence in accepted records; 0 disables. Only
+  /// effective once a SnapshotStore is attached.
+  uint64_t checkpoint_every = 0;
 };
 
 /// Per-shard operational counters (see IngestPipeline::ShardStatsOf).
@@ -89,8 +113,39 @@ class IngestPipeline {
   /// Blocks until every accepted record has been applied to its shard
   /// table (and is memory-visible to this thread). The pipeline stays
   /// usable: Push may resume after Flush — that is how mid-stream
-  /// snapshots are taken (flush, query, keep feeding).
-  void Flush();
+  /// snapshots are taken (flush, query, keep feeding). The wait is
+  /// bounded (see IngestConfig::stall_yield_limit): returns false when
+  /// a stalled worker kept records from draining, true when every
+  /// accepted record is applied.
+  bool Flush();
+
+  /// Attaches the checkpoint sink. The store must outlive the pipeline
+  /// (or be detached with nullptr first). Producer thread only. With
+  /// config.checkpoint_every > 0, a checkpoint is taken automatically
+  /// every that-many accepted records.
+  void AttachSnapshotStore(SnapshotStore* store);
+
+  /// Takes a checkpoint NOW: Flush(), serialize the sink, atomically
+  /// persist it to the attached store. Returns false (with `error`)
+  /// when no store is attached, the flush stalled, or the save failed —
+  /// in every failure case the previously persisted snapshots are
+  /// untouched. Producer thread only.
+  bool Checkpoint(std::string* error = nullptr);
+
+  /// Checkpoints successfully taken / failed since construction, and
+  /// the store sequence number of the newest one (0 = none yet).
+  uint64_t CheckpointsTaken() const { return checkpoints_taken_; }
+  uint64_t CheckpointFailures() const { return checkpoint_failures_; }
+  uint64_t LastCheckpointSeq() const { return last_checkpoint_seq_; }
+
+  /// Latched true once any bounded wait expired (dead/stuck worker).
+  bool stalled() const { return stalled_.load(std::memory_order_acquire); }
+
+  /// Fault-injection seam: while true, workers stop draining (as if
+  /// dead) until resumed or stopped. Any thread.
+  void SuspendWorkersForTest(bool suspended) {
+    suspended_.store(suspended, std::memory_order_release);
+  }
 
   /// Flushes, stops and joins all workers. Idempotent; called by the
   /// destructor. After Stop() the pipeline accepts no more records.
@@ -99,9 +154,11 @@ class IngestPipeline {
   /// Total records accepted across shards (excludes drops).
   uint64_t TotalEnqueued() const;
 
-  /// Total records discarded by kDrop backpressure.
+  /// Total records discarded by kDrop backpressure or a stalled kBlock
+  /// push.
   uint64_t TotalDropped() const;
 
+  /// Throws std::out_of_range when `shard` >= num_shards().
   IngestShardStats ShardStatsOf(uint32_t shard) const;
 
   uint32_t num_shards() const {
@@ -129,12 +186,24 @@ class IngestPipeline {
   // number of records accepted (the rest were dropped).
   uint64_t PushRun(Lane& lane, std::span<const Record> run);
 
+  // Auto-checkpoint trigger, called after every accepting push.
+  void MaybeCheckpoint(uint64_t accepted);
+
   ShardedLtc& sink_;
   IngestConfig config_;
   std::vector<std::unique_ptr<Lane>> lanes_;  // stable addresses for threads
   std::vector<std::vector<Record>> route_runs_;  // PushBatch scratch
   std::atomic<bool> stop_{false};
+  std::atomic<bool> suspended_{false};  // test seam: workers play dead
+  std::atomic<bool> stalled_{false};    // latched by expired bounded waits
   bool stopped_ = false;  // producer-side latch; Stop is idempotent
+
+  // Checkpoint state (producer thread only).
+  SnapshotStore* snapshot_store_ = nullptr;
+  uint64_t since_checkpoint_ = 0;
+  uint64_t checkpoints_taken_ = 0;
+  uint64_t checkpoint_failures_ = 0;
+  uint64_t last_checkpoint_seq_ = 0;
 };
 
 }  // namespace ltc

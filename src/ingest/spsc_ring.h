@@ -88,11 +88,18 @@ class SpscRing {
     return count;
   }
 
-  /// Racy size estimate, for stats/monitoring only.
+  /// Racy size estimate, for stats/monitoring only. Safe to call from
+  /// any thread: `head` is loaded BEFORE `tail`, and head only ever
+  /// advances toward tail, so the tail we read afterwards is >= the
+  /// head we read — the difference cannot underflow. Concurrent pushes
+  /// between the two loads can only inflate the estimate, so it is
+  /// additionally clamped to the capacity.
   size_t SizeApprox() const {
-    const uint64_t tail = tail_.load(std::memory_order_relaxed);
-    const uint64_t head = head_.load(std::memory_order_relaxed);
-    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t depth = tail >= head ? tail - head : 0;  // belt & braces
+    return depth > slots_.size() ? slots_.size()
+                                 : static_cast<size_t>(depth);
   }
 
  private:

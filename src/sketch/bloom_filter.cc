@@ -62,10 +62,12 @@ void BloomFilter::Clear() {
 
 namespace {
 constexpr uint32_t kBloomMagic = 0x424c4d31;  // "BLM1"
+// v2: explicit format version after the magic (v1 had none).
+constexpr uint32_t kBloomFormatVersion = 2;
 }  // namespace
 
 void BloomFilter::Serialize(BinaryWriter& writer) const {
-  writer.PutU32(kBloomMagic);
+  PutVersionedMagic(writer, kBloomMagic, kBloomFormatVersion);
   writer.PutU64(num_bits_);
   writer.PutU32(num_hashes_);
   writer.PutU64(seed_);
@@ -73,7 +75,9 @@ void BloomFilter::Serialize(BinaryWriter& writer) const {
 }
 
 std::optional<BloomFilter> BloomFilter::Deserialize(BinaryReader& reader) {
-  if (reader.GetU32() != kBloomMagic) return std::nullopt;
+  if (!CheckVersionedMagic(reader, kBloomMagic, kBloomFormatVersion)) {
+    return std::nullopt;
+  }
   uint64_t num_bits = reader.GetU64();
   uint32_t num_hashes = reader.GetU32();
   uint64_t seed = reader.GetU64();

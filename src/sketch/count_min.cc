@@ -44,10 +44,12 @@ CounterMatrixSketch::CounterMatrixSketch(uint32_t depth, uint32_t width,
 
 namespace {
 constexpr uint32_t kSketchMagic = 0x434d5331;  // "CMS1"
+// v2: explicit format version after the magic (v1 had none).
+constexpr uint32_t kSketchFormatVersion = 2;
 }  // namespace
 
 void CounterMatrixSketch::Serialize(BinaryWriter& writer) const {
-  writer.PutU32(kSketchMagic);
+  PutVersionedMagic(writer, kSketchMagic, kSketchFormatVersion);
   writer.PutU8(TypeTag());
   writer.PutU32(depth_);
   writer.PutU32(width_);
@@ -57,7 +59,9 @@ void CounterMatrixSketch::Serialize(BinaryWriter& writer) const {
 
 std::unique_ptr<CounterMatrixSketch> CounterMatrixSketch::Deserialize(
     BinaryReader& reader) {
-  if (reader.GetU32() != kSketchMagic) return nullptr;
+  if (!CheckVersionedMagic(reader, kSketchMagic, kSketchFormatVersion)) {
+    return nullptr;
+  }
   uint8_t tag = reader.GetU8();
   uint32_t depth = reader.GetU32();
   uint32_t width = reader.GetU32();

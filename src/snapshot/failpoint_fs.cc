@@ -1,0 +1,136 @@
+#include "snapshot/failpoint_fs.h"
+
+namespace ltc {
+
+void FailpointFs::Arm(Failure failure, uint64_t trigger_op, uint64_t seed) {
+  failure_ = failure;
+  trigger_op_ = trigger_op;
+  seed_ = seed;
+  fired_ = false;
+  crashed_ = false;
+}
+
+bool FailpointFs::Fires(OpKind op) {
+  const uint64_t index = ops_++;
+  if (fired_ || failure_ == Failure::kNone || index < trigger_op_) {
+    return false;
+  }
+  bool applies = false;
+  switch (failure_) {
+    case Failure::kCrash:
+      applies = true;  // a crash can land on any mutating op
+      break;
+    case Failure::kShortWrite:
+    case Failure::kWriteError:
+    case Failure::kFlipByteInWrite:
+      applies = op == OpKind::kWrite;
+      break;
+    case Failure::kSyncError:
+      applies = op == OpKind::kSync;
+      break;
+    case Failure::kRenameError:
+    case Failure::kTruncateAfterRename:
+      applies = op == OpKind::kRename;
+      break;
+    case Failure::kNone:
+      break;
+  }
+  if (!applies) return false;
+  fired_ = true;
+  if (failure_ == Failure::kCrash) crashed_ = true;
+  return true;
+}
+
+bool FailpointFs::WriteAll(const std::string& path, std::string_view data) {
+  if (crashed_) {
+    ++ops_;
+    return false;
+  }
+  if (!Fires(OpKind::kWrite)) return base_.WriteAll(path, data);
+  switch (failure_) {
+    case Failure::kCrash:
+    case Failure::kShortWrite: {
+      // Persist a deterministic prefix: the torn write.
+      const size_t keep =
+          data.empty() ? 0 : static_cast<size_t>(seed_ % (data.size() + 1));
+      base_.WriteAll(path, data.substr(0, keep));
+      return false;
+    }
+    case Failure::kFlipByteInWrite: {
+      std::string corrupted(data);
+      if (!corrupted.empty()) {
+        corrupted[static_cast<size_t>(seed_ % corrupted.size())] ^= 0x40;
+      }
+      base_.WriteAll(path, corrupted);
+      return true;  // silent corruption: the write reports success
+    }
+    case Failure::kWriteError:
+    default:
+      return false;
+  }
+}
+
+std::optional<std::string> FailpointFs::ReadAll(const std::string& path) {
+  return base_.ReadAll(path);
+}
+
+bool FailpointFs::Sync(const std::string& path) {
+  if (crashed_) {
+    ++ops_;
+    return false;
+  }
+  if (Fires(OpKind::kSync)) return false;
+  return base_.Sync(path);
+}
+
+bool FailpointFs::SyncDir(const std::string& path) {
+  if (crashed_) {
+    ++ops_;
+    return false;
+  }
+  if (Fires(OpKind::kSync)) return false;
+  return base_.SyncDir(path);
+}
+
+bool FailpointFs::Rename(const std::string& from, const std::string& to) {
+  if (crashed_) {
+    ++ops_;
+    return false;
+  }
+  if (!Fires(OpKind::kRename)) return base_.Rename(from, to);
+  switch (failure_) {
+    case Failure::kTruncateAfterRename: {
+      if (!base_.Rename(from, to)) return false;
+      auto contents = base_.ReadAll(to);
+      if (contents && !contents->empty()) {
+        const size_t keep = static_cast<size_t>(seed_ % contents->size());
+        base_.WriteAll(to, std::string_view(*contents).substr(0, keep));
+      }
+      return true;  // the rename itself "succeeded"
+    }
+    case Failure::kCrash:
+    case Failure::kRenameError:
+    default:
+      return false;
+  }
+}
+
+bool FailpointFs::Remove(const std::string& path) {
+  if (crashed_) {
+    ++ops_;
+    return false;
+  }
+  if (Fires(OpKind::kRemove)) return false;  // only kCrash lands here
+  return base_.Remove(path);
+}
+
+bool FailpointFs::Exists(const std::string& path) {
+  return base_.Exists(path);
+}
+
+std::optional<std::vector<std::string>> FailpointFs::ListDir(
+    const std::string& dir) {
+  return base_.ListDir(dir);
+}
+
+}  // namespace ltc

@@ -1,0 +1,99 @@
+// FailpointFs — deterministic fault injection for the snapshot I/O
+// path (docs/DURABILITY.md "Failpoint catalog").
+//
+// Wraps any Fs and counts its *mutating* operations (WriteAll, Sync,
+// SyncDir, Rename, Remove) in call order. Arm() schedules exactly one
+// failure at a chosen operation index, which makes crash-consistency
+// sweeps trivial: run a clean save once to learn its operation count,
+// then re-run it once per index with a crash armed there
+// (tests/snapshot_store_test.cc does exactly this — the
+// "kill-mid-checkpoint at every point" proof).
+//
+// Failure semantics:
+//   kCrash               the triggering op applies a partial effect
+//                        (writes keep a seed-derived prefix), then the
+//                        "process is dead": every later mutating op
+//                        fails and changes nothing. Reads still work —
+//                        recovery happens in a new process.
+//   kShortWrite          one WriteAll persists only a prefix and
+//                        reports failure (disk full / torn write).
+//   kWriteError          one WriteAll writes nothing and fails.
+//   kSyncError           one Sync/SyncDir reports failure.
+//   kRenameError         one Rename fails, leaving both names as-is.
+//   kTruncateAfterRename one Rename "succeeds" but the destination
+//                        loses its tail (power loss before the data
+//                        blocks hit the platter).
+//   kFlipByteInWrite     one WriteAll silently flips a single byte at
+//                        a seeded offset and reports success — the
+//                        corruption only the CRC can catch.
+//
+// All choices (prefix lengths, flip offsets) derive from the seed, so
+// every injected disaster is reproducible.
+
+#ifndef LTC_SNAPSHOT_FAILPOINT_FS_H_
+#define LTC_SNAPSHOT_FAILPOINT_FS_H_
+
+#include <cstdint>
+
+#include "snapshot/fs.h"
+
+namespace ltc {
+
+class FailpointFs final : public Fs {
+ public:
+  enum class Failure {
+    kNone,
+    kCrash,
+    kShortWrite,
+    kWriteError,
+    kSyncError,
+    kRenameError,
+    kTruncateAfterRename,
+    kFlipByteInWrite,
+  };
+
+  /// `base` must outlive this wrapper.
+  explicit FailpointFs(Fs& base) : base_(base) {}
+
+  /// Schedules `failure` at the first matching mutating operation with
+  /// index >= trigger_op (indices count from 0 across ALL mutating
+  /// ops). Re-arming resets the fired/crashed state.
+  void Arm(Failure failure, uint64_t trigger_op, uint64_t seed = 0);
+
+  /// Mutating operations observed so far.
+  uint64_t mutating_ops() const { return ops_; }
+
+  /// True once a kCrash failpoint has fired.
+  bool crashed() const { return crashed_; }
+
+  /// True once the armed failure has fired.
+  bool fired() const { return fired_; }
+
+  bool WriteAll(const std::string& path, std::string_view data) override;
+  std::optional<std::string> ReadAll(const std::string& path) override;
+  bool Sync(const std::string& path) override;
+  bool SyncDir(const std::string& path) override;
+  bool Rename(const std::string& from, const std::string& to) override;
+  bool Remove(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  std::optional<std::vector<std::string>> ListDir(
+      const std::string& dir) override;
+
+ private:
+  enum class OpKind { kWrite, kSync, kRename, kRemove };
+
+  /// Accounts one mutating op; true iff the armed failure fires on it.
+  bool Fires(OpKind op);
+
+  Fs& base_;
+  Failure failure_ = Failure::kNone;
+  uint64_t trigger_op_ = 0;
+  uint64_t seed_ = 0;
+  uint64_t ops_ = 0;
+  bool fired_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_SNAPSHOT_FAILPOINT_FS_H_

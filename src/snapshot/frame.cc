@@ -1,0 +1,80 @@
+#include "snapshot/frame.h"
+
+#include "common/crc32.h"
+#include "common/serial.h"
+
+namespace ltc {
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x4c534e50;  // "LSNP"
+constexpr uint32_t kFrameVersion = 1;
+
+}  // namespace
+
+const char* SnapshotErrorName(SnapshotError error) {
+  switch (error) {
+    case SnapshotError::kNone: return "ok";
+    case SnapshotError::kTooShort: return "too-short";
+    case SnapshotError::kBadMagic: return "bad-magic";
+    case SnapshotError::kBadVersion: return "bad-version";
+    case SnapshotError::kBadHeaderCrc: return "bad-header-crc";
+    case SnapshotError::kLengthMismatch: return "length-mismatch";
+    case SnapshotError::kBadPayloadCrc: return "bad-payload-crc";
+    case SnapshotError::kPayloadRejected: return "payload-rejected";
+    case SnapshotError::kIoError: return "io-error";
+    case SnapshotError::kNotFound: return "not-found";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  BinaryWriter header;
+  header.PutU32(kFrameMagic);
+  header.PutU32(kFrameVersion);
+  header.PutU64(payload.size());
+  header.PutU32(Crc32(payload));
+  header.PutU32(Crc32(header.data()));
+
+  std::string frame = header.data();
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+FrameDecodeResult DecodeFrame(std::string_view frame) {
+  FrameDecodeResult result;
+  if (frame.size() < kFrameHeaderSize) {
+    result.error = SnapshotError::kTooShort;
+    return result;
+  }
+  BinaryReader reader(frame.substr(0, kFrameHeaderSize));
+  const uint32_t magic = reader.GetU32();
+  const uint32_t version = reader.GetU32();
+  const uint64_t payload_length = reader.GetU64();
+  const uint32_t payload_crc = reader.GetU32();
+  const uint32_t header_crc = reader.GetU32();
+  if (magic != kFrameMagic) {
+    result.error = SnapshotError::kBadMagic;
+    return result;
+  }
+  if (version != kFrameVersion) {
+    result.error = SnapshotError::kBadVersion;
+    return result;
+  }
+  if (header_crc != Crc32(frame.substr(0, kFrameHeaderSize - 4))) {
+    result.error = SnapshotError::kBadHeaderCrc;
+    return result;
+  }
+  const std::string_view payload = frame.substr(kFrameHeaderSize);
+  if (payload.size() != payload_length) {
+    result.error = SnapshotError::kLengthMismatch;
+    return result;
+  }
+  if (payload_crc != Crc32(payload)) {
+    result.error = SnapshotError::kBadPayloadCrc;
+    return result;
+  }
+  result.payload = payload;
+  return result;
+}
+
+}  // namespace ltc

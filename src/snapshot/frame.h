@@ -1,0 +1,68 @@
+// The snapshot frame — the on-disk envelope every checkpoint is wrapped
+// in (docs/DURABILITY.md):
+//
+//   offset  size  field
+//   0       4     frame magic "LSNP"
+//   4       4     frame format version (currently 1)
+//   8       8     payload length in bytes
+//   16      4     CRC-32 of the payload
+//   20      4     CRC-32 of the 20 header bytes above
+//   24      —     payload (a sketch's Serialize() bytes)
+//
+// All integers little-endian. The header CRC makes a flipped bit in the
+// length field a typed header error instead of a garbage-length read;
+// the payload CRC catches every single-byte corruption of the body
+// (tests/snapshot_corruption_test.cc sweeps all offsets). Decoding
+// never trusts a length it has not checked against the actual file
+// size, so a truncated or inflated frame is rejected before any
+// payload parsing runs.
+
+#ifndef LTC_SNAPSHOT_FRAME_H_
+#define LTC_SNAPSHOT_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ltc {
+
+/// Why a snapshot could not be decoded. Every rejection path reports
+/// one of these — corruption is a typed, testable outcome, never a
+/// crash or a silently-accepted blob.
+enum class SnapshotError {
+  kNone = 0,
+  kTooShort,          // fewer bytes than a frame header
+  kBadMagic,          // not a snapshot frame at all
+  kBadVersion,        // a frame format this build does not speak
+  kBadHeaderCrc,      // header bytes corrupted (length untrustworthy)
+  kLengthMismatch,    // actual payload size != header's payload length
+  kBadPayloadCrc,     // payload bytes corrupted
+  kPayloadRejected,   // frame intact but the sketch Deserialize refused
+  kIoError,           // the file could not be read
+  kNotFound,          // no snapshot exists
+};
+
+/// Stable human-readable name ("bad-payload-crc", ...), for logs and
+/// CLI diagnostics.
+const char* SnapshotErrorName(SnapshotError error);
+
+constexpr size_t kFrameHeaderSize = 24;
+
+/// Wraps a payload in a checksummed, versioned frame.
+std::string EncodeFrame(std::string_view payload);
+
+struct FrameDecodeResult {
+  /// Views into the input frame; valid only while it lives.
+  std::string_view payload;
+  SnapshotError error = SnapshotError::kNone;
+  bool ok() const { return error == SnapshotError::kNone; }
+};
+
+/// Validates magic, version, both CRCs and the length before exposing
+/// the payload.
+FrameDecodeResult DecodeFrame(std::string_view frame);
+
+}  // namespace ltc
+
+#endif  // LTC_SNAPSHOT_FRAME_H_

@@ -1,0 +1,141 @@
+#include "snapshot/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ltc {
+namespace {
+
+class PosixFs final : public Fs {
+ public:
+  bool WriteAll(const std::string& path, std::string_view data) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return false;
+    const char* p = data.data();
+    size_t remaining = data.size();
+    bool ok = true;
+    while (remaining > 0) {
+      const ssize_t n = ::write(fd, p, remaining);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ok = false;
+        break;
+      }
+      p += n;
+      remaining -= static_cast<size_t>(n);
+    }
+    ok = (::close(fd) == 0) && ok;
+    return ok;
+  }
+
+  std::optional<std::string> ReadAll(const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return std::nullopt;
+    std::string out;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!ok) return std::nullopt;
+    return out;
+  }
+
+  bool Sync(const std::string& path) override {
+    return SyncFd(path, O_RDONLY | O_CLOEXEC);
+  }
+
+  bool SyncDir(const std::string& path) override {
+    return SyncFd(path, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  }
+
+  bool Rename(const std::string& from, const std::string& to) override {
+    return ::rename(from.c_str(), to.c_str()) == 0;
+  }
+
+  bool Remove(const std::string& path) override {
+    return ::unlink(path.c_str()) == 0;
+  }
+
+  bool Exists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  std::optional<std::vector<std::string>> ListDir(
+      const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return std::nullopt;
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+  }
+
+ private:
+  static bool SyncFd(const std::string& path, int flags) {
+    const int fd = ::open(path.c_str(), flags);
+    if (fd < 0) return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+  }
+};
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+Fs& SystemFs() {
+  static PosixFs fs;
+  return fs;
+}
+
+std::string DirnameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool AtomicWriteFile(Fs& fs, const std::string& path, std::string_view data,
+                     std::string* error) {
+  const std::string tmp = path + ".tmp";
+  if (!fs.WriteAll(tmp, data)) {
+    SetError(error, "cannot write temp file '" + tmp + "'");
+    fs.Remove(tmp);
+    return false;
+  }
+  if (!fs.Sync(tmp)) {
+    SetError(error, "cannot fsync temp file '" + tmp + "'");
+    fs.Remove(tmp);
+    return false;
+  }
+  if (!fs.Rename(tmp, path)) {
+    SetError(error, "cannot rename '" + tmp + "' to '" + path + "'");
+    fs.Remove(tmp);
+    return false;
+  }
+  if (!fs.SyncDir(DirnameOf(path))) {
+    // The rename already happened; the new file is visible but its
+    // directory entry may not be durable. Report failure so the caller
+    // does not count this snapshot as safely persisted.
+    SetError(error, "cannot fsync directory of '" + path + "'");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ltc

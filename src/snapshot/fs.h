@@ -1,0 +1,65 @@
+// The file-I/O seam of the durability layer.
+//
+// Everything that touches the disk on the snapshot path goes through
+// the `Fs` interface, for one reason: crash consistency must be
+// *testable*. Production code uses SystemFs() (POSIX syscalls with
+// real fsync); tests wrap it in FailpointFs (failpoint_fs.h) to inject
+// short writes, fsync failures, mid-operation crashes and silent bit
+// flips, and then prove the recovery path survives every one of them.
+//
+// AtomicWriteFile is the only way a snapshot reaches its final name:
+// write-to-temp → fsync(temp) → rename(temp, final) → fsync(dir).
+// rename(2) is atomic on POSIX, so a reader never observes a partially
+// written final file — either the old bytes or the new bytes, never a
+// mix. The directory fsync makes the rename itself durable.
+
+#ifndef LTC_SNAPSHOT_FS_H_
+#define LTC_SNAPSHOT_FS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ltc {
+
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Creates/truncates `path` and writes all of `data` (no fsync).
+  virtual bool WriteAll(const std::string& path, std::string_view data) = 0;
+
+  /// Whole-file read; nullopt when missing or unreadable.
+  virtual std::optional<std::string> ReadAll(const std::string& path) = 0;
+
+  /// fsync of an existing file / directory.
+  virtual bool Sync(const std::string& path) = 0;
+  virtual bool SyncDir(const std::string& path) = 0;
+
+  virtual bool Rename(const std::string& from, const std::string& to) = 0;
+  virtual bool Remove(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// Entry names (not paths) in `dir`, unsorted; nullopt when the
+  /// directory cannot be opened.
+  virtual std::optional<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+};
+
+/// The process-wide POSIX filesystem.
+Fs& SystemFs();
+
+/// "/a/b/c" -> "/a/b"; a bare filename maps to ".".
+std::string DirnameOf(const std::string& path);
+
+/// Durable atomic replacement of `path` with `data` (see file comment).
+/// On failure the temp file is best-effort removed, `error` (optional)
+/// describes the failing step, and `path` still holds its prior
+/// contents — a failed save never damages the last good snapshot.
+bool AtomicWriteFile(Fs& fs, const std::string& path, std::string_view data,
+                     std::string* error = nullptr);
+
+}  // namespace ltc
+
+#endif  // LTC_SNAPSHOT_FS_H_

@@ -1,0 +1,78 @@
+// Typed glue between the sketch serializers and the snapshot frame:
+// any structure exposing
+//
+//   void Serialize(BinaryWriter&) const
+//   static std::optional<T> Deserialize(BinaryReader&)     (or unique_ptr)
+//
+// — the whole serializable family: Ltc, ShardedLtc, WindowedLtc,
+// BloomFilter, CounterMatrixSketch — can be wrapped in / recovered
+// from a checksummed frame with one call. Decode failures are typed:
+// frame-level corruption reports the frame's SnapshotError, an intact
+// frame whose payload the sketch refuses (or that has trailing bytes)
+// reports kPayloadRejected. Nothing in this path crashes on corrupt
+// input; that contract is swept by tests/snapshot_corruption_test.cc.
+
+#ifndef LTC_SNAPSHOT_SKETCH_SNAPSHOT_H_
+#define LTC_SNAPSHOT_SKETCH_SNAPSHOT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/serial.h"
+#include "snapshot/frame.h"
+
+namespace ltc {
+
+/// Serialize + frame: the bytes to hand to SnapshotStore::Save or
+/// AtomicWriteFile.
+template <typename Sketch>
+std::string EncodeSketchSnapshot(const Sketch& sketch) {
+  BinaryWriter writer;
+  sketch.Serialize(writer);
+  return EncodeFrame(writer.data());
+}
+
+/// Unframe + Deserialize, for optional-returning Deserialize.
+template <typename Sketch>
+std::optional<Sketch> DecodeSketchSnapshot(
+    std::string_view frame, SnapshotError* error = nullptr) {
+  const FrameDecodeResult decoded = DecodeFrame(frame);
+  if (!decoded.ok()) {
+    if (error != nullptr) *error = decoded.error;
+    return std::nullopt;
+  }
+  BinaryReader reader(decoded.payload);
+  auto sketch = Sketch::Deserialize(reader);
+  if (!sketch.has_value() || !reader.AtEnd()) {
+    if (error != nullptr) *error = SnapshotError::kPayloadRejected;
+    return std::nullopt;
+  }
+  if (error != nullptr) *error = SnapshotError::kNone;
+  return sketch;
+}
+
+/// Unframe + Deserialize, for unique_ptr-returning Deserialize
+/// (CounterMatrixSketch and friends).
+template <typename Sketch>
+std::unique_ptr<Sketch> DecodeSketchSnapshotPtr(
+    std::string_view frame, SnapshotError* error = nullptr) {
+  const FrameDecodeResult decoded = DecodeFrame(frame);
+  if (!decoded.ok()) {
+    if (error != nullptr) *error = decoded.error;
+    return nullptr;
+  }
+  BinaryReader reader(decoded.payload);
+  auto sketch = Sketch::Deserialize(reader);
+  if (sketch == nullptr || !reader.AtEnd()) {
+    if (error != nullptr) *error = SnapshotError::kPayloadRejected;
+    return nullptr;
+  }
+  if (error != nullptr) *error = SnapshotError::kNone;
+  return sketch;
+}
+
+}  // namespace ltc
+
+#endif  // LTC_SNAPSHOT_SKETCH_SNAPSHOT_H_

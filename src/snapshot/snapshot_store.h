@@ -1,0 +1,99 @@
+// SnapshotStore — a rotation of the last N good checkpoints with a
+// walk-back recovery path (docs/DURABILITY.md).
+//
+// A store is anchored at a base path: Save(payload) frames the payload
+// (frame.h), writes it atomically (fs.h) to
+//
+//     <base>.<seq>.snap        seq = 000000001, 000000002, ...
+//
+// and prunes everything older than the newest `retain` files. Because
+// each snapshot is a *new* name reached only by rename, a crash at any
+// instant leaves every previously completed snapshot byte-identical —
+// there is no moment at which the last good checkpoint is open for
+// writing.
+//
+// LoadLatest() walks the snapshots newest-first and returns the first
+// one whose frame validates (magic, version, both CRCs, length),
+// reporting every rejected candidate with its typed SnapshotError
+// instead of crashing or returning garbage. A corrupted newest
+// snapshot therefore costs one checkpoint interval of progress, never
+// the whole state.
+
+#ifndef LTC_SNAPSHOT_SNAPSHOT_STORE_H_
+#define LTC_SNAPSHOT_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "snapshot/frame.h"
+#include "snapshot/fs.h"
+
+namespace ltc {
+
+struct SnapshotStoreConfig {
+  /// How many newest snapshot files survive pruning (>= 1). More
+  /// retained snapshots = more corruption the recovery walk can skip.
+  size_t retain = 3;
+};
+
+class SnapshotStore {
+ public:
+  /// Snapshots live at `<base_path>.<seq>.snap`, in base_path's
+  /// directory (which must exist). `fs` defaults to SystemFs(); tests
+  /// pass a FailpointFs.
+  explicit SnapshotStore(std::string base_path,
+                         SnapshotStoreConfig config = {}, Fs* fs = nullptr);
+
+  /// Frames `payload` and persists it as the next snapshot, atomically
+  /// and durably. Returns the sequence number, or nullopt with `error`
+  /// set when any step fails — in which case every previously saved
+  /// snapshot is still intact and loadable.
+  std::optional<uint64_t> Save(std::string_view payload,
+                               std::string* error = nullptr);
+
+  struct Candidate {
+    std::string path;
+    uint64_t seq = 0;
+    SnapshotError error = SnapshotError::kNone;
+  };
+
+  struct Recovered {
+    std::string payload;      // the validated frame payload
+    uint64_t seq = 0;         // which snapshot it came from
+    std::vector<Candidate> skipped;  // newer candidates that failed, with why
+  };
+
+  /// Accepts a frame-valid payload, or rejects it so the recovery walk
+  /// continues (recorded as kPayloadRejected). Typically binds a
+  /// sketch's Deserialize, via DecodeSketchSnapshot (sketch_snapshot.h).
+  using PayloadValidator = std::function<bool(std::string_view payload)>;
+
+  /// Newest valid snapshot, walking back over corrupt ones (and over
+  /// frame-valid ones the validator rejects, when given). nullopt
+  /// (with `error` describing the newest failure, or "no snapshots")
+  /// only when NO retained snapshot validates.
+  std::optional<Recovered> LoadLatest(
+      std::string* error = nullptr,
+      const PayloadValidator& validate = nullptr) const;
+
+  /// Existing snapshot files, newest first (not validated).
+  std::vector<Candidate> ListSnapshots() const;
+
+  const std::string& base_path() const { return base_path_; }
+
+ private:
+  std::string PathOf(uint64_t seq) const;
+  void Prune();
+
+  std::string base_path_;
+  SnapshotStoreConfig config_;
+  Fs* fs_;
+  uint64_t next_seq_ = 0;  // 0 = not yet derived from the directory
+};
+
+}  // namespace ltc
+
+#endif  // LTC_SNAPSHOT_SNAPSHOT_STORE_H_

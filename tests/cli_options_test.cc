@@ -72,6 +72,42 @@ TEST(CliOptions, ThreadsRejections) {
   EXPECT_FALSE(Parse({"--threads"}, &error).has_value());
 }
 
+TEST(CliOptions, ThreadsComposesWithSaveAndLoad) {
+  auto options = Parse({"--threads", "4", "--save", "ck.bin", "--load",
+                        "old.bin", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->threads, 4u);
+  EXPECT_EQ(options->save_path, "ck.bin");
+  EXPECT_EQ(options->load_path, "old.bin");
+}
+
+TEST(CliOptions, CheckpointEveryParsed) {
+  auto options =
+      Parse({"--save", "ck.bin", "--checkpoint-every", "5000", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->checkpoint_every, 5000u);
+}
+
+TEST(CliOptions, CheckpointEveryDefaultsOff) {
+  auto options = Parse({"trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->checkpoint_every, 0u);
+}
+
+TEST(CliOptions, CheckpointEveryRejections) {
+  std::string error;
+  // Zero cadence and garbage are parse errors.
+  EXPECT_FALSE(Parse({"--save", "c", "--checkpoint-every", "0", "t"}, &error)
+                   .has_value());
+  EXPECT_NE(error.find("--checkpoint-every"), std::string::npos);
+  EXPECT_FALSE(
+      Parse({"--save", "c", "--checkpoint-every", "potato", "t"}, &error)
+          .has_value());
+  // The rotation is anchored at the save path, so --save is required.
+  EXPECT_FALSE(Parse({"--checkpoint-every", "100", "t"}, &error).has_value());
+  EXPECT_NE(error.find("requires --save"), std::string::npos);
+}
+
 TEST(CliOptions, ToLtcConfigReflectsFlags) {
   auto options = Parse({"--memory", "10K", "--alpha", "2", "--beta", "3",
                         "--d", "4", "--no-ltr", "t.csv"});

@@ -1,0 +1,69 @@
+// CRC-32 (reflected IEEE, the zlib/PNG polynomial) against published
+// check values, plus the incremental-update identity the snapshot
+// frame relies on.
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+
+namespace ltc {
+namespace {
+
+TEST(Crc32, PublishedCheckValues) {
+  // The canonical CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  // Empty input is the identity.
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  // Independently computed references (python zlib.crc32).
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, BinaryInputIncludingNulBytes) {
+  const char bytes[] = {0x00, 0x01, 0x02, 0x00, static_cast<char>(0xff)};
+  // NUL bytes must be hashed, not treated as terminators.
+  EXPECT_NE(Crc32(bytes, sizeof(bytes)), Crc32(bytes, 3));
+  EXPECT_EQ(Crc32(std::string(4, '\0')), 0x2144DF1Cu);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data =
+      "incremental and one-shot digests must agree on every split";
+  const uint32_t expected = Crc32(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t state = Crc32Init();
+    state = Crc32Update(state, data.data(), split);
+    state = Crc32Update(state, data.data() + split, data.size() - split);
+    EXPECT_EQ(Crc32Final(state), expected) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsEverySingleByteFlip) {
+  const std::string data = "snapshot payload bytes";
+  const uint32_t clean = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string corrupt = data;
+    corrupt[i] ^= 0x01;
+    EXPECT_NE(Crc32(corrupt), clean) << "flip at offset " << i;
+  }
+}
+
+TEST(Crc32, SliceBy4TailHandling) {
+  // Lengths around the 4-byte slicing boundary all agree with a
+  // byte-at-a-time incremental computation.
+  for (size_t len = 0; len <= 17; ++len) {
+    std::string data;
+    for (size_t i = 0; i < len; ++i) data.push_back(static_cast<char>(i * 37));
+    uint32_t state = Crc32Init();
+    for (char c : data) state = Crc32Update(state, &c, 1);
+    EXPECT_EQ(Crc32(data), Crc32Final(state)) << "length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace ltc

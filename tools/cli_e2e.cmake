@@ -24,3 +24,34 @@ execute_process(COMMAND ${LTC_CLI} --k 5 --periods 10 --csv
 if(NOT reload_rc EQUAL 0)
   message(FATAL_ERROR "ltc_cli --load failed: ${reload_rc}")
 endif()
+
+# Sharded checkpoints: --threads composes with --save/--load, and
+# --checkpoint-every rotates mid-run snapshots next to the save path.
+execute_process(COMMAND ${LTC_CLI} --k 5 --periods 10 --csv --threads 2
+                --save ${WORK_DIR}/e2e_sharded.bin --checkpoint-every 1000
+                ${WORK_DIR}/e2e_trace.csv
+                RESULT_VARIABLE sharded_rc)
+if(NOT sharded_rc EQUAL 0)
+  message(FATAL_ERROR "ltc_cli --threads --save failed: ${sharded_rc}")
+endif()
+file(GLOB rotation ${WORK_DIR}/e2e_sharded.bin.*.snap)
+if(rotation STREQUAL "")
+  message(FATAL_ERROR "--checkpoint-every produced no rotation snapshots")
+endif()
+
+execute_process(COMMAND ${LTC_CLI} --k 5 --periods 10 --csv --threads 2
+                --load ${WORK_DIR}/e2e_sharded.bin ${WORK_DIR}/e2e_trace.csv
+                RESULT_VARIABLE sharded_reload_rc)
+if(NOT sharded_reload_rc EQUAL 0)
+  message(FATAL_ERROR "ltc_cli --threads --load failed: ${sharded_reload_rc}")
+endif()
+
+# A missing/damaged checkpoint must walk back to the rotation, not
+# fail: delete the final save, leaving only the mid-run snapshots.
+file(REMOVE ${WORK_DIR}/e2e_sharded.bin)
+execute_process(COMMAND ${LTC_CLI} --k 5 --periods 10 --csv --threads 2
+                --load ${WORK_DIR}/e2e_sharded.bin ${WORK_DIR}/e2e_trace.csv
+                RESULT_VARIABLE walkback_rc)
+if(NOT walkback_rc EQUAL 0)
+  message(FATAL_ERROR "rotation walk-back failed: ${walkback_rc}")
+endif()

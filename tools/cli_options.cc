@@ -65,13 +65,22 @@ options:
   --duration SEC    total trace span (0 = infer)         [infer]
   --d N             cells per bucket                     [8]
   --threads N       parallel ingestion: N hash-sharded tables, each fed
-                    by its own worker thread (same total memory budget;
-                    incompatible with --save/--load)      [1]
+                    by its own worker thread (same total
+                    memory budget; composes with --save/--load,
+                    whose checkpoints then hold all N shards) [1]
   --no-ltr          disable Long-tail Replacement
   --no-de           disable the Deviation Eliminator
   --csv             machine-readable output
-  --save FILE       write a checkpoint of the table after the run
-  --load FILE       restore the table from a checkpoint before the run
+  --save FILE       checkpoint the table to FILE after the run
+                    (checksummed frame, written atomically)
+  --load FILE       restore the table from FILE before the run; if FILE
+                    is missing or corrupt, recovery walks back through
+                    the FILE.<seq>.snap rotation to the newest valid
+                    snapshot
+  --checkpoint-every N
+                    also snapshot every N records mid-run to
+                    FILE.<seq>.snap (requires --save; keeps the
+                    newest 3) [off]
   --help            this text
 )";
 }
@@ -116,7 +125,7 @@ std::optional<CliOptions> ParseCliOptions(
       if (arg == "--beta") options.beta = parsed;
       if (arg == "--duration") options.duration = parsed;
     } else if (arg == "--k" || arg == "--periods" || arg == "--d" ||
-               arg == "--threads") {
+               arg == "--threads" || arg == "--checkpoint-every") {
       if (!next_value(arg, &value)) return std::nullopt;
       uint64_t parsed;
       if (!ParseU64Arg(value, &parsed) || parsed == 0) {
@@ -131,6 +140,7 @@ std::optional<CliOptions> ParseCliOptions(
         if (parsed > 256) return fail("bad --threads '" + value + "'");
         options.threads = static_cast<uint32_t>(parsed);
       }
+      if (arg == "--checkpoint-every") options.checkpoint_every = parsed;
     } else if (arg == "--no-ltr") {
       options.long_tail_replacement = false;
     } else if (arg == "--no-de") {
@@ -155,6 +165,10 @@ std::optional<CliOptions> ParseCliOptions(
   }
   if (options.alpha == 0.0 && options.beta == 0.0) {
     return fail("alpha and beta cannot both be 0");
+  }
+  if (options.checkpoint_every > 0 && options.save_path.empty()) {
+    return fail("--checkpoint-every requires --save (it anchors the "
+                "snapshot rotation at the save path)");
   }
   return options;
 }

@@ -28,6 +28,9 @@ struct CliOptions {
   uint32_t threads = 1;       // >1 = ShardedLtc fed by an IngestPipeline
   std::string save_path;      // checkpoint the table here after the run
   std::string load_path;      // restore the table from here before the run
+  uint64_t checkpoint_every = 0;  // mid-run snapshot cadence in records
+                                  // (0 = only the final --save); snapshots
+                                  // rotate at <save>.<seq>.snap
   bool show_help = false;
 
   /// The LtcConfig these options describe (period pacing filled by the

@@ -4,9 +4,17 @@
 // With --threads N the trace is ingested by an IngestPipeline feeding an
 // N-way ShardedLtc (same total memory budget); reporting is shared with
 // the single-table path through the SignificanceEstimator interface.
+//
+// Durability (docs/DURABILITY.md): --save writes a checksummed snapshot
+// frame atomically; --checkpoint-every N additionally rotates mid-run
+// snapshots at <save>.<seq>.snap so a crash loses at most one interval;
+// --load validates the frame (CRC) and, when the exact file is missing
+// or corrupt, recovers by walking back through the rotation.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,20 +25,48 @@
 #include "core/sharded_ltc.h"
 #include "core/significance_estimator.h"
 #include "ingest/ingest_pipeline.h"
+#include "snapshot/frame.h"
+#include "snapshot/fs.h"
+#include "snapshot/snapshot_store.h"
 #include "stream/trace_io.h"
 
 namespace ltc {
 namespace {
 
-int Run(const CliOptions& options) {
-  if (options.threads > 1 &&
-      (!options.save_path.empty() || !options.load_path.empty())) {
+/// Reads a checkpoint payload: the exact file when its frame validates,
+/// else the newest valid snapshot of the <path>.<seq>.snap rotation.
+/// Every rejected candidate is reported with its typed error.
+std::optional<std::string> LoadCheckpointPayload(const std::string& path) {
+  Fs& fs = SystemFs();
+  if (const auto bytes = fs.ReadAll(path)) {
+    const FrameDecodeResult decoded = DecodeFrame(*bytes);
+    if (decoded.ok()) {
+      return std::string(decoded.payload);
+    }
     std::fprintf(stderr,
-                 "ltc_cli: --threads is incompatible with --save/--load "
-                 "(checkpoints hold a single table)\n");
-    return 1;
+                 "ltc_cli: checkpoint '%s' rejected (%s); trying the "
+                 "snapshot rotation\n",
+                 path.c_str(), SnapshotErrorName(decoded.error));
   }
+  SnapshotStore store(path);
+  std::string error;
+  const auto recovered = store.LoadLatest(&error);
+  if (!recovered) {
+    std::fprintf(stderr, "ltc_cli: cannot recover checkpoint '%s': %s\n",
+                 path.c_str(), error.c_str());
+    return std::nullopt;
+  }
+  for (const auto& skipped : recovered->skipped) {
+    std::fprintf(stderr, "ltc_cli: skipped corrupt snapshot '%s' (%s)\n",
+                 skipped.path.c_str(), SnapshotErrorName(skipped.error));
+  }
+  std::fprintf(stderr, "ltc_cli: recovered from snapshot %llu of '%s'\n",
+               static_cast<unsigned long long>(recovered->seq),
+               store.base_path().c_str());
+  return recovered->payload;
+}
 
+int Run(const CliOptions& options) {
   // 1. Load the trace (file or stdin).
   std::string error;
   std::optional<TraceReadResult> trace;
@@ -49,52 +85,119 @@ int Run(const CliOptions& options) {
   }
   const Stream& stream = trace->stream;
 
-  // 2. Build or restore the sketch.
+  // 2. Build or restore the sketch. A checkpoint carries its own
+  // config (and, for sharded tables, its own shard count).
   LtcConfig config = options.ToLtcConfig();
   config.period_seconds = stream.duration() / stream.num_periods();
   std::optional<Ltc> table;
   std::optional<ShardedLtc> sharded;
   SignificanceEstimator* estimator = nullptr;
-  if (options.threads > 1) {
+  if (!options.load_path.empty()) {
+    const auto payload = LoadCheckpointPayload(options.load_path);
+    if (!payload) return 1;
+    if (options.threads > 1) {
+      BinaryReader reader(*payload);
+      auto restored = ShardedLtc::Deserialize(reader);
+      if (!restored || !reader.AtEnd()) {
+        std::fprintf(stderr,
+                     "ltc_cli: checkpoint '%s' does not hold a sharded "
+                     "table (saved without --threads? drop --threads to "
+                     "load it)\n",
+                     options.load_path.c_str());
+        return 1;
+      }
+      if (restored->num_shards() != options.threads) {
+        std::fprintf(stderr,
+                     "ltc_cli: note: checkpoint holds %u shards; using "
+                     "that instead of --threads %u\n",
+                     restored->num_shards(), options.threads);
+      }
+      sharded = std::move(*restored);
+      estimator = &*sharded;
+    } else {
+      BinaryReader reader(*payload);
+      auto restored = Ltc::Deserialize(reader);
+      if (!restored || !reader.AtEnd()) {
+        std::fprintf(stderr,
+                     "ltc_cli: checkpoint '%s' does not hold a single "
+                     "table (saved with --threads? pass --threads N to "
+                     "load it)\n",
+                     options.load_path.c_str());
+        return 1;
+      }
+      table = std::move(*restored);
+      estimator = &*table;
+    }
+  } else if (options.threads > 1) {
     sharded.emplace(config, options.threads);
     estimator = &*sharded;
-  } else if (!options.load_path.empty()) {
-    auto bytes = ReadFileToString(options.load_path);
-    if (!bytes) {
-      std::fprintf(stderr, "ltc_cli: cannot read checkpoint '%s'\n",
-                   options.load_path.c_str());
-      return 1;
-    }
-    BinaryReader reader(*bytes);
-    table = Ltc::Deserialize(reader);
-    if (!table) {
-      std::fprintf(stderr, "ltc_cli: corrupt checkpoint '%s'\n",
-                   options.load_path.c_str());
-      return 1;
-    }
-    estimator = &*table;
   } else {
     table.emplace(config);
     estimator = &*table;
   }
 
   // 3. Feed the stream: parallel pipeline when sharded, the batch fast
-  // path otherwise.
+  // path otherwise. With --checkpoint-every, mid-run snapshots rotate
+  // at <save>.<seq>.snap — after a crash, --load walks back to the
+  // newest valid one.
+  std::optional<SnapshotStore> rotation;
+  if (options.checkpoint_every > 0) {
+    rotation.emplace(options.save_path);
+  }
   if (sharded) {
-    IngestPipeline pipeline(*sharded);
-    pipeline.PushBatch(stream.records());
+    IngestConfig ingest;
+    ingest.checkpoint_every = options.checkpoint_every;
+    IngestPipeline pipeline(*sharded, ingest);
+    if (rotation) pipeline.AttachSnapshotStore(&*rotation);
+    // Chunked feeding so the auto-checkpoint hook gets a chance to fire
+    // at its cadence instead of once at the end.
+    const std::span<const Record> records(stream.records());
+    const size_t chunk = options.checkpoint_every > 0
+                             ? options.checkpoint_every
+                             : records.size();
+    for (size_t i = 0; i < records.size(); i += chunk) {
+      const size_t n = std::min(chunk, records.size() - i);
+      pipeline.PushBatch(records.subspan(i, n));
+    }
     pipeline.Stop();
+    if (pipeline.CheckpointFailures() > 0) {
+      std::fprintf(stderr, "ltc_cli: warning: %llu checkpoint(s) failed\n",
+                   static_cast<unsigned long long>(
+                       pipeline.CheckpointFailures()));
+    }
   } else {
-    estimator->InsertBatch(stream.records());
+    const std::span<const Record> records(stream.records());
+    const size_t chunk = options.checkpoint_every > 0
+                             ? options.checkpoint_every
+                             : records.size();
+    for (size_t i = 0; i < records.size(); i += chunk) {
+      const size_t n = std::min(chunk, records.size() - i);
+      estimator->InsertBatch(records.subspan(i, n));
+      if (rotation && i + n < records.size()) {
+        std::string save_error;
+        BinaryWriter writer;
+        table->Serialize(writer);
+        if (!rotation->Save(writer.data(), &save_error)) {
+          std::fprintf(stderr, "ltc_cli: warning: checkpoint failed: %s\n",
+                       save_error.c_str());
+        }
+      }
+    }
   }
 
   // 4. Checkpoint before Finalize so a later --load continues cleanly.
   if (!options.save_path.empty()) {
     BinaryWriter writer;
-    table->Serialize(writer);
-    if (!WriteFile(options.save_path, writer.data())) {
-      std::fprintf(stderr, "ltc_cli: cannot write checkpoint '%s'\n",
-                   options.save_path.c_str());
+    if (sharded) {
+      sharded->Serialize(writer);
+    } else {
+      table->Serialize(writer);
+    }
+    std::string save_error;
+    if (!AtomicWriteFile(SystemFs(), options.save_path,
+                         EncodeFrame(writer.data()), &save_error)) {
+      std::fprintf(stderr, "ltc_cli: cannot write checkpoint '%s': %s\n",
+                   options.save_path.c_str(), save_error.c_str());
       return 1;
     }
   }
@@ -118,8 +221,8 @@ int Run(const CliOptions& options) {
                 stream.size(), stream.num_periods(),
                 FormatMemory(estimator->MemoryBytes()).c_str(), config.alpha,
                 config.beta);
-    if (options.threads > 1) {
-      std::printf(", %u shards", options.threads);
+    if (sharded) {
+      std::printf(", %u shards", sharded->num_shards());
     }
     std::printf("\n");
     report.Print(std::cout);
