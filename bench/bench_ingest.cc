@@ -17,6 +17,9 @@
 #include "bench_common.h"
 #include "core/sharded_ltc.h"
 #include "ingest/ingest_pipeline.h"
+#include "telemetry/exposition.h"
+#include "telemetry/ltc_collectors.h"
+#include "telemetry/metrics.h"
 
 namespace ltc {
 namespace bench {
@@ -83,12 +86,46 @@ int Main() {
                     })});
   }
 
+  // One more instrumented 2-shard run so the report carries the full
+  // telemetry exposition (docs/TELEMETRY.md) — per-shard ingest
+  // counters, flush latency, and the core insert-case split — alongside
+  // the throughput numbers.
+  telemetry::MetricsRegistry registry;
+  {
+    ShardedLtc sharded(config, 2);
+    IngestPipeline pipeline(sharded);
+    pipeline.AttachMetrics(&registry);
+#ifdef LTC_METRICS
+    std::vector<LtcMetricsSink> sinks(sharded.num_shards());
+    for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+      sharded.AttachMetricsSink(s, &sinks[s]);
+    }
+#endif
+    pipeline.PushBatch(stream.records());
+    pipeline.Stop();
+    pipeline.SampleMetrics();
+#ifdef LTC_METRICS
+    for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+      const Ltc& shard = sharded.shard(s);
+      telemetry::PublishLtcSink(
+          registry, sinks[s], {{"shard", std::to_string(s)}},
+          static_cast<size_t>(shard.num_buckets()) *
+              shard.cells_per_bucket());
+    }
+#endif
+  }
+
   std::printf("{\n");
   std::printf("  \"benchmark\": \"bench_ingest\",\n");
   std::printf("  \"records\": %zu,\n", stream.size());
   std::printf("  \"memory_bytes\": %zu,\n", kMemory);
   std::printf("  \"hardware_threads\": %u,\n",
               std::thread::hardware_concurrency());
+  std::printf("  \"metrics\": ");
+  std::fputs(telemetry::ExpositionJson(registry).c_str(), stdout);
+  // ExpositionJson ends with a newline; rewindable only by emitting the
+  // comma on its own line.
+  std::printf("  ,\n");
   std::printf("  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

@@ -2,9 +2,18 @@
 // §I/§V): million insertions per second for every algorithm at the 100 KB
 // budget on a CAIDA-like stream, via google-benchmark. Only relative
 // numbers are meaningful across machines.
+//
+// After the google-benchmark run, main() prints one JSON document — the
+// metrics sink guard — comparing LTC insert throughput with no sink
+// attached vs a sink attached (docs/TELEMETRY.md). The sink-off number
+// is the one the default build ships; the guard exists so an
+// instrumentation change that slows the detached hot path shows up as a
+// diff in CI logs, not as a silent regression.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -121,7 +130,66 @@ void BM_LtcSingleInsert(benchmark::State& state) {
 BENCHMARK(BM_LtcSingleInsert);
 
 }  // namespace
+
+// Sink guard: best-of-3 LTC feed with the metrics sink detached vs
+// attached. With LTC_METRICS compiled out both runs are the identical
+// uninstrumented code (sink_compiled tells the reader which case the
+// numbers describe).
+void ReportSinkGuard() {
+  const Stream& stream = SharedStream();
+  LtcConfig config;
+  config.memory_bytes = kMemory;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+
+#ifdef LTC_METRICS
+  constexpr bool kSinkCompiled = true;
+#else
+  constexpr bool kSinkCompiled = false;
+#endif
+
+  auto best_mops = [&](bool with_sink) {
+    double best = 0.0;
+    for (int r = 0; r < 3; ++r) {
+      Ltc table(config);
+#ifdef LTC_METRICS
+      LtcMetricsSink sink;
+      if (with_sink) table.AttachMetricsSink(&sink);
+#else
+      (void)with_sink;
+#endif
+      const auto start = std::chrono::steady_clock::now();
+      table.InsertBatch(stream.records());
+      const auto end = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(end - start).count();
+      if (seconds <= 0.0) continue;
+      const double mops =
+          static_cast<double>(stream.size()) / seconds / 1e6;
+      if (mops > best) best = mops;
+    }
+    return best;
+  };
+
+  const double off = best_mops(false);
+  const double on = best_mops(true);
+  const double overhead_pct = off > 0.0 ? (off - on) / off * 100.0 : 0.0;
+  std::printf(
+      "{\"benchmark\": \"bench_speed_sink_guard\", \"records\": %zu, "
+      "\"sink_compiled\": %s, \"sink_off_mops\": %.3f, "
+      "\"sink_on_mops\": %.3f, \"overhead_pct\": %.2f}\n",
+      stream.size(), kSinkCompiled ? "true" : "false", off, on,
+      overhead_pct);
+}
+
 }  // namespace bench
 }  // namespace ltc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ltc::bench::ReportSinkGuard();
+  return 0;
+}

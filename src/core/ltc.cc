@@ -9,6 +9,21 @@
 #include "common/bob_hash.h"
 #include "common/hash.h"
 
+// Hot-path metrics hooks (core/ltc_metrics_sink.h). Compiled only under
+// LTC_METRICS so the zero-metrics build is the exact uninstrumented
+// code; with the option on, each site is one predicted-not-taken branch
+// until a sink is attached. bench_speed's sink-guard JSON measures both.
+#ifdef LTC_METRICS
+#define LTC_METRICS_HOOK(...)        \
+  do {                               \
+    if (metrics_ != nullptr) {       \
+      __VA_ARGS__                    \
+    }                                \
+  } while (0)
+#else
+#define LTC_METRICS_HOOK(...) ((void)0)
+#endif
+
 namespace ltc {
 
 std::optional<std::string> LtcConfig::Validate() const {
@@ -67,6 +82,27 @@ void Ltc::ScanCell(Cell& cell) {
 
 void Ltc::ScanTo(uint64_t target_slot) {
   assert(target_slot <= cells_.size());
+#ifdef LTC_METRICS
+  // Instrumented sweep, hoisted into its own loop: the null check runs
+  // once per ScanTo, not once per scanned cell, so the detached path is
+  // the plain loop below. Occupancy sampling rides the sweep for free —
+  // every period visits all m slots exactly once, so the scratch total
+  // at the period boundary is a full occupancy sample.
+  if (metrics_ != nullptr && target_slot > scan_cursor_) {
+    metrics_->clock_steps += target_slot - scan_cursor_;
+    uint64_t occupied = 0;  // local accumulator: no store per cell
+    for (; scan_cursor_ < target_slot; ++scan_cursor_) {
+      Cell& cell = cells_[scan_cursor_];
+      ScanCell(cell);
+      // Integer-only occupancy test: IsEmpty() recomputes significance
+      // with two FP multiplies per cell, which would dominate the sweep.
+      occupied += static_cast<uint64_t>(
+          (cell.id | cell.freq | cell.counter) != 0);
+    }
+    metrics_->scan_occupied_scratch += occupied;
+    return;
+  }
+#endif
   for (; scan_cursor_ < target_slot; ++scan_cursor_) {
     ScanCell(cells_[scan_cursor_]);
   }
@@ -82,6 +118,10 @@ void Ltc::AdvanceClock(double time) {
       scan_cursor_ = 0;
       items_seen_ = 0;
       ++current_period_;
+      LTC_METRICS_HOOK(
+          ++metrics_->periods_completed;
+          metrics_->occupied_cells = metrics_->scan_occupied_scratch;
+          metrics_->scan_occupied_scratch = 0;);
     } else {
       ScanTo(items_seen_ * m / config_.items_per_period);
     }
@@ -102,6 +142,10 @@ void Ltc::AdvanceClock(double time) {
     ScanTo(m);
     scan_cursor_ = 0;
     ++current_period_;
+    LTC_METRICS_HOOK(
+        ++metrics_->periods_completed;
+        metrics_->occupied_cells = metrics_->scan_occupied_scratch;
+        metrics_->scan_occupied_scratch = 0;);
   }
   double offset = time - static_cast<double>(current_period_) * t;
   auto target = static_cast<uint64_t>(offset / t * static_cast<double>(m));
@@ -139,6 +183,7 @@ void Ltc::PlaceItem(Cell& cell, ItemId item, uint32_t bucket_base) {
       if (have_other) {
         init_freq = min_freq > 1 ? min_freq - 1 : 1;
         init_counter = min_counter > 0 ? min_counter - 1 : 0;
+        LTC_METRICS_HOOK(++metrics_->longtail_replacements;);
       }
       break;
     }
@@ -169,12 +214,14 @@ void Ltc::UpdateBucket(ItemId item) {
     // Case 1: tracked — bump frequency, mark "appeared this period".
     ++found->freq;
     found->flags |= CurrentFlagMask();
+    LTC_METRICS_HOOK(++metrics_->inserts_tracked;);
   } else if (empty != nullptr) {
     // Case 2: free slot — admit with initial values (1, 0).
     empty->id = item;
     empty->freq = 1;
     empty->counter = 0;
     empty->flags = CurrentFlagMask();
+    LTC_METRICS_HOOK(++metrics_->inserts_admitted;);
   } else {
     // Case 3: full bucket — Significance Decrementing on the smallest
     // cell; the newcomer is admitted only if that empties it.
@@ -187,16 +234,20 @@ void Ltc::UpdateBucket(ItemId item) {
         smallest = &cells_[base + i];
       }
     }
+    LTC_METRICS_HOOK(++metrics_->inserts_decremented;);
     if (config_.EffectiveInitPolicy() == InitPolicy::kMinPlusOne) {
       // Space-Saving's takeover (§I): no decrementing — the newcomer
       // replaces the minimum outright and inherits its value + 1.
       smallest->id = item;
       ++smallest->freq;
       smallest->flags = CurrentFlagMask();
+      LTC_METRICS_HOOK(++metrics_->expulsions;);
     } else {
+      LTC_METRICS_HOOK(++metrics_->significance_decrements;);
       if (smallest->counter > 0) --smallest->counter;
       if (smallest->freq > 0) --smallest->freq;
       if (SignificanceOf(*smallest) == 0.0) {
+        LTC_METRICS_HOOK(++metrics_->expulsions;);
         smallest->id = 0;
         smallest->freq = 0;
         smallest->counter = 0;
@@ -251,6 +302,10 @@ void Ltc::InsertBatch(std::span<const Record> records) {
       scan_cursor_ = 0;
       items_seen_ = 0;
       ++current_period_;
+      LTC_METRICS_HOOK(
+          ++metrics_->periods_completed;
+          metrics_->occupied_cells = metrics_->scan_occupied_scratch;
+          metrics_->scan_occupied_scratch = 0;);
     } else {
       ScanTo(items_seen_ * m / n);
     }
@@ -393,11 +448,12 @@ Ltc::TableStats Ltc::ComputeStats() const {
     }
     if (full) ++stats.full_buckets;
   }
-  if (!cells_.empty()) {
+  if (stats.occupied_cells > 0) {
+    // One guard covers both ratios: occupied_cells > 0 implies a
+    // non-empty table, so neither denominator can be zero, and an empty
+    // table keeps the zero-initialized values instead of producing NaN.
     stats.occupancy =
         static_cast<double>(stats.occupied_cells) / cells_.size();
-  }
-  if (stats.occupied_cells > 0) {
     stats.avg_significance = sig_sum / stats.occupied_cells;
   }
   return stats;

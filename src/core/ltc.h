@@ -45,6 +45,10 @@
 #include "core/significance_estimator.h"
 #include "stream/stream.h"
 
+#ifdef LTC_METRICS
+#include "core/ltc_metrics_sink.h"
+#endif
+
 namespace ltc {
 
 /// How the CLOCK pointer paces itself (§III-B "Persistency Incrementing").
@@ -231,6 +235,15 @@ class Ltc final : public SignificanceEstimator {
   }
 #endif
 
+#ifdef LTC_METRICS
+  /// Attaches a hot-path metrics sink (core/ltc_metrics_sink.h,
+  /// published via telemetry/ltc_collectors.h). The sink must outlive
+  /// the table; nullptr detaches. The table writes it inline from
+  /// whichever thread inserts, so read it only while the table is
+  /// quiescent. Not serialized; a deserialized table starts detached.
+  void AttachMetricsSink(LtcMetricsSink* sink) { metrics_ = sink; }
+#endif
+
  private:
   struct Cell {
     ItemId id = 0;
@@ -293,6 +306,9 @@ class Ltc final : public SignificanceEstimator {
 
 #ifdef LTC_AUDIT
   const AuditOracle* audit_oracle_ = nullptr;  // transient, not serialized
+#endif
+#ifdef LTC_METRICS
+  LtcMetricsSink* metrics_ = nullptr;  // transient, not serialized
 #endif
 };
 

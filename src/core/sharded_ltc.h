@@ -85,6 +85,15 @@ class ShardedLtc final : public SignificanceEstimator {
   }
 #endif
 
+#ifdef LTC_METRICS
+  /// Attaches a hot-path metrics sink to one shard (one sink per shard —
+  /// the sink is written by whichever thread feeds that shard, so sharing
+  /// a sink across shards would race). See core/ltc_metrics_sink.h.
+  void AttachMetricsSink(uint32_t shard_index, LtcMetricsSink* sink) {
+    shards_[shard_index].AttachMetricsSink(sink);
+  }
+#endif
+
  private:
   ShardedLtc() = default;  // Deserialize constructs piecewise
 

@@ -1,11 +1,25 @@
 #include "ingest/ingest_pipeline.h"
 
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
+#include <string>
 
 #include "snapshot/snapshot_store.h"
 
 namespace ltc {
+
+namespace {
+
+/// Microseconds elapsed since `start`, saturated at 0.
+uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto usec =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  return usec > 0 ? static_cast<uint64_t>(usec) : 0;
+}
+
+}  // namespace
 
 IngestPipeline::IngestPipeline(ShardedLtc& sink, const IngestConfig& config)
     : sink_(sink), config_(config) {
@@ -109,17 +123,20 @@ void IngestPipeline::PushBatch(std::span<const Record> records) {
 }
 
 bool IngestPipeline::Flush() {
+  const auto start = std::chrono::steady_clock::now();
   bool complete = true;
   for (auto& lane : lanes_) {
     const uint64_t target = lane->enqueued.load(std::memory_order_relaxed);
     uint64_t last = lane->drained.load(std::memory_order_acquire);
     uint64_t idle_yields = 0;
+    bool lane_complete = true;
     while (last < target) {
       if (++idle_yields > config_.stall_yield_limit) {
         // Bounded wait expired without progress: a dead worker must
         // surface as an error, not an infinite wait.
         stalled_.store(true, std::memory_order_release);
         complete = false;
+        lane_complete = false;
         break;
       }
       std::this_thread::yield();
@@ -129,7 +146,14 @@ bool IngestPipeline::Flush() {
         idle_yields = 0;
       }
     }
+    if (lane_complete) {
+      lane->flushes.fetch_add(1, std::memory_order_relaxed);
+    }
   }
+  if (flush_duration_usec_ != nullptr) {
+    flush_duration_usec_->Record(MicrosSince(start));
+  }
+  if (stalled_gauge_ != nullptr && !complete) stalled_gauge_->Set(1.0);
   return complete;
 }
 
@@ -147,6 +171,7 @@ void IngestPipeline::MaybeCheckpoint(uint64_t accepted) {
 
 bool IngestPipeline::Checkpoint(std::string* error) {
   assert(!stopped_ && "Checkpoint after Stop()");
+  const auto start = std::chrono::steady_clock::now();
   // Reset the cadence even on failure so a persistent fault retries
   // once per interval instead of once per push.
   since_checkpoint_ = 0;
@@ -174,7 +199,81 @@ bool IngestPipeline::Checkpoint(std::string* error) {
   }
   ++checkpoints_taken_;
   last_checkpoint_seq_ = *seq;
+  if (checkpoint_duration_usec_ != nullptr) {
+    checkpoint_duration_usec_->Record(MicrosSince(start));
+  }
   return true;
+}
+
+void IngestPipeline::AttachMetrics(telemetry::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    flush_duration_usec_ = nullptr;
+    checkpoint_duration_usec_ = nullptr;
+    stalled_gauge_ = nullptr;
+    return;
+  }
+  flush_duration_usec_ = &registry->HistogramOf(
+      "ltc_ingest_flush_duration_usec",
+      "Latency of Flush() barriers in microseconds");
+  checkpoint_duration_usec_ = &registry->HistogramOf(
+      "ltc_ingest_checkpoint_duration_usec",
+      "Latency of successful checkpoints (flush + serialize + atomic "
+      "save) in microseconds");
+  stalled_gauge_ = &registry->GaugeOf(
+      "ltc_ingest_stalled",
+      "1 once any bounded wait expired on a dead/stuck worker (latched)");
+  SampleMetrics();  // register the per-shard families up front
+}
+
+void IngestPipeline::SampleMetrics() {
+  if (metrics_ == nullptr) return;
+  telemetry::MetricsRegistry& registry = *metrics_;
+  for (uint32_t s = 0; s < lanes_.size(); ++s) {
+    const IngestShardStats stats = ShardStatsOf(s);
+    const telemetry::Labels shard_label{{"shard", std::to_string(s)}};
+    registry
+        .CounterOf("ltc_ingest_enqueued_total",
+                   "Records accepted into the shard's ring", shard_label)
+        .SetFromSample(stats.enqueued);
+    registry
+        .CounterOf("ltc_ingest_dropped_total",
+                   "Records discarded by kDrop backpressure or a stalled "
+                   "kBlock push",
+                   shard_label)
+        .SetFromSample(stats.dropped);
+    registry
+        .CounterOf("ltc_ingest_drained_total",
+                   "Records applied to the shard table", shard_label)
+        .SetFromSample(stats.drained);
+    registry
+        .CounterOf("ltc_ingest_batches_total",
+                   "InsertBatch calls the shard's worker issued", shard_label)
+        .SetFromSample(stats.batches);
+    registry
+        .CounterOf("ltc_ingest_flushes_total",
+                   "Flush() waits this shard's lane completed", shard_label)
+        .SetFromSample(stats.flushes);
+    registry
+        .GaugeOf("ltc_ingest_queue_depth",
+                 "Ring occupancy at sampling time (racy)", shard_label)
+        .Set(static_cast<double>(stats.queue_depth));
+    registry
+        .GaugeOf("ltc_ingest_ring_capacity",
+                 "Ring capacity in records", shard_label)
+        .Set(static_cast<double>(stats.ring_capacity));
+  }
+  registry
+      .CounterOf("ltc_ingest_checkpoints_total",
+                 "Checkpoint attempts by result",
+                 {{"result", "ok"}})
+      .SetFromSample(checkpoints_taken_);
+  registry
+      .CounterOf("ltc_ingest_checkpoints_total",
+                 "Checkpoint attempts by result",
+                 {{"result", "error"}})
+      .SetFromSample(checkpoint_failures_);
+  stalled_gauge_->Set(stalled() ? 1.0 : 0.0);
 }
 
 void IngestPipeline::Stop() {
@@ -217,6 +316,7 @@ IngestShardStats IngestPipeline::ShardStatsOf(uint32_t shard) const {
   stats.dropped = lane.dropped.load(std::memory_order_relaxed);
   stats.drained = lane.drained.load(std::memory_order_relaxed);
   stats.batches = lane.batches.load(std::memory_order_relaxed);
+  stats.flushes = lane.flushes.load(std::memory_order_relaxed);
   stats.queue_depth = lane.ring.SizeApprox();
   stats.ring_capacity = lane.ring.capacity();
   return stats;

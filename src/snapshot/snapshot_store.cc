@@ -1,6 +1,7 @@
 #include "snapshot/snapshot_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 
@@ -71,6 +72,7 @@ std::vector<SnapshotStore::Candidate> SnapshotStore::ListSnapshots() const {
 
 std::optional<uint64_t> SnapshotStore::Save(std::string_view payload,
                                             std::string* error) {
+  const auto start = std::chrono::steady_clock::now();
   if (next_seq_ == 0) {
     const auto existing = ListSnapshots();
     next_seq_ = existing.empty() ? 1 : existing.front().seq + 1;
@@ -78,11 +80,48 @@ std::optional<uint64_t> SnapshotStore::Save(std::string_view payload,
   const uint64_t seq = next_seq_;
   const std::string frame = EncodeFrame(payload);
   if (!AtomicWriteFile(*fs_, PathOf(seq), frame, error)) {
+    if (saves_failed_ != nullptr) saves_failed_->Increment();
     return std::nullopt;
   }
   next_seq_ = seq + 1;
   Prune();
+  if (saves_ok_ != nullptr) {
+    saves_ok_->Increment();
+    save_bytes_->Record(frame.size());
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const auto usec =
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count();
+    save_duration_usec_->Record(usec > 0 ? static_cast<uint64_t>(usec) : 0);
+  }
   return seq;
+}
+
+void SnapshotStore::AttachMetrics(telemetry::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    saves_ok_ = nullptr;
+    saves_failed_ = nullptr;
+    save_bytes_ = nullptr;
+    save_duration_usec_ = nullptr;
+    recovery_walkback_depth_ = nullptr;
+    return;
+  }
+  saves_ok_ = &registry->CounterOf("ltc_snapshot_saves_total",
+                                   "Snapshot save attempts by result",
+                                   {{"result", "ok"}});
+  saves_failed_ = &registry->CounterOf("ltc_snapshot_saves_total",
+                                       "Snapshot save attempts by result",
+                                       {{"result", "error"}});
+  save_bytes_ = &registry->HistogramOf(
+      "ltc_snapshot_bytes", "Size of persisted snapshot frames in bytes");
+  save_duration_usec_ = &registry->HistogramOf(
+      "ltc_snapshot_save_duration_usec",
+      "Latency of successful snapshot saves (encode + atomic write + "
+      "prune) in microseconds");
+  recovery_walkback_depth_ = &registry->HistogramOf(
+      "ltc_snapshot_recovery_walkback_depth",
+      "Snapshots skipped before LoadLatest found a valid one");
 }
 
 void SnapshotStore::Prune() {
@@ -94,6 +133,18 @@ void SnapshotStore::Prune() {
 
 std::optional<SnapshotStore::Recovered> SnapshotStore::LoadLatest(
     std::string* error, const PayloadValidator& validate) const {
+  // Per-error-type skip counter; label values are dynamic, so this one
+  // goes through the registry (find-or-create under its mutex) instead
+  // of a cached reference. Recovery is far off any hot path.
+  const auto count_skip = [this](SnapshotError skip_error) {
+    if (metrics_ == nullptr) return;
+    metrics_
+        ->CounterOf("ltc_snapshot_load_errors_total",
+                    "Snapshot candidates the recovery walk skipped, by "
+                    "rejection reason",
+                    {{"error", SnapshotErrorName(skip_error)}})
+        .Increment();
+  };
   const auto snapshots = ListSnapshots();
   if (snapshots.empty()) {
     if (error != nullptr) {
@@ -107,20 +158,26 @@ std::optional<SnapshotStore::Recovered> SnapshotStore::LoadLatest(
     if (!bytes) {
       result.skipped.push_back(
           {candidate.path, candidate.seq, SnapshotError::kIoError});
+      count_skip(SnapshotError::kIoError);
       continue;
     }
     const FrameDecodeResult decoded = DecodeFrame(*bytes);
     if (!decoded.ok()) {
       result.skipped.push_back({candidate.path, candidate.seq, decoded.error});
+      count_skip(decoded.error);
       continue;
     }
     if (validate && !validate(decoded.payload)) {
       result.skipped.push_back(
           {candidate.path, candidate.seq, SnapshotError::kPayloadRejected});
+      count_skip(SnapshotError::kPayloadRejected);
       continue;
     }
     result.payload.assign(decoded.payload.data(), decoded.payload.size());
     result.seq = candidate.seq;
+    if (recovery_walkback_depth_ != nullptr) {
+      recovery_walkback_depth_->Record(result.skipped.size());
+    }
     return result;
   }
   if (error != nullptr) {

@@ -30,6 +30,7 @@
 
 #include "snapshot/frame.h"
 #include "snapshot/fs.h"
+#include "telemetry/metrics.h"
 
 namespace ltc {
 
@@ -84,6 +85,14 @@ class SnapshotStore {
 
   const std::string& base_path() const { return base_path_; }
 
+  /// Attaches a metrics registry (docs/TELEMETRY.md): Save() then
+  /// records the ltc_snapshot_* save counters/histograms and
+  /// LoadLatest() the recovery walk-back depth and per-error-type skip
+  /// counts (so failpoint-injected faults are visible). nullptr
+  /// detaches. The registry must outlive the store (or be detached
+  /// first); not thread-safe, like the store itself.
+  void AttachMetrics(telemetry::MetricsRegistry* registry);
+
  private:
   std::string PathOf(uint64_t seq) const;
   void Prune();
@@ -92,6 +101,15 @@ class SnapshotStore {
   SnapshotStoreConfig config_;
   Fs* fs_;
   uint64_t next_seq_ = 0;  // 0 = not yet derived from the directory
+
+  // Metrics (resolved once at AttachMetrics; the per-error-type skip
+  // counter is looked up on demand because its label value is dynamic).
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Counter* saves_ok_ = nullptr;
+  telemetry::Counter* saves_failed_ = nullptr;
+  telemetry::Histogram* save_bytes_ = nullptr;
+  telemetry::Histogram* save_duration_usec_ = nullptr;
+  telemetry::Histogram* recovery_walkback_depth_ = nullptr;
 };
 
 }  // namespace ltc

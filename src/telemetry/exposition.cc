@@ -1,0 +1,245 @@
+#include "telemetry/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+
+namespace ltc {
+namespace telemetry {
+namespace {
+
+// Single-buffer concatenation. GCC 12's -Wrestrict mis-fires on chained
+// `"literal" + std::string&&` (a known false positive in the inlined
+// memcpy bounds it derives), and appending pieces in place is cheaper
+// than materialising the temporaries anyway.
+template <typename... Parts>
+void Append(std::string& out, Parts&&... parts) {
+  (out.append(parts), ...);
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::string U64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string Dbl(double v) {
+  char buf[40];
+  // Integral gauges print without a trailing ".000000"; everything else
+  // gets 9 significant digits, plenty for operational dashboards.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+/// Prometheus label-value / HELP escaping: backslash, double quote (label
+/// values only) and newline.
+std::string EscapeProm(const std::string& text, bool escape_quote) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"' && escape_quote) {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `{l1="v1",l2="v2"}`, with `extra` (already formatted, e.g.
+/// `le="+Inf"`) appended; empty string when there are no labels at all.
+std::string PromLabels(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    Append(out, name, "=\"", EscapeProm(value, /*escape_quote=*/true), "\"");
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+/// One consistent read of a histogram: per-bucket counts and the total
+/// derived from the same loads.
+struct HistogramSnapshot {
+  uint64_t buckets[Histogram::kNumBuckets];
+  uint64_t count = 0;
+  uint64_t sum = 0;
+};
+
+HistogramSnapshot SnapshotOf(const Histogram& histogram) {
+  HistogramSnapshot snap;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    snap.buckets[i] = histogram.BucketCount(i);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = histogram.Sum();
+  return snap;
+}
+
+}  // namespace
+
+std::string ExpositionText(const MetricsRegistry& registry) {
+  std::string out;
+  registry.ForEachFamily([&out](const MetricsRegistry::Family& family) {
+    Append(out, "# HELP ", family.name, " ",
+           EscapeProm(family.help, /*escape_quote=*/false), "\n");
+    Append(out, "# TYPE ", family.name, " ", KindName(family.kind), "\n");
+    for (const auto& series : family.series) {
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          Append(out, family.name, PromLabels(series->labels), " ",
+                 U64(series->counter->Value()), "\n");
+          break;
+        case MetricKind::kGauge:
+          Append(out, family.name, PromLabels(series->labels), " ",
+                 Dbl(series->gauge->Value()), "\n");
+          break;
+        case MetricKind::kHistogram: {
+          const HistogramSnapshot snap = SnapshotOf(*series->histogram);
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+            cumulative += snap.buckets[i];
+            // Elide empty buckets (cumulative semantics survive any
+            // subset of the bounds); +Inf below is always present.
+            if (snap.buckets[i] == 0) continue;
+            std::string le = "le=\"";
+            Append(le, U64(Histogram::BucketUpperBound(i)), "\"");
+            Append(out, family.name, "_bucket",
+                   PromLabels(series->labels, le), " ", U64(cumulative),
+                   "\n");
+          }
+          Append(out, family.name, "_bucket",
+                 PromLabels(series->labels, "le=\"+Inf\""), " ",
+                 U64(snap.count), "\n");
+          Append(out, family.name, "_sum", PromLabels(series->labels), " ",
+                 U64(snap.sum), "\n");
+          Append(out, family.name, "_count", PromLabels(series->labels), " ",
+                 U64(snap.count), "\n");
+          break;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+std::string ExpositionJson(const MetricsRegistry& registry) {
+  std::string out = "{\n  \"families\": [";
+  bool first_family = true;
+  registry.ForEachFamily([&](const MetricsRegistry::Family& family) {
+    out += first_family ? "\n" : ",\n";
+    first_family = false;
+    Append(out, "    {\"name\": \"", EscapeJson(family.name),
+           "\", \"type\": \"", KindName(family.kind), "\", \"help\": \"",
+           EscapeJson(family.help), "\", \"series\": [");
+    bool first_series = true;
+    for (const auto& series : family.series) {
+      out += first_series ? "\n" : ",\n";
+      first_series = false;
+      out += "      {\"labels\": {";
+      bool first_label = true;
+      for (const auto& [name, value] : series->labels) {
+        if (!first_label) out += ", ";
+        first_label = false;
+        Append(out, "\"", EscapeJson(name), "\": \"", EscapeJson(value),
+               "\"");
+      }
+      out += "}";
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          Append(out, ", \"value\": ", U64(series->counter->Value()));
+          break;
+        case MetricKind::kGauge:
+          Append(out, ", \"value\": ", Dbl(series->gauge->Value()));
+          break;
+        case MetricKind::kHistogram: {
+          const HistogramSnapshot snap = SnapshotOf(*series->histogram);
+          Append(out, ", \"count\": ", U64(snap.count),
+                 ", \"sum\": ", U64(snap.sum), ", \"buckets\": [");
+          bool first_bucket = true;
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+            cumulative += snap.buckets[i];
+            if (snap.buckets[i] == 0) continue;
+            if (!first_bucket) out += ", ";
+            first_bucket = false;
+            Append(out, "{\"le\": \"", U64(Histogram::BucketUpperBound(i)),
+                   "\", \"cumulative\": ", U64(cumulative), "}");
+          }
+          if (!first_bucket) out += ", ";
+          Append(out, "{\"le\": \"+Inf\", \"cumulative\": ", U64(snap.count),
+                 "}]");
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += first_series ? "]}" : "\n    ]}";
+  });
+  out += first_family ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace ltc

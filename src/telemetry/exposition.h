@@ -1,0 +1,36 @@
+// Exporters for MetricsRegistry: Prometheus text exposition format 0.0.4
+// and a JSON document with the same content. Both render each metric
+// snapshot-consistently: a counter/gauge is one atomic load, and a
+// histogram's cumulative buckets, +Inf bucket and `_count` all derive
+// from one pass of bucket loads, so the per-metric invariants
+// (cumulative monotonicity, count == +Inf) hold even while writers
+// race. Cross-metric skew (one counter read before another) is
+// possible and harmless — everything exported is monotone or a gauge.
+
+#ifndef LTC_TELEMETRY_EXPOSITION_H_
+#define LTC_TELEMETRY_EXPOSITION_H_
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace ltc {
+namespace telemetry {
+
+/// Prometheus text format: `# HELP` / `# TYPE` comments followed by the
+/// family's samples; histograms expand into `_bucket{le="..."}`
+/// (cumulative, empty buckets elided, `+Inf` always present), `_sum`
+/// and `_count`. Validated by tools/check_exposition.sh.
+std::string ExpositionText(const MetricsRegistry& registry);
+
+/// The same content as one JSON object:
+///   {"families": [{"name", "type", "help", "series": [
+///       {"labels": {...}, "value": N}                     // counter/gauge
+///       {"labels": {...}, "count", "sum", "buckets": [...]} // histogram
+///   ]}]}
+std::string ExpositionJson(const MetricsRegistry& registry);
+
+}  // namespace telemetry
+}  // namespace ltc
+
+#endif  // LTC_TELEMETRY_EXPOSITION_H_

@@ -1,0 +1,68 @@
+#include "telemetry/ltc_collectors.h"
+
+namespace ltc {
+namespace telemetry {
+namespace {
+
+Labels WithCase(const Labels& labels, const char* case_name) {
+  Labels out = labels;
+  out.emplace_back("case", case_name);
+  return out;
+}
+
+}  // namespace
+
+void PublishLtcSink(MetricsRegistry& registry, const LtcMetricsSink& sink,
+                    const Labels& labels, size_t num_cells) {
+  registry
+      .CounterOf("ltc_core_inserts_total",
+                 "Arrivals by insert case (tracked / admitted / decremented)",
+                 WithCase(labels, "tracked"))
+      .SetFromSample(sink.inserts_tracked);
+  registry
+      .CounterOf("ltc_core_inserts_total",
+                 "Arrivals by insert case (tracked / admitted / decremented)",
+                 WithCase(labels, "admitted"))
+      .SetFromSample(sink.inserts_admitted);
+  registry
+      .CounterOf("ltc_core_inserts_total",
+                 "Arrivals by insert case (tracked / admitted / decremented)",
+                 WithCase(labels, "decremented"))
+      .SetFromSample(sink.inserts_decremented);
+  registry
+      .CounterOf("ltc_core_significance_decrements_total",
+                 "Significance-decrement operations applied to minimum cells",
+                 labels)
+      .SetFromSample(sink.significance_decrements);
+  registry
+      .CounterOf("ltc_core_expulsions_total",
+                 "Occupants expelled from their cell", labels)
+      .SetFromSample(sink.expulsions);
+  registry
+      .CounterOf("ltc_core_longtail_replacements_total",
+                 "Admissions initialized by Long-tail Replacement", labels)
+      .SetFromSample(sink.longtail_replacements);
+  registry
+      .CounterOf("ltc_core_clock_steps_total",
+                 "CLOCK slots scanned by the persistency sweep", labels)
+      .SetFromSample(sink.clock_steps);
+  registry
+      .CounterOf("ltc_core_periods_total", "Periods completed by the CLOCK",
+                 labels)
+      .SetFromSample(sink.periods_completed);
+  registry
+      .GaugeOf("ltc_core_occupied_cells",
+               "Non-empty cells sampled by the last completed sweep", labels)
+      .Set(static_cast<double>(sink.occupied_cells));
+  if (num_cells > 0) {
+    registry
+        .GaugeOf("ltc_core_occupancy_ratio",
+                 "occupied_cells / total cells, from the last completed sweep",
+                 labels)
+        .Set(static_cast<double>(sink.occupied_cells) /
+             static_cast<double>(num_cells));
+  }
+}
+
+}  // namespace telemetry
+}  // namespace ltc

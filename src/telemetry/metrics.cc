@@ -1,0 +1,130 @@
+#include "telemetry/metrics.h"
+
+#include <stdexcept>
+
+namespace ltc {
+namespace telemetry {
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool ValidLabelName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+MetricsRegistry::Family& MetricsRegistry::FamilyOf(const std::string& name,
+                                                   const std::string& help,
+                                                   MetricKind kind) {
+  // Caller holds mutex_.
+  for (auto& family : families_) {
+    if (family->name == name) {
+      if (family->kind != kind) {
+        throw std::logic_error("MetricsRegistry: '" + name +
+                               "' already registered as " +
+                               KindName(family->kind) + ", requested " +
+                               KindName(kind));
+      }
+      return *family;
+    }
+  }
+  if (!ValidMetricName(name)) {
+    throw std::invalid_argument("MetricsRegistry: bad metric name '" + name +
+                                "'");
+  }
+  families_.push_back(std::make_unique<Family>());
+  Family& family = *families_.back();
+  family.name = name;
+  family.help = help;
+  family.kind = kind;
+  return family;
+}
+
+MetricsRegistry::Series& MetricsRegistry::SeriesOf(Family& family,
+                                                   Labels labels) {
+  // Caller holds mutex_.
+  for (auto& series : family.series) {
+    if (series->labels == labels) return *series;
+  }
+  for (const auto& [label_name, value] : labels) {
+    (void)value;
+    if (!ValidLabelName(label_name)) {
+      throw std::invalid_argument("MetricsRegistry: bad label name '" +
+                                  label_name + "' on '" + family.name + "'");
+    }
+  }
+  family.series.push_back(std::make_unique<Series>());
+  Series& series = *family.series.back();
+  series.labels = std::move(labels);
+  switch (family.kind) {
+    case MetricKind::kCounter:
+      series.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      series.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      series.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return series;
+}
+
+Counter& MetricsRegistry::CounterOf(const std::string& name,
+                                    const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *SeriesOf(FamilyOf(name, help, MetricKind::kCounter),
+                   std::move(labels))
+              .counter;
+}
+
+Gauge& MetricsRegistry::GaugeOf(const std::string& name,
+                                const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *SeriesOf(FamilyOf(name, help, MetricKind::kGauge), std::move(labels))
+              .gauge;
+}
+
+Histogram& MetricsRegistry::HistogramOf(const std::string& name,
+                                        const std::string& help,
+                                        Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *SeriesOf(FamilyOf(name, help, MetricKind::kHistogram),
+                   std::move(labels))
+              .histogram;
+}
+
+}  // namespace telemetry
+}  // namespace ltc

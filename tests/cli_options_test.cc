@@ -108,6 +108,43 @@ TEST(CliOptions, CheckpointEveryRejections) {
   EXPECT_NE(error.find("requires --save"), std::string::npos);
 }
 
+TEST(CliOptions, MetricsOutParsed) {
+  auto options = Parse({"--metrics-out", "m.prom", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->metrics_out, "m.prom");
+  EXPECT_EQ(options->stats_every, 0u);
+}
+
+TEST(CliOptions, MetricsOutDefaultsOff) {
+  auto options = Parse({"trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_TRUE(options->metrics_out.empty());
+  EXPECT_EQ(options->stats_every, 0u);
+}
+
+TEST(CliOptions, StatsEveryComposesWithMetricsOut) {
+  auto options = Parse(
+      {"--metrics-out", "m.json", "--stats-every", "5000", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->metrics_out, "m.json");
+  EXPECT_EQ(options->stats_every, 5000u);
+}
+
+TEST(CliOptions, StatsEveryRejections) {
+  std::string error;
+  // Zero cadence and garbage are parse errors.
+  EXPECT_FALSE(Parse({"--metrics-out", "m", "--stats-every", "0", "t"}, &error)
+                   .has_value());
+  EXPECT_NE(error.find("--stats-every"), std::string::npos);
+  EXPECT_FALSE(
+      Parse({"--metrics-out", "m", "--stats-every", "potato", "t"}, &error)
+          .has_value());
+  // The cadence writes the exposition file, so it needs a destination.
+  EXPECT_FALSE(Parse({"--stats-every", "100", "t"}, &error).has_value());
+  EXPECT_NE(error.find("requires --metrics-out"), std::string::npos);
+  EXPECT_FALSE(Parse({"--metrics-out"}, &error).has_value());
+}
+
 TEST(CliOptions, ToLtcConfigReflectsFlags) {
   auto options = Parse({"--memory", "10K", "--alpha", "2", "--beta", "3",
                         "--d", "4", "--no-ltr", "t.csv"});

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "ingest/ingest_pipeline.h"
 #include "ingest/spsc_ring.h"
 #include "stream/generators.h"
+#include "telemetry/metrics.h"
 
 namespace ltc {
 namespace {
@@ -318,6 +320,56 @@ TEST(IngestPipeline, StopIsIdempotentAndStatsSettle) {
       EXPECT_GT(stats.batches, 0u);
     }
   }
+}
+
+TEST(IngestPipeline, FlushesCounterCountsCompletedFlushes) {
+  Stream stream = MakeZipfStream(5'000, 500, 1.0, 10, 157);
+  ShardedLtc piped(TimePaced(stream, 8 * 1024), 3);
+  IngestPipeline pipeline(piped);
+  pipeline.PushBatch(stream.records());
+  EXPECT_TRUE(pipeline.Flush());
+  EXPECT_TRUE(pipeline.Flush());
+  pipeline.Stop();
+  for (uint32_t s = 0; s < pipeline.num_shards(); ++s) {
+    // Each explicit Flush() that drained the lane counts once; Stop()
+    // joins workers without flushing, so the count stays at two.
+    EXPECT_EQ(pipeline.ShardStatsOf(s).flushes, 2u) << "shard " << s;
+  }
+}
+
+TEST(IngestPipeline, ShardStatsOfThrowsOutOfRange) {
+  ShardedLtc sharded(CountPaced(8 * 1024, 1'000), 2);
+  IngestPipeline pipeline(sharded);
+  EXPECT_THROW((void)pipeline.ShardStatsOf(2), std::out_of_range);
+  EXPECT_THROW((void)pipeline.ShardStatsOf(99), std::out_of_range);
+  pipeline.Stop();
+}
+
+TEST(IngestPipeline, AttachMetricsPublishesPerShardSeries) {
+  Stream stream = MakeZipfStream(5'000, 500, 1.0, 10, 163);
+  ShardedLtc piped(TimePaced(stream, 8 * 1024), 2);
+  IngestPipeline pipeline(piped);
+  telemetry::MetricsRegistry registry;
+  pipeline.AttachMetrics(&registry);
+  pipeline.PushBatch(stream.records());
+  EXPECT_TRUE(pipeline.Flush());
+  pipeline.Stop();
+  pipeline.SampleMetrics();
+
+  uint64_t enqueued = 0;
+  for (uint32_t s = 0; s < pipeline.num_shards(); ++s) {
+    enqueued += registry
+                    .CounterOf("ltc_ingest_enqueued_total", "", telemetry::Labels{
+                                   {"shard", std::to_string(s)}})
+                    .Value();
+  }
+  EXPECT_EQ(enqueued, stream.size());
+  // The timed flush recorded at least one latency sample.
+  EXPECT_GE(registry
+                .HistogramOf("ltc_ingest_flush_duration_usec", "",
+                             telemetry::Labels{})
+                .Count(),
+            1u);
 }
 
 TEST(IngestPipeline, SingleShardPipelineMatchesPlainLtc) {

@@ -390,6 +390,16 @@ TEST(Ltc, ComputeStatsTracksOccupancy) {
   EXPECT_DOUBLE_EQ(full.occupancy, 1.0);
 }
 
+TEST(Ltc, ComputeStatsEmptyTableHasNoNan) {
+  Ltc table(OneBucket(4));
+  auto stats = table.ComputeStats();
+  EXPECT_EQ(stats.occupied_cells, 0u);
+  EXPECT_FALSE(std::isnan(stats.occupancy));
+  EXPECT_FALSE(std::isnan(stats.avg_significance));
+  EXPECT_EQ(stats.occupancy, 0.0);
+  EXPECT_EQ(stats.avg_significance, 0.0);
+}
+
 TEST(Ltc, QueryUntrackedReturnsZero) {
   Ltc table(OneBucket(4));
   table.Insert(1);

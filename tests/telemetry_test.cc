@@ -1,0 +1,252 @@
+// Tests for the telemetry subsystem (docs/TELEMETRY.md): the metrics
+// registry contract (find-or-create, stable references, kind and name
+// validation), log2 histogram bucket boundaries, exact exposition
+// goldens for both formats, and a multi-thread hammer with exact final
+// counts — the latter doubles as the tsan workload for the lock-free
+// primitives.
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
+
+namespace ltc {
+namespace telemetry {
+namespace {
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReference) {
+  MetricsRegistry registry;
+  Counter& a = registry.CounterOf("requests_total", "Total requests.");
+  a.Increment(7);
+  Counter& b = registry.CounterOf("requests_total", "Total requests.");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.Value(), 7u);
+  EXPECT_EQ(registry.num_families(), 1u);
+}
+
+TEST(MetricsRegistry, DistinctLabelsMakeDistinctSeriesInOneFamily) {
+  MetricsRegistry registry;
+  Counter& x = registry.CounterOf("hits_total", "Hits.", {{"shard", "0"}});
+  Counter& y = registry.CounterOf("hits_total", "Hits.", {{"shard", "1"}});
+  EXPECT_NE(&x, &y);
+  EXPECT_EQ(registry.num_families(), 1u);
+  x.Increment(2);
+  y.Increment(5);
+  EXPECT_EQ(registry.CounterOf("hits_total", "Hits.", {{"shard", "0"}}).Value(),
+            2u);
+  EXPECT_EQ(registry.CounterOf("hits_total", "Hits.", {{"shard", "1"}}).Value(),
+            5u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrowsLogicError) {
+  MetricsRegistry registry;
+  registry.CounterOf("mixed", "A counter.");
+  EXPECT_THROW(registry.GaugeOf("mixed", "Now a gauge?"), std::logic_error);
+  EXPECT_THROW(registry.HistogramOf("mixed", "Now a histogram?"),
+               std::logic_error);
+}
+
+TEST(MetricsRegistry, InvalidNamesThrow) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.CounterOf("9starts_with_digit", ""),
+               std::invalid_argument);
+  EXPECT_THROW(registry.CounterOf("has space", ""), std::invalid_argument);
+  EXPECT_THROW(registry.CounterOf("", ""), std::invalid_argument);
+  EXPECT_THROW(registry.CounterOf("ok_total", "", {{"9bad", "v"}}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.CounterOf("ok_total", "", {{"colon:no", "v"}}),
+               std::invalid_argument);
+  // Colons are legal in metric names (recording-rule convention), and
+  // label values are unrestricted (exposition escapes them).
+  registry.CounterOf("ltc:derived_total", "");
+  registry.CounterOf("ok_total", "", {{"path", "a\"b\\c\nd"}});
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.Value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_EQ(gauge.Value(), 1.5);
+}
+
+TEST(Counter, SetFromSampleOverwrites) {
+  Counter counter;
+  counter.Increment(3);
+  counter.SetFromSample(42);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // bucket i = values of bit-width i: 0 → bucket 0, [2^(i−1), 2^i − 1]
+  // → bucket i, and everything >= 2^63 lands in the +Inf overflow.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 63) - 1), 63u);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 63), 64u);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<uint64_t>::max()),
+            64u);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(63), (uint64_t{1} << 63) - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(64),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(Histogram, RecordsZeroMaxAndOverflow) {
+  Histogram histogram;
+  histogram.Record(0);
+  histogram.Record(std::numeric_limits<uint64_t>::max());
+  histogram.Record(uint64_t{1} << 63);
+  EXPECT_EQ(histogram.BucketCount(0), 1u);
+  EXPECT_EQ(histogram.BucketCount(64), 2u);
+  EXPECT_EQ(histogram.Count(), 3u);
+  // Sum wraps modulo 2^64 by design: max + 2^63 + 0.
+  EXPECT_EQ(histogram.Sum(),
+            std::numeric_limits<uint64_t>::max() + (uint64_t{1} << 63));
+}
+
+TEST(Exposition, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.CounterOf("requests_total", "Total requests.", {{"path", "/x"}})
+      .Increment(3);
+  registry.CounterOf("requests_total", "Total requests.", {{"path", "/y"}})
+      .Increment(1);
+  registry.GaugeOf("temperature", "Current temperature.").Set(1.5);
+  Histogram& histogram = registry.HistogramOf("latency_usec", "Latency.");
+  histogram.Record(0);
+  histogram.Record(1);
+  histogram.Record(5);     // bit-width 3 → le="7"
+  histogram.Record(1000);  // bit-width 10 → le="1023"
+
+  EXPECT_EQ(ExpositionText(registry),
+            "# HELP requests_total Total requests.\n"
+            "# TYPE requests_total counter\n"
+            "requests_total{path=\"/x\"} 3\n"
+            "requests_total{path=\"/y\"} 1\n"
+            "# HELP temperature Current temperature.\n"
+            "# TYPE temperature gauge\n"
+            "temperature 1.5\n"
+            "# HELP latency_usec Latency.\n"
+            "# TYPE latency_usec histogram\n"
+            "latency_usec_bucket{le=\"0\"} 1\n"
+            "latency_usec_bucket{le=\"1\"} 2\n"
+            "latency_usec_bucket{le=\"7\"} 3\n"
+            "latency_usec_bucket{le=\"1023\"} 4\n"
+            "latency_usec_bucket{le=\"+Inf\"} 4\n"
+            "latency_usec_sum 1006\n"
+            "latency_usec_count 4\n");
+}
+
+TEST(Exposition, PrometheusEscapesLabelValuesAndHelp) {
+  MetricsRegistry registry;
+  registry
+      .CounterOf("esc_total", "Help with \\ and\nnewline.",
+                 {{"path", "a\"b\\c\nd"}})
+      .Increment(1);
+  EXPECT_EQ(ExpositionText(registry),
+            "# HELP esc_total Help with \\\\ and\\nnewline.\n"
+            "# TYPE esc_total counter\n"
+            "esc_total{path=\"a\\\"b\\\\c\\nd\"} 1\n");
+}
+
+TEST(Exposition, OverflowSampleOnlyInInfBucket) {
+  MetricsRegistry registry;
+  registry.HistogramOf("big_bytes", "Big.")
+      .Record(std::numeric_limits<uint64_t>::max());
+  const std::string text = ExpositionText(registry);
+  EXPECT_NE(text.find("big_bytes_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("big_bytes_count 1\n"), std::string::npos);
+  // No finite bucket line: the only sample is past every finite bound.
+  EXPECT_EQ(text.find("big_bytes_bucket{le=\"0\""), std::string::npos);
+}
+
+TEST(Exposition, JsonGolden) {
+  MetricsRegistry registry;
+  registry.CounterOf("c_total", "Help.").Increment(2);
+  registry.HistogramOf("h", "H.").Record(3);
+
+  EXPECT_EQ(
+      ExpositionJson(registry),
+      "{\n"
+      "  \"families\": [\n"
+      "    {\"name\": \"c_total\", \"type\": \"counter\", \"help\": "
+      "\"Help.\", \"series\": [\n"
+      "      {\"labels\": {}, \"value\": 2}\n"
+      "    ]},\n"
+      "    {\"name\": \"h\", \"type\": \"histogram\", \"help\": \"H.\", "
+      "\"series\": [\n"
+      "      {\"labels\": {}, \"count\": 1, \"sum\": 3, \"buckets\": "
+      "[{\"le\": \"3\", \"cumulative\": 1}, {\"le\": \"+Inf\", "
+      "\"cumulative\": 1}]}\n"
+      "    ]}\n"
+      "  ]\n"
+      "}\n");
+}
+
+TEST(Exposition, EmptyRegistry) {
+  MetricsRegistry registry;
+  EXPECT_EQ(ExpositionText(registry), "");
+  EXPECT_EQ(ExpositionJson(registry), "{\n  \"families\": []\n}\n");
+}
+
+// Concurrency hammer: exact final values prove no lost updates; running
+// exposition concurrently with the writers exercises the snapshot reads
+// under tsan.
+TEST(Telemetry, ConcurrentHammerHasExactCounts) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 25'000;
+  MetricsRegistry registry;
+  Counter& counter = registry.CounterOf("hammer_total", "Hammered.");
+  Gauge& gauge = registry.GaugeOf("hammer_gauge", "Hammered.");
+  Histogram& histogram = registry.HistogramOf("hammer_usec", "Hammered.");
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.Increment();
+        gauge.Add(1.0);
+        histogram.Record(static_cast<uint64_t>((t * kIters + i) % 4096));
+      }
+    });
+  }
+  // A reader racing the writers: output content is unspecified, but the
+  // reads must be clean (this is the tsan assertion).
+  threads.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      (void)ExpositionText(registry);
+      (void)ExpositionJson(registry);
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kIters;
+  EXPECT_EQ(counter.Value(), kTotal);
+  EXPECT_EQ(gauge.Value(), static_cast<double>(kTotal));
+  EXPECT_EQ(histogram.Count(), kTotal);
+  uint64_t from_buckets = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    from_buckets += histogram.BucketCount(i);
+  }
+  EXPECT_EQ(from_buckets, kTotal);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace ltc

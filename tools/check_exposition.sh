@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Validates a Prometheus text exposition (format 0.0.4) the way a
+# scraper would: line grammar, # TYPE before any sample of its family,
+# numeric values, and histogram integrity — cumulative buckets
+# non-decreasing, a le="+Inf" bucket per series, and _count equal to
+# the +Inf cumulative. Exits 0 and prints a one-line summary on
+# success; prints every violation and exits 1 otherwise.
+#
+#   usage: check_exposition.sh FILE
+
+set -u
+
+file="${1:-}"
+if [ -z "$file" ]; then
+  echo "usage: check_exposition.sh FILE" >&2
+  exit 2
+fi
+if [ ! -r "$file" ]; then
+  echo "check_exposition.sh: cannot read '$file'" >&2
+  exit 2
+fi
+
+awk '
+function fail(msg) {
+  printf("check_exposition: line %d: %s\n", NR, msg)
+  bad = 1
+}
+
+/^# HELP / { next }
+
+/^# TYPE / {
+  name = $3
+  kind = $4
+  if (kind != "counter" && kind != "gauge" && kind != "histogram") {
+    fail("unknown metric type \"" kind "\"")
+    next
+  }
+  if (name in type) fail("duplicate # TYPE for " name)
+  type[name] = kind
+  next
+}
+
+/^#/ { next }      # other comments are legal
+/^$/ { next }
+
+{
+  # Sample line: name{labels} value  |  name value
+  if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/)) {
+    fail("malformed metric name: " $0)
+    next
+  }
+  name = substr($0, 1, RLENGTH)
+  rest = substr($0, RLENGTH + 1)
+  labels = ""
+  if (substr(rest, 1, 1) == "{") {
+    close_idx = index(rest, "}")
+    if (close_idx == 0) {
+      fail("unterminated label set: " $0)
+      next
+    }
+    labels = substr(rest, 1, close_idx)
+    rest = substr(rest, close_idx + 1)
+  }
+  if (rest !~ /^ -?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?$/) {
+    fail("non-numeric sample value: " $0)
+    next
+  }
+  value = substr(rest, 2) + 0
+  samples++
+
+  # Which family does the sample belong to?
+  family = name
+  if (family ~ /_bucket$/ && substr(family, 1, length(family) - 7) in type)
+    family = substr(family, 1, length(family) - 7)
+  else if (family ~ /_sum$/ && substr(family, 1, length(family) - 4) in type)
+    family = substr(family, 1, length(family) - 4)
+  else if (family ~ /_count$/ && substr(family, 1, length(family) - 6) in type)
+    family = substr(family, 1, length(family) - 6)
+  if (!(family in type)) {
+    fail("sample before its # TYPE: " name)
+    next
+  }
+
+  if (type[family] != "histogram") {
+    if (name != family) fail("suffixed sample of non-histogram: " name)
+    if (type[family] == "counter" && value < 0)
+      fail("negative counter: " $0)
+    next
+  }
+
+  # Histogram pieces.
+  if (name ~ /_bucket$/) {
+    if (!match(labels, /le="[^"]*"/)) {
+      fail("_bucket without le label: " $0)
+      next
+    }
+    le = substr(labels, RSTART + 4, RLENGTH - 5)
+    key = labels
+    sub(/,?le="[^"]*"/, "", key)
+    sub(/\{,/, "{", key)
+    if (key == "{}") key = ""
+    series = family SUBSEP key
+    if (series in last_cum && value + 0 < last_cum[series] + 0)
+      fail("cumulative bucket decreased: " $0)
+    last_cum[series] = value
+    if (le == "+Inf") inf_cum[series] = value
+    bucket_seen[series] = NR
+  } else if (name ~ /_count$/) {
+    series = family SUBSEP labels
+    count_of[series] = value
+    count_line[series] = NR
+  }
+  # _sum: numeric check above is all the format requires.
+  next
+}
+
+END {
+  for (series in bucket_seen) {
+    split(series, parts, SUBSEP)
+    where = parts[1] " " parts[2]
+    if (!(series in inf_cum)) {
+      printf("check_exposition: histogram series %s has no le=\"+Inf\" bucket\n", where)
+      bad = 1
+    } else if (!(series in count_of)) {
+      printf("check_exposition: histogram series %s has no _count\n", where)
+      bad = 1
+    } else if (count_of[series] + 0 != inf_cum[series] + 0) {
+      printf("check_exposition: line %d: _count %s != +Inf cumulative %s for %s\n",
+             count_line[series], count_of[series], inf_cum[series], where)
+      bad = 1
+    }
+  }
+  if (bad) exit 1
+  n = 0
+  for (f in type) n++
+  printf("check_exposition: OK (%d families, %d samples)\n", n, samples)
+}
+' "$file"

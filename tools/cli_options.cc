@@ -81,6 +81,13 @@ options:
                     also snapshot every N records mid-run to
                     FILE.<seq>.snap (requires --save; keeps the
                     newest 3) [off]
+  --metrics-out FILE
+                    write a metrics exposition to FILE on exit
+                    (atomically; FILE ending in .json gets the JSON
+                    form, anything else the Prometheus text form)
+  --stats-every N   also rewrite --metrics-out every N records, so a
+                    long run can be watched live (requires
+                    --metrics-out) [off]
   --help            this text
 )";
 }
@@ -125,7 +132,8 @@ std::optional<CliOptions> ParseCliOptions(
       if (arg == "--beta") options.beta = parsed;
       if (arg == "--duration") options.duration = parsed;
     } else if (arg == "--k" || arg == "--periods" || arg == "--d" ||
-               arg == "--threads" || arg == "--checkpoint-every") {
+               arg == "--threads" || arg == "--checkpoint-every" ||
+               arg == "--stats-every") {
       if (!next_value(arg, &value)) return std::nullopt;
       uint64_t parsed;
       if (!ParseU64Arg(value, &parsed) || parsed == 0) {
@@ -141,6 +149,7 @@ std::optional<CliOptions> ParseCliOptions(
         options.threads = static_cast<uint32_t>(parsed);
       }
       if (arg == "--checkpoint-every") options.checkpoint_every = parsed;
+      if (arg == "--stats-every") options.stats_every = parsed;
     } else if (arg == "--no-ltr") {
       options.long_tail_replacement = false;
     } else if (arg == "--no-de") {
@@ -150,6 +159,9 @@ std::optional<CliOptions> ParseCliOptions(
     } else if (arg == "--save" || arg == "--load") {
       if (!next_value(arg, &value)) return std::nullopt;
       (arg == "--save" ? options.save_path : options.load_path) = value;
+    } else if (arg == "--metrics-out") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      options.metrics_out = value;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return fail("unknown option '" + arg + "'");
     } else {
@@ -169,6 +181,10 @@ std::optional<CliOptions> ParseCliOptions(
   if (options.checkpoint_every > 0 && options.save_path.empty()) {
     return fail("--checkpoint-every requires --save (it anchors the "
                 "snapshot rotation at the save path)");
+  }
+  if (options.stats_every > 0 && options.metrics_out.empty()) {
+    return fail("--stats-every requires --metrics-out (it sets where the "
+                "periodic exposition is written)");
   }
   return options;
 }

@@ -31,6 +31,10 @@ struct CliOptions {
   uint64_t checkpoint_every = 0;  // mid-run snapshot cadence in records
                                   // (0 = only the final --save); snapshots
                                   // rotate at <save>.<seq>.snap
+  std::string metrics_out;    // write a metrics exposition here on exit
+                              // (.json = JSON, else Prometheus text)
+  uint64_t stats_every = 0;   // ALSO rewrite metrics_out every N records
+                              // (0 = only on exit; requires metrics_out)
   bool show_help = false;
 
   /// The LtcConfig these options describe (period pacing filled by the

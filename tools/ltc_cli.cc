@@ -29,6 +29,9 @@
 #include "snapshot/fs.h"
 #include "snapshot/snapshot_store.h"
 #include "stream/trace_io.h"
+#include "telemetry/exposition.h"
+#include "telemetry/ltc_collectors.h"
+#include "telemetry/metrics.h"
 
 namespace ltc {
 namespace {
@@ -136,6 +139,59 @@ int Run(const CliOptions& options) {
     estimator = &*table;
   }
 
+  // Observability (docs/TELEMETRY.md): one registry spans all layers —
+  // core hot-path sinks, ingest pipeline, snapshot store — written to
+  // --metrics-out on exit and at each --stats-every cadence.
+  const bool metrics_enabled = !options.metrics_out.empty();
+  telemetry::MetricsRegistry registry;
+#ifdef LTC_METRICS
+  // One sink per shard (sized once: the tables keep raw pointers).
+  std::vector<LtcMetricsSink> sinks;
+  if (metrics_enabled) {
+    if (sharded) {
+      sinks.resize(sharded->num_shards());
+      for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+        sharded->AttachMetricsSink(s, &sinks[s]);
+      }
+    } else {
+      sinks.resize(1);
+      table->AttachMetricsSink(&sinks[0]);
+    }
+  }
+#endif
+
+  // Publishes the core sinks (safe only while the tables are quiescent:
+  // single-threaded feeding, or after IngestPipeline::Flush()/Stop()).
+  auto publish_core = [&] {
+#ifdef LTC_METRICS
+    for (size_t s = 0; s < sinks.size(); ++s) {
+      const Ltc& shard_table =
+          sharded ? sharded->shard(static_cast<uint32_t>(s)) : *table;
+      telemetry::Labels labels;
+      if (sharded) labels = {{"shard", std::to_string(s)}};
+      telemetry::PublishLtcSink(
+          registry, sinks[s], labels,
+          static_cast<size_t>(shard_table.num_buckets()) *
+              shard_table.cells_per_bucket());
+    }
+#endif
+  };
+
+  auto write_metrics = [&] {
+    if (!metrics_enabled) return;
+    publish_core();
+    const std::string& path = options.metrics_out;
+    const bool json =
+        path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+    const std::string body = json ? telemetry::ExpositionJson(registry)
+                                  : telemetry::ExpositionText(registry);
+    std::string write_error;
+    if (!AtomicWriteFile(SystemFs(), path, body, &write_error)) {
+      std::fprintf(stderr, "ltc_cli: warning: cannot write metrics '%s': %s\n",
+                   path.c_str(), write_error.c_str());
+    }
+  };
+
   // 3. Feed the stream: parallel pipeline when sharded, the batch fast
   // path otherwise. With --checkpoint-every, mid-run snapshots rotate
   // at <save>.<seq>.snap — after a crash, --load walks back to the
@@ -143,37 +199,57 @@ int Run(const CliOptions& options) {
   std::optional<SnapshotStore> rotation;
   if (options.checkpoint_every > 0) {
     rotation.emplace(options.save_path);
+    if (metrics_enabled) rotation->AttachMetrics(&registry);
   }
+  // Chunked feeding so the mid-run hooks — auto-checkpoints and
+  // --stats-every metric rewrites — fire at their cadences instead of
+  // once at the end. Each cadence keeps its own residue counter, so
+  // composing them never fires either one early.
+  const std::span<const Record> records(stream.records());
+  size_t chunk = records.size();
+  if (options.checkpoint_every > 0) {
+    chunk = std::min<size_t>(chunk, options.checkpoint_every);
+  }
+  if (options.stats_every > 0) {
+    chunk = std::min<size_t>(chunk, options.stats_every);
+  }
+  uint64_t since_stats = 0;
   if (sharded) {
     IngestConfig ingest;
     ingest.checkpoint_every = options.checkpoint_every;
     IngestPipeline pipeline(*sharded, ingest);
     if (rotation) pipeline.AttachSnapshotStore(&*rotation);
-    // Chunked feeding so the auto-checkpoint hook gets a chance to fire
-    // at its cadence instead of once at the end.
-    const std::span<const Record> records(stream.records());
-    const size_t chunk = options.checkpoint_every > 0
-                             ? options.checkpoint_every
-                             : records.size();
+    if (metrics_enabled) pipeline.AttachMetrics(&registry);
     for (size_t i = 0; i < records.size(); i += chunk) {
       const size_t n = std::min(chunk, records.size() - i);
       pipeline.PushBatch(records.subspan(i, n));
+      since_stats += n;
+      if (options.stats_every > 0 && since_stats >= options.stats_every) {
+        since_stats = 0;
+        // Quiesce the workers so the per-shard core sinks are safe to
+        // read (their fields are plain uint64s owned by the worker).
+        pipeline.Flush();
+        pipeline.SampleMetrics();
+        write_metrics();
+      }
     }
     pipeline.Stop();
+    if (metrics_enabled) pipeline.SampleMetrics();
     if (pipeline.CheckpointFailures() > 0) {
       std::fprintf(stderr, "ltc_cli: warning: %llu checkpoint(s) failed\n",
                    static_cast<unsigned long long>(
                        pipeline.CheckpointFailures()));
     }
   } else {
-    const std::span<const Record> records(stream.records());
-    const size_t chunk = options.checkpoint_every > 0
-                             ? options.checkpoint_every
-                             : records.size();
+    uint64_t since_ckpt = 0;
     for (size_t i = 0; i < records.size(); i += chunk) {
       const size_t n = std::min(chunk, records.size() - i);
       estimator->InsertBatch(records.subspan(i, n));
-      if (rotation && i + n < records.size()) {
+      since_ckpt += n;
+      since_stats += n;
+      if (rotation && since_ckpt >= options.checkpoint_every &&
+          i + n < records.size()) {
+        since_ckpt = 0;
         std::string save_error;
         BinaryWriter writer;
         table->Serialize(writer);
@@ -181,6 +257,10 @@ int Run(const CliOptions& options) {
           std::fprintf(stderr, "ltc_cli: warning: checkpoint failed: %s\n",
                        save_error.c_str());
         }
+      }
+      if (options.stats_every > 0 && since_stats >= options.stats_every) {
+        since_stats = 0;
+        write_metrics();
       }
     }
   }
@@ -202,6 +282,10 @@ int Run(const CliOptions& options) {
     }
   }
   estimator->Finalize();
+
+  // Exit-time exposition: every run with --metrics-out leaves a final,
+  // complete metrics file even when --stats-every never fired.
+  write_metrics();
 
   // 5. Report.
   auto name_of = [&](ItemId item) -> std::string {

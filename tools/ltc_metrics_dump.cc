@@ -1,0 +1,191 @@
+// ltc_metrics_dump — pretty-prints a Prometheus text exposition (the
+// file ltc_cli --metrics-out writes) as a compact human-readable
+// summary: one block per family, histograms folded into
+// count/sum/avg/max-bucket instead of their cumulative bucket series.
+//
+//   usage: ltc_metrics_dump [FILE | -]      (default: stdin)
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Sample {
+  std::string labels;  // "{shard=\"0\"}" or ""
+  std::string value;
+};
+
+struct Family {
+  std::string type;
+  std::string help;
+  std::vector<Sample> samples;  // counter/gauge samples
+  // Histogram pieces keyed by the le-stripped label set.
+  std::map<std::string, std::string> hist_count;
+  std::map<std::string, std::string> hist_sum;
+  std::map<std::string, std::string> hist_max_bucket;  // largest finite le
+};
+
+/// Splits "name{labels} value" / "name value"; returns false on junk.
+bool SplitSample(const std::string& line, std::string* name,
+                 std::string* labels, std::string* value) {
+  const size_t brace = line.find('{');
+  const size_t space = line.find(' ');
+  if (space == std::string::npos) return false;
+  if (brace != std::string::npos && brace < space) {
+    const size_t close = line.find('}', brace);
+    if (close == std::string::npos || close + 1 >= line.size()) return false;
+    *name = line.substr(0, brace);
+    *labels = line.substr(brace, close - brace + 1);
+    *value = line.substr(close + 2);
+  } else {
+    *name = line.substr(0, space);
+    labels->clear();
+    *value = line.substr(space + 1);
+  }
+  return !name->empty() && !value->empty();
+}
+
+/// Removes one `le="..."` pair (and its separating comma) from a label
+/// string, so every piece of one histogram series shares a key.
+std::string StripLe(const std::string& labels) {
+  const size_t le = labels.find("le=\"");
+  if (le == std::string::npos) return labels;
+  size_t end = labels.find('"', le + 4);
+  if (end == std::string::npos) return labels;
+  ++end;  // past the closing quote
+  size_t begin = le;
+  if (begin > 0 && labels[begin - 1] == ',') {
+    --begin;  // {a="1",le="2"} -> {a="1"}
+  } else if (end < labels.size() && labels[end] == ',') {
+    ++end;  // {le="2",a="1"} -> {a="1"}
+  }
+  std::string out = labels.substr(0, begin) + labels.substr(end);
+  return out == "{}" ? "" : out;
+}
+
+/// Ends with `suffix`? Then strip it into `stem`.
+bool ChopSuffix(const std::string& name, const char* suffix,
+                std::string* stem) {
+  const std::string s = suffix;
+  if (name.size() <= s.size() ||
+      name.compare(name.size() - s.size(), s.size(), s) != 0) {
+    return false;
+  }
+  *stem = name.substr(0, name.size() - s.size());
+  return true;
+}
+
+int DumpStream(std::istream& in) {
+  // Families in first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, Family> families;
+  auto family_of = [&](const std::string& name) -> Family& {
+    if (families.find(name) == families.end()) order.push_back(name);
+    return families[name];
+  };
+
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, kind, name;
+      meta >> hash >> kind >> name;
+      std::string rest;
+      std::getline(meta, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      if (kind == "HELP") {
+        family_of(name).help = rest;
+      } else if (kind == "TYPE") {
+        family_of(name).type = rest;
+      }
+      continue;
+    }
+    std::string name, labels, value;
+    if (!SplitSample(line, &name, &labels, &value)) {
+      std::fprintf(stderr, "ltc_metrics_dump: line %zu unparseable: %s\n",
+                   lineno, line.c_str());
+      return 1;
+    }
+    std::string stem;
+    if (ChopSuffix(name, "_bucket", &stem) &&
+        families.find(stem) != families.end()) {
+      Family& family = families[stem];
+      const std::string key = StripLe(labels);
+      family.hist_count[key];  // ensure the series exists
+      if (labels.find("le=\"+Inf\"") == std::string::npos) {
+        family.hist_max_bucket[key] = labels;  // last finite bucket wins
+      }
+    } else if (ChopSuffix(name, "_sum", &stem) &&
+               families.find(stem) != families.end()) {
+      families[stem].hist_sum[labels] = value;
+    } else if (ChopSuffix(name, "_count", &stem) &&
+               families.find(stem) != families.end()) {
+      families[stem].hist_count[labels] = value;
+    } else {
+      family_of(name).samples.push_back({labels, value});
+    }
+  }
+
+  for (const std::string& name : order) {
+    const Family& family = families[name];
+    std::printf("%s (%s)%s%s\n", name.c_str(),
+                family.type.empty() ? "untyped" : family.type.c_str(),
+                family.help.empty() ? "" : " — ",
+                family.help.c_str());
+    if (family.type == "histogram") {
+      for (const auto& [labels, count] : family.hist_count) {
+        const auto sum = family.hist_sum.find(labels);
+        const auto max_bucket = family.hist_max_bucket.find(labels);
+        double avg = 0.0;
+        const double n = count.empty() ? 0.0 : std::stod(count);
+        if (n > 0 && sum != family.hist_sum.end()) {
+          avg = std::stod(sum->second) / n;
+        }
+        std::printf("  %-28s count=%s sum=%s avg=%.1f%s%s\n",
+                    labels.empty() ? "(no labels)" : labels.c_str(),
+                    count.c_str(),
+                    sum != family.hist_sum.end() ? sum->second.c_str() : "?",
+                    avg,
+                    max_bucket != family.hist_max_bucket.end() ? " max "
+                                                               : "",
+                    max_bucket != family.hist_max_bucket.end()
+                        ? max_bucket->second.c_str()
+                        : "");
+      }
+    } else {
+      for (const Sample& sample : family.samples) {
+        std::printf("  %-28s %s\n",
+                    sample.labels.empty() ? "(no labels)"
+                                          : sample.labels.c_str(),
+                    sample.value.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: ltc_metrics_dump [FILE | -]\n");
+    return 2;
+  }
+  if (argc == 2 && std::string(argv[1]) != "-") {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "ltc_metrics_dump: cannot open '%s'\n", argv[1]);
+      return 1;
+    }
+    return DumpStream(file);
+  }
+  return DumpStream(std::cin);
+}
