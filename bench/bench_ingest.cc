@@ -91,6 +91,12 @@ int Main() {
   // counters, flush latency, and the core insert-case split — alongside
   // the throughput numbers.
   telemetry::MetricsRegistry registry;
+  // Robustness outcome of the instrumented run: a healthy bench run has
+  // stalled=false, shed_records=0, worker_restarts=0 — nonzero values
+  // flag a starved or faulty host before anyone trusts the mops column.
+  bool stalled = false;
+  uint64_t shed_records = 0;
+  uint64_t worker_restarts = 0;
   {
     ShardedLtc sharded(config, 2);
     IngestPipeline pipeline(sharded);
@@ -104,6 +110,9 @@ int Main() {
     pipeline.PushBatch(stream.records());
     pipeline.Stop();
     pipeline.SampleMetrics();
+    stalled = pipeline.stalled();
+    shed_records = pipeline.TotalShed();
+    worker_restarts = pipeline.WorkerRestarts();
 #ifdef LTC_METRICS
     for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
       const Ltc& shard = sharded.shard(s);
@@ -121,6 +130,11 @@ int Main() {
   std::printf("  \"memory_bytes\": %zu,\n", kMemory);
   std::printf("  \"hardware_threads\": %u,\n",
               std::thread::hardware_concurrency());
+  std::printf("  \"stalled\": %s,\n", stalled ? "true" : "false");
+  std::printf("  \"shed_records\": %llu,\n",
+              static_cast<unsigned long long>(shed_records));
+  std::printf("  \"worker_restarts\": %llu,\n",
+              static_cast<unsigned long long>(worker_restarts));
   std::printf("  \"metrics\": ");
   std::fputs(telemetry::ExpositionJson(registry).c_str(), stdout);
   // ExpositionJson ends with a newline; rewindable only by emitting the

@@ -1,0 +1,40 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltc {
+
+BackoffSchedule::BackoffSchedule(const BackoffPolicy& policy)
+    : policy_(policy), rng_(policy.seed) {
+  if (policy_.multiplier < 1.0) policy_.multiplier = 1.0;
+  if (policy_.jitter < 0.0) policy_.jitter = 0.0;
+  if (policy_.jitter >= 1.0) policy_.jitter = 0.999;
+  base_usec_ = static_cast<double>(
+      std::min(policy_.initial_delay_usec, policy_.max_delay_usec));
+}
+
+void BackoffSchedule::Reset() {
+  base_usec_ = static_cast<double>(
+      std::min(policy_.initial_delay_usec, policy_.max_delay_usec));
+  rng_ = Rng(policy_.seed);
+}
+
+uint64_t BackoffSchedule::NextDelayUsec() {
+  double delay = base_usec_;
+  if (policy_.jitter > 0.0) {
+    // Scale by a seeded-uniform factor in [1 - jitter, 1 + jitter]; the
+    // PRNG is consumed exactly once per delay, so schedules with and
+    // without an observer agree.
+    const double factor =
+        1.0 - policy_.jitter + 2.0 * policy_.jitter * rng_.UniformDouble();
+    delay *= factor;
+  }
+  base_usec_ = std::min(base_usec_ * policy_.multiplier,
+                        static_cast<double>(policy_.max_delay_usec));
+  const double capped =
+      std::min(delay, static_cast<double>(policy_.max_delay_usec));
+  return capped <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(capped));
+}
+
+}  // namespace ltc

@@ -1,0 +1,88 @@
+// Exponential backoff with deterministic jitter — the retry policy of
+// the self-healing layer (docs/DURABILITY.md "Retries and backoff").
+//
+// A BackoffPolicy is pure data: how many attempts, the initial delay,
+// the growth factor, the cap, and a jitter fraction whose randomness is
+// derived from an explicit seed (common/rng.h) — so the *entire* delay
+// schedule is a deterministic function of the policy. Combined with an
+// injectable Clock (common/clock.h) that makes retry behaviour exactly
+// testable: tests/backoff_test.cc asserts schedules value-by-value
+// against a FakeClock, no wall time involved.
+//
+// Jitter exists to decorrelate retries across instances hammering a
+// shared resource (the classic thundering-herd fix); determinism-from-
+// seed keeps it reproducible anyway. The default policy has
+// max_attempts = 1, i.e. NO retries — call sites opt in explicitly.
+
+#ifndef LTC_COMMON_BACKOFF_H_
+#define LTC_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace ltc {
+
+struct BackoffPolicy {
+  /// Total tries including the first one; 1 = no retry (the default —
+  /// retrying is an opt-in behaviour change).
+  uint32_t max_attempts = 1;
+
+  /// Delay before the first retry, in microseconds.
+  uint64_t initial_delay_usec = 1'000;
+
+  /// Growth factor per retry (>= 1.0); 2.0 doubles each time.
+  double multiplier = 2.0;
+
+  /// Upper bound on any single delay.
+  uint64_t max_delay_usec = 250'000;
+
+  /// Symmetric jitter fraction in [0, 1): each delay is scaled by a
+  /// seeded-uniform factor in [1 - jitter, 1 + jitter]. 0 = none.
+  double jitter = 0.0;
+
+  /// Seed for the jitter PRNG; the same policy always produces the
+  /// same schedule.
+  uint64_t seed = 0;
+};
+
+/// The delay sequence a policy defines. NextDelayUsec() returns the
+/// delay to sleep before the next retry and advances the schedule.
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const BackoffPolicy& policy);
+
+  uint64_t NextDelayUsec();
+
+  /// Rewinds to the first delay (jitter PRNG included).
+  void Reset();
+
+ private:
+  BackoffPolicy policy_;
+  double base_usec_ = 0.0;
+  Rng rng_;
+};
+
+/// Runs `attempt` (a callable returning bool) up to policy.max_attempts
+/// times, sleeping the backoff schedule on `clock` between failures.
+/// Returns true on the first success, false when every attempt failed.
+/// `retries`, when given, is incremented once per re-attempt (so a
+/// first-try success adds 0).
+template <typename AttemptFn>
+bool RetryWithBackoff(const BackoffPolicy& policy, Clock& clock,
+                      const AttemptFn& attempt, uint64_t* retries = nullptr) {
+  const uint32_t max_attempts = policy.max_attempts < 1 ? 1
+                                                        : policy.max_attempts;
+  BackoffSchedule schedule(policy);
+  for (uint32_t tries = 1;; ++tries) {
+    if (attempt()) return true;
+    if (tries >= max_attempts) return false;
+    if (retries != nullptr) ++*retries;
+    clock.SleepMicros(schedule.NextDelayUsec());
+  }
+}
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_BACKOFF_H_

@@ -1,0 +1,31 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ltc {
+
+namespace {
+
+class SystemClockImpl final : public Clock {
+ public:
+  uint64_t NowMicros() override {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+  }
+
+  void SleepMicros(uint64_t usec) override {
+    if (usec == 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(usec));
+  }
+};
+
+}  // namespace
+
+Clock& SystemClock() {
+  static SystemClockImpl clock;
+  return clock;
+}
+
+}  // namespace ltc

@@ -1,5 +1,6 @@
 #include "ingest/ingest_pipeline.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <stdexcept>
@@ -19,38 +20,101 @@ uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
   return usec > 0 ? static_cast<uint64_t>(usec) : 0;
 }
 
+/// Monotonic max-store: records `gen` in `slot` unless a newer
+/// generation already acknowledged its exit.
+void MaxStore(std::atomic<uint64_t>& slot, uint64_t gen) {
+  uint64_t prev = slot.load(std::memory_order_relaxed);
+  while (prev < gen && !slot.compare_exchange_weak(prev, gen,
+                                                   std::memory_order_release,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
+const char* IngestHealthName(IngestHealth health) {
+  switch (health) {
+    case IngestHealth::kHealthy:
+      return "healthy";
+    case IngestHealth::kDegraded:
+      return "degraded";
+    case IngestHealth::kStalled:
+      return "stalled";
+  }
+  return "unknown";
+}
+
 IngestPipeline::IngestPipeline(ShardedLtc& sink, const IngestConfig& config)
-    : sink_(sink), config_(config) {
+    : sink_(sink),
+      config_(config),
+      clock_(config.clock != nullptr ? config.clock : &SystemClock()) {
   assert(config_.drain_batch >= 1);
   const uint32_t shards = sink.num_shards();
   lanes_.reserve(shards);
   route_runs_.assign(shards, {});
   for (uint32_t s = 0; s < shards; ++s) {
     lanes_.push_back(std::make_unique<Lane>(config_.ring_capacity));
+    Lane& lane = *lanes_.back();
+    // Shed watermarks in records, against the ACTUAL (rounded) capacity.
+    const double cap = static_cast<double>(lane.ring.capacity());
+    lane.high_threshold = std::max<size_t>(
+        1, std::min(lane.ring.capacity(),
+                    static_cast<size_t>(cap * config_.shed.high_watermark)));
+    lane.low_threshold =
+        std::min(lane.high_threshold - 1,
+                 static_cast<size_t>(cap * config_.shed.low_watermark));
   }
   // Spawn only after every lane exists: a worker touches just its own
   // lane and shard, but the vector itself must never reallocate under it.
   for (uint32_t s = 0; s < shards; ++s) {
-    lanes_[s]->worker = std::thread([this, s] { WorkerLoop(s); });
+    lanes_[s]->worker = std::thread([this, s] { WorkerLoop(s, 1); });
+  }
+  if (config_.supervision.enabled && shards > 0) {
+    supervisor_ = std::thread([this] { SupervisorLoop(); });
   }
 }
 
 IngestPipeline::~IngestPipeline() { Stop(); }
 
-void IngestPipeline::WorkerLoop(uint32_t shard_index) {
+void IngestPipeline::WorkerLoop(uint32_t shard_index, uint64_t my_gen) {
   Lane& lane = *lanes_[shard_index];
   Ltc& shard = sink_.shard(shard_index);
   std::vector<Record> batch(config_.drain_batch);
   for (;;) {
-    if (suspended_.load(std::memory_order_acquire) &&
+    // Fault-injection seam: a hung thread — no heartbeat, no progress,
+    // no exit. Targets one generation, so a supervisor-spawned
+    // replacement is immune; Stop() releases it so it can be joined.
+    if (lane.hang_gen.load(std::memory_order_acquire) == my_gen &&
         !stop_.load(std::memory_order_acquire)) {
-      // Fault-injection seam: play dead until resumed or stopped (Stop
-      // still drains, so suspension never loses accepted records).
       std::this_thread::yield();
       continue;
     }
+    // Lease check: a retired generation must never touch the ring or
+    // the table again — the replacement is the ring's sole consumer.
+    if (lane.generation.load(std::memory_order_acquire) != my_gen) break;
+    // Fault-injection seam: die cooperatively, as a crashed thread
+    // would. Cleared here so the replacement does not inherit it.
+    if (lane.kill.load(std::memory_order_acquire)) {
+      lane.kill.store(false, std::memory_order_relaxed);
+      break;
+    }
+    if (suspended_.load(std::memory_order_acquire) &&
+        !stop_.load(std::memory_order_acquire)) {
+      // Fault-injection seam: play dead — but keep heartbeating, so the
+      // supervisor sees paused-but-alive and does not restart (Stop
+      // still drains, so suspension never loses accepted records).
+      lane.heartbeat.fetch_add(1, std::memory_order_release);
+      std::this_thread::yield();
+      continue;
+    }
+    // Every heartbeat bump below is a RELEASE that comes AFTER the ring
+    // and table accesses of its iteration; the supervisor ACQUIRES the
+    // heartbeat before retiring a hung worker. That chain hands the old
+    // consumer's ring state (including its plain index caches and the
+    // slot visibility it acquired from the producer) to the replacement
+    // thread: worker writes → heartbeat release → supervisor acquire →
+    // replacement spawn. A worker parked in the hang seam stops bumping
+    // only AFTER the bump that covers its last ring access.
     size_t n = lane.ring.PopBatch(batch.data(), batch.size());
     if (n == 0) {
       if (stop_.load(std::memory_order_acquire)) {
@@ -59,19 +123,188 @@ void IngestPipeline::WorkerLoop(uint32_t shard_index) {
         n = lane.ring.PopBatch(batch.data(), batch.size());
         if (n == 0) break;
       } else {
+        lane.heartbeat.fetch_add(1, std::memory_order_release);
         std::this_thread::yield();
         continue;
       }
     }
-    shard.InsertBatch({batch.data(), n});
+    // Apply the batch in small chunks, publishing heartbeat and drain
+    // progress after each: a worker slowed down by an expensive insert
+    // path (an LTC_AUDIT build sweeps the whole table per record) still
+    // shows steady progress, so the supervisor cannot mistake slow for
+    // hung and retire a live worker mid-mutation. Chunking is
+    // estimate-neutral: InsertBatch is bit-identical to per-record
+    // insertion, so any split of the batch is too.
+    constexpr size_t kProgressChunk = 64;
+    for (size_t off = 0; off < n; off += kProgressChunk) {
+      const size_t len = std::min(kProgressChunk, n - off);
+      shard.InsertBatch({batch.data() + off, len});
+      lane.heartbeat.fetch_add(1, std::memory_order_release);
+      // Release so a Flush() that acquire-reads `drained` also sees the
+      // table mutations above.
+      lane.drained.fetch_add(len, std::memory_order_release);
+    }
     lane.batches.fetch_add(1, std::memory_order_relaxed);
-    // Release so a Flush() that acquire-reads `drained` also sees the
-    // table mutations above.
-    lane.drained.fetch_add(n, std::memory_order_release);
+  }
+  // Exit acknowledgement: max-store so a late zombie exit can never
+  // overwrite (and thus mask) a newer generation's death.
+  MaxStore(lane.exited_gen, my_gen);
+}
+
+void IngestPipeline::SupervisorLoop() {
+  std::unique_lock<std::mutex> lock(supervisor_mutex_);
+  while (!supervisor_stop_) {
+    supervisor_cv_.wait_for(
+        lock, std::chrono::microseconds(config_.supervision.interval_usec));
+    if (supervisor_stop_) break;
+    lock.unlock();
+    SuperviseTick();
+    lock.lock();
   }
 }
 
+void IngestPipeline::RestartLane(uint32_t shard_index) {
+  Lane& lane = *lanes_[shard_index];
+  // Acquire the retiring worker's last published progress so the spawn
+  // below happens-after its final table writes: the replacement reads a
+  // fully settled shard table.
+  lane.drained_at_restart = lane.drained.load(std::memory_order_acquire);
+  const uint64_t next_gen =
+      lane.generation.load(std::memory_order_relaxed) + 1;
+  lane.generation.store(next_gen, std::memory_order_release);
+  lane.worker = std::thread(
+      [this, shard_index, next_gen] { WorkerLoop(shard_index, next_gen); });
+  lane.restarts.fetch_add(1, std::memory_order_relaxed);
+  // Exponential restart cooldown: a lane that keeps dying without
+  // draining anything gets re-checked less and less often, so a
+  // poisoned shard cannot turn the supervisor into a spawn storm.
+  lane.restart_streak = std::min<uint32_t>(lane.restart_streak + 1, 8);
+  lane.cooldown_left = 1ull << lane.restart_streak;
+  lane.stuck_ticks = 0;
+}
+
+void IngestPipeline::SuperviseTick() {
+  bool any_cooldown = false;
+  bool all_live = true;
+  uint64_t total_backlog = 0;
+  for (uint32_t s = 0; s < lanes_.size(); ++s) {
+    Lane& lane = *lanes_[s];
+    const uint64_t gen = lane.generation.load(std::memory_order_relaxed);
+    const uint64_t enqueued = lane.enqueued.load(std::memory_order_acquire);
+    const uint64_t drained = lane.drained.load(std::memory_order_acquire);
+    const uint64_t backlog = enqueued > drained ? enqueued - drained : 0;
+    total_backlog += backlog;
+    if (lane.cooldown_left > 0) {
+      --lane.cooldown_left;
+      any_cooldown = true;
+      if (lane.exited_gen.load(std::memory_order_acquire) >= gen) {
+        all_live = false;
+      }
+      continue;
+    }
+    if (drained > lane.drained_at_restart) lane.restart_streak = 0;
+    if (lane.exited_gen.load(std::memory_order_acquire) >= gen) {
+      // The current worker exited (killed, or died cooperatively): its
+      // thread has run to completion, so the join is immediate.
+      if (lane.worker.joinable()) lane.worker.join();
+      RestartLane(s);
+      any_cooldown = true;
+      all_live = false;
+      continue;
+    }
+    if (backlog > 0) {
+      // Acquire pairs with the worker's release bumps: by the time a
+      // frozen heartbeat retires a worker, everything it did to the
+      // ring up to its last bump happens-before the replacement spawn.
+      const uint64_t heartbeat =
+          lane.heartbeat.load(std::memory_order_acquire);
+      if (heartbeat == lane.last_heartbeat && drained == lane.last_drained) {
+        if (++lane.stuck_ticks >= config_.supervision.hang_ticks) {
+          // Hung: frozen heartbeat with work pending. The thread cannot
+          // be joined (it may never return), so revoke its lease, park
+          // it with the zombies until Stop(), and hand the ring to a
+          // fresh worker. Residual risk: a live-but-glacial worker
+          // retired here could still be inside one InsertBatch while
+          // the replacement inserts — hang_ticks is deliberately
+          // conservative for that reason.
+          zombies_.push_back(std::move(lane.worker));
+          RestartLane(s);
+          any_cooldown = true;
+          all_live = false;
+        }
+      } else {
+        lane.stuck_ticks = 0;
+      }
+      lane.last_heartbeat = heartbeat;
+      lane.last_drained = drained;
+    } else {
+      lane.stuck_ticks = 0;
+      lane.last_heartbeat = lane.heartbeat.load(std::memory_order_acquire);
+      lane.last_drained = drained;
+    }
+  }
+  degraded_.store(any_cooldown, std::memory_order_relaxed);
+  // Heal the stall latch: every lane live again and every accepted
+  // record applied means the incident is over — new bounded waits can
+  // succeed, so the latch may tell the truth again.
+  if (stalled_.load(std::memory_order_acquire) && all_live &&
+      total_backlog == 0) {
+    stalled_.store(false, std::memory_order_release);
+  }
+}
+
+void IngestPipeline::UpdateShedState(Lane& lane) {
+  const size_t depth = lane.ring.SizeApprox();
+  const uint32_t sustain = std::max<uint32_t>(1, config_.shed.sustain);
+  if (depth >= lane.high_threshold) {
+    lane.under_streak = 0;
+    if (!lane.shedding.load(std::memory_order_relaxed) &&
+        ++lane.over_streak >= sustain) {
+      lane.shedding.store(true, std::memory_order_relaxed);
+      lane.over_streak = 0;
+    }
+  } else if (depth <= lane.low_threshold) {
+    lane.over_streak = 0;
+    if (lane.shedding.load(std::memory_order_relaxed) &&
+        ++lane.under_streak >= sustain) {
+      lane.shedding.store(false, std::memory_order_relaxed);
+      lane.under_streak = 0;
+    }
+  } else {
+    // Between the watermarks: hysteresis — neither streak advances.
+    lane.over_streak = 0;
+    lane.under_streak = 0;
+  }
+}
+
+uint64_t IngestPipeline::PushRunShedding(Lane& lane,
+                                         std::span<const Record> run) {
+  // Counted probabilistic admission: admit one record in admit_one_in,
+  // and only if the ring has room RIGHT NOW — a shedding producer never
+  // spins. Everything else is shed, and counted.
+  const uint32_t admit_one_in = std::max<uint32_t>(1, config_.shed.admit_one_in);
+  uint64_t accepted = 0;
+  uint64_t shed = 0;
+  for (const Record& record : run) {
+    if (++lane.shed_tick % admit_one_in == 0 && lane.ring.TryPush(record)) {
+      ++accepted;
+    } else {
+      ++shed;
+    }
+  }
+  lane.enqueued.fetch_add(accepted, std::memory_order_relaxed);
+  lane.shed.fetch_add(shed, std::memory_order_relaxed);
+  return accepted;
+}
+
 uint64_t IngestPipeline::PushRun(Lane& lane, std::span<const Record> run) {
+  if (config_.shed.enabled &&
+      config_.backpressure == BackpressureMode::kBlock) {
+    UpdateShedState(lane);
+    if (lane.shedding.load(std::memory_order_relaxed)) {
+      return PushRunShedding(lane, run);
+    }
+  }
   uint64_t accepted = 0;
   uint64_t idle_yields = 0;
   while (!run.empty()) {
@@ -169,20 +402,27 @@ void IngestPipeline::MaybeCheckpoint(uint64_t accepted) {
   Checkpoint();  // best-effort; failures are counted, feeding continues
 }
 
-bool IngestPipeline::Checkpoint(std::string* error) {
-  assert(!stopped_ && "Checkpoint after Stop()");
-  const auto start = std::chrono::steady_clock::now();
-  // Reset the cadence even on failure so a persistent fault retries
-  // once per interval instead of once per push.
-  since_checkpoint_ = 0;
-  if (snapshot_store_ == nullptr) {
-    if (error != nullptr) *error = "no snapshot store attached";
-    ++checkpoint_failures_;
-    return false;
+std::string IngestPipeline::StallDetail() const {
+  std::string detail;
+  for (uint32_t s = 0; s < lanes_.size(); ++s) {
+    const Lane& lane = *lanes_[s];
+    const uint64_t enqueued = lane.enqueued.load(std::memory_order_relaxed);
+    const uint64_t drained = lane.drained.load(std::memory_order_acquire);
+    if (drained >= enqueued) continue;
+    if (!detail.empty()) detail += "; ";
+    detail += "shard " + std::to_string(s) + ": queue_depth " +
+              std::to_string(lane.ring.SizeApprox()) + "/" +
+              std::to_string(lane.ring.capacity()) + ", drained " +
+              std::to_string(drained) + "/" + std::to_string(enqueued);
   }
+  return detail.empty() ? "no shard backlog observed" : detail;
+}
+
+bool IngestPipeline::CheckpointOnce(std::string* error) {
   if (!Flush()) {
-    if (error != nullptr) *error = "pipeline stalled; checkpoint skipped";
-    ++checkpoint_failures_;
+    if (error != nullptr) {
+      *error = "pipeline stalled; checkpoint skipped (" + StallDetail() + ")";
+    }
     return false;
   }
   // After a complete Flush every worker has applied its backlog and is
@@ -194,15 +434,93 @@ bool IngestPipeline::Checkpoint(std::string* error) {
   const auto seq = snapshot_store_->Save(writer.data(), &save_error);
   if (!seq.has_value()) {
     if (error != nullptr) *error = save_error;
+    return false;
+  }
+  last_checkpoint_seq_ = *seq;
+  return true;
+}
+
+bool IngestPipeline::Checkpoint(std::string* error) {
+  assert(!stopped_ && "Checkpoint after Stop()");
+  const auto start = std::chrono::steady_clock::now();
+  // Reset the cadence even on failure so a persistent fault retries
+  // once per interval instead of once per push.
+  since_checkpoint_ = 0;
+  if (snapshot_store_ == nullptr) {
+    if (error != nullptr) *error = "no snapshot store attached";
+    ++checkpoint_failures_;
+    return false;
+  }
+  // The whole attempt (flush + serialize + save) retries under the
+  // backoff policy: a stall the supervisor heals mid-backoff, or a
+  // transient save failure, costs a delay instead of the checkpoint.
+  std::string attempt_error;
+  uint64_t retries = 0;
+  const bool ok = RetryWithBackoff(
+      config_.checkpoint_retry, *clock_,
+      [&] {
+        attempt_error.clear();
+        return CheckpointOnce(&attempt_error);
+      },
+      &retries);
+  checkpoint_retries_ += retries;
+  if (!ok) {
+    if (error != nullptr) *error = attempt_error;
     ++checkpoint_failures_;
     return false;
   }
   ++checkpoints_taken_;
-  last_checkpoint_seq_ = *seq;
   if (checkpoint_duration_usec_ != nullptr) {
     checkpoint_duration_usec_->Record(MicrosSince(start));
   }
   return true;
+}
+
+IngestHealth IngestPipeline::health() const {
+  if (stalled()) return IngestHealth::kStalled;
+  if (degraded_.load(std::memory_order_relaxed) || AnyShedding()) {
+    return IngestHealth::kDegraded;
+  }
+  return IngestHealth::kHealthy;
+}
+
+bool IngestPipeline::AnyShedding() const {
+  for (const auto& lane : lanes_) {
+    if (lane->shedding.load(std::memory_order_relaxed)) return true;
+  }
+  return false;
+}
+
+uint64_t IngestPipeline::WorkerRestarts() const {
+  uint64_t total = 0;
+  for (const auto& lane : lanes_) {
+    total += lane->restarts.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t IngestPipeline::TotalShed() const {
+  uint64_t total = 0;
+  for (const auto& lane : lanes_) {
+    total += lane->shed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void IngestPipeline::KillWorkerForTest(uint32_t shard) {
+  assert(shard < lanes_.size());
+  lanes_[shard]->kill.store(true, std::memory_order_release);
+}
+
+void IngestPipeline::HangWorkerForTest(uint32_t shard, bool hung) {
+  assert(shard < lanes_.size());
+  Lane& lane = *lanes_[shard];
+  if (hung) {
+    lane.hang_gen.store(lane.generation.load(std::memory_order_acquire),
+                        std::memory_order_release);
+  } else {
+    lane.hang_gen.store(0, std::memory_order_release);
+  }
 }
 
 void IngestPipeline::AttachMetrics(telemetry::MetricsRegistry* registry) {
@@ -211,6 +529,7 @@ void IngestPipeline::AttachMetrics(telemetry::MetricsRegistry* registry) {
     flush_duration_usec_ = nullptr;
     checkpoint_duration_usec_ = nullptr;
     stalled_gauge_ = nullptr;
+    health_gauge_ = nullptr;
     return;
   }
   flush_duration_usec_ = &registry->HistogramOf(
@@ -222,7 +541,11 @@ void IngestPipeline::AttachMetrics(telemetry::MetricsRegistry* registry) {
       "save) in microseconds");
   stalled_gauge_ = &registry->GaugeOf(
       "ltc_ingest_stalled",
-      "1 once any bounded wait expired on a dead/stuck worker (latched)");
+      "1 while a bounded wait has expired on a dead/stuck worker and "
+      "the supervisor has not yet healed the stall");
+  health_gauge_ = &registry->GaugeOf(
+      "ltc_ingest_health_state",
+      "Pipeline health state machine: 0 healthy, 1 degraded, 2 stalled");
   SampleMetrics();  // register the per-shard families up front
 }
 
@@ -243,6 +566,10 @@ void IngestPipeline::SampleMetrics() {
                    shard_label)
         .SetFromSample(stats.dropped);
     registry
+        .CounterOf("ltc_ingest_shed_records_total",
+                   "Records rejected by overload shedding", shard_label)
+        .SetFromSample(stats.shed);
+    registry
         .CounterOf("ltc_ingest_drained_total",
                    "Records applied to the shard table", shard_label)
         .SetFromSample(stats.drained);
@@ -254,6 +581,16 @@ void IngestPipeline::SampleMetrics() {
         .CounterOf("ltc_ingest_flushes_total",
                    "Flush() waits this shard's lane completed", shard_label)
         .SetFromSample(stats.flushes);
+    registry
+        .CounterOf("ltc_ingest_worker_restarts_total",
+                   "Times the supervisor replaced the shard's worker",
+                   shard_label)
+        .SetFromSample(stats.restarts);
+    registry
+        .GaugeOf("ltc_ingest_shed_active",
+                 "1 while the lane is in counted probabilistic admission",
+                 shard_label)
+        .Set(stats.shedding ? 1.0 : 0.0);
     registry
         .GaugeOf("ltc_ingest_queue_depth",
                  "Ring occupancy at sampling time (racy)", shard_label)
@@ -273,18 +610,55 @@ void IngestPipeline::SampleMetrics() {
                  "Checkpoint attempts by result",
                  {{"result", "error"}})
       .SetFromSample(checkpoint_failures_);
+  registry
+      .CounterOf("ltc_ingest_checkpoint_retries_total",
+                 "Checkpoint attempt re-runs under the backoff policy")
+      .SetFromSample(checkpoint_retries_);
   stalled_gauge_->Set(stalled() ? 1.0 : 0.0);
+  health_gauge_->Set(static_cast<double>(health()));
 }
 
 void IngestPipeline::Stop() {
   if (stopped_) return;
   stopped_ = true;
+  // Stop the supervisor FIRST: after its join, no other thread touches
+  // lane.worker, zombies_ or the generations, so everything below is
+  // single-threaded shutdown.
+  if (supervisor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(supervisor_mutex_);
+      supervisor_stop_ = true;
+    }
+    supervisor_cv_.notify_all();
+    supervisor_.join();
+  }
   // Release-publish after the last push; workers acquire-read stop_ and
-  // then drain whatever remains (see WorkerLoop). join() makes every
-  // worker's table mutations visible to this thread.
+  // then drain whatever remains (see WorkerLoop). stop_ also releases
+  // hang-seam zombies so they can exit and be joined. join() makes
+  // every worker's table mutations visible to this thread.
   stop_.store(true, std::memory_order_release);
   for (auto& lane : lanes_) {
     if (lane->worker.joinable()) lane->worker.join();
+  }
+  for (auto& zombie : zombies_) {
+    if (zombie.joinable()) zombie.join();
+  }
+  zombies_.clear();
+  // A worker that died and was not yet replaced (supervision off, or
+  // Stop() won the race with the supervisor) leaves its backlog in the
+  // ring. Every thread is joined, so this thread is now the sole
+  // consumer: apply the leftovers — Stop() never loses an accepted
+  // record.
+  std::vector<Record> batch(config_.drain_batch);
+  for (uint32_t s = 0; s < lanes_.size(); ++s) {
+    Lane& lane = *lanes_[s];
+    for (;;) {
+      const size_t n = lane.ring.PopBatch(batch.data(), batch.size());
+      if (n == 0) break;
+      sink_.shard(s).InsertBatch({batch.data(), n});
+      lane.batches.fetch_add(1, std::memory_order_relaxed);
+      lane.drained.fetch_add(n, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -314,9 +688,12 @@ IngestShardStats IngestPipeline::ShardStatsOf(uint32_t shard) const {
   IngestShardStats stats;
   stats.enqueued = lane.enqueued.load(std::memory_order_relaxed);
   stats.dropped = lane.dropped.load(std::memory_order_relaxed);
+  stats.shed = lane.shed.load(std::memory_order_relaxed);
   stats.drained = lane.drained.load(std::memory_order_relaxed);
   stats.batches = lane.batches.load(std::memory_order_relaxed);
   stats.flushes = lane.flushes.load(std::memory_order_relaxed);
+  stats.restarts = lane.restarts.load(std::memory_order_relaxed);
+  stats.shedding = lane.shedding.load(std::memory_order_relaxed);
   stats.queue_depth = lane.ring.SizeApprox();
   stats.ring_capacity = lane.ring.capacity();
   return stats;

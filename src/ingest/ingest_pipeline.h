@@ -22,28 +22,56 @@
 // flag (and the stuck records are counted as dropped) instead of
 // wedging the producer forever.
 //
+// Self-healing (docs/INGEST.md "Failure handling & degradation"): a
+// supervisor thread leases each lane to its worker by generation number
+// and watches per-worker heartbeats. A worker that exits is joined and
+// respawned on its shard; a worker whose heartbeat freezes while its
+// ring holds a backlog is retired (its lease revoked, the thread
+// abandoned until Stop) and replaced — the replacement becomes the
+// ring's single consumer and drains exactly the records the retiree
+// left behind, so no record is lost or double-applied. Once every lane
+// is live again and every backlog has drained, the supervisor clears
+// the stalled() latch: a stall is an incident, not a death sentence.
+// health() summarises this as Healthy / Degraded (restart cooling down
+// or load shedding) / Stalled.
+//
+// Overload shedding (opt-in, kBlock only): when a lane's queue depth
+// stays above the high watermark for `sustain` consecutive pushes, the
+// producer switches that lane to counted probabilistic admission —
+// admit one record in `admit_one_in`, never spin — until depth holds
+// below the low watermark. Every shed record is counted
+// (pushed = enqueued + dropped + shed, always).
+//
 // Durability: attach a SnapshotStore and set checkpoint_every to have
 // the pipeline periodically persist the sink — each checkpoint rides
 // the Flush() barrier (flush → serialize → atomic save → resume
-// feeding; workers never restart). See docs/DURABILITY.md.
+// feeding; workers never restart). Checkpoint attempts retry per
+// `checkpoint_retry` with exponential backoff on the injectable clock,
+// so a transiently stalled flush or failed save heals instead of
+// failing the interval. See docs/DURABILITY.md.
 //
 // Threading contract: Push / PushBatch / Flush / Stop / Checkpoint must
 // all be called from ONE producer thread. Queries on the ShardedLtc are
 // only safe after Flush() (all queued records applied, memory-visible)
-// or Stop().
+// or Stop(). health(), stalled() and the stats accessors are safe from
+// any thread.
 
 #ifndef LTC_INGEST_INGEST_PIPELINE_H_
 #define LTC_INGEST_INGEST_PIPELINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/backoff.h"
+#include "common/clock.h"
 #include "core/sharded_ltc.h"
 #include "ingest/spsc_ring.h"
 #include "telemetry/metrics.h"
@@ -56,6 +84,56 @@ class SnapshotStore;
 enum class BackpressureMode {
   kBlock,  // spin/yield until the worker frees space; lossless
   kDrop,   // discard the record and count it; bounded producer latency
+};
+
+/// The pipeline's summarized condition. Ordered by severity: the metric
+/// gauge exports the enum value, so alerts can threshold on it.
+enum class IngestHealth {
+  kHealthy = 0,   // all workers live, no shedding, no latched stall
+  kDegraded = 1,  // a restart is cooling down and/or a lane is shedding
+  kStalled = 2,   // a bounded wait expired and the stall has not healed
+};
+
+/// "healthy" / "degraded" / "stalled".
+const char* IngestHealthName(IngestHealth health);
+
+/// Supervisor knobs (see IngestConfig::supervision).
+struct SupervisionConfig {
+  /// Master switch. Disabled = the pre-supervision pipeline: a dead
+  /// worker stays dead (Stop() still applies its leftover backlog).
+  bool enabled = true;
+
+  /// Supervisor tick cadence. Detection latencies below are measured
+  /// in these ticks.
+  uint64_t interval_usec = 20'000;
+
+  /// A worker whose heartbeat AND drained count stay frozen for this
+  /// many consecutive ticks while its ring holds a backlog is declared
+  /// hung and replaced. Conservative by default (~5s at the default
+  /// tick): retiring a live-but-slow worker would race its in-flight
+  /// batch against the replacement.
+  uint64_t hang_ticks = 250;
+};
+
+/// Producer-side overload shedding knobs (see IngestConfig::shed).
+struct ShedPolicy {
+  /// Master switch; shedding applies only under kBlock backpressure
+  /// (kDrop already has bounded producer latency).
+  bool enabled = false;
+
+  /// Queue-depth fractions of ring capacity. Depth at or above high for
+  /// `sustain` consecutive pushes starts shedding; depth at or below
+  /// low for `sustain` consecutive pushes ends it (hysteresis).
+  double high_watermark = 0.9;
+  double low_watermark = 0.5;
+
+  /// Consecutive per-lane push observations required to flip state —
+  /// one transient full ring does not start a shed.
+  uint32_t sustain = 3;
+
+  /// While shedding, admit one record in this many (and only when the
+  /// ring has room right now); the rest are counted as shed.
+  uint32_t admit_one_in = 8;
 };
 
 struct IngestConfig {
@@ -79,23 +157,44 @@ struct IngestConfig {
   /// Auto-checkpoint cadence in accepted records; 0 disables. Only
   /// effective once a SnapshotStore is attached.
   uint64_t checkpoint_every = 0;
+
+  /// Worker supervision: heartbeat monitoring, restart-on-death/hang,
+  /// stall healing.
+  SupervisionConfig supervision;
+
+  /// Overload shedding under sustained queue pressure (off by default).
+  ShedPolicy shed;
+
+  /// Retry policy for Checkpoint(): each failed attempt (stalled flush
+  /// OR failed save) is retried after a backoff sleep on `clock`. The
+  /// default (max_attempts = 1) keeps the historical fail-fast
+  /// behaviour.
+  BackoffPolicy checkpoint_retry;
+
+  /// Clock for checkpoint-retry sleeps; nullptr = SystemClock(). Tests
+  /// pass a FakeClock to pin the backoff schedule.
+  Clock* clock = nullptr;
 };
 
 /// Per-shard operational counters (see IngestPipeline::ShardStatsOf).
 struct IngestShardStats {
   uint64_t enqueued = 0;     // records accepted into the ring
   uint64_t dropped = 0;      // records discarded (kDrop mode only)
+  uint64_t shed = 0;         // records rejected by overload shedding
   uint64_t drained = 0;      // records applied to the shard table
   uint64_t batches = 0;      // InsertBatch calls the worker issued
   uint64_t flushes = 0;      // Flush() waits this lane completed
+  uint64_t restarts = 0;     // times the supervisor replaced the worker
+  bool shedding = false;     // lane currently in probabilistic admission
   size_t queue_depth = 0;    // ring occupancy at sampling time (racy)
   size_t ring_capacity = 0;
 };
 
 class IngestPipeline {
  public:
-  /// Spawns one worker thread per shard of `sink`. The sink must outlive
-  /// the pipeline, and nothing else may touch it until Flush()/Stop().
+  /// Spawns one worker thread per shard of `sink` (plus the supervisor
+  /// when enabled). The sink must outlive the pipeline, and nothing
+  /// else may touch it until Flush()/Stop().
   explicit IngestPipeline(ShardedLtc& sink, const IngestConfig& config = {});
 
   /// Stops and joins the workers (all accepted records are applied).
@@ -128,10 +227,12 @@ class IngestPipeline {
   void AttachSnapshotStore(SnapshotStore* store);
 
   /// Takes a checkpoint NOW: Flush(), serialize the sink, atomically
-  /// persist it to the attached store. Returns false (with `error`)
-  /// when no store is attached, the flush stalled, or the save failed —
-  /// in every failure case the previously persisted snapshots are
-  /// untouched. Producer thread only.
+  /// persist it to the attached store — retrying the whole attempt per
+  /// config.checkpoint_retry (a stalled flush can heal under the
+  /// supervisor mid-backoff). Returns false (with `error` naming the
+  /// stalled shards and their queue depths, or the save failure) only
+  /// when every attempt failed — the previously persisted snapshots
+  /// are untouched either way. Producer thread only.
   bool Checkpoint(std::string* error = nullptr);
 
   /// Checkpoints successfully taken / failed since construction, and
@@ -140,20 +241,48 @@ class IngestPipeline {
   uint64_t CheckpointFailures() const { return checkpoint_failures_; }
   uint64_t LastCheckpointSeq() const { return last_checkpoint_seq_; }
 
-  /// Latched true once any bounded wait expired (dead/stuck worker).
+  /// Checkpoint attempt re-runs the backoff loop has made (0 while
+  /// every checkpoint succeeds first try). Producer thread only.
+  uint64_t CheckpointRetries() const { return checkpoint_retries_; }
+
+  /// Latched true once any bounded wait expired (dead/stuck worker);
+  /// cleared by the supervisor once every lane is live and drained.
   bool stalled() const { return stalled_.load(std::memory_order_acquire); }
 
-  /// Fault-injection seam: while true, workers stop draining (as if
-  /// dead) until resumed or stopped. Any thread.
+  /// Current condition: Stalled while the stall latch is set, Degraded
+  /// while a restart cools down or any lane sheds, Healthy otherwise.
+  /// Any thread.
+  IngestHealth health() const;
+
+  /// Times the supervisor replaced a worker, across all lanes.
+  uint64_t WorkerRestarts() const;
+
+  /// Total records rejected by overload shedding across shards.
+  uint64_t TotalShed() const;
+
+  /// Fault-injection seam: while true, workers stop draining but keep
+  /// heartbeating (paused-but-alive — the supervisor does NOT restart
+  /// them) until resumed or stopped. Any thread.
   void SuspendWorkersForTest(bool suspended) {
     suspended_.store(suspended, std::memory_order_release);
   }
+
+  /// Fault-injection seam: the shard's current worker exits its loop at
+  /// the next iteration, as if the thread died. With supervision on,
+  /// the supervisor joins and replaces it. Any thread.
+  void KillWorkerForTest(uint32_t shard);
+
+  /// Fault-injection seam: pins the shard's CURRENT worker generation
+  /// in a no-heartbeat spin (a hung thread) until released with
+  /// hung=false or Stop(). A replacement spawned by the supervisor is
+  /// NOT affected — the hang targets one generation. Any thread.
+  void HangWorkerForTest(uint32_t shard, bool hung);
 
   /// Flushes, stops and joins all workers. Idempotent; called by the
   /// destructor. After Stop() the pipeline accepts no more records.
   void Stop();
 
-  /// Total records accepted across shards (excludes drops).
+  /// Total records accepted across shards (excludes drops and sheds).
   uint64_t TotalEnqueued() const;
 
   /// Total records discarded by kDrop backpressure or a stalled kBlock
@@ -171,10 +300,12 @@ class IngestPipeline {
   void AttachMetrics(telemetry::MetricsRegistry* registry);
 
   /// Publishes the current per-shard counters (enqueued / dropped /
-  /// drained / batches / flushes), queue-depth and ring-capacity
-  /// gauges, the stalled gauge and the checkpoint totals into the
-  /// attached registry. No-op when none is attached. Producer thread
-  /// only; cheap enough to call at any reporting cadence.
+  /// shed / drained / batches / flushes / restarts), queue-depth and
+  /// ring-capacity gauges, the stalled and health gauges and the
+  /// checkpoint totals into the attached registry. No-op when none is
+  /// attached. Producer thread only; cheap enough to call at any
+  /// reporting cadence. (The supervisor never touches the registry —
+  /// its state flows out through this sampler.)
   void SampleMetrics();
 
   uint32_t num_shards() const {
@@ -182,44 +313,109 @@ class IngestPipeline {
   }
 
  private:
-  // One shard's lane: its ring, its worker, and its counters. The
-  // counters the producer writes (enqueued/dropped) and the ones the
-  // worker writes (drained/batches) live on separate cache lines.
+  // One shard's lane: its ring, its worker lease, and its counters,
+  // grouped by writer so each writing thread owns its cache lines.
   struct Lane {
     explicit Lane(size_t ring_capacity) : ring(ring_capacity) {}
 
     SpscRing ring;
-    alignas(64) std::atomic<uint64_t> enqueued{0};  // producer-written
-    std::atomic<uint64_t> dropped{0};               // producer-written
-    std::atomic<uint64_t> flushes{0};               // producer-written
-    alignas(64) std::atomic<uint64_t> drained{0};   // worker-written
-    std::atomic<uint64_t> batches{0};               // worker-written
+
+    // Producer-written.
+    alignas(64) std::atomic<uint64_t> enqueued{0};
+    std::atomic<uint64_t> dropped{0};
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<bool> shedding{false};
+    uint64_t shed_tick = 0;     // admission counter (producer only)
+    uint32_t over_streak = 0;   // consecutive pushes above high (producer)
+    uint32_t under_streak = 0;  // consecutive pushes below low (producer)
+    size_t high_threshold = 0;  // records; fixed after construction
+    size_t low_threshold = 0;
+
+    // Worker-written.
+    alignas(64) std::atomic<uint64_t> drained{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> heartbeat{0};  // bumped once per loop iteration
+
+    // Lease protocol. `generation` names the worker that owns the lane
+    // (supervisor-written); a worker that observes a different value
+    // exits without touching the ring again. `exited_gen` is a
+    // monotonic exit acknowledgement: an exiting worker max-stores its
+    // own generation, so a late zombie exit can never mask a newer
+    // worker's death. `hang_gen` pins one generation in the hang seam.
+    alignas(64) std::atomic<uint64_t> generation{1};
+    std::atomic<uint64_t> exited_gen{0};
+    std::atomic<uint64_t> hang_gen{0};
+    std::atomic<bool> kill{false};
+    std::atomic<uint64_t> restarts{0};  // supervisor-written
+
+    // Supervisor-thread-only bookkeeping.
+    uint64_t last_heartbeat = 0;
+    uint64_t last_drained = 0;
+    uint64_t stuck_ticks = 0;        // ticks with backlog and no progress
+    uint64_t drained_at_restart = 0;
+    uint32_t restart_streak = 0;     // consecutive restarts w/o progress
+    uint64_t cooldown_left = 0;      // ticks before this lane is re-eligible
+
     std::thread worker;
   };
 
-  void WorkerLoop(uint32_t shard_index);
+  void WorkerLoop(uint32_t shard_index, uint64_t my_gen);
+
+  // Supervisor thread body: tick every supervision.interval_usec until
+  // Stop(), running SuperviseTick() outside the cv lock.
+  void SupervisorLoop();
+  void SuperviseTick();
+
+  // Revokes the lane's lease (generation bump) and spawns the next
+  // worker generation. Supervisor thread only; the old thread must
+  // already be joined or moved to zombies_.
+  void RestartLane(uint32_t shard_index);
 
   // Pushes one shard's routed run, honouring backpressure. Returns the
-  // number of records accepted (the rest were dropped).
+  // number of records accepted (the rest were dropped or shed).
   uint64_t PushRun(Lane& lane, std::span<const Record> run);
+  uint64_t PushRunShedding(Lane& lane, std::span<const Record> run);
+  void UpdateShedState(Lane& lane);
 
   // Auto-checkpoint trigger, called after every accepting push.
   void MaybeCheckpoint(uint64_t accepted);
 
+  // One checkpoint attempt (no counters); Checkpoint() retries it.
+  bool CheckpointOnce(std::string* error);
+
+  // "shard 1: queue_depth 64/64, drained 100/164; shard 3: ..." for
+  // every lane with an undrained backlog.
+  std::string StallDetail() const;
+
+  bool AnyShedding() const;
+
   ShardedLtc& sink_;
   IngestConfig config_;
+  Clock* clock_;  // checkpoint-retry sleeps
   std::vector<std::unique_ptr<Lane>> lanes_;  // stable addresses for threads
   std::vector<std::vector<Record>> route_runs_;  // PushBatch scratch
   std::atomic<bool> stop_{false};
-  std::atomic<bool> suspended_{false};  // test seam: workers play dead
+  std::atomic<bool> suspended_{false};  // test seam: workers pause, alive
   std::atomic<bool> stalled_{false};    // latched by expired bounded waits
   bool stopped_ = false;  // producer-side latch; Stop is idempotent
+
+  // Supervisor state. Retired (hung) workers park in zombies_ until
+  // Stop() can join them; the vector is supervisor-owned while the
+  // supervisor runs and read by Stop() only after joining it.
+  std::thread supervisor_;
+  std::mutex supervisor_mutex_;
+  std::condition_variable supervisor_cv_;
+  bool supervisor_stop_ = false;          // guarded by supervisor_mutex_
+  std::vector<std::thread> zombies_;
+  std::atomic<bool> degraded_{false};     // any lane cooling down
 
   // Checkpoint state (producer thread only).
   SnapshotStore* snapshot_store_ = nullptr;
   uint64_t since_checkpoint_ = 0;
   uint64_t checkpoints_taken_ = 0;
   uint64_t checkpoint_failures_ = 0;
+  uint64_t checkpoint_retries_ = 0;
   uint64_t last_checkpoint_seq_ = 0;
 
   // Metrics (producer thread only). The histogram/gauge references are
@@ -229,6 +425,7 @@ class IngestPipeline {
   telemetry::Histogram* flush_duration_usec_ = nullptr;
   telemetry::Histogram* checkpoint_duration_usec_ = nullptr;
   telemetry::Gauge* stalled_gauge_ = nullptr;
+  telemetry::Gauge* health_gauge_ = nullptr;
 };
 
 }  // namespace ltc

@@ -2,17 +2,19 @@
 
 namespace ltc {
 
-void FailpointFs::Arm(Failure failure, uint64_t trigger_op, uint64_t seed) {
+void FailpointFs::Arm(Failure failure, uint64_t trigger_op, uint64_t seed,
+                      uint64_t burst) {
   failure_ = failure;
   trigger_op_ = trigger_op;
   seed_ = seed;
+  burst_left_ = burst < 1 ? 1 : burst;
   fired_ = false;
   crashed_ = false;
 }
 
 bool FailpointFs::Fires(OpKind op) {
   const uint64_t index = ops_++;
-  if (fired_ || failure_ == Failure::kNone || index < trigger_op_) {
+  if (burst_left_ == 0 || failure_ == Failure::kNone || index < trigger_op_) {
     return false;
   }
   bool applies = false;
@@ -37,6 +39,7 @@ bool FailpointFs::Fires(OpKind op) {
   }
   if (!applies) return false;
   fired_ = true;
+  --burst_left_;
   if (failure_ == Failure::kCrash) crashed_ = true;
   return true;
 }

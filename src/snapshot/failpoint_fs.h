@@ -57,8 +57,12 @@ class FailpointFs final : public Fs {
 
   /// Schedules `failure` at the first matching mutating operation with
   /// index >= trigger_op (indices count from 0 across ALL mutating
-  /// ops). Re-arming resets the fired/crashed state.
-  void Arm(Failure failure, uint64_t trigger_op, uint64_t seed = 0);
+  /// ops). Re-arming resets the fired/crashed state. `burst` makes the
+  /// failure fire on that many consecutive *matching* operations (an
+  /// I/O fault burst — e.g. a disk that stays full for two writes);
+  /// kCrash ignores it, being permanent by definition.
+  void Arm(Failure failure, uint64_t trigger_op, uint64_t seed = 0,
+           uint64_t burst = 1);
 
   /// Mutating operations observed so far.
   uint64_t mutating_ops() const { return ops_; }
@@ -89,6 +93,7 @@ class FailpointFs final : public Fs {
   Failure failure_ = Failure::kNone;
   uint64_t trigger_op_ = 0;
   uint64_t seed_ = 0;
+  uint64_t burst_left_ = 0;  // matching ops the armed failure still hits
   uint64_t ops_ = 0;
   bool fired_ = false;
   bool crashed_ = false;

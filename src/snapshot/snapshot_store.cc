@@ -39,10 +39,11 @@ std::string BasenameOf(const std::string& path) {
 }  // namespace
 
 SnapshotStore::SnapshotStore(std::string base_path,
-                             SnapshotStoreConfig config, Fs* fs)
+                             SnapshotStoreConfig config, Fs* fs, Clock* clock)
     : base_path_(std::move(base_path)),
       config_(config),
-      fs_(fs != nullptr ? fs : &SystemFs()) {
+      fs_(fs != nullptr ? fs : &SystemFs()),
+      clock_(clock != nullptr ? clock : &SystemClock()) {
   if (config_.retain < 1) config_.retain = 1;
 }
 
@@ -79,7 +80,14 @@ std::optional<uint64_t> SnapshotStore::Save(std::string_view payload,
   }
   const uint64_t seq = next_seq_;
   const std::string frame = EncodeFrame(payload);
-  if (!AtomicWriteFile(*fs_, PathOf(seq), frame, error)) {
+  uint64_t retries = 0;
+  const bool wrote = RetryWithBackoff(
+      config_.retry, *clock_,
+      [&] { return AtomicWriteFile(*fs_, PathOf(seq), frame, error); },
+      &retries);
+  save_retries_total_ += retries;
+  if (save_retries_ != nullptr && retries > 0) save_retries_->Increment(retries);
+  if (!wrote) {
     if (saves_failed_ != nullptr) saves_failed_->Increment();
     return std::nullopt;
   }
@@ -102,6 +110,7 @@ void SnapshotStore::AttachMetrics(telemetry::MetricsRegistry* registry) {
   if (registry == nullptr) {
     saves_ok_ = nullptr;
     saves_failed_ = nullptr;
+    save_retries_ = nullptr;
     save_bytes_ = nullptr;
     save_duration_usec_ = nullptr;
     recovery_walkback_depth_ = nullptr;
@@ -113,6 +122,9 @@ void SnapshotStore::AttachMetrics(telemetry::MetricsRegistry* registry) {
   saves_failed_ = &registry->CounterOf("ltc_snapshot_saves_total",
                                        "Snapshot save attempts by result",
                                        {{"result", "error"}});
+  save_retries_ = &registry->CounterOf(
+      "ltc_snapshot_save_retries_total",
+      "Write re-attempts Save() made under its backoff policy");
   save_bytes_ = &registry->HistogramOf(
       "ltc_snapshot_bytes", "Size of persisted snapshot frames in bytes");
   save_duration_usec_ = &registry->HistogramOf(

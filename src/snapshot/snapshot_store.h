@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
+#include "common/clock.h"
 #include "snapshot/frame.h"
 #include "snapshot/fs.h"
 #include "telemetry/metrics.h"
@@ -38,22 +40,37 @@ struct SnapshotStoreConfig {
   /// How many newest snapshot files survive pruning (>= 1). More
   /// retained snapshots = more corruption the recovery walk can skip.
   size_t retain = 3;
+
+  /// Retry policy for the atomic write inside Save(): a transient I/O
+  /// error (full disk draining, NFS hiccup, injected fault burst) is
+  /// re-attempted with exponential backoff + jitter instead of failing
+  /// the checkpoint outright. The default (max_attempts = 1) keeps the
+  /// historical fail-fast behaviour; sleeps go through the injectable
+  /// clock so schedules are deterministically testable.
+  BackoffPolicy retry;
 };
 
 class SnapshotStore {
  public:
   /// Snapshots live at `<base_path>.<seq>.snap`, in base_path's
   /// directory (which must exist). `fs` defaults to SystemFs(); tests
-  /// pass a FailpointFs.
+  /// pass a FailpointFs. `clock` (for retry backoff sleeps) defaults to
+  /// SystemClock(); tests pass a FakeClock.
   explicit SnapshotStore(std::string base_path,
-                         SnapshotStoreConfig config = {}, Fs* fs = nullptr);
+                         SnapshotStoreConfig config = {}, Fs* fs = nullptr,
+                         Clock* clock = nullptr);
 
   /// Frames `payload` and persists it as the next snapshot, atomically
-  /// and durably. Returns the sequence number, or nullopt with `error`
-  /// set when any step fails — in which case every previously saved
-  /// snapshot is still intact and loadable.
+  /// and durably, re-attempting the write per config.retry. Returns the
+  /// sequence number, or nullopt with `error` set when every attempt
+  /// failed — in which case every previously saved snapshot is still
+  /// intact and loadable.
   std::optional<uint64_t> Save(std::string_view payload,
                                std::string* error = nullptr);
+
+  /// Write re-attempts Save() has made across its lifetime (0 while
+  /// every save succeeds first try).
+  uint64_t SaveRetries() const { return save_retries_total_; }
 
   struct Candidate {
     std::string path;
@@ -100,13 +117,16 @@ class SnapshotStore {
   std::string base_path_;
   SnapshotStoreConfig config_;
   Fs* fs_;
+  Clock* clock_;
   uint64_t next_seq_ = 0;  // 0 = not yet derived from the directory
+  uint64_t save_retries_total_ = 0;
 
   // Metrics (resolved once at AttachMetrics; the per-error-type skip
   // counter is looked up on demand because its label value is dynamic).
   telemetry::MetricsRegistry* metrics_ = nullptr;
   telemetry::Counter* saves_ok_ = nullptr;
   telemetry::Counter* saves_failed_ = nullptr;
+  telemetry::Counter* save_retries_ = nullptr;
   telemetry::Histogram* save_bytes_ = nullptr;
   telemetry::Histogram* save_duration_usec_ = nullptr;
   telemetry::Histogram* recovery_walkback_depth_ = nullptr;

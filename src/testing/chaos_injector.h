@@ -1,0 +1,94 @@
+// ChaosInjector — seeded, deterministic fault scheduling against a live
+// IngestPipeline (and optionally its snapshot I/O path), the driver of
+// the `chaos`-labelled tests (docs/INGEST.md "Failure handling &
+// degradation").
+//
+// The injector does not create new fault mechanisms; it composes the
+// seams the components already expose:
+//
+//   worker death   IngestPipeline::KillWorkerForTest  (cooperative exit)
+//   worker hang    IngestPipeline::HangWorkerForTest  (frozen heartbeat)
+//   I/O faults     FailpointFs::Arm                   (recoverable bursts)
+//
+// The test calls Step() between feeding chunks; each step rolls the
+// seeded dice and may kill a worker, hang one (auto-released after
+// `hang_release_steps` further steps), or arm a burst of recoverable
+// write/sync/rename errors on the FailpointFs under the SnapshotStore.
+// Because every choice flows from one Rng, a chaos run is a pure
+// function of (workload, seed): a failure reproduces from its seed, the
+// same property the crash-consistency sweeps rely on.
+//
+// Single-threaded by design: Step()/ReleaseAll() belong to the test
+// (producer) thread. The injected faults themselves are thread-safe
+// seams, so the chaos lands on a fully concurrent pipeline.
+
+#ifndef LTC_TESTING_CHAOS_INJECTOR_H_
+#define LTC_TESTING_CHAOS_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ingest/ingest_pipeline.h"
+#include "snapshot/failpoint_fs.h"
+
+namespace ltc {
+
+struct ChaosConfig {
+  /// Per-Step probability of killing one uniformly chosen worker.
+  double kill_probability = 0.05;
+
+  /// Per-Step probability of hanging one uniformly chosen worker (a
+  /// shard already hung is left alone).
+  double hang_probability = 0.05;
+
+  /// Steps after which an injected hang is released. The supervisor may
+  /// well have retired the hung generation before that — the release is
+  /// then a no-op on a zombie.
+  uint64_t hang_release_steps = 4;
+
+  /// Per-Step probability of arming one recoverable I/O fault burst
+  /// (write/sync/rename error) on the FailpointFs, when one was given.
+  double io_fault_probability = 0.1;
+
+  /// Burst length is uniform in [1, max_io_burst] matching ops.
+  uint64_t max_io_burst = 2;
+
+  /// Root of all chaos: same seed, same disaster schedule.
+  uint64_t seed = 1;
+};
+
+class ChaosInjector {
+ public:
+  /// `fs` may be nullptr (no I/O chaos). Both referees must outlive the
+  /// injector.
+  ChaosInjector(IngestPipeline& pipeline, const ChaosConfig& config,
+                FailpointFs* fs = nullptr);
+
+  /// One round of dice: maybe kill, maybe hang, maybe arm an I/O fault
+  /// burst; releases hangs whose step budget expired.
+  void Step();
+
+  /// Releases every still-pending hang (call before Stop() so no lane
+  /// stays pinned; Stop() itself also releases hung threads).
+  void ReleaseAll();
+
+  uint64_t kills_injected() const { return kills_; }
+  uint64_t hangs_injected() const { return hangs_; }
+  uint64_t io_faults_armed() const { return io_faults_; }
+
+ private:
+  IngestPipeline& pipeline_;
+  ChaosConfig config_;
+  FailpointFs* fs_;
+  Rng rng_;
+  // steps left before the shard's injected hang is released; 0 = none.
+  std::vector<uint64_t> hang_budget_;
+  uint64_t kills_ = 0;
+  uint64_t hangs_ = 0;
+  uint64_t io_faults_ = 0;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_TESTING_CHAOS_INJECTOR_H_

@@ -48,7 +48,9 @@ TEST_F(SnapshotStoreTest, SaveAssignsIncreasingSequences) {
 }
 
 TEST_F(SnapshotStoreTest, RetentionPrunesOldest) {
-  SnapshotStore store(base_, {.retain = 2});
+  SnapshotStoreConfig config;
+  config.retain = 2;
+  SnapshotStore store(base_, config);
   for (const char* p : {"a", "b", "c", "d", "e"}) {
     ASSERT_TRUE(store.Save(p).has_value());
   }

@@ -12,6 +12,7 @@
 // or corrupt, recovers by walking back through the rotation.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <span>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "cli_options.h"
+#include "common/backoff.h"
 #include "common/format.h"
 #include "common/serial.h"
 #include "core/ltc.h"
@@ -35,6 +37,21 @@
 
 namespace ltc {
 namespace {
+
+// Graceful shutdown (SIGINT/SIGTERM): the handler only latches the
+// signal number; the feed loops poll it between chunks, stop pushing,
+// take a final checkpoint (when --checkpoint-every is active), still
+// write --save and the final --metrics-out exposition, and exit with
+// the conventional 128+signo so scripts can tell "interrupted but
+// durable" from a hard kill.
+volatile std::sig_atomic_t g_caught_signal = 0;
+
+void LatchSignal(int signo) { g_caught_signal = signo; }
+
+void InstallSignalHandlers() {
+  std::signal(SIGINT, LatchSignal);
+  std::signal(SIGTERM, LatchSignal);
+}
 
 /// Reads a checkpoint payload: the exact file when its frame validates,
 /// else the newest valid snapshot of the <path>.<seq>.snap rotation.
@@ -197,8 +214,18 @@ int Run(const CliOptions& options) {
   // at <save>.<seq>.snap — after a crash, --load walks back to the
   // newest valid one.
   std::optional<SnapshotStore> rotation;
+  // Checkpoints ride out transient I/O errors with a short backoff
+  // (docs/DURABILITY.md "Retries and backoff") instead of dropping a
+  // rotation slot on the first EIO.
+  BackoffPolicy save_retry;
+  save_retry.max_attempts = 3;
+  save_retry.initial_delay_usec = 10'000;
+  save_retry.max_delay_usec = 100'000;
+  save_retry.jitter = 0.2;
   if (options.checkpoint_every > 0) {
-    rotation.emplace(options.save_path);
+    SnapshotStoreConfig store_config;
+    store_config.retry = save_retry;
+    rotation.emplace(options.save_path, store_config);
     if (metrics_enabled) rotation->AttachMetrics(&registry);
   }
   // Chunked feeding so the mid-run hooks — auto-checkpoints and
@@ -206,7 +233,9 @@ int Run(const CliOptions& options) {
   // once at the end. Each cadence keeps its own residue counter, so
   // composing them never fires either one early.
   const std::span<const Record> records(stream.records());
-  size_t chunk = records.size();
+  // Cap the chunk so the signal poll between chunks stays responsive
+  // even when no mid-run cadence is configured.
+  size_t chunk = std::min<size_t>(std::max<size_t>(records.size(), 1), 65536);
   if (options.checkpoint_every > 0) {
     chunk = std::min<size_t>(chunk, options.checkpoint_every);
   }
@@ -217,10 +246,12 @@ int Run(const CliOptions& options) {
   if (sharded) {
     IngestConfig ingest;
     ingest.checkpoint_every = options.checkpoint_every;
+    ingest.checkpoint_retry = save_retry;
     IngestPipeline pipeline(*sharded, ingest);
     if (rotation) pipeline.AttachSnapshotStore(&*rotation);
     if (metrics_enabled) pipeline.AttachMetrics(&registry);
     for (size_t i = 0; i < records.size(); i += chunk) {
+      if (g_caught_signal != 0) break;
       const size_t n = std::min(chunk, records.size() - i);
       pipeline.PushBatch(records.subspan(i, n));
       since_stats += n;
@@ -233,6 +264,16 @@ int Run(const CliOptions& options) {
         write_metrics();
       }
     }
+    if (g_caught_signal != 0 && rotation) {
+      // Final rotation checkpoint: everything accepted so far becomes
+      // durable before the workers are torn down.
+      std::string ckpt_error;
+      if (!pipeline.Checkpoint(&ckpt_error)) {
+        std::fprintf(stderr,
+                     "ltc_cli: warning: shutdown checkpoint failed: %s\n",
+                     ckpt_error.c_str());
+      }
+    }
     pipeline.Stop();
     if (metrics_enabled) pipeline.SampleMetrics();
     if (pipeline.CheckpointFailures() > 0) {
@@ -243,6 +284,7 @@ int Run(const CliOptions& options) {
   } else {
     uint64_t since_ckpt = 0;
     for (size_t i = 0; i < records.size(); i += chunk) {
+      if (g_caught_signal != 0) break;
       const size_t n = std::min(chunk, records.size() - i);
       estimator->InsertBatch(records.subspan(i, n));
       since_ckpt += n;
@@ -263,6 +305,16 @@ int Run(const CliOptions& options) {
         write_metrics();
       }
     }
+    if (g_caught_signal != 0 && rotation) {
+      std::string save_error;
+      BinaryWriter writer;
+      table->Serialize(writer);
+      if (!rotation->Save(writer.data(), &save_error)) {
+        std::fprintf(stderr,
+                     "ltc_cli: warning: shutdown checkpoint failed: %s\n",
+                     save_error.c_str());
+      }
+    }
   }
 
   // 4. Checkpoint before Finalize so a later --load continues cleanly.
@@ -280,6 +332,19 @@ int Run(const CliOptions& options) {
                    options.save_path.c_str(), save_error.c_str());
       return 1;
     }
+  }
+
+  // Interrupted run: state is durable (--save and any rotation
+  // checkpoint above), the exposition below is complete, but the
+  // report would cover a truncated stream — skip it and exit with the
+  // conventional interrupted status.
+  if (g_caught_signal != 0) {
+    write_metrics();
+    std::fprintf(stderr,
+                 "ltc_cli: interrupted by signal %d; state flushed%s\n",
+                 static_cast<int>(g_caught_signal),
+                 options.save_path.empty() ? "" : ", checkpoint saved");
+    return 128 + static_cast<int>(g_caught_signal);
   }
   estimator->Finalize();
 
@@ -318,6 +383,7 @@ int Run(const CliOptions& options) {
 }  // namespace ltc
 
 int main(int argc, char** argv) {
+  ltc::InstallSignalHandlers();
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string error;
   auto options = ltc::ParseCliOptions(args, &error);
