@@ -200,6 +200,27 @@ class Ltc final : public SignificanceEstimator {
   void Serialize(BinaryWriter& writer) const;
   static std::optional<Ltc> Deserialize(BinaryReader& reader);
 
+  /// Read-snapshot seam (docs/SERVING.md): a bit-identical deep copy
+  /// with the transient audit/metrics attachments detached, safe to
+  /// hand to concurrent readers (via ReadSnapshotHub) while this table
+  /// keeps ingesting. Call only while the table is quiescent.
+  Ltc CloneAtBarrier() const {
+    Ltc copy(*this);
+    copy.DetachTransientsForClone();
+    return copy;
+  }
+
+  /// Drops the non-owning attachments a clone must not share with the
+  /// live table's feeder thread (audit oracle, metrics sink).
+  void DetachTransientsForClone() {
+#ifdef LTC_AUDIT
+    audit_oracle_ = nullptr;
+#endif
+#ifdef LTC_METRICS
+    metrics_ = nullptr;
+#endif
+  }
+
   /// Operational introspection for dashboards and capacity planning.
   struct TableStats {
     size_t occupied_cells = 0;

@@ -114,6 +114,12 @@ std::optional<ShardedLtc> ShardedLtc::Deserialize(BinaryReader& reader) {
   return sharded;
 }
 
+ShardedLtc ShardedLtc::CloneAtBarrier() const {
+  ShardedLtc copy(*this);
+  for (Ltc& shard : copy.shards_) shard.DetachTransientsForClone();
+  return copy;
+}
+
 bool ShardedLtc::CheckInvariants() const {
   for (const Ltc& shard : shards_) {
     if (!shard.CheckInvariants()) return false;

@@ -75,6 +75,15 @@ class ShardedLtc final : public SignificanceEstimator {
   void Serialize(BinaryWriter& writer) const;
   static std::optional<ShardedLtc> Deserialize(BinaryReader& reader);
 
+  /// Read-snapshot seam (docs/SERVING.md): a bit-identical deep copy of
+  /// the whole sharded table, with the transient audit/metrics
+  /// attachments detached (they belong to the live table's feeder
+  /// threads). Call only at a quiescent barrier — after
+  /// IngestPipeline::Flush()/Stop(), or from the single feeding thread
+  /// — then hand the clone to a ReadSnapshotHub so concurrent readers
+  /// query the frozen image while ingest continues on the live table.
+  ShardedLtc CloneAtBarrier() const;
+
 #ifdef LTC_AUDIT
   /// Attaches a per-shard ground-truth oracle (see core/audit.h). Each
   /// shard paces its CLOCK on its own substream, so in count-based mode

@@ -383,6 +383,13 @@ bool IngestPipeline::Flush() {
       lane->flushes.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  if (complete && snapshot_hub_ != nullptr) {
+    // All accepted records are applied and memory-visible: this is a
+    // quiescent barrier, the one moment a bit-identical clone is safe.
+    snapshot_hub_->Publish(
+        std::make_unique<ShardedLtc>(sink_.CloneAtBarrier()),
+        TotalEnqueued());
+  }
   if (flush_duration_usec_ != nullptr) {
     flush_duration_usec_->Record(MicrosSince(start));
   }

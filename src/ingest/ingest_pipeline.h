@@ -72,6 +72,7 @@
 
 #include "common/backoff.h"
 #include "common/clock.h"
+#include "core/read_snapshot.h"
 #include "core/sharded_ltc.h"
 #include "ingest/spsc_ring.h"
 #include "telemetry/metrics.h"
@@ -219,6 +220,14 @@ class IngestPipeline {
   /// a stalled worker kept records from draining, true when every
   /// accepted record is applied.
   bool Flush();
+
+  /// Attaches a read-snapshot hub (docs/SERVING.md): every successful
+  /// Flush() barrier then publishes a bit-identical clone of the sink
+  /// into the hub, so concurrent readers (the query server) always see
+  /// a consistent flush-boundary image without ever touching the live
+  /// tables. The hub must outlive the pipeline (or be detached with
+  /// nullptr first). Producer thread only.
+  void AttachReadSnapshotHub(ReadSnapshotHub* hub) { snapshot_hub_ = hub; }
 
   /// Attaches the checkpoint sink. The store must outlive the pipeline
   /// (or be detached with nullptr first). Producer thread only. With
@@ -409,6 +418,9 @@ class IngestPipeline {
   bool supervisor_stop_ = false;          // guarded by supervisor_mutex_
   std::vector<std::thread> zombies_;
   std::atomic<bool> degraded_{false};     // any lane cooling down
+
+  // Read-snapshot publishing (producer thread only).
+  ReadSnapshotHub* snapshot_hub_ = nullptr;
 
   // Checkpoint state (producer thread only).
   SnapshotStore* snapshot_store_ = nullptr;

@@ -1,0 +1,149 @@
+#include "server/dispatcher.h"
+
+#include <utility>
+#include <vector>
+
+namespace ltc {
+namespace server {
+
+namespace {
+
+bool ReadU16(std::string_view data, size_t& pos, uint16_t* out) {
+  if (data.size() - pos < 2) return false;
+  *out = static_cast<uint16_t>(static_cast<uint8_t>(data[pos])) |
+         (static_cast<uint16_t>(static_cast<uint8_t>(data[pos + 1])) << 8);
+  pos += 2;
+  return true;
+}
+
+}  // namespace
+
+std::string QueryDispatcher::Error(Status status, std::string_view detail) {
+  stats_.errors++;
+  stats_.by_status[static_cast<size_t>(status)]++;
+  return EncodeErrorResponse(status, detail);
+}
+
+std::string QueryDispatcher::Handle(std::string_view payload) {
+  stats_.requests++;
+  if (payload.empty()) {
+    return Error(Status::kErrMalformed, "empty request payload");
+  }
+  const uint8_t opcode_byte = static_cast<uint8_t>(payload[0]);
+  const std::string_view body = payload.substr(1);
+  switch (static_cast<Opcode>(opcode_byte)) {
+    case Opcode::kPing: {
+      if (!body.empty()) {
+        return Error(Status::kErrMalformed, "PING takes no body");
+      }
+      stats_.by_opcode[opcode_byte]++;
+      stats_.by_status[static_cast<size_t>(Status::kOk)]++;
+      // PING answers even before the first snapshot (seq 0): it probes
+      // liveness, not data.
+      const ReadSnapshotHub::Ref snapshot = hub_.Acquire();
+      return EncodePingResponse(snapshot ? snapshot->seq : 0,
+                                snapshot ? snapshot->records : 0);
+    }
+    case Opcode::kTopK:
+      stats_.by_opcode[opcode_byte]++;
+      return HandleTopK(body);
+    case Opcode::kEstimateSignificance:
+    case Opcode::kEstimateFrequency:
+    case Opcode::kEstimatePersistency:
+      stats_.by_opcode[opcode_byte]++;
+      return HandleEstimate(static_cast<Opcode>(opcode_byte), body);
+    case Opcode::kStats: {
+      if (!body.empty()) {
+        return Error(Status::kErrMalformed, "STATS takes no body");
+      }
+      stats_.by_opcode[opcode_byte]++;
+      return HandleStats();
+    }
+  }
+  return Error(Status::kErrUnknownOpcode,
+               "opcode " + std::to_string(opcode_byte));
+}
+
+std::string QueryDispatcher::HandleTopK(std::string_view body) {
+  if (body.size() != 4) {
+    return Error(Status::kErrMalformed, "TOPK body must be exactly u32 k");
+  }
+  uint32_t k = 0;
+  for (int i = 3; i >= 0; --i) {
+    k = (k << 8) | static_cast<uint8_t>(body[static_cast<size_t>(i)]);
+  }
+  if (k == 0) return Error(Status::kErrBadRequest, "k must be >= 1");
+  if (k > kMaxTopK) {
+    return Error(Status::kErrBadRequest,
+                 "k above the protocol maximum " + std::to_string(kMaxTopK));
+  }
+  const ReadSnapshotHub::Ref snapshot = hub_.Acquire();
+  if (!snapshot) {
+    return Error(Status::kErrNoSnapshot, "no snapshot published yet");
+  }
+  std::vector<TopKEntry> entries;
+  for (const SignificanceReport& report : snapshot->table->TopK(k)) {
+    TopKEntry entry;
+    entry.key = codec_.NameOf(report.item);
+    entry.frequency = report.frequency;
+    entry.persistency = report.persistency;
+    entry.significance = report.significance;
+    entries.push_back(std::move(entry));
+  }
+  stats_.by_status[static_cast<size_t>(Status::kOk)]++;
+  return EncodeTopKResponse(entries);
+}
+
+std::string QueryDispatcher::HandleEstimate(Opcode opcode,
+                                            std::string_view body) {
+  size_t pos = 0;
+  uint16_t key_len = 0;
+  if (!ReadU16(body, pos, &key_len)) {
+    return Error(Status::kErrMalformed, "estimate body truncated");
+  }
+  if (body.size() - pos != key_len) {
+    return Error(Status::kErrMalformed,
+                 body.size() - pos < key_len ? "key bytes truncated"
+                                             : "trailing bytes after key");
+  }
+  if (key_len == 0) {
+    return Error(Status::kErrBadKey, "zero-length key");
+  }
+  if (key_len > kMaxKeyBytes) {
+    return Error(Status::kErrBadKey, "key above the protocol maximum");
+  }
+  const std::string_view key = body.substr(pos, key_len);
+  const std::optional<ItemId> item = codec_.Resolve(key);
+  if (!item) {
+    return Error(Status::kErrBadKey, "unresolvable key");
+  }
+  const ReadSnapshotHub::Ref snapshot = hub_.Acquire();
+  if (!snapshot) {
+    return Error(Status::kErrNoSnapshot, "no snapshot published yet");
+  }
+  stats_.by_status[static_cast<size_t>(Status::kOk)]++;
+  switch (opcode) {
+    case Opcode::kEstimateSignificance:
+      return EncodeDoubleResponse(snapshot->table->QuerySignificance(*item));
+    case Opcode::kEstimateFrequency:
+      return EncodeU64Response(snapshot->table->EstimateFrequency(*item));
+    default:
+      return EncodeU64Response(snapshot->table->EstimatePersistency(*item));
+  }
+}
+
+std::string QueryDispatcher::HandleStats() {
+  const ReadSnapshotHub::Ref snapshot = hub_.Acquire();
+  StatsResult stats;
+  stats.num_shards = num_shards_;
+  if (snapshot) {
+    stats.snapshot_seq = snapshot->seq;
+    stats.records = snapshot->records;
+    stats.memory_bytes = snapshot->table->MemoryBytes();
+  }
+  stats_.by_status[static_cast<size_t>(Status::kOk)]++;
+  return EncodeStatsResponse(stats);
+}
+
+}  // namespace server
+}  // namespace ltc

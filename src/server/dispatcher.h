@@ -1,0 +1,67 @@
+// Request dispatch: one protocol payload in, one response payload out.
+//
+// The dispatcher is the server's brain, separated from the socket event
+// loop so the protocol unit tests and the malformed-bytes fuzz loop
+// (tests/server_test.cc) can drive it directly: for EVERY input byte
+// string it returns a well-formed response payload — kOk with the
+// answer, or a typed error — and never throws or crashes.
+//
+// Every query is answered from one pinned ReadSnapshotHub image, so a
+// single response is always internally consistent, and consecutive
+// responses only ever move forward in snapshot sequence.
+
+#ifndef LTC_SERVER_DISPATCHER_H_
+#define LTC_SERVER_DISPATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/read_snapshot.h"
+#include "server/key_codec.h"
+#include "server/protocol.h"
+
+namespace ltc {
+namespace server {
+
+/// Per-status dispatch counters (sampled into ltc_server_* metrics by
+/// the query server; plain fields — the dispatcher is driven from one
+/// event-loop thread).
+struct DispatchStats {
+  uint64_t requests = 0;  // total payloads handled
+  uint64_t errors = 0;    // payloads answered with a non-kOk status
+  uint64_t by_opcode[7] = {};   // index = valid Opcode value, 0 unused
+  uint64_t by_status[7] = {};   // index = Status value
+};
+
+class QueryDispatcher {
+ public:
+  /// `num_shards` is advertised by STATS (0 = single table). The hub
+  /// and codec must outlive the dispatcher.
+  QueryDispatcher(const ReadSnapshotHub& hub, const KeyCodec& codec,
+                  uint32_t num_shards)
+      : hub_(hub), codec_(codec), num_shards_(num_shards) {}
+
+  /// Handles one request payload (the bytes inside a frame, NOT
+  /// including the length prefix) and returns the response payload.
+  /// Total: never throws, never returns an undecodable response.
+  std::string Handle(std::string_view payload);
+
+  const DispatchStats& stats() const { return stats_; }
+
+ private:
+  std::string HandleTopK(std::string_view body);
+  std::string HandleEstimate(Opcode opcode, std::string_view body);
+  std::string HandleStats();
+  std::string Error(Status status, std::string_view detail);
+
+  const ReadSnapshotHub& hub_;
+  const KeyCodec& codec_;
+  uint32_t num_shards_;
+  DispatchStats stats_;
+};
+
+}  // namespace server
+}  // namespace ltc
+
+#endif  // LTC_SERVER_DISPATCHER_H_

@@ -1,0 +1,84 @@
+// Key resolution between the wire protocol's byte-string keys and the
+// estimators' 64-bit ItemIds (docs/SERVING.md "Keys").
+//
+// The sketch is keyed by ItemId; clients speak the keys the trace was
+// fed with — decimal text for numeric traces, original tokens for
+// interned traces. The codec is chosen by the serving process to match
+// how it ingested, so a client never needs to know about interning.
+
+#ifndef LTC_SERVER_KEY_CODEC_H_
+#define LTC_SERVER_KEY_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "stream/interner.h"
+#include "stream/stream.h"
+
+namespace ltc {
+namespace server {
+
+class KeyCodec {
+ public:
+  virtual ~KeyCodec() = default;
+
+  /// Maps a wire key to an ItemId. nullopt = the key is not well formed
+  /// for this codec (answered with kErrBadKey). A well-formed key the
+  /// stream simply never contained resolves to an untracked ItemId and
+  /// is answered with the usual "did not appear" zeros.
+  virtual std::optional<ItemId> Resolve(std::string_view key) const = 0;
+
+  /// Maps an ItemId back to its wire key (TOPK rows).
+  virtual std::string NameOf(ItemId item) const = 0;
+};
+
+/// Numeric traces: keys are decimal uint64 text.
+class NumericKeyCodec final : public KeyCodec {
+ public:
+  std::optional<ItemId> Resolve(std::string_view key) const override {
+    if (key.empty() || key.size() > 20) return std::nullopt;
+    uint64_t value = 0;
+    for (char c : key) {
+      if (c < '0' || c > '9') return std::nullopt;
+      const uint64_t digit = static_cast<uint64_t>(c - '0');
+      if (value > (~uint64_t{0} - digit) / 10) return std::nullopt;  // overflow
+      value = value * 10 + digit;
+    }
+    return value;
+  }
+
+  std::string NameOf(ItemId item) const override {
+    return std::to_string(item);
+  }
+};
+
+/// Interned token traces: keys are the original tokens; unknown tokens
+/// resolve to ItemId 0, which every estimator answers as untracked.
+class InternerKeyCodec final : public KeyCodec {
+ public:
+  /// The interner must outlive the codec and must not be mutated while
+  /// the codec is in use (the CLI finishes loading the trace before it
+  /// starts serving, so the interner is frozen by then).
+  explicit InternerKeyCodec(const StringInterner& interner)
+      : interner_(interner) {}
+
+  std::optional<ItemId> Resolve(std::string_view key) const override {
+    if (key.empty()) return std::nullopt;
+    return interner_.Lookup(key);
+  }
+
+  std::string NameOf(ItemId item) const override {
+    if (item == 0 || item > interner_.size()) return std::to_string(item);
+    return interner_.Name(item);
+  }
+
+ private:
+  const StringInterner& interner_;
+};
+
+}  // namespace server
+}  // namespace ltc
+
+#endif  // LTC_SERVER_KEY_CODEC_H_

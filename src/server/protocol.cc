@@ -1,0 +1,292 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace ltc {
+namespace server {
+
+const char* StatusName(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kErrUnknownOpcode:
+      return "unknown_opcode";
+    case Status::kErrMalformed:
+      return "malformed";
+    case Status::kErrBadKey:
+      return "bad_key";
+    case Status::kErrOversized:
+      return "oversized";
+    case Status::kErrNoSnapshot:
+      return "no_snapshot";
+    case Status::kErrBadRequest:
+      return "bad_request";
+  }
+  return "unknown_status";
+}
+
+const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing:
+      return "ping";
+    case Opcode::kTopK:
+      return "topk";
+    case Opcode::kEstimateSignificance:
+      return "estimate_significance";
+    case Opcode::kEstimateFrequency:
+      return "estimate_frequency";
+    case Opcode::kEstimatePersistency:
+      return "estimate_persistency";
+    case Opcode::kStats:
+      return "stats";
+  }
+  return "unknown_opcode";
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  char prefix[4];
+  std::memcpy(prefix, &length, 4);  // little-endian on every target we build
+  frame.append(prefix, 4);
+  frame.append(payload);
+  return frame;
+}
+
+std::optional<std::string> FrameParser::Next() {
+  if (oversized_ || buffer_.size() < 4) return std::nullopt;
+  uint32_t length = 0;
+  std::memcpy(&length, buffer_.data(), 4);
+  if (length > max_frame_bytes_) {
+    oversized_ = true;
+    return std::nullopt;
+  }
+  if (buffer_.size() < 4 + static_cast<size_t>(length)) return std::nullopt;
+  std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4 + static_cast<size_t>(length));
+  return payload;
+}
+
+namespace {
+
+// Keys and names use an explicit two-byte little-endian length so
+// frames stay compact; wider fields are fixed-width little-endian,
+// matching common/serial.h's convention.
+void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+bool GetU16(std::string_view data, size_t& pos, uint16_t* out) {
+  if (data.size() - pos < 2) return false;
+  *out = static_cast<uint16_t>(static_cast<uint8_t>(data[pos])) |
+         (static_cast<uint16_t>(static_cast<uint8_t>(data[pos + 1])) << 8);
+  pos += 2;
+  return true;
+}
+
+void PutU32Raw(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void PutU64Raw(std::string& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void PutDoubleRaw(std::string& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+bool GetU32Raw(std::string_view data, size_t& pos, uint32_t* out) {
+  if (data.size() - pos < 4) return false;
+  std::memcpy(out, data.data() + pos, 4);
+  pos += 4;
+  return true;
+}
+
+bool GetU64Raw(std::string_view data, size_t& pos, uint64_t* out) {
+  if (data.size() - pos < 8) return false;
+  std::memcpy(out, data.data() + pos, 8);
+  pos += 8;
+  return true;
+}
+
+bool GetDoubleRaw(std::string_view data, size_t& pos, double* out) {
+  if (data.size() - pos < 8) return false;
+  std::memcpy(out, data.data() + pos, 8);
+  pos += 8;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodePingRequest() {
+  return std::string(1, static_cast<char>(Opcode::kPing));
+}
+
+std::string EncodeTopKRequest(uint32_t k) {
+  std::string payload(1, static_cast<char>(Opcode::kTopK));
+  PutU32Raw(payload, k);
+  return payload;
+}
+
+std::string EncodeEstimateRequest(Opcode opcode, std::string_view key) {
+  std::string payload(1, static_cast<char>(opcode));
+  PutU16(payload, static_cast<uint16_t>(key.size()));
+  payload.append(key);
+  return payload;
+}
+
+std::string EncodeStatsRequest() {
+  return std::string(1, static_cast<char>(Opcode::kStats));
+}
+
+std::string EncodeErrorResponse(Status status, std::string_view detail) {
+  std::string payload(1, static_cast<char>(status));
+  PutU16(payload, static_cast<uint16_t>(
+                      detail.size() > 0xffff ? 0xffff : detail.size()));
+  payload.append(detail.substr(0, 0xffff));
+  return payload;
+}
+
+std::string EncodePingResponse(uint64_t snapshot_seq, uint64_t records) {
+  std::string payload(1, static_cast<char>(Status::kOk));
+  payload.push_back(static_cast<char>(kProtocolVersion));
+  PutU64Raw(payload, snapshot_seq);
+  PutU64Raw(payload, records);
+  return payload;
+}
+
+std::string EncodeTopKResponse(const std::vector<TopKEntry>& entries) {
+  std::string payload(1, static_cast<char>(Status::kOk));
+  PutU32Raw(payload, static_cast<uint32_t>(entries.size()));
+  for (const TopKEntry& entry : entries) {
+    PutU16(payload, static_cast<uint16_t>(entry.key.size()));
+    payload.append(entry.key);
+    PutU64Raw(payload, entry.frequency);
+    PutU64Raw(payload, entry.persistency);
+    PutDoubleRaw(payload, entry.significance);
+  }
+  return payload;
+}
+
+std::string EncodeDoubleResponse(double value) {
+  std::string payload(1, static_cast<char>(Status::kOk));
+  PutDoubleRaw(payload, value);
+  return payload;
+}
+
+std::string EncodeU64Response(uint64_t value) {
+  std::string payload(1, static_cast<char>(Status::kOk));
+  PutU64Raw(payload, value);
+  return payload;
+}
+
+std::string EncodeStatsResponse(const StatsResult& stats) {
+  std::string payload(1, static_cast<char>(Status::kOk));
+  payload.push_back(static_cast<char>(stats.protocol_version));
+  PutU64Raw(payload, stats.snapshot_seq);
+  PutU64Raw(payload, stats.records);
+  PutU64Raw(payload, stats.memory_bytes);
+  PutU32Raw(payload, stats.num_shards);
+  return payload;
+}
+
+std::optional<DecodedResponse> DecodeResponse(Opcode request_opcode,
+                                              std::string_view payload) {
+  if (payload.empty()) return std::nullopt;
+  DecodedResponse response;
+  response.status = static_cast<Status>(static_cast<uint8_t>(payload[0]));
+  size_t pos = 1;
+  if (response.status != Status::kOk) {
+    switch (response.status) {
+      case Status::kErrUnknownOpcode:
+      case Status::kErrMalformed:
+      case Status::kErrBadKey:
+      case Status::kErrOversized:
+      case Status::kErrNoSnapshot:
+      case Status::kErrBadRequest:
+        break;
+      default:
+        return std::nullopt;  // not a status byte this protocol speaks
+    }
+    uint16_t detail_len = 0;
+    if (!GetU16(payload, pos, &detail_len)) return std::nullopt;
+    if (payload.size() - pos != detail_len) return std::nullopt;
+    response.error_detail = std::string(payload.substr(pos, detail_len));
+    return response;
+  }
+  switch (request_opcode) {
+    case Opcode::kPing: {
+      if (payload.size() - pos != 1 + 8 + 8) return std::nullopt;
+      pos += 1;  // protocol version
+      if (!GetU64Raw(payload, pos, &response.snapshot_seq)) return std::nullopt;
+      if (!GetU64Raw(payload, pos, &response.records)) return std::nullopt;
+      return response;
+    }
+    case Opcode::kTopK: {
+      uint32_t n = 0;
+      if (!GetU32Raw(payload, pos, &n)) return std::nullopt;
+      if (n > kMaxTopK) return std::nullopt;
+      response.topk.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        TopKEntry entry;
+        uint16_t key_len = 0;
+        if (!GetU16(payload, pos, &key_len)) return std::nullopt;
+        if (payload.size() - pos < key_len) return std::nullopt;
+        entry.key = std::string(payload.substr(pos, key_len));
+        pos += key_len;
+        if (!GetU64Raw(payload, pos, &entry.frequency)) return std::nullopt;
+        if (!GetU64Raw(payload, pos, &entry.persistency)) return std::nullopt;
+        if (!GetDoubleRaw(payload, pos, &entry.significance)) {
+          return std::nullopt;
+        }
+        response.topk.push_back(std::move(entry));
+      }
+      if (pos != payload.size()) return std::nullopt;
+      return response;
+    }
+    case Opcode::kEstimateSignificance: {
+      if (payload.size() - pos != 8) return std::nullopt;
+      if (!GetDoubleRaw(payload, pos, &response.value_double)) {
+        return std::nullopt;
+      }
+      return response;
+    }
+    case Opcode::kEstimateFrequency:
+    case Opcode::kEstimatePersistency: {
+      if (payload.size() - pos != 8) return std::nullopt;
+      if (!GetU64Raw(payload, pos, &response.value_u64)) return std::nullopt;
+      return response;
+    }
+    case Opcode::kStats: {
+      if (payload.size() - pos != 1 + 8 + 8 + 8 + 4) return std::nullopt;
+      response.stats.protocol_version = static_cast<uint8_t>(payload[pos]);
+      pos += 1;
+      if (!GetU64Raw(payload, pos, &response.stats.snapshot_seq)) {
+        return std::nullopt;
+      }
+      if (!GetU64Raw(payload, pos, &response.stats.records)) {
+        return std::nullopt;
+      }
+      if (!GetU64Raw(payload, pos, &response.stats.memory_bytes)) {
+        return std::nullopt;
+      }
+      if (!GetU32Raw(payload, pos, &response.stats.num_shards)) {
+        return std::nullopt;
+      }
+      return response;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace server
+}  // namespace ltc

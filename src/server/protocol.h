@@ -1,0 +1,172 @@
+// The LTCQ wire protocol — a small length-prefixed binary protocol for
+// querying a live LTC service (docs/SERVING.md has the normative spec).
+//
+// Framing: every message, in both directions, is
+//
+//   u32 length (little-endian, payload bytes that follow)
+//   payload[length]
+//
+// A request payload is `u8 opcode` + opcode-specific body; a response
+// payload is `u8 status` + (on kOk) the opcode-specific result, or (on
+// any error) a length-prefixed human-readable detail string. Multiple
+// requests may be pipelined on one connection; responses come back in
+// request order.
+//
+// Item keys travel as length-prefixed byte strings (u16 length), never
+// as raw integers: the same TOPK/ESTIMATE_* requests work against a
+// numeric trace (keys are decimal text) and an interned token trace
+// (keys are the original tokens). A zero-length key is a protocol
+// error, answered with kErrBadKey.
+//
+// Everything here is pure encode/decode over std::string buffers — no
+// sockets, no allocation surprises — so the golden-frame and fuzz tests
+// (tests/server_test.cc) exercise exactly the bytes the server speaks.
+
+#ifndef LTC_SERVER_PROTOCOL_H_
+#define LTC_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ltc {
+namespace server {
+
+/// Request opcodes (first payload byte of a request).
+enum class Opcode : uint8_t {
+  kPing = 0x01,                  // body: empty
+  kTopK = 0x02,                  // body: u32 k (k >= 1)
+  kEstimateSignificance = 0x03,  // body: u16 key_len, key bytes
+  kEstimateFrequency = 0x04,     // body: u16 key_len, key bytes
+  kEstimatePersistency = 0x05,   // body: u16 key_len, key bytes
+  kStats = 0x06,                 // body: empty
+};
+
+/// Response status (first payload byte of a response). Every error is
+/// typed; the server never answers malformed input with silence or a
+/// dropped connection (oversized frames excepted — see kErrOversized).
+enum class Status : uint8_t {
+  kOk = 0x00,
+  kErrUnknownOpcode = 0x01,  // opcode byte not in Opcode
+  kErrMalformed = 0x02,      // body truncated, trailing bytes, or empty payload
+  kErrBadKey = 0x03,         // zero-length key, or key not resolvable
+  kErrOversized = 0x04,      // frame length above kMaxFrameBytes; the
+                             // connection closes after this response
+                             // (the stream can no longer be trusted)
+  kErrNoSnapshot = 0x05,     // no snapshot published yet
+  kErrBadRequest = 0x06,     // semantically invalid (e.g. k == 0)
+};
+
+/// "ok", "unknown_opcode", ... — stable names used by error-frame
+/// details, the ltc_server_errors_total{kind=...} metric and ltc_query.
+const char* StatusName(Status status);
+
+/// "ping", "topk", ... — stable names used by the
+/// ltc_server_requests_total{op=...} metric and the ltc_query verbs.
+const char* OpcodeName(Opcode opcode);
+
+/// Hard ceiling on payload size, both directions. Requests are tiny;
+/// responses are bounded by clamping TOPK's k (see kMaxTopK).
+constexpr size_t kMaxFrameBytes = 1 << 16;
+
+/// Largest k a TOPK request may ask for (keeps every response under
+/// kMaxFrameBytes even with maximal key names).
+constexpr uint32_t kMaxTopK = 1024;
+
+/// Largest key length the protocol accepts.
+constexpr size_t kMaxKeyBytes = 4096;
+
+/// Protocol version, reported by PING.
+constexpr uint8_t kProtocolVersion = 1;
+
+// --- Framing ---------------------------------------------------------
+
+/// Wraps a payload in the u32 length prefix.
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame splitter for a byte stream. Feed bytes, then pop
+/// complete payloads. An oversized declared length poisons the parser
+/// (the remaining stream cannot be resynchronized).
+class FrameParser {
+ public:
+  explicit FrameParser(size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Extracts the next complete payload, or nullopt when more bytes are
+  /// needed (or the parser is poisoned).
+  std::optional<std::string> Next();
+
+  /// True once a declared frame length exceeded the maximum.
+  bool oversized() const { return oversized_; }
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  size_t max_frame_bytes_;
+  bool oversized_ = false;
+};
+
+// --- Requests --------------------------------------------------------
+
+std::string EncodePingRequest();
+std::string EncodeTopKRequest(uint32_t k);
+std::string EncodeEstimateRequest(Opcode opcode, std::string_view key);
+std::string EncodeStatsRequest();
+
+// --- Responses -------------------------------------------------------
+
+/// One TOPK row. The key is the item's external name (original token or
+/// decimal ID), so clients never see internal ItemIds.
+struct TopKEntry {
+  std::string key;
+  uint64_t frequency = 0;
+  uint64_t persistency = 0;
+  double significance = 0.0;
+};
+
+/// Service-level counters answered by STATS.
+struct StatsResult {
+  uint64_t snapshot_seq = 0;    // publish sequence of the served image
+  uint64_t records = 0;         // stream records applied at its barrier
+  uint64_t memory_bytes = 0;    // model memory of the sketch
+  uint32_t num_shards = 0;      // 0 = single (unsharded) table
+  uint8_t protocol_version = kProtocolVersion;
+};
+
+std::string EncodeErrorResponse(Status status, std::string_view detail);
+std::string EncodePingResponse(uint64_t snapshot_seq, uint64_t records);
+std::string EncodeTopKResponse(const std::vector<TopKEntry>& entries);
+std::string EncodeDoubleResponse(double value);   // ESTIMATE_SIGNIFICANCE
+std::string EncodeU64Response(uint64_t value);    // ESTIMATE_{FREQ,PERS}
+std::string EncodeStatsResponse(const StatsResult& stats);
+
+/// A decoded response, as the client library sees it. Exactly the
+/// fields implied by `status` + the request's opcode are meaningful.
+struct DecodedResponse {
+  Status status = Status::kOk;
+  std::string error_detail;          // any error status
+  uint64_t snapshot_seq = 0;         // PING
+  uint64_t records = 0;              // PING
+  std::vector<TopKEntry> topk;       // TOPK
+  double value_double = 0.0;         // ESTIMATE_SIGNIFICANCE
+  uint64_t value_u64 = 0;            // ESTIMATE_{FREQUENCY,PERSISTENCY}
+  StatsResult stats;                 // STATS
+};
+
+/// Decodes a response payload against the opcode of the request it
+/// answers. nullopt = the payload itself is malformed (server bug or
+/// corrupted stream; the fuzz tests assert this never happens for
+/// server-produced payloads).
+std::optional<DecodedResponse> DecodeResponse(Opcode request_opcode,
+                                              std::string_view payload);
+
+}  // namespace server
+}  // namespace ltc
+
+#endif  // LTC_SERVER_PROTOCOL_H_

@@ -145,6 +145,81 @@ TEST(CliOptions, StatsEveryRejections) {
   EXPECT_FALSE(Parse({"--metrics-out"}, &error).has_value());
 }
 
+TEST(CliOptions, ServeDefaultsOff) {
+  auto options = Parse({"trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->serve_port, -1);
+}
+
+TEST(CliOptions, ServeParsesPortIncludingEphemeralZero) {
+  auto options = Parse({"--serve", "8080", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->serve_port, 8080);
+
+  options = Parse({"--serve", "0", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->serve_port, 0);
+
+  options = Parse({"--serve", "65535", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->serve_port, 65535);
+}
+
+TEST(CliOptions, ServeRejections) {
+  std::string error;
+  EXPECT_FALSE(Parse({"--serve", "65536", "t"}, &error).has_value());
+  EXPECT_NE(error.find("--serve"), std::string::npos);
+  EXPECT_FALSE(Parse({"--serve", "-1", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--serve", "potato", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--serve", "80x", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--serve", "", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"t", "--serve"}, &error).has_value());
+  EXPECT_NE(error.find("needs a value"), std::string::npos);
+}
+
+// The full --serve interaction matrix: serving composes with every
+// other flag; the pre-existing dependency rules (--checkpoint-every
+// needs --save, --stats-every needs --metrics-out) still hold with
+// --serve in the mix and still fail with usage errors.
+TEST(CliOptions, ServeFlagMatrix) {
+  struct Case {
+    std::vector<std::string> args;
+    bool ok;
+  };
+  const Case cases[] = {
+      {{"--serve", "0", "trace.csv"}, true},
+      {{"--serve", "9000", "--threads", "4", "trace.csv"}, true},
+      {{"--serve", "9000", "--save", "ck.bin", "trace.csv"}, true},
+      {{"--serve", "9000", "--load", "ck.bin", "trace.csv"}, true},
+      {{"--serve", "9000", "--save", "ck.bin", "--checkpoint-every", "100",
+        "trace.csv"}, true},
+      {{"--serve", "9000", "--metrics-out", "m.prom", "trace.csv"}, true},
+      {{"--serve", "9000", "--metrics-out", "m.prom", "--stats-every",
+        "100", "trace.csv"}, true},
+      {{"--serve", "9000", "--threads", "8", "--save", "ck.bin",
+        "--checkpoint-every", "50", "--metrics-out", "m.json",
+        "--stats-every", "200", "--csv", "trace.csv"}, true},
+      {{"--serve", "9000", "-"}, true},  // stdin trace serves fine
+      // Invalid: the dependency rules hold regardless of --serve.
+      {{"--serve", "9000", "--checkpoint-every", "100", "trace.csv"}, false},
+      {{"--serve", "9000", "--stats-every", "100", "trace.csv"}, false},
+      {{"--serve", "9000"}, false},  // still needs a trace
+  };
+  for (const Case& c : cases) {
+    std::string joined;
+    for (const auto& a : c.args) joined += a + " ";
+    std::string error;
+    const auto options = Parse(c.args, &error);
+    EXPECT_EQ(options.has_value(), c.ok) << joined << " error: " << error;
+    if (!c.ok) {
+      EXPECT_FALSE(error.empty()) << joined;
+    }
+    if (options.has_value() && c.ok) {
+      EXPECT_EQ(options->serve_port, c.args[1] == "0" ? 0 : 9000) << joined;
+    }
+  }
+}
+
 TEST(CliOptions, ToLtcConfigReflectsFlags) {
   auto options = Parse({"--memory", "10K", "--alpha", "2", "--beta", "3",
                         "--d", "4", "--no-ltr", "t.csv"});

@@ -88,6 +88,12 @@ options:
   --stats-every N   also rewrite --metrics-out every N records, so a
                     long run can be watched live (requires
                     --metrics-out) [off]
+  --serve PORT      serve TOPK/ESTIMATE_*/STATS/PING queries over TCP on
+                    PORT while the trace feeds and until SIGINT/SIGTERM
+                    (PORT 0 = pick an ephemeral port; the bound port is
+                    printed to stderr as "serving on port N"). Reads are
+                    flush-barrier snapshots — see docs/SERVING.md.
+                    Composes with every other flag [off]
   --help            this text
 )";
 }
@@ -162,6 +168,14 @@ std::optional<CliOptions> ParseCliOptions(
     } else if (arg == "--metrics-out") {
       if (!next_value(arg, &value)) return std::nullopt;
       options.metrics_out = value;
+    } else if (arg == "--serve") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      uint64_t parsed;
+      if (!ParseU64Arg(value, &parsed) || parsed > 65535) {
+        return fail("bad --serve port '" + value +
+                    "' (need 0..65535; 0 = ephemeral)");
+      }
+      options.serve_port = static_cast<int32_t>(parsed);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return fail("unknown option '" + arg + "'");
     } else {

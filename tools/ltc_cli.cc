@@ -12,11 +12,14 @@
 // or corrupt, recovers by walking back through the rotation.
 
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli_options.h"
@@ -24,9 +27,12 @@
 #include "common/format.h"
 #include "common/serial.h"
 #include "core/ltc.h"
+#include "core/read_snapshot.h"
 #include "core/sharded_ltc.h"
 #include "core/significance_estimator.h"
 #include "ingest/ingest_pipeline.h"
+#include "server/key_codec.h"
+#include "server/query_server.h"
 #include "snapshot/frame.h"
 #include "snapshot/fs.h"
 #include "snapshot/snapshot_store.h"
@@ -209,6 +215,53 @@ int Run(const CliOptions& options) {
     }
   };
 
+  // Serving (docs/SERVING.md): --serve answers queries over TCP while
+  // the trace feeds and keeps answering after it ends, until a signal.
+  // Every answer comes from a flush-barrier snapshot published into the
+  // hub — the server never touches the live tables.
+  const bool serving = options.serve_port >= 0;
+  ReadSnapshotHub hub;
+  // Deep-copies the quiescent sketch into the hub. Call only at
+  // barriers: between chunks single-threaded, or right after a
+  // pipeline Flush (the sharded path publishes via the pipeline's own
+  // hub hook instead, which fires inside Flush()).
+  auto publish_snapshot = [&](uint64_t records_applied) {
+    if (!serving) return;
+    if (sharded) {
+      hub.Publish(std::make_unique<ShardedLtc>(sharded->CloneAtBarrier()),
+                  records_applied);
+    } else {
+      hub.Publish(std::make_unique<Ltc>(table->CloneAtBarrier()),
+                  records_applied);
+    }
+  };
+  server::NumericKeyCodec numeric_codec;
+  server::InternerKeyCodec interner_codec(trace->interner);
+  const server::KeyCodec* codec =
+      trace->used_interner
+          ? static_cast<const server::KeyCodec*>(&interner_codec)
+          : &numeric_codec;
+  std::optional<server::QueryServer> server;
+  if (serving) {
+    server::QueryServerConfig server_config;
+    server_config.port = static_cast<uint16_t>(options.serve_port);
+    server.emplace(hub, *codec, sharded ? sharded->num_shards() : 0,
+                   server_config);
+    if (metrics_enabled) server->AttachMetrics(&registry);
+    std::string serve_error;
+    if (!server->Start(&serve_error)) {
+      std::fprintf(stderr, "ltc_cli: cannot serve: %s\n", serve_error.c_str());
+      return 1;
+    }
+    // The bound port (resolves --serve 0); scripts scrape this line.
+    std::fprintf(stderr, "ltc_cli: serving on port %u\n",
+                 static_cast<unsigned>(server->port()));
+    std::fflush(stderr);
+    // Seed the hub so a --load'ed (or empty) table is servable before
+    // the first feed barrier.
+    publish_snapshot(0);
+  }
+
   // 3. Feed the stream: parallel pipeline when sharded, the batch fast
   // path otherwise. With --checkpoint-every, mid-run snapshots rotate
   // at <save>.<seq>.snap — after a crash, --load walks back to the
@@ -250,10 +303,14 @@ int Run(const CliOptions& options) {
     IngestPipeline pipeline(*sharded, ingest);
     if (rotation) pipeline.AttachSnapshotStore(&*rotation);
     if (metrics_enabled) pipeline.AttachMetrics(&registry);
+    // Serving: the pipeline publishes a hub snapshot inside each
+    // complete Flush(), while the workers are quiescent.
+    if (serving) pipeline.AttachReadSnapshotHub(&hub);
     for (size_t i = 0; i < records.size(); i += chunk) {
       if (g_caught_signal != 0) break;
       const size_t n = std::min(chunk, records.size() - i);
       pipeline.PushBatch(records.subspan(i, n));
+      if (serving) pipeline.Flush();  // barrier → snapshot publish
       since_stats += n;
       if (options.stats_every > 0 && since_stats >= options.stats_every) {
         since_stats = 0;
@@ -287,6 +344,7 @@ int Run(const CliOptions& options) {
       if (g_caught_signal != 0) break;
       const size_t n = std::min(chunk, records.size() - i);
       estimator->InsertBatch(records.subspan(i, n));
+      publish_snapshot(i + n);  // chunk boundary = a quiescent barrier
       since_ckpt += n;
       since_stats += n;
       if (rotation && since_ckpt >= options.checkpoint_every &&
@@ -315,6 +373,22 @@ int Run(const CliOptions& options) {
                      save_error.c_str());
       }
     }
+  }
+
+  // Serving: the trace is fully fed (or the feed was interrupted) —
+  // keep answering queries from the final barrier snapshot until a
+  // signal, then drain gracefully: in-flight requests are answered and
+  // every connection gets a clean FIN before the checkpoint/metrics
+  // epilogue below runs.
+  if (serving) {
+    while (g_caught_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    server->Stop();
+    std::fprintf(stderr,
+                 "ltc_cli: served %llu request(s) (%llu error(s)), drained\n",
+                 static_cast<unsigned long long>(server->TotalRequests()),
+                 static_cast<unsigned long long>(server->TotalErrors()));
   }
 
   // 4. Checkpoint before Finalize so a later --load continues cleanly.

@@ -1,0 +1,265 @@
+// ltc_query — command-line client for a --serve'd ltc_cli
+// (docs/SERVING.md). One TCP connection, one request per verb given on
+// the command line (pipelined in order), human-readable output.
+//
+//   ltc_query --port P [--host H] <verb> [arg] [<verb> [arg] ...]
+//
+// verbs:
+//   ping            liveness + current snapshot seq / record count
+//   topk K          the K most significant items
+//   sig KEY         estimated significance of KEY
+//   freq KEY        estimated frequency of KEY
+//   pers KEY        estimated persistency of KEY
+//   stats           service stats (snapshot seq, records, memory, shards)
+//
+// exit status: 0 = every request answered kOk; 2 = usage error;
+// 3 = the server answered at least one typed error frame;
+// 4 = connection / transport failure (includes truncated responses).
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace ltc {
+namespace server {
+namespace {
+
+struct PendingRequest {
+  Opcode opcode;
+  std::string frame;  // framed request bytes, ready to send
+  std::string label;  // "topk 5", "sig alpha", ... for output headers
+};
+
+int Usage(const char* message) {
+  if (message != nullptr) std::fprintf(stderr, "ltc_query: %s\n", message);
+  std::fputs(
+      "usage: ltc_query --port P [--host H] <verb> [arg] [...]\n"
+      "verbs: ping | topk K | sig KEY | freq KEY | pers KEY | stats\n",
+      stderr);
+  return 2;
+}
+
+int Connect(const std::string& host, uint16_t port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host address '" + host + "' (numeric IPv4 only)";
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, std::string_view bytes, std::string* error) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking-reads one complete response payload.
+std::optional<std::string> RecvFrame(int fd, FrameParser& parser,
+                                     std::string* error) {
+  while (true) {
+    if (auto payload = parser.Next()) return payload;
+    if (parser.oversized()) {
+      *error = "server sent an oversized frame";
+      return std::nullopt;
+    }
+    char buf[16384];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      *error = "connection closed mid-response";
+      return std::nullopt;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("recv: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+void PrintResponse(const PendingRequest& request,
+                   const DecodedResponse& response) {
+  switch (request.opcode) {
+    case Opcode::kPing:
+      std::printf("pong snapshot_seq=%llu records=%llu\n",
+                  static_cast<unsigned long long>(response.snapshot_seq),
+                  static_cast<unsigned long long>(response.records));
+      return;
+    case Opcode::kTopK:
+      std::printf("# %s: %zu item(s)\n", request.label.c_str(),
+                  response.topk.size());
+      std::printf("%-24s %12s %12s %14s\n", "item", "frequency",
+                  "persistency", "significance");
+      for (const TopKEntry& entry : response.topk) {
+        std::printf("%-24s %12llu %12llu %14g\n", entry.key.c_str(),
+                    static_cast<unsigned long long>(entry.frequency),
+                    static_cast<unsigned long long>(entry.persistency),
+                    entry.significance);
+      }
+      return;
+    case Opcode::kEstimateSignificance:
+      std::printf("%s = %g\n", request.label.c_str(), response.value_double);
+      return;
+    case Opcode::kEstimateFrequency:
+    case Opcode::kEstimatePersistency:
+      std::printf("%s = %llu\n", request.label.c_str(),
+                  static_cast<unsigned long long>(response.value_u64));
+      return;
+    case Opcode::kStats:
+      std::printf(
+          "stats snapshot_seq=%llu records=%llu memory_bytes=%llu "
+          "shards=%u protocol_version=%u\n",
+          static_cast<unsigned long long>(response.stats.snapshot_seq),
+          static_cast<unsigned long long>(response.stats.records),
+          static_cast<unsigned long long>(response.stats.memory_bytes),
+          response.stats.num_shards, response.stats.protocol_version);
+      return;
+  }
+}
+
+int Main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int32_t port = -1;
+  std::vector<PendingRequest> requests;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ltc_query: %s needs a value\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage(nullptr);
+      return 0;
+    } else if (arg == "--port") {
+      const char* value = next("--port");
+      if (value == nullptr) return 2;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || parsed == 0 || parsed > 65535) {
+        return Usage("bad --port (need 1..65535)");
+      }
+      port = static_cast<int32_t>(parsed);
+    } else if (arg == "--host") {
+      const char* value = next("--host");
+      if (value == nullptr) return 2;
+      host = value;
+    } else if (arg == "ping") {
+      requests.push_back({Opcode::kPing, EncodeFrame(EncodePingRequest()), "ping"});
+    } else if (arg == "stats") {
+      requests.push_back({Opcode::kStats, EncodeFrame(EncodeStatsRequest()), "stats"});
+    } else if (arg == "topk") {
+      const char* value = next("topk");
+      if (value == nullptr) return 2;
+      char* end = nullptr;
+      const unsigned long k = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || k == 0 || k > kMaxTopK) {
+        return Usage("bad topk K");
+      }
+      requests.push_back(
+          {Opcode::kTopK,
+           EncodeFrame(EncodeTopKRequest(static_cast<uint32_t>(k))),
+           "topk " + std::string(value)});
+    } else if (arg == "sig" || arg == "freq" || arg == "pers") {
+      const char* value = next(arg.c_str());
+      if (value == nullptr) return 2;
+      const Opcode opcode = arg == "sig"    ? Opcode::kEstimateSignificance
+                            : arg == "freq" ? Opcode::kEstimateFrequency
+                                            : Opcode::kEstimatePersistency;
+      requests.push_back({opcode,
+                          EncodeFrame(EncodeEstimateRequest(opcode, value)),
+                          arg + " " + value});
+    } else {
+      return Usage(("unknown argument '" + arg + "'").c_str());
+    }
+  }
+  if (port < 0) return Usage("--port is required");
+  if (requests.empty()) return Usage("no request verbs given");
+
+  std::string error;
+  const int fd = Connect(host, static_cast<uint16_t>(port), &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "ltc_query: %s\n", error.c_str());
+    return 4;
+  }
+
+  // Pipeline every request, then read the responses back in order.
+  std::string outgoing;
+  for (const PendingRequest& request : requests) outgoing += request.frame;
+  if (!SendAll(fd, outgoing, &error)) {
+    std::fprintf(stderr, "ltc_query: %s\n", error.c_str());
+    ::close(fd);
+    return 4;
+  }
+
+  FrameParser parser;
+  bool server_error = false;
+  for (const PendingRequest& request : requests) {
+    const auto payload = RecvFrame(fd, parser, &error);
+    if (!payload) {
+      std::fprintf(stderr, "ltc_query: %s\n", error.c_str());
+      ::close(fd);
+      return 4;
+    }
+    const auto response = DecodeResponse(request.opcode, *payload);
+    if (!response) {
+      std::fprintf(stderr, "ltc_query: undecodable response for '%s'\n",
+                   request.label.c_str());
+      ::close(fd);
+      return 4;
+    }
+    if (response->status != Status::kOk) {
+      std::fprintf(stderr, "ltc_query: %s: error %s: %s\n",
+                   request.label.c_str(), StatusName(response->status),
+                   response->error_detail.c_str());
+      server_error = true;
+      continue;
+    }
+    PrintResponse(request, *response);
+  }
+  ::close(fd);
+  return server_error ? 3 : 0;
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace ltc
+
+int main(int argc, char** argv) { return ltc::server::Main(argc, argv); }
