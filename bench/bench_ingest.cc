@@ -1,7 +1,10 @@
 // Ingestion-throughput benchmark for the parallel pipeline: single-table
 // batch insertion vs sequential ShardedLtc vs IngestPipeline at 1/2/4/8
-// shards on a Zipf speed workload. Emits one JSON document on stdout so
-// CI and scripts can consume the numbers directly.
+// shards on a Zipf speed workload. Emits one versioned JSON document
+// (header schema in bench_common.h, reading guide in docs/PERF.md) on
+// stdout so CI and scripts can consume the numbers directly; set
+// LTC_BENCH_JSON_OUT=<path> to also write it to a file (CI commits it
+// as bench/trajectory/BENCH_ingest.json).
 //
 // Throughput scales with available cores: the router thread plus one
 // worker per shard all need somewhere to run, so `hardware_threads` is
@@ -124,32 +127,42 @@ int Main() {
 #endif
   }
 
-  std::printf("{\n");
-  std::printf("  \"benchmark\": \"bench_ingest\",\n");
-  std::printf("  \"records\": %zu,\n", stream.size());
-  std::printf("  \"memory_bytes\": %zu,\n", kMemory);
-  std::printf("  \"hardware_threads\": %u,\n",
-              std::thread::hardware_concurrency());
-  std::printf("  \"stalled\": %s,\n", stalled ? "true" : "false");
-  std::printf("  \"shed_records\": %llu,\n",
-              static_cast<unsigned long long>(shed_records));
-  std::printf("  \"worker_restarts\": %llu,\n",
-              static_cast<unsigned long long>(worker_restarts));
-  std::printf("  \"metrics\": ");
-  std::fputs(telemetry::ExpositionJson(registry).c_str(), stdout);
-  // ExpositionJson ends with a newline; rewindable only by emitting the
-  // comma on its own line.
-  std::printf("  ,\n");
-  std::printf("  \"results\": [\n");
+  // The versioned header (schema_version, git sha, hardware_threads,
+  // timestamp, build flags, probe backend) leads the document so every
+  // committed BENCH_ingest.json is comparable across re-anchors.
+  const BenchReportHeader header = MakeBenchReportHeader("bench_ingest");
+  std::string json = "{\n  " + BenchReportHeaderJson(header) + ",\n";
+  json += "  \"records\": " + std::to_string(stream.size()) + ",\n";
+  json += "  \"memory_bytes\": " + std::to_string(kMemory) + ",\n";
+  json += std::string("  \"stalled\": ") + (stalled ? "true" : "false") +
+          ",\n";
+  json += "  \"shed_records\": " + std::to_string(shed_records) + ",\n";
+  json += "  \"worker_restarts\": " + std::to_string(worker_restarts) +
+          ",\n";
+  json += "  \"metrics\": " + telemetry::ExpositionJson(registry);
+  // ExpositionJson ends with a newline; resume with the comma on its
+  // own line.
+  json += "  ,\n";
+  json += "  \"results\": [\n";
+  char line[160];
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     double speedup = single_mops > 0.0 ? row.mops / single_mops : 0.0;
-    std::printf("    {\"mode\": \"%s\", \"shards\": %u, \"mops\": %.3f, "
-                "\"speedup_vs_single\": %.3f}%s\n",
-                row.mode.c_str(), row.shards, row.mops, speedup,
-                i + 1 < rows.size() ? "," : "");
+    std::snprintf(line, sizeof(line),
+                  "    {\"mode\": \"%s\", \"shards\": %u, \"mops\": %.3f, "
+                  "\"speedup_vs_single\": %.3f}%s\n",
+                  row.mode.c_str(), row.shards, row.mops, speedup,
+                  i + 1 < rows.size() ? "," : "");
+    json += line;
   }
-  std::printf("  ]\n}\n");
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!MaybeWriteBenchJson(json)) {
+    std::fprintf(stderr,
+                 "bench_ingest: failed to write LTC_BENCH_JSON_OUT\n");
+    return 1;
+  }
   return 0;
 }
 

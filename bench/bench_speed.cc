@@ -3,21 +3,27 @@
 // budget on a CAIDA-like stream, via google-benchmark. Only relative
 // numbers are meaningful across machines.
 //
-// After the google-benchmark run, main() prints one JSON document — the
-// metrics sink guard — comparing LTC insert throughput with no sink
-// attached vs a sink attached (docs/TELEMETRY.md). The sink-off number
-// is the one the default build ships; the guard exists so an
-// instrumentation change that slows the detached hot path shows up as a
-// diff in CI logs, not as a silent regression.
+// After the google-benchmark run, main() prints one versioned JSON
+// document (schema in bench_common.h, reading guide in docs/PERF.md)
+// recording (a) LTC insert throughput under each supported bucket-probe
+// backend — scalar vs vectorized, the perf trajectory of the SoA layout
+// — and (b) the metrics sink guard: throughput with no sink attached vs
+// a sink attached (docs/TELEMETRY.md), so an instrumentation change
+// that slows the detached hot path shows up as a diff in CI logs, not
+// as a silent regression. Set LTC_BENCH_JSON_OUT=<path> to also write
+// the document to a file (CI commits it as
+// bench/trajectory/BENCH_speed.json).
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/table_layout.h"
 
 namespace ltc {
 namespace bench {
@@ -131,11 +137,19 @@ BENCHMARK(BM_LtcSingleInsert);
 
 }  // namespace
 
-// Sink guard: best-of-3 LTC feed with the metrics sink detached vs
-// attached. With LTC_METRICS compiled out both runs are the identical
-// uninstrumented code (sink_compiled tells the reader which case the
-// numbers describe).
-void ReportSinkGuard() {
+// Perf-trajectory report (docs/PERF.md): one versioned JSON document
+// combining
+//  * probe_throughput — best-of-3 full-stream LTC feed under each
+//    supported bucket-probe backend (scalar is always measured, so the
+//    vectorized win is recorded next to its baseline), and
+//  * sink_guard — the same feed with the metrics sink detached vs
+//    attached (docs/TELEMETRY.md). With LTC_METRICS compiled out both
+//    runs are the identical uninstrumented code (sink_compiled tells
+//    the reader which case the numbers describe).
+// The document goes to stdout and, when LTC_BENCH_JSON_OUT is set, to
+// that path (the CI bench-trajectory step commits it as
+// bench/trajectory/BENCH_speed.json).
+void ReportPerfTrajectory() {
   const Stream& stream = SharedStream();
   LtcConfig config;
   config.memory_bytes = kMemory;
@@ -171,15 +185,51 @@ void ReportSinkGuard() {
     return best;
   };
 
+  // Header first, while the default dispatch is still active — its
+  // probe_backend field records what a plain run of this build uses.
+  const BenchReportHeader header = MakeBenchReportHeader("bench_speed");
+
+  struct BackendResult {
+    const char* name;
+    double mops;
+  };
+  std::vector<BackendResult> probe_results;
+  for (ProbeBackend backend :
+       {ProbeBackend::kScalar, ProbeBackend::kSse2, ProbeBackend::kAvx2}) {
+    if (SetProbeBackend(backend) != backend) continue;  // unsupported
+    probe_results.push_back({ProbeBackendName(backend), best_mops(false)});
+  }
+  SetProbeBackend(BestSupportedProbeBackend());
+
   const double off = best_mops(false);
   const double on = best_mops(true);
   const double overhead_pct = off > 0.0 ? (off - on) / off * 100.0 : 0.0;
-  std::printf(
-      "{\"benchmark\": \"bench_speed_sink_guard\", \"records\": %zu, "
-      "\"sink_compiled\": %s, \"sink_off_mops\": %.3f, "
-      "\"sink_on_mops\": %.3f, \"overhead_pct\": %.2f}\n",
-      stream.size(), kSinkCompiled ? "true" : "false", off, on,
-      overhead_pct);
+
+  std::string json = "{\n  " + BenchReportHeaderJson(header) + ",\n";
+  json += "  \"records\": " + std::to_string(stream.size()) + ",\n";
+  json += "  \"memory_bytes\": " + std::to_string(kMemory) + ",\n";
+  json += "  \"probe_throughput\": [\n";
+  char line[160];
+  for (size_t i = 0; i < probe_results.size(); ++i) {
+    std::snprintf(line, sizeof(line),
+                  "    {\"backend\": \"%s\", \"insert_mops\": %.3f}%s\n",
+                  probe_results[i].name, probe_results[i].mops,
+                  i + 1 < probe_results.size() ? "," : "");
+    json += line;
+  }
+  json += "  ],\n";
+  std::snprintf(line, sizeof(line),
+                "  \"sink_guard\": {\"sink_compiled\": %s, "
+                "\"sink_off_mops\": %.3f, \"sink_on_mops\": %.3f, "
+                "\"overhead_pct\": %.2f}\n",
+                kSinkCompiled ? "true" : "false", off, on, overhead_pct);
+  json += line;
+  json += "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!MaybeWriteBenchJson(json)) {
+    std::fprintf(stderr, "bench_speed: failed to write LTC_BENCH_JSON_OUT\n");
+  }
 }
 
 }  // namespace bench
@@ -190,6 +240,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  ltc::bench::ReportSinkGuard();
+  ltc::bench::ReportPerfTrajectory();
   return 0;
 }

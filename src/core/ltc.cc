@@ -49,13 +49,23 @@ Ltc::Ltc(const LtcConfig& config) : config_(config) {
   size_t w = config.memory_bytes /
              (LtcConfig::BytesPerCell() * config.cells_per_bucket);
   num_buckets_ = static_cast<uint32_t>(std::max<size_t>(1, w));
-  cells_.assign(static_cast<size_t>(num_buckets_) * config.cells_per_bucket,
-                Cell{});
+  table_ = TableLayout(num_buckets_, config.cells_per_bucket);
+  ResetClockStepper();
 }
 
 uint32_t Ltc::BucketOf(ItemId item) const {
   return FastRange32(BobHash32(item, static_cast<uint32_t>(config_.seed)),
                      num_buckets_);
+}
+
+void Ltc::ResetClockStepper() {
+  if (config_.period_mode != PeriodMode::kCountBased) return;
+  const uint64_t m = table_.num_cells();
+  const uint64_t n = config_.items_per_period;
+  clock_step_div_ = m / n;
+  clock_step_mod_ = m % n;
+  clock_acc_ = (items_seen_ * m) % n;
+  clock_target_ = items_seen_ * m / n;
 }
 
 uint8_t Ltc::CurrentFlagMask() const {
@@ -72,16 +82,16 @@ uint8_t Ltc::ScanFlagMask() const {
   return static_cast<uint8_t>(1u << ((current_period_ & 1) ^ 1));
 }
 
-void Ltc::ScanCell(Cell& cell) {
+void Ltc::ScanCell(CellRef cell) {
   uint8_t mask = ScanFlagMask();
-  if (cell.flags & mask) {
-    ++cell.counter;
-    cell.flags = static_cast<uint8_t>(cell.flags & ~mask);
+  if (cell.flags() & mask) {
+    cell.set_counter(cell.counter() + 1);
+    cell.set_flags(static_cast<uint8_t>(cell.flags() & ~mask));
   }
 }
 
 void Ltc::ScanTo(uint64_t target_slot) {
-  assert(target_slot <= cells_.size());
+  assert(target_slot <= table_.num_cells());
 #ifdef LTC_METRICS
   // Instrumented sweep, hoisted into its own loop: the null check runs
   // once per ScanTo, not once per scanned cell, so the detached path is
@@ -92,42 +102,25 @@ void Ltc::ScanTo(uint64_t target_slot) {
     metrics_->clock_steps += target_slot - scan_cursor_;
     uint64_t occupied = 0;  // local accumulator: no store per cell
     for (; scan_cursor_ < target_slot; ++scan_cursor_) {
-      Cell& cell = cells_[scan_cursor_];
+      CellRef cell = table_.cell(scan_cursor_);
       ScanCell(cell);
       // Integer-only occupancy test: IsEmpty() recomputes significance
       // with two FP multiplies per cell, which would dominate the sweep.
       occupied += static_cast<uint64_t>(
-          (cell.id | cell.freq | cell.counter) != 0);
+          (cell.id() | cell.freq() | cell.counter()) != 0);
     }
     metrics_->scan_occupied_scratch += occupied;
     return;
   }
 #endif
   for (; scan_cursor_ < target_slot; ++scan_cursor_) {
-    ScanCell(cells_[scan_cursor_]);
+    ScanCell(table_.cell(scan_cursor_));
   }
 }
 
-void Ltc::AdvanceClock(double time) {
-  const uint64_t m = cells_.size();
-  if (config_.period_mode == PeriodMode::kCountBased) {
-    // Pointer position after this arrival: ⌊i·m/n⌋ within the period.
-    ++items_seen_;
-    if (items_seen_ >= config_.items_per_period) {
-      ScanTo(m);
-      scan_cursor_ = 0;
-      items_seen_ = 0;
-      ++current_period_;
-      LTC_METRICS_HOOK(
-          ++metrics_->periods_completed;
-          metrics_->occupied_cells = metrics_->scan_occupied_scratch;
-          metrics_->scan_occupied_scratch = 0;);
-    } else {
-      ScanTo(items_seen_ * m / config_.items_per_period);
-    }
-    return;
-  }
-
+void Ltc::AdvanceTimeClock(double time) {
+  assert(config_.period_mode == PeriodMode::kTimeBased);
+  const uint64_t m = table_.num_cells();
   // Time-based (§III-B "when the period is defined by time"): the pointer
   // tracks absolute time, so an arrival gap of (x−y) advances it by
   // (x−y)/t·m slots, completing full sweeps over any skipped periods.
@@ -152,12 +145,12 @@ void Ltc::AdvanceClock(double time) {
   ScanTo(std::min(target, m));
 }
 
-void Ltc::PlaceItem(Cell& cell, ItemId item, uint32_t bucket_base) {
+void Ltc::PlaceItem(BucketView bucket, uint32_t cell_index, ItemId item) {
   uint32_t init_freq = 1;
   uint32_t init_counter = 0;
   switch (config_.EffectiveInitPolicy()) {
     case InitPolicy::kOne:
-    case InitPolicy::kMinPlusOne:  // handled in Insert; unreachable here
+    case InitPolicy::kMinPlusOne:  // handled in UpdateBucket; unreachable
       break;
     case InitPolicy::kLongTail: {
       // Long-tail Replacement (§III-D): the expelled minimum's true value
@@ -167,17 +160,18 @@ void Ltc::PlaceItem(Cell& cell, ItemId item, uint32_t bucket_base) {
       uint32_t min_freq = 0;
       uint32_t min_counter = 0;
       bool have_other = false;
-      const uint32_t d = config_.cells_per_bucket;
+      const uint32_t d = bucket.size();
       for (uint32_t i = 0; i < d; ++i) {
-        const Cell& other = cells_[bucket_base + i];
-        if (&other == &cell || IsEmpty(other)) continue;
+        if (i == cell_index) continue;
+        ConstCellRef other = bucket.cell(i);
+        if (IsEmpty(other)) continue;
         if (!have_other) {
-          min_freq = other.freq;
-          min_counter = other.counter;
+          min_freq = other.freq();
+          min_counter = other.counter();
           have_other = true;
         } else {
-          min_freq = std::min(min_freq, other.freq);
-          min_counter = std::min(min_counter, other.counter);
+          min_freq = std::min(min_freq, other.freq());
+          min_counter = std::min(min_counter, other.counter());
         }
       }
       if (have_other) {
@@ -188,129 +182,150 @@ void Ltc::PlaceItem(Cell& cell, ItemId item, uint32_t bucket_base) {
       break;
     }
   }
-  cell.id = item;
-  cell.freq = init_freq;
-  cell.counter = init_counter;
-  cell.flags = CurrentFlagMask();
+  CellRef cell = bucket.cell(cell_index);
+  cell.set_id(item);
+  cell.set_freq(init_freq);
+  cell.set_counter(init_counter);
+  cell.set_flags(CurrentFlagMask());
 }
 
-void Ltc::UpdateBucket(ItemId item) {
+void Ltc::UpdateBucket(ItemId item, uint32_t bucket_index) {
   assert(item != 0 && "ItemId 0 is reserved for empty cells");
-  const uint32_t d = config_.cells_per_bucket;
-  const uint32_t base = BucketOf(item) * d;
+  assert(bucket_index == BucketOf(item));
+  BucketView bucket = table_.bucket(bucket_index);
+  // The hot probe: one vector compare of the arriving ID (and the empty
+  // marker) against the bucket's contiguous ID lane. ID zero is the
+  // reserved empty marker and empty cells are fully zeroed (structural
+  // invariant), so the ID-only compare is exactly the old
+  // "id == item && !IsEmpty" / "IsEmpty" pair.
+  const BucketProbe probe = bucket.Probe(item);
 
-  Cell* found = nullptr;
-  Cell* empty = nullptr;
-  for (uint32_t i = 0; i < d; ++i) {
-    Cell& cell = cells_[base + i];
-    if (cell.id == item && !IsEmpty(cell)) {
-      found = &cell;
-      break;
-    }
-    if (empty == nullptr && IsEmpty(cell)) empty = &cell;
-  }
-
-  if (found != nullptr) {
+  if (probe.match >= 0) {
     // Case 1: tracked — bump frequency, mark "appeared this period".
-    ++found->freq;
-    found->flags |= CurrentFlagMask();
+    CellRef cell = bucket.cell(static_cast<uint32_t>(probe.match));
+    cell.set_freq(cell.freq() + 1);
+    cell.set_flags(static_cast<uint8_t>(cell.flags() | CurrentFlagMask()));
     LTC_METRICS_HOOK(++metrics_->inserts_tracked;);
-  } else if (empty != nullptr) {
+  } else if (probe.empty >= 0) {
     // Case 2: free slot — admit with initial values (1, 0).
-    empty->id = item;
-    empty->freq = 1;
-    empty->counter = 0;
-    empty->flags = CurrentFlagMask();
+    CellRef cell = bucket.cell(static_cast<uint32_t>(probe.empty));
+    cell.set_id(item);
+    cell.set_freq(1);
+    cell.set_counter(0);
+    cell.set_flags(CurrentFlagMask());
     LTC_METRICS_HOOK(++metrics_->inserts_admitted;);
   } else {
     // Case 3: full bucket — Significance Decrementing on the smallest
-    // cell; the newcomer is admitted only if that empties it.
-    Cell* smallest = &cells_[base];
-    double smallest_sig = SignificanceOf(*smallest);
+    // cell; the newcomer is admitted only if that empties it. The FP
+    // significance min-scan stays scalar: it runs only on the full-bucket
+    // path, and its compare order must match the AoS seed bit-for-bit.
+    const uint32_t d = bucket.size();
+    uint32_t smallest = 0;
+    double smallest_sig = SignificanceOf(bucket.cell(0));
     for (uint32_t i = 1; i < d; ++i) {
-      double sig = SignificanceOf(cells_[base + i]);
+      double sig = SignificanceOf(bucket.cell(i));
       if (sig < smallest_sig) {
         smallest_sig = sig;
-        smallest = &cells_[base + i];
+        smallest = i;
       }
     }
+    CellRef cell = bucket.cell(smallest);
     LTC_METRICS_HOOK(++metrics_->inserts_decremented;);
     if (config_.EffectiveInitPolicy() == InitPolicy::kMinPlusOne) {
       // Space-Saving's takeover (§I): no decrementing — the newcomer
       // replaces the minimum outright and inherits its value + 1.
-      smallest->id = item;
-      ++smallest->freq;
-      smallest->flags = CurrentFlagMask();
+      cell.set_id(item);
+      cell.set_freq(cell.freq() + 1);
+      cell.set_flags(CurrentFlagMask());
       LTC_METRICS_HOOK(++metrics_->expulsions;);
     } else {
       LTC_METRICS_HOOK(++metrics_->significance_decrements;);
-      if (smallest->counter > 0) --smallest->counter;
-      if (smallest->freq > 0) --smallest->freq;
-      if (SignificanceOf(*smallest) == 0.0) {
+      if (cell.counter() > 0) cell.set_counter(cell.counter() - 1);
+      if (cell.freq() > 0) cell.set_freq(cell.freq() - 1);
+      if (SignificanceOf(cell) == 0.0) {
         LTC_METRICS_HOOK(++metrics_->expulsions;);
-        smallest->id = 0;
-        smallest->freq = 0;
-        smallest->counter = 0;
-        smallest->flags = 0;
-        PlaceItem(*smallest, item, base);
+        cell.Clear();
+        PlaceItem(bucket, smallest, item);
       }
     }
   }
 }
 
-void Ltc::Insert(ItemId item, double time) {
-  if (config_.period_mode == PeriodMode::kTimeBased) {
-    // Settle the clock first so the flag lands in this arrival's period.
-    AdvanceClock(time);
-    UpdateBucket(item);
-  } else {
-    UpdateBucket(item);
-    AdvanceClock(time);
+void Ltc::InsertBatch(std::span<const Record> records) {
+  // Must leave the table in exactly the state one bucket-update plus
+  // clock-advance per record would (pinned by tests/ingest_pipeline_test
+  // and the differential oracle): same bucket updates, same clock
+  // advances, in the same order. The wins over a naive loop: the
+  // pacing-mode branch runs once per batch, the count-based CLOCK step
+  // is an incremental add (ResetClockStepper documents the invariant),
+  // and each record's routed bucket is prefetched kPrefetchAhead records
+  // before its probe issues — the batch already knows the next hashes,
+  // so the bucket lanes are warm when the vector compare needs them.
+  // Each item is hashed exactly once (the ring carries the result).
+  const size_t count = records.size();
+  if (count == 0) return;
+
+  constexpr size_t kPrefetchAhead = 8;
+  uint32_t bucket_ring[kPrefetchAhead];
+  const size_t ahead = std::min(kPrefetchAhead, count);
+  for (size_t i = 0; i < ahead; ++i) {
+    bucket_ring[i] = BucketOf(records[i].item);
+    table_.PrefetchBucket(bucket_ring[i]);
   }
 
-#ifdef LTC_AUDIT
-  AuditAfterInsert(item);
-#endif
-}
-
-void Ltc::InsertBatch(std::span<const Record> records) {
-  // Must leave the table in exactly the state the equivalent Insert loop
-  // would (pinned by tests/ingest_pipeline_test): same bucket updates,
-  // same clock advances, in the same order. The win is hoisting — the
-  // pacing-mode branch runs once per batch, and the count-based clock
-  // advance is inlined with m and n in registers instead of reloaded from
-  // config_ on every arrival.
   if (config_.period_mode == PeriodMode::kTimeBased) {
-    for (const Record& record : records) {
-      AdvanceClock(record.time);
-      UpdateBucket(record.item);
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t bucket = bucket_ring[i % kPrefetchAhead];
+      if (i + ahead < count) {
+        const uint32_t next = BucketOf(records[i + ahead].item);
+        bucket_ring[(i + ahead) % kPrefetchAhead] = next;
+        table_.PrefetchBucket(next);
+      }
+      // Settle the clock first so the flag lands in this arrival's period.
+      AdvanceTimeClock(records[i].time);
+      UpdateBucket(records[i].item, bucket);
 #ifdef LTC_AUDIT
-      AuditAfterInsert(record.item);
+      AuditAfterInsert(records[i].item);
 #endif
     }
     return;
   }
 
-  const uint64_t m = cells_.size();
+  const uint64_t m = table_.num_cells();
   const uint64_t n = config_.items_per_period;
-  for (const Record& record : records) {
-    UpdateBucket(record.item);
-    // AdvanceClock's count-based branch, inlined.
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t bucket = bucket_ring[i % kPrefetchAhead];
+    if (i + ahead < count) {
+      const uint32_t next = BucketOf(records[i + ahead].item);
+      bucket_ring[(i + ahead) % kPrefetchAhead] = next;
+      table_.PrefetchBucket(next);
+    }
+    UpdateBucket(records[i].item, bucket);
+    // Count-based CLOCK advance: pointer position after this arrival is
+    // ⌊items_seen·m/n⌋ within the period, maintained incrementally.
     ++items_seen_;
     if (items_seen_ >= n) {
       ScanTo(m);
       scan_cursor_ = 0;
       items_seen_ = 0;
       ++current_period_;
+      clock_acc_ = 0;
+      clock_target_ = 0;
       LTC_METRICS_HOOK(
           ++metrics_->periods_completed;
           metrics_->occupied_cells = metrics_->scan_occupied_scratch;
           metrics_->scan_occupied_scratch = 0;);
     } else {
-      ScanTo(items_seen_ * m / n);
+      clock_target_ += clock_step_div_;
+      clock_acc_ += clock_step_mod_;
+      if (clock_acc_ >= n) {
+        clock_acc_ -= n;
+        ++clock_target_;
+      }
+      ScanTo(clock_target_);
     }
 #ifdef LTC_AUDIT
-    AuditAfterInsert(record.item);
+    AuditAfterInsert(records[i].item);
 #endif
   }
 }
@@ -319,55 +334,49 @@ void Ltc::Finalize() {
   // Credit every pending flag: the previous-period flag of cells the sweep
   // has not reached this period, plus the current period's flag (a period
   // is only credited by the NEXT period's sweep, which will never run).
-  for (Cell& cell : cells_) {
+  const size_t m = table_.num_cells();
+  for (size_t i = 0; i < m; ++i) {
+    CellRef cell = table_.cell(i);
+    uint32_t counter = cell.counter();
     if (config_.deviation_eliminator) {
-      if (cell.flags & 0x1) ++cell.counter;
-      if (cell.flags & 0x2) ++cell.counter;
+      if (cell.flags() & 0x1) ++counter;
+      if (cell.flags() & 0x2) ++counter;
     } else {
-      if (cell.flags & 0x1) ++cell.counter;
+      if (cell.flags() & 0x1) ++counter;
     }
-    cell.flags = 0;
+    cell.set_counter(counter);
+    cell.set_flags(0);
   }
 }
 
 bool Ltc::IsTracked(ItemId item) const {
-  const uint32_t d = config_.cells_per_bucket;
-  const uint32_t base = BucketOf(item) * d;
-  for (uint32_t i = 0; i < d; ++i) {
-    const Cell& cell = cells_[base + i];
-    if (cell.id == item && !IsEmpty(cell)) return true;
-  }
-  return false;
+  if (item == 0) return false;  // the empty marker is never tracked
+  ConstBucketView bucket = table_.bucket(BucketOf(item));
+  return bucket.Probe(item).match >= 0;
 }
 
 double Ltc::QuerySignificance(ItemId item) const {
-  const uint32_t d = config_.cells_per_bucket;
-  const uint32_t base = BucketOf(item) * d;
-  for (uint32_t i = 0; i < d; ++i) {
-    const Cell& cell = cells_[base + i];
-    if (cell.id == item && !IsEmpty(cell)) return SignificanceOf(cell);
-  }
-  return 0.0;
+  if (item == 0) return 0.0;
+  ConstBucketView bucket = table_.bucket(BucketOf(item));
+  const BucketProbe probe = bucket.Probe(item);
+  if (probe.match < 0) return 0.0;
+  return SignificanceOf(bucket.cell(static_cast<uint32_t>(probe.match)));
 }
 
 uint64_t Ltc::EstimateFrequency(ItemId item) const {
-  const uint32_t d = config_.cells_per_bucket;
-  const uint32_t base = BucketOf(item) * d;
-  for (uint32_t i = 0; i < d; ++i) {
-    const Cell& cell = cells_[base + i];
-    if (cell.id == item && !IsEmpty(cell)) return cell.freq;
-  }
-  return 0;
+  if (item == 0) return 0;
+  ConstBucketView bucket = table_.bucket(BucketOf(item));
+  const BucketProbe probe = bucket.Probe(item);
+  if (probe.match < 0) return 0;
+  return bucket.cell(static_cast<uint32_t>(probe.match)).freq();
 }
 
 uint64_t Ltc::EstimatePersistency(ItemId item) const {
-  const uint32_t d = config_.cells_per_bucket;
-  const uint32_t base = BucketOf(item) * d;
-  for (uint32_t i = 0; i < d; ++i) {
-    const Cell& cell = cells_[base + i];
-    if (cell.id == item && !IsEmpty(cell)) return cell.counter;
-  }
-  return 0;
+  if (item == 0) return 0;
+  ConstBucketView bucket = table_.bucket(BucketOf(item));
+  const BucketProbe probe = bucket.Probe(item);
+  if (probe.match < 0) return 0;
+  return bucket.cell(static_cast<uint32_t>(probe.match)).counter();
 }
 
 namespace {
@@ -387,10 +396,13 @@ void SortAndTruncateReports(std::vector<Ltc::Report>* all, size_t k) {
 
 std::vector<Ltc::Report> Ltc::TopK(size_t k) const {
   std::vector<Report> all;
-  all.reserve(cells_.size());
-  for (const Cell& cell : cells_) {
+  const size_t m = table_.num_cells();
+  all.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    ConstCellRef cell = table_.cell(i);
     if (!IsEmpty(cell)) {
-      all.push_back({cell.id, cell.freq, cell.counter, SignificanceOf(cell)});
+      all.push_back(
+          {cell.id(), cell.freq(), cell.counter(), SignificanceOf(cell)});
     }
   }
   SortAndTruncateReports(&all, k);
@@ -399,11 +411,13 @@ std::vector<Ltc::Report> Ltc::TopK(size_t k) const {
 
 std::vector<Ltc::Report> Ltc::ItemsAbove(double threshold) const {
   std::vector<Report> all;
-  for (const Cell& cell : cells_) {
+  const size_t m = table_.num_cells();
+  for (size_t i = 0; i < m; ++i) {
+    ConstCellRef cell = table_.cell(i);
     if (IsEmpty(cell)) continue;
     double sig = SignificanceOf(cell);
     if (sig >= threshold) {
-      all.push_back({cell.id, cell.freq, cell.counter, sig});
+      all.push_back({cell.id(), cell.freq(), cell.counter(), sig});
     }
   }
   SortAndTruncateReports(&all, all.size());
@@ -413,14 +427,16 @@ std::vector<Ltc::Report> Ltc::ItemsAbove(double threshold) const {
 std::vector<Ltc::Report> Ltc::SnapshotTopK(size_t k) const {
   const uint8_t pending_mask = config_.deviation_eliminator ? 0x3 : 0x1;
   std::vector<Report> all;
-  all.reserve(cells_.size());
-  for (const Cell& cell : cells_) {
+  const size_t m = table_.num_cells();
+  all.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    ConstCellRef cell = table_.cell(i);
     if (IsEmpty(cell)) continue;
     uint64_t credited =
-        cell.counter +
-        static_cast<uint64_t>(__builtin_popcount(cell.flags & pending_mask));
-    all.push_back({cell.id, cell.freq, credited,
-                   config_.alpha * cell.freq + config_.beta * credited});
+        cell.counter() + static_cast<uint64_t>(__builtin_popcount(
+                             cell.flags() & pending_mask));
+    all.push_back({cell.id(), cell.freq(), credited,
+                   config_.alpha * cell.freq() + config_.beta * credited});
   }
   SortAndTruncateReports(&all, k);
   return all;
@@ -428,12 +444,12 @@ std::vector<Ltc::Report> Ltc::SnapshotTopK(size_t k) const {
 
 Ltc::TableStats Ltc::ComputeStats() const {
   TableStats stats;
-  const uint32_t d = config_.cells_per_bucket;
   double sig_sum = 0.0;
   for (uint32_t b = 0; b < num_buckets_; ++b) {
+    ConstBucketView bucket = table_.bucket(b);
     bool full = true;
-    for (uint32_t i = 0; i < d; ++i) {
-      const Cell& cell = cells_[static_cast<size_t>(b) * d + i];
+    for (uint32_t i = 0; i < bucket.size(); ++i) {
+      ConstCellRef cell = bucket.cell(i);
       if (IsEmpty(cell)) {
         ++stats.empty_cells;
         full = false;
@@ -441,9 +457,9 @@ Ltc::TableStats Ltc::ComputeStats() const {
         ++stats.occupied_cells;
         sig_sum += SignificanceOf(cell);
         stats.max_frequency =
-            std::max<uint64_t>(stats.max_frequency, cell.freq);
+            std::max<uint64_t>(stats.max_frequency, cell.freq());
         stats.max_persistency =
-            std::max<uint64_t>(stats.max_persistency, cell.counter);
+            std::max<uint64_t>(stats.max_persistency, cell.counter());
       }
     }
     if (full) ++stats.full_buckets;
@@ -453,7 +469,7 @@ Ltc::TableStats Ltc::ComputeStats() const {
     // non-empty table, so neither denominator can be zero, and an empty
     // table keeps the zero-initialized values instead of producing NaN.
     stats.occupancy =
-        static_cast<double>(stats.occupied_cells) / cells_.size();
+        static_cast<double>(stats.occupied_cells) / table_.num_cells();
     stats.avg_significance = sig_sum / stats.occupied_cells;
   }
   return stats;
@@ -471,36 +487,56 @@ bool Ltc::CanMergeWith(const Ltc& other) const {
 void Ltc::MergeFrom(const Ltc& other) {
   assert(CanMergeWith(other));
   const uint32_t d = config_.cells_per_bucket;
-  std::vector<Cell> combined;
+  // Materialized cell values for the per-bucket merge scratch space (the
+  // only place the old AoS shape survives, as a local working set).
+  struct CellData {
+    ItemId id;
+    uint32_t freq;
+    uint32_t counter;
+    uint8_t flags;
+  };
+  std::vector<CellData> combined;
   combined.reserve(2 * d);
+  auto significance_of = [this](const CellData& cell) {
+    return config_.alpha * cell.freq + config_.beta * cell.counter;
+  };
   for (uint32_t b = 0; b < num_buckets_; ++b) {
-    const uint32_t base = b * d;
+    BucketView mine = table_.bucket(b);
+    ConstBucketView theirs = other.table_.bucket(b);
     combined.clear();
-    auto absorb = [&](const Cell& cell) {
-      if (cell.id == 0) return;
-      for (Cell& existing : combined) {
-        if (existing.id == cell.id) {
-          existing.freq += cell.freq;
-          existing.counter += cell.counter;
-          existing.flags |= cell.flags;
+    auto absorb = [&](ConstCellRef cell) {
+      if (cell.id() == 0) return;
+      for (CellData& existing : combined) {
+        if (existing.id == cell.id()) {
+          existing.freq += cell.freq();
+          existing.counter += cell.counter();
+          existing.flags |= cell.flags();
           return;
         }
       }
-      combined.push_back(cell);
+      combined.push_back(
+          {cell.id(), cell.freq(), cell.counter(), cell.flags()});
     };
-    for (uint32_t i = 0; i < d; ++i) absorb(cells_[base + i]);
-    for (uint32_t i = 0; i < d; ++i) absorb(other.cells_[base + i]);
+    for (uint32_t i = 0; i < d; ++i) absorb(mine.cell(i));
+    for (uint32_t i = 0; i < d; ++i) absorb(theirs.cell(i));
 
     std::sort(combined.begin(), combined.end(),
-              [this](const Cell& a, const Cell& b2) {
-                double sa = SignificanceOf(a);
-                double sb = SignificanceOf(b2);
+              [&](const CellData& a, const CellData& b2) {
+                double sa = significance_of(a);
+                double sb = significance_of(b2);
                 if (sa != sb) return sa > sb;
                 return a.id < b2.id;
               });
     for (uint32_t i = 0; i < d; ++i) {
-      cells_[base + i] =
-          i < combined.size() ? combined[i] : Cell{};
+      CellRef cell = mine.cell(i);
+      if (i < combined.size()) {
+        cell.set_id(combined[i].id);
+        cell.set_freq(combined[i].freq);
+        cell.set_counter(combined[i].counter);
+        cell.set_flags(combined[i].flags);
+      } else {
+        cell.Clear();
+      }
     }
   }
   // Summed counters can legitimately span both inputs' histories; widen
@@ -512,8 +548,13 @@ void Ltc::MergeFrom(const Ltc& other) {
 
 namespace {
 constexpr uint32_t kLtcMagic = 0x4c544331;  // "LTC1"
-// v2: explicit format version after the magic (v1 had none).
-constexpr uint32_t kLtcFormatVersion = 2;
+// v2: explicit format version after the magic (v1 had none); cells as a
+//     bucket-major array-of-structs (id, freq, counter, flags per cell).
+// v3: cells as lane-major SoA (all ids, all freqs, all counters, all
+//     flags), matching TableLayout so checkpoint images mirror the
+//     in-memory page shape. Deserialize still accepts v2 images.
+constexpr uint32_t kLtcFormatVersionAos = 2;
+constexpr uint32_t kLtcFormatVersion = 3;
 }  // namespace
 
 void Ltc::Serialize(BinaryWriter& writer) const {
@@ -536,17 +577,19 @@ void Ltc::Serialize(BinaryWriter& writer) const {
   writer.PutDouble(last_time_);
   writer.PutU64(merged_history_periods_);
 
-  writer.PutU64(cells_.size());
-  for (const Cell& cell : cells_) {
-    writer.PutU64(cell.id);
-    writer.PutU32(cell.freq);
-    writer.PutU32(cell.counter);
-    writer.PutU8(cell.flags);
-  }
+  const size_t m = table_.num_cells();
+  writer.PutU64(m);
+  for (size_t i = 0; i < m; ++i) writer.PutU64(table_.cell(i).id());
+  for (size_t i = 0; i < m; ++i) writer.PutU32(table_.cell(i).freq());
+  for (size_t i = 0; i < m; ++i) writer.PutU32(table_.cell(i).counter());
+  for (size_t i = 0; i < m; ++i) writer.PutU8(table_.cell(i).flags());
 }
 
 std::optional<Ltc> Ltc::Deserialize(BinaryReader& reader) {
-  if (!CheckVersionedMagic(reader, kLtcMagic, kLtcFormatVersion)) {
+  const uint32_t magic = reader.GetU32();
+  const uint32_t version = reader.GetU32();
+  if (reader.failed() || magic != kLtcMagic ||
+      (version != kLtcFormatVersionAos && version != kLtcFormatVersion)) {
     return std::nullopt;
   }
   LtcConfig config;
@@ -576,23 +619,42 @@ std::optional<Ltc> Ltc::Deserialize(BinaryReader& reader) {
   table.merged_history_periods_ = reader.GetU64();
 
   uint64_t num_cells = reader.GetU64();
-  if (reader.failed() || num_cells != table.cells_.size() ||
+  if (reader.failed() || num_cells != table.table_.num_cells() ||
       table.scan_cursor_ > num_cells) {
     return std::nullopt;
   }
-  for (Cell& cell : table.cells_) {
-    cell.id = reader.GetU64();
-    cell.freq = reader.GetU32();
-    cell.counter = reader.GetU32();
-    cell.flags = reader.GetU8();
+  if (version == kLtcFormatVersionAos) {
+    // v2 back-compat shim: the AoS image interleaves the four fields per
+    // cell; land them in the SoA lanes cell by cell.
+    for (uint64_t i = 0; i < num_cells; ++i) {
+      CellRef cell = table.table_.cell(i);
+      cell.set_id(reader.GetU64());
+      cell.set_freq(reader.GetU32());
+      cell.set_counter(reader.GetU32());
+      cell.set_flags(reader.GetU8());
+    }
+  } else {
+    for (uint64_t i = 0; i < num_cells; ++i) {
+      table.table_.cell(i).set_id(reader.GetU64());
+    }
+    for (uint64_t i = 0; i < num_cells; ++i) {
+      table.table_.cell(i).set_freq(reader.GetU32());
+    }
+    for (uint64_t i = 0; i < num_cells; ++i) {
+      table.table_.cell(i).set_counter(reader.GetU32());
+    }
+    for (uint64_t i = 0; i < num_cells; ++i) {
+      table.table_.cell(i).set_flags(reader.GetU8());
+    }
   }
+  table.ResetClockStepper();
   if (reader.failed() || !table.CheckInvariants()) return std::nullopt;
 
-  // Clock-state consistency: the pacing relations AdvanceClock maintains
-  // hold at every instant (Finalize touches only flags), so a checkpoint
-  // that breaks them is corrupt. The expressions mirror AdvanceClock's
-  // exactly, so the comparison is exact.
-  const uint64_t m = table.cells_.size();
+  // Clock-state consistency: the pacing relations the clock advance
+  // maintains hold at every instant (Finalize touches only flags), so a
+  // checkpoint that breaks them is corrupt. The expressions mirror the
+  // insert path's exactly, so the comparison is exact.
+  const uint64_t m = table.table_.num_cells();
   if (config.period_mode == PeriodMode::kCountBased) {
     if (table.items_seen_ >= config.items_per_period ||
         table.scan_cursor_ !=
@@ -633,8 +695,7 @@ std::string AuditContext(ItemId item, uint64_t period, uint64_t cursor,
 }  // namespace
 
 void Ltc::AuditAfterInsert(ItemId item) {
-  const uint64_t m = cells_.size();
-  const uint32_t d = config_.cells_per_bucket;
+  const uint64_t m = table_.num_cells();
   auto context = [&] {
     return AuditContext(item, current_period_, scan_cursor_, items_seen_);
   };
@@ -645,8 +706,9 @@ void Ltc::AuditAfterInsert(ItemId item) {
 
   // CLOCK pointer pacing (§III-B): the pointer must sit exactly where the
   // fractional-step formula places it, so each period sweeps exactly m
-  // slots. The expected value is recomputed with the same expressions
-  // AdvanceClock uses, so equality is exact (no float tolerance needed).
+  // slots. The expected value is recomputed from first principles (the
+  // division the hot path replaced with an incremental stepper), so this
+  // also audits the stepper's Bresenham invariant on every insert.
   if (config_.period_mode == PeriodMode::kCountBased) {
     if (items_seen_ >= config_.items_per_period) {
       AuditFail("Ltc", "clock-pacing",
@@ -658,8 +720,15 @@ void Ltc::AuditAfterInsert(ItemId item) {
                 "cursor " + std::to_string(scan_cursor_) + " != expected " +
                     std::to_string(expected) + context());
     }
+    if (clock_target_ != expected ||
+        clock_acc_ != items_seen_ * m % config_.items_per_period) {
+      AuditFail("Ltc", "clock-pacing",
+                "incremental stepper diverged from i*m/n (target=" +
+                    std::to_string(clock_target_) + " acc=" +
+                    std::to_string(clock_acc_) + ")" + context());
+    }
   } else {
-    // Same float expressions as AdvanceClock, so equality is exact.
+    // Same float expressions as AdvanceTimeClock, so equality is exact.
     const double t = config_.period_seconds;
     const double period_start = static_cast<double>(current_period_) * t;
     const double period_end =
@@ -693,37 +762,40 @@ void Ltc::AuditAfterInsert(ItemId item) {
           ? static_cast<uint8_t>(1u << (insert_period & 1))
           : uint8_t{0x1};
 
-  // Bucket-local integrity + per-cell checks over the whole table. The
-  // O(m) cost is the point of an audit build: a violation is caught on
-  // the exact insert that introduced it.
+  // Bucket-local integrity + per-cell checks over the whole table, all
+  // through the BucketView seam (the audit must not bypass the layout
+  // API it is auditing). The O(m) cost is the point of an audit build: a
+  // violation is caught on the exact insert that introduced it.
   for (uint32_t b = 0; b < num_buckets_; ++b) {
-    const uint32_t base = b * d;
+    ConstBucketView bucket = table_.bucket(b);
+    const uint32_t d = bucket.size();
     for (uint32_t i = 0; i < d; ++i) {
-      const Cell& cell = cells_[base + i];
+      ConstCellRef cell = bucket.cell(i);
       if (IsEmpty(cell)) continue;
-      if (BucketOf(cell.id) != b) {
+      if (BucketOf(cell.id()) != b) {
         AuditFail("Ltc", "bucket-integrity",
-                  "occupant " + std::to_string(cell.id) +
+                  "occupant " + std::to_string(cell.id()) +
                       " does not hash to bucket " + std::to_string(b) +
                       context());
       }
       for (uint32_t j = i + 1; j < d; ++j) {
-        if (!IsEmpty(cells_[base + j]) && cells_[base + j].id == cell.id) {
+        ConstCellRef later = bucket.cell(j);
+        if (!IsEmpty(later) && later.id() == cell.id()) {
           AuditFail("Ltc", "bucket-integrity",
-                    "duplicate occupant " + std::to_string(cell.id) +
+                    "duplicate occupant " + std::to_string(cell.id()) +
                         " in bucket " + std::to_string(b) + context());
         }
       }
-      if (cell.id == item && !(cell.flags & insert_mask) &&
-          cell.counter == 0) {
+      if (cell.id() == item && !(cell.flags() & insert_mask) &&
+          cell.counter() == 0) {
         // Parity-flag consistency (§III-C): the arrival must leave a
         // trace — either its period flag is still pending, or the sweep
         // already passed the cell and converted it into a credit (which
-        // the same Insert's clock advance may legitimately do, e.g. under
+        // the same insert's clock advance may legitimately do, e.g. under
         // the single-flag scheme or on a period rollover).
         AuditFail("Ltc", "parity-flags",
                   "inserted item lost its period flag (flags=" +
-                      std::to_string(cell.flags) + ")" + context());
+                      std::to_string(cell.flags()) + ")" + context());
       }
       if (audit_oracle_ != nullptr &&
           config_.EffectiveInitPolicy() == InitPolicy::kOne) {
@@ -731,25 +803,26 @@ void Ltc::AuditAfterInsert(ItemId item) {
         // the basic initializer regardless of the flag scheme; the
         // persistency bound additionally needs the Deviation Eliminator
         // (the single-flag scheme may credit one period twice, §III-C).
-        uint64_t true_freq = audit_oracle_->TrueFrequency(cell.id);
-        if (cell.freq > true_freq) {
+        uint64_t true_freq = audit_oracle_->TrueFrequency(cell.id());
+        if (cell.freq() > true_freq) {
           AuditFail("Ltc", "no-overestimation",
-                    "frequency " + std::to_string(cell.freq) + " > true " +
-                        std::to_string(true_freq) + " for item " +
-                        std::to_string(cell.id) + context());
+                    "frequency " + std::to_string(cell.freq()) +
+                        " > true " + std::to_string(true_freq) +
+                        " for item " + std::to_string(cell.id()) +
+                        context());
         }
         if (config_.deviation_eliminator) {
           uint64_t pending = static_cast<uint64_t>(
-              __builtin_popcount(cell.flags & ScanFlagMask())) +
+              __builtin_popcount(cell.flags() & ScanFlagMask())) +
               static_cast<uint64_t>(
-                  __builtin_popcount(cell.flags & CurrentFlagMask()));
-          uint64_t true_pers = audit_oracle_->TruePersistency(cell.id);
-          if (cell.counter + pending > true_pers) {
+                  __builtin_popcount(cell.flags() & CurrentFlagMask()));
+          uint64_t true_pers = audit_oracle_->TruePersistency(cell.id());
+          if (cell.counter() + pending > true_pers) {
             AuditFail("Ltc", "no-overestimation",
-                      "persistency " + std::to_string(cell.counter) + "+" +
-                          std::to_string(pending) + " pending > true " +
+                      "persistency " + std::to_string(cell.counter()) +
+                          "+" + std::to_string(pending) + " pending > true " +
                           std::to_string(true_pers) + " for item " +
-                          std::to_string(cell.id) + context());
+                          std::to_string(cell.id()) + context());
           }
         }
       }
@@ -760,36 +833,38 @@ void Ltc::AuditAfterInsert(ItemId item) {
 
 bool Ltc::CheckInvariants() const {
   const uint8_t allowed = config_.deviation_eliminator ? 0x3 : 0x1;
-  const uint32_t d = config_.cells_per_bucket;
-  for (size_t index = 0; index < cells_.size(); ++index) {
-    const Cell& cell = cells_[index];
-    if (cell.flags & ~allowed) return false;
-    if (cell.id == 0) {
-      if (cell.freq != 0 || cell.counter != 0 || cell.flags != 0) {
-        return false;
-      }
-    } else {
-      // Bucket integrity: every occupant must hash to the bucket it sits
-      // in, and appear there only once. Catches corrupt checkpoints at
-      // Deserialize time (which calls this) before any query trusts them.
-      const uint32_t bucket = static_cast<uint32_t>(index) / d;
-      if (BucketOf(cell.id) != bucket) return false;
-      for (size_t j = index + 1; j < (bucket + 1) * static_cast<size_t>(d);
-           ++j) {
-        if (cells_[j].id == cell.id) return false;
-      }
-      // Persistency can never exceed the number of periods touched so
-      // far — plus whatever history merged-in peers contributed. Under
-      // the basic single-flag scheme a period can be credited twice
-      // (the 2× deviation of §III-C), so the cap doubles.
-      uint64_t cap = current_period_ + 1 + merged_history_periods_;
-      if (!config_.deviation_eliminator) cap *= 2;
-      if (cell.counter > cap) {
-        return false;
+  for (uint32_t b = 0; b < num_buckets_; ++b) {
+    ConstBucketView bucket = table_.bucket(b);
+    const uint32_t d = bucket.size();
+    for (uint32_t i = 0; i < d; ++i) {
+      ConstCellRef cell = bucket.cell(i);
+      if (cell.flags() & ~allowed) return false;
+      if (cell.id() == 0) {
+        if (cell.freq() != 0 || cell.counter() != 0 || cell.flags() != 0) {
+          return false;
+        }
+      } else {
+        // Bucket integrity: every occupant must hash to the bucket it
+        // sits in, and appear there only once. Catches corrupt
+        // checkpoints at Deserialize time (which calls this) before any
+        // query trusts them.
+        if (BucketOf(cell.id()) != b) return false;
+        for (uint32_t j = i + 1; j < d; ++j) {
+          if (bucket.cell(j).id() == cell.id()) return false;
+        }
+        // Persistency can never exceed the number of periods touched so
+        // far — plus whatever history merged-in peers contributed. Under
+        // the basic single-flag scheme a period can be credited twice
+        // (the 2× deviation of §III-C), so the cap doubles.
+        uint64_t cap = current_period_ + 1 + merged_history_periods_;
+        if (!config_.deviation_eliminator) cap *= 2;
+        if (cell.counter() > cap) {
+          return false;
+        }
       }
     }
   }
-  return scan_cursor_ <= cells_.size();
+  return scan_cursor_ <= table_.num_cells();
 }
 
 }  // namespace ltc

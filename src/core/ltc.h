@@ -43,6 +43,7 @@
 #include "common/serial.h"
 #include "core/audit.h"
 #include "core/significance_estimator.h"
+#include "core/table_layout.h"
 #include "stream/stream.h"
 
 #ifdef LTC_METRICS
@@ -132,19 +133,21 @@ class Ltc final : public SignificanceEstimator {
   /// Throws std::invalid_argument when `config.Validate()` rejects.
   explicit Ltc(const LtcConfig& config);
 
-  /// Processes one arrival. In count-based mode `time` is ignored and may
-  /// be omitted. In time-based mode the clock never runs backwards: a
-  /// timestamp earlier than the latest one seen is clamped to it (the
-  /// arrival is processed as if it happened "now"), so mildly out-of-order
-  /// feeds degrade gracefully instead of corrupting the CLOCK. See
-  /// docs/TESTING.md "Time-based edge cases".
-  void Insert(ItemId item, double time = 0.0) override;
+  // Insert(item, time) is inherited from SignificanceEstimator: it wraps
+  // the single arrival as a one-record batch, so InsertBatch below is the
+  // only ingestion path (and the SIMD bucket probe has exactly one call
+  // site). In count-based mode `time` is ignored; in time-based mode the
+  // clock never runs backwards — a timestamp earlier than the latest one
+  // seen is clamped to it (the arrival is processed as if it happened
+  // "now"), so mildly out-of-order feeds degrade gracefully instead of
+  // corrupting the CLOCK. See docs/TESTING.md "Time-based edge cases".
 
-  /// Bulk insertion fast path: identical table state to one Insert per
-  /// record, but the pacing-mode branch and configuration loads are
-  /// hoisted out of the loop and the count-based CLOCK advance is inlined
-  /// (no per-record function call / config reload). The parallel
-  /// IngestPipeline drains its per-shard rings through this.
+  /// The single ingestion path: identical table state to one Insert per
+  /// record. The pacing-mode branch and configuration loads are hoisted
+  /// out of the loop, the count-based CLOCK step runs as an incremental
+  /// add (no per-record multiply/divide), and each record's routed
+  /// bucket is software-prefetched a few records ahead of its probe.
+  /// The parallel IngestPipeline drains its per-shard rings through this.
   void InsertBatch(std::span<const Record> records) override;
 
   /// Credits all still-pending period flags. Call once after the stream
@@ -181,13 +184,14 @@ class Ltc final : public SignificanceEstimator {
 
   uint32_t num_buckets() const { return num_buckets_; }
   uint32_t cells_per_bucket() const { return config_.cells_per_bucket; }
-  size_t num_cells() const { return cells_.size(); }
+  size_t num_cells() const { return table_.num_cells(); }
   const LtcConfig& config() const { return config_; }
   uint64_t current_period() const { return current_period_; }
 
-  /// Model memory actually allocated (w·d cells).
+  /// Model memory actually allocated (w·d cells). The SoA lanes sum to
+  /// BytesPerCell() per cell, so this is unchanged from the AoS layout.
   size_t MemoryBytes() const override {
-    return cells_.size() * LtcConfig::BytesPerCell();
+    return table_.num_cells() * LtcConfig::BytesPerCell();
   }
 
   /// Structural invariants, used by tests: empty cells fully zeroed, no
@@ -266,19 +270,15 @@ class Ltc final : public SignificanceEstimator {
 #endif
 
  private:
-  struct Cell {
-    ItemId id = 0;
-    uint32_t freq = 0;
-    uint32_t counter = 0;
-    uint8_t flags = 0;  // bit0: even-period flag; bit1: odd-period flag.
-                        // The basic (single-flag) scheme uses bit0 only.
-  };
+  // Cell flag bits (stored in the layout's flags lane): bit0 is the
+  // even-period flag, bit1 the odd-period flag. The basic (single-flag)
+  // scheme uses bit0 only.
 
-  double SignificanceOf(const Cell& cell) const {
-    return config_.alpha * cell.freq + config_.beta * cell.counter;
+  double SignificanceOf(ConstCellRef cell) const {
+    return config_.alpha * cell.freq() + config_.beta * cell.counter();
   }
-  bool IsEmpty(const Cell& cell) const {
-    return cell.id == 0 && SignificanceOf(cell) == 0.0;
+  bool IsEmpty(ConstCellRef cell) const {
+    return cell.id() == 0 && SignificanceOf(cell) == 0.0;
   }
 
   uint8_t CurrentFlagMask() const;
@@ -289,24 +289,30 @@ class Ltc final : public SignificanceEstimator {
   /// Incrementing; §III-C variant checks the previous-period flag).
   void ScanTo(uint64_t target_slot);
 
-  /// Moves time forward: completes any finished periods (each completes
-  /// the sweep over all m slots) and advances the pointer within the
-  /// current one.
-  void AdvanceClock(double time);
+  /// Moves time forward in time-based mode: completes any finished
+  /// periods (each completes the sweep over all m slots) and advances
+  /// the pointer within the current one. Count-based pacing is handled
+  /// by the incremental stepper inlined in InsertBatch.
+  void AdvanceTimeClock(double time);
 
-  void ScanCell(Cell& cell);
+  void ScanCell(CellRef cell);
 
   /// The bucket update of one arrival (Cases 1–3 of §III-B), without the
-  /// CLOCK advance — shared by Insert and InsertBatch, which wrap it in
-  /// the pacing-mode-appropriate clock bookkeeping.
-  void UpdateBucket(ItemId item);
+  /// CLOCK advance. `bucket` is BucketOf(item), precomputed by
+  /// InsertBatch so the routed bucket can be prefetched ahead of the
+  /// probe (each item is hashed exactly once).
+  void UpdateBucket(ItemId item, uint32_t bucket);
 
-  /// Inserts item into `cell`, honouring Long-tail Replacement when
-  /// enabled: fields start at the bucket's second-smallest values − 1
-  /// (§III-D), else at (1, 0).
-  void PlaceItem(Cell& cell, ItemId item, uint32_t bucket_base);
+  /// Inserts item into cell `cell_index` of `bucket`, honouring
+  /// Long-tail Replacement when enabled: fields start at the bucket's
+  /// second-smallest values − 1 (§III-D), else at (1, 0).
+  void PlaceItem(BucketView bucket, uint32_t cell_index, ItemId item);
 
   uint32_t BucketOf(ItemId item) const;
+
+  /// Recomputes the count-based CLOCK stepper (the Bresenham state
+  /// below) from items_seen_; called on construction and deserialize.
+  void ResetClockStepper();
 
 #ifdef LTC_AUDIT
   /// Runs at the end of every Insert: no-overestimation vs. the attached
@@ -317,13 +323,23 @@ class Ltc final : public SignificanceEstimator {
 
   LtcConfig config_;
   uint32_t num_buckets_;
-  std::vector<Cell> cells_;  // bucket-major: bucket b = cells_[b·d .. b·d+d)
+  TableLayout table_;  // SoA cell store, bucket-major (core/table_layout.h)
 
   uint64_t items_seen_ = 0;       // arrivals in the current period
   uint64_t current_period_ = 0;
   uint64_t merged_history_periods_ = 0;  // extra periods from MergeFrom
   uint64_t scan_cursor_ = 0;      // next slot the pointer will scan, in [0, m]
   double last_time_ = 0.0;        // previous arrival's timestamp (time mode)
+
+  // Count-based CLOCK stepper: the pointer target ⌊items_seen·m/n⌋ is
+  // maintained incrementally (Bresenham-style) so the per-arrival
+  // multiply/divide is hoisted out of the insert path. Invariant:
+  // clock_target_ == items_seen_·m/n and clock_acc_ == (items_seen_·m)%n.
+  // Derived state — recomputed by ResetClockStepper, never serialized.
+  uint64_t clock_step_div_ = 0;  // m / n
+  uint64_t clock_step_mod_ = 0;  // m % n
+  uint64_t clock_acc_ = 0;       // running remainder, in [0, n)
+  uint64_t clock_target_ = 0;    // current scan target, in [0, m]
 
 #ifdef LTC_AUDIT
   const AuditOracle* audit_oracle_ = nullptr;  // transient, not serialized

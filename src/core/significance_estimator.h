@@ -8,13 +8,15 @@
 // caring which (tools/ltc_cli and examples/ddos_detection do exactly
 // that).
 //
-// The batched entry point InsertBatch is the preferred feeding path for
-// bulk ingestion: implementations override it to hoist per-insert
-// configuration loads and amortize CLOCK bookkeeping (see
-// Ltc::InsertBatch), and the default keeps any implementation correct via
-// the one-record loop. Batching NEVER changes estimates — a batch of
-// records must leave the estimator in exactly the state the equivalent
-// sequence of Insert calls would (pinned by tests/ingest_pipeline_test).
+// The batched entry point InsertBatch is the PRIMARY ingestion virtual:
+// implementations write their bucket-update loop once, with per-insert
+// configuration loads hoisted and CLOCK bookkeeping amortized (see
+// Ltc::InsertBatch), and the non-virtual-looking Insert below is a thin
+// default adapter that wraps a single arrival as a one-record batch — so
+// the hot probe has exactly one call site per implementation. Batching
+// NEVER changes estimates — a batch of records must leave the estimator
+// in exactly the state the equivalent sequence of Insert calls would
+// (pinned by tests/ingest_pipeline_test).
 
 #ifndef LTC_CORE_SIGNIFICANCE_ESTIMATOR_H_
 #define LTC_CORE_SIGNIFICANCE_ESTIMATOR_H_
@@ -40,16 +42,21 @@ class SignificanceEstimator {
  public:
   virtual ~SignificanceEstimator() = default;
 
-  /// Processes one arrival. Implementations in count-based mode ignore
-  /// `time`; time-based implementations clamp regressing timestamps.
-  virtual void Insert(ItemId item, double time = 0.0) = 0;
-
-  /// Processes a run of arrivals, in order. Semantically identical to
-  /// calling Insert once per record; implementations override it purely
-  /// for speed (config-load hoisting, CLOCK amortization, shard routing).
-  virtual void InsertBatch(std::span<const Record> records) {
-    for (const Record& record : records) Insert(record.item, record.time);
+  /// Processes one arrival: a default adapter that feeds the record
+  /// through InsertBatch as a batch of one. Implementations in
+  /// count-based mode ignore `time`; time-based implementations clamp
+  /// regressing timestamps. Override only to bypass batch setup that is
+  /// pure overhead for a single record (ShardedLtc routes directly).
+  virtual void Insert(ItemId item, double time = 0.0) {
+    const Record record{item, time};
+    InsertBatch(std::span<const Record>(&record, 1));
   }
+
+  /// Processes a run of arrivals, in order — the primary ingestion path.
+  /// Semantically identical to one Insert per record; implementations put
+  /// their real per-record work here (config-load hoisting, CLOCK
+  /// amortization, shard routing, bucket prefetch).
+  virtual void InsertBatch(std::span<const Record> records) = 0;
 
   /// Credits all still-pending period flags. Call once after the stream
   /// ends and before querying.

@@ -64,8 +64,16 @@ void WindowedLtc::Rotate(uint64_t pane_index) {
   current_pane_ = pane_index;
 }
 
-void WindowedLtc::Insert(ItemId item, double time) {
-  // The window never moves backwards (same clamp as Ltc::AdvanceClock):
+void WindowedLtc::InsertBatch(std::span<const Record> records) {
+  // Pane routing is inherently per-record (a rotation can fall anywhere
+  // inside the batch), so the batch win here is only the virtual-call
+  // amortization; the heavy lifting (prefetch, CLOCK stepping) lives in
+  // the panes' own InsertBatch, reached one record at a time.
+  for (const Record& record : records) InsertOne(record.item, record.time);
+}
+
+void WindowedLtc::InsertOne(ItemId item, double time) {
+  // The window never moves backwards (same clamp as Ltc's time clock):
   // a regressing timestamp would otherwise rotate into a stale pane.
   if (time < last_time_) time = last_time_;
   last_time_ = time;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/serial.h"
@@ -32,11 +33,16 @@ class WindowedLtc final : public SignificanceEstimator {
   /// \param window_periods  W >= 2, the history horizon in periods
   WindowedLtc(const LtcConfig& config, uint32_t window_periods);
 
-  /// Processes one arrival. Like Ltc in time-based mode, the window never
-  /// moves backwards: a timestamp earlier than the latest one seen is
-  /// clamped to it, so a regressing feed can never resurrect an expired
-  /// pane (see docs/TESTING.md "Time-based edge cases").
-  void Insert(ItemId item, double time = 0.0) override;
+  // Insert(item, time) is inherited from SignificanceEstimator (a
+  // one-record batch through InsertBatch below). Like Ltc in time-based
+  // mode, the window never moves backwards: a timestamp earlier than the
+  // latest one seen is clamped to it, so a regressing feed can never
+  // resurrect an expired pane (docs/TESTING.md "Time-based edge cases").
+
+  /// Processes a run of arrivals in order: per-record pane routing (a
+  /// rotation can fall mid-batch), identical state to one Insert per
+  /// record.
+  void InsertBatch(std::span<const Record> records) override;
 
   /// No-op, kept for the SignificanceEstimator contract: every query
   /// already finalizes a pane *copy* internally (rotation must keep the
@@ -97,6 +103,7 @@ class WindowedLtc final : public SignificanceEstimator {
   WindowedLtc(Ltc active, Ltc previous, uint32_t window_periods,
               uint64_t current_pane, bool previous_live, double last_time);
 
+  void InsertOne(ItemId item, double time);
   void Rotate(uint64_t pane_index);
   uint64_t PaneOf(double time) const;
 

@@ -1,0 +1,76 @@
+// Test-only re-encoder for the legacy Ltc checkpoint format.
+//
+// v3 (current) stores the cell array lane-major (all ids, then all
+// freqs, counters, flags — mirroring the SoA TableLayout); v2 stored it
+// as a bucket-major array-of-structs, one (id, freq, counter, flags)
+// tuple per cell. Production code only LOADS v2 (the shim in
+// Ltc::Deserialize); this helper lets tests fabricate byte-exact v2
+// images from a live table without a v2 writer surviving in src/.
+
+#ifndef LTC_TESTS_LEGACY_LTC_IMAGE_H_
+#define LTC_TESTS_LEGACY_LTC_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/serial.h"
+
+namespace ltc {
+namespace testing_internal {
+
+// Rewrites a v3 Ltc payload (as produced by Ltc::Serialize) into the v2
+// AoS image of the same table. Every non-cell field is copied verbatim;
+// only the version tag and the cell-array shape change.
+inline std::string ReencodeLtcV3AsV2(const std::string& v3) {
+  BinaryReader reader(v3);
+  BinaryWriter writer;
+  EXPECT_EQ(reader.GetU32(), 0x4c544331u);  // "LTC1"
+  EXPECT_EQ(reader.GetU32(), 3u) << "expected a v3 payload";
+  writer.PutU32(0x4c544331u);
+  writer.PutU32(2);
+
+  writer.PutU64(reader.GetU64());        // memory_bytes
+  writer.PutU32(reader.GetU32());        // cells_per_bucket
+  writer.PutDouble(reader.GetDouble());  // alpha
+  writer.PutDouble(reader.GetDouble());  // beta
+  for (int i = 0; i < 4; ++i) {          // ltr, init_policy, dev, mode
+    writer.PutU8(reader.GetU8());
+  }
+  writer.PutU64(reader.GetU64());        // items_per_period
+  writer.PutDouble(reader.GetDouble());  // period_seconds
+  writer.PutU64(reader.GetU64());        // seed
+
+  writer.PutU64(reader.GetU64());        // items_seen
+  writer.PutU64(reader.GetU64());        // current_period
+  writer.PutU64(reader.GetU64());        // scan_cursor
+  writer.PutDouble(reader.GetDouble());  // last_time
+  writer.PutU64(reader.GetU64());        // merged_history_periods
+
+  const uint64_t m = reader.GetU64();
+  writer.PutU64(m);
+  std::vector<uint64_t> ids(m);
+  std::vector<uint32_t> freqs(m);
+  std::vector<uint32_t> counters(m);
+  std::vector<uint8_t> flags(m);
+  for (auto& v : ids) v = reader.GetU64();
+  for (auto& v : freqs) v = reader.GetU32();
+  for (auto& v : counters) v = reader.GetU32();
+  for (auto& v : flags) v = reader.GetU8();
+  EXPECT_FALSE(reader.failed());
+  EXPECT_TRUE(reader.AtEnd()) << "trailing bytes after the v3 cell lanes";
+  for (uint64_t i = 0; i < m; ++i) {
+    writer.PutU64(ids[i]);
+    writer.PutU32(freqs[i]);
+    writer.PutU32(counters[i]);
+    writer.PutU8(flags[i]);
+  }
+  return writer.data();
+}
+
+}  // namespace testing_internal
+}  // namespace ltc
+
+#endif  // LTC_TESTS_LEGACY_LTC_IMAGE_H_

@@ -15,6 +15,7 @@
 #include "sketch/bloom_filter.h"
 #include "sketch/count_min.h"
 #include "stream/generators.h"
+#include "legacy_ltc_image.h"
 
 namespace ltc {
 namespace {
@@ -133,6 +134,53 @@ TEST(SerialLtc, ConfigIsPreserved) {
             InitPolicy::kMinPlusOne);
   EXPECT_EQ(restored->config().items_per_period, 123u);
   EXPECT_EQ(restored->EstimateFrequency(42), 1u);
+}
+
+TEST(SerialLtc, LegacyV2AosImageLoadsIdentically) {
+  // Back-compat shim: a v2 (AoS per-cell) checkpoint image must restore
+  // the SAME table as its v3 (SoA lane-major) counterpart — identical
+  // re-serialization and identical continuation of the stream.
+  Stream stream = MakeZipfStream(20'000, 2'000, 1.0, 20, 17);
+  LtcConfig config;
+  config.memory_bytes = 4 * 1024;
+  config.period_mode = PeriodMode::kTimeBased;
+  config.period_seconds = stream.duration() / stream.num_periods();
+  Ltc table(config);
+  size_t half = stream.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    table.Insert(stream.records()[i].item, stream.records()[i].time);
+  }
+
+  BinaryWriter writer;
+  table.Serialize(writer);
+  std::string v2 = testing_internal::ReencodeLtcV3AsV2(writer.data());
+  ASSERT_NE(v2, writer.data());  // the shapes genuinely differ
+
+  BinaryReader reader(v2);
+  auto restored = Ltc::Deserialize(reader);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(reader.AtEnd());
+
+  // Re-serializing the restored table produces the v3 bytes again: the
+  // shim loses nothing and never writes the legacy shape.
+  BinaryWriter reserialized;
+  restored->Serialize(reserialized);
+  EXPECT_EQ(reserialized.data(), writer.data());
+
+  for (size_t i = half; i < stream.size(); ++i) {
+    table.Insert(stream.records()[i].item, stream.records()[i].time);
+    restored->Insert(stream.records()[i].item, stream.records()[i].time);
+  }
+  table.Finalize();
+  restored->Finalize();
+  auto a = table.TopK(200);
+  auto b = restored->TopK(200);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item) << "rank " << i;
+    EXPECT_EQ(a[i].frequency, b[i].frequency);
+    EXPECT_EQ(a[i].persistency, b[i].persistency);
+  }
 }
 
 TEST(SerialLtc, GarbageRejected) {

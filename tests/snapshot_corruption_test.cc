@@ -21,6 +21,7 @@
 #include "sketch/count_min.h"
 #include "snapshot/frame.h"
 #include "snapshot/sketch_snapshot.h"
+#include "legacy_ltc_image.h"
 
 namespace ltc {
 namespace {
@@ -138,6 +139,20 @@ TEST(SnapshotCorruption, RawLtcPayloadNeverCrashes) {
   BinaryWriter writer;
   table.Serialize(writer);
   SweepRawPayload<Ltc>(writer.data());
+}
+
+TEST(SnapshotCorruption, RawLegacyV2LtcPayloadNeverCrashes) {
+  // The v2 (AoS) back-compat shim in Ltc::Deserialize must be exactly as
+  // corruption-proof as the primary v3 (SoA lane-major) path: the clean
+  // legacy image decodes, truncations never decode, flips never crash.
+  Ltc table(SmallConfig());
+  for (uint64_t i = 0; i < 1000; ++i) table.Insert(i % 53 + 1, 0.01 * i);
+  BinaryWriter writer;
+  table.Serialize(writer);
+  std::string v2 = testing_internal::ReencodeLtcV3AsV2(writer.data());
+  BinaryReader clean(v2);
+  ASSERT_TRUE(Ltc::Deserialize(clean).has_value());
+  SweepRawPayload<Ltc>(v2);
 }
 
 TEST(SnapshotCorruption, RawShardedPayloadNeverCrashes) {
