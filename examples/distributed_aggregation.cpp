@@ -98,7 +98,10 @@ int main() {
 
   // ...and fold it into site B's at the collector.
   ltc::Ltc collector = std::move(*received);
-  collector.MergeFrom(site_b);
+  if (!collector.MergeFrom(site_b)) {
+    std::fprintf(stderr, "site sketches have mismatched shapes!\n");
+    return 1;
+  }
   PrintTop("\n== merged two-site view, top-5 ==", collector.TopK(5));
 
   std::printf(

@@ -484,8 +484,8 @@ bool Ltc::CanMergeWith(const Ltc& other) const {
          config_.deviation_eliminator == other.config_.deviation_eliminator;
 }
 
-void Ltc::MergeFrom(const Ltc& other) {
-  assert(CanMergeWith(other));
+bool Ltc::MergeFrom(const Ltc& other) {
+  if (!CanMergeWith(other)) return false;
   const uint32_t d = config_.cells_per_bucket;
   // Materialized cell values for the per-bucket merge scratch space (the
   // only place the old AoS shape survives, as a local working set).
@@ -544,6 +544,7 @@ void Ltc::MergeFrom(const Ltc& other) {
   merged_history_periods_ += other.current_period_ +
                              other.merged_history_periods_ + 1;
   current_period_ = std::max(current_period_, other.current_period_);
+  return true;
 }
 
 namespace {
@@ -610,6 +611,22 @@ std::optional<Ltc> Ltc::Deserialize(BinaryReader& reader) {
   config.period_seconds = reader.GetDouble();
   config.seed = reader.GetU64();
   if (reader.failed() || config.Validate().has_value()) return std::nullopt;
+
+  // Geometry sanity BEFORE allocating: the config implies the exact
+  // cell count (the same arithmetic as the constructor), and every
+  // serialized cell costs 17 bytes, so an image whose remaining input
+  // cannot hold its own cell arrays is corrupt. Without this gate a
+  // flipped memory_bytes byte turns into a near-2^64 allocation —
+  // checkpoints reach here only behind a CRC frame, but PUSH_SKETCH
+  // payloads arrive raw off the network.
+  const size_t implied_w = config.memory_bytes /
+                           (LtcConfig::BytesPerCell() *
+                            config.cells_per_bucket);
+  const uint64_t implied_cells =
+      static_cast<uint64_t>(
+          static_cast<uint32_t>(std::max<size_t>(1, implied_w))) *
+      config.cells_per_bucket;
+  if (implied_cells > reader.Remaining() / 17) return std::nullopt;
 
   Ltc table(config);
   table.items_seen_ = reader.GetU64();

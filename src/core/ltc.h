@@ -247,7 +247,10 @@ class Ltc final : public SignificanceEstimator {
   /// occupants. Exact when the substreams were item-partitioned (no item
   /// in both); the usual lossy-table approximation otherwise. Call
   /// Finalize() on both sides first so no period flags are pending.
-  void MergeFrom(const Ltc& other);
+  /// Returns false — leaving this table untouched — when
+  /// !CanMergeWith(other): a shape mismatch is a caller error the
+  /// aggregation tier surfaces as a typed response, never UB.
+  [[nodiscard]] bool MergeFrom(const Ltc& other);
 
 #ifdef LTC_AUDIT
   /// Attaches a ground-truth oracle for the after-insert audit hook (see

@@ -106,7 +106,10 @@ std::vector<Ltc::Report> WindowedLtc::TopK(size_t k) const {
   Ltc combined = active_;
   combined.Finalize();
   if (previous_live_) {
-    combined.MergeFrom(previous_);
+    // Panes share one config, so the merge cannot be rejected.
+    bool merged = combined.MergeFrom(previous_);
+    (void)merged;
+    assert(merged);
   }
   return combined.TopK(k);
 }

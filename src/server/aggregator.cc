@@ -1,0 +1,177 @@
+#include "server/aggregator.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/serial.h"
+
+namespace ltc {
+namespace server {
+
+AggregatorCore::AggregatorCore(const LtcConfig& config, ReadSnapshotHub* hub,
+                               uint64_t stale_after_sec, Clock* clock)
+    : config_(config),
+      reference_(config),
+      hub_(hub),
+      clock_(clock != nullptr ? clock : &SystemClock()),
+      stale_after_sec_(stale_after_sec),
+      merged_(config) {}
+
+void AggregatorCore::AttachMetrics(telemetry::MetricsRegistry* registry) {
+  metrics_ = registry;
+  merges_counter_ = &registry->CounterOf(
+      "ltc_agg_merges_total", "Pushed sketches applied to the aggregate.");
+  rejects_counter_ = &registry->CounterOf(
+      "ltc_agg_pushes_rejected_total",
+      "Pushes rejected with a typed error (shape/epoch/deserialize).");
+  duplicates_counter_ = &registry->CounterOf(
+      "ltc_agg_pushes_duplicate_total",
+      "Retransmitted pushes acknowledged without reapplying.");
+  nodes_gauge_ = &registry->GaugeOf("ltc_agg_nodes",
+                                    "Nodes that have pushed at least once.");
+}
+
+PushOutcome AggregatorCore::Reject(Status status, std::string detail) {
+  rejects_total_++;
+  if (rejects_counter_ != nullptr) rejects_counter_->Increment();
+  PushOutcome outcome;
+  outcome.status = status;
+  outcome.detail = std::move(detail);
+  return outcome;
+}
+
+PushOutcome AggregatorCore::ApplyPush(const PushRequest& push) {
+  if (push.sketch_kind != kSketchKindLtc) {
+    return Reject(Status::kErrBadSketch,
+                  "unsupported sketch kind " +
+                      std::to_string(static_cast<int>(push.sketch_kind)));
+  }
+  if (push.epoch_seq == 0) {
+    return Reject(Status::kErrBadSketch, "epoch_seq must be >= 1");
+  }
+
+  auto it = nodes_.find(push.node_id);
+  if (it != nodes_.end()) {
+    // Epoch gate first: a stale or duplicate push is judged by its
+    // sequence alone, so even a corrupted retransmit of an old epoch
+    // gets the retry-stopping answer instead of kErrBadSketch churn.
+    if (push.epoch_seq < it->second.last_epoch) {
+      return Reject(Status::kErrStaleEpoch,
+                    "epoch " + std::to_string(push.epoch_seq) +
+                        " older than applied " +
+                        std::to_string(it->second.last_epoch));
+    }
+    if (push.epoch_seq == it->second.last_epoch) {
+      if (duplicates_counter_ != nullptr) duplicates_counter_->Increment();
+      PushOutcome outcome;
+      outcome.status = Status::kOk;
+      outcome.applied = false;
+      outcome.epoch_seq = push.epoch_seq;
+      return outcome;
+    }
+  }
+
+  BinaryReader reader(push.payload);
+  std::optional<Ltc> table = Ltc::Deserialize(reader);
+  if (!table.has_value() || !reader.AtEnd()) {
+    return Reject(Status::kErrBadSketch, "sketch payload does not deserialize");
+  }
+  if (!reference_.CanMergeWith(*table)) {
+    return Reject(Status::kErrShapeMismatch,
+                  "pushed sketch geometry/weights do not match the aggregate");
+  }
+
+  const uint64_t now = clock_->NowMicros();
+  if (it == nodes_.end()) {
+    it = nodes_.emplace(push.node_id, NodeState(std::move(*table))).first;
+  } else {
+    it->second.sketch = std::move(*table);
+  }
+  it->second.last_epoch = push.epoch_seq;
+  it->second.records = push.records;
+  it->second.last_push_usec = now;
+
+  merges_total_++;
+  if (merges_counter_ != nullptr) merges_counter_->Increment();
+  if (nodes_gauge_ != nullptr) {
+    nodes_gauge_->Set(static_cast<double>(nodes_.size()));
+  }
+  RebuildAndPublish();
+  Tick();
+
+  PushOutcome outcome;
+  outcome.status = Status::kOk;
+  outcome.applied = true;
+  outcome.epoch_seq = push.epoch_seq;
+  return outcome;
+}
+
+void AggregatorCore::RebuildAndPublish() {
+  Ltc merged(config_);
+  uint64_t records = 0;
+  for (const auto& [node_id, node] : nodes_) {
+    // Shapes were checked at apply time, so the fold cannot fail; a
+    // false here would mean the aggregate config itself changed.
+    bool ok = merged.MergeFrom(node.sketch);
+    (void)ok;
+    records += node.records;
+  }
+  merged_ = merged;
+  has_merged_ = true;
+  total_records_ = records;
+  if (hub_ != nullptr) {
+    // Best-effort publish: a straggling reader may pin the stale slot,
+    // in which case the previous merged image simply stays current and
+    // the next push republishes (the hub never blocks its publisher).
+    hub_->Publish(std::make_unique<Ltc>(std::move(merged)), records);
+  }
+}
+
+uint64_t AggregatorCore::AgeSecOf(const NodeState& node,
+                                  uint64_t now_usec) const {
+  const uint64_t last = node.last_push_usec;
+  return now_usec > last ? (now_usec - last) / 1'000'000 : 0;
+}
+
+void AggregatorCore::Tick() {
+  if (metrics_ == nullptr) return;
+  const uint64_t now = clock_->NowMicros();
+  for (const auto& [node_id, node] : nodes_) {
+    auto it = staleness_gauges_.find(node_id);
+    if (it == staleness_gauges_.end()) {
+      it = staleness_gauges_
+               .emplace(node_id,
+                        &metrics_->GaugeOf(
+                            "ltc_agg_node_staleness_sec",
+                            "Seconds since a node's last applied push.",
+                            {{"node", std::to_string(node_id)}}))
+               .first;
+    }
+    it->second->Set(static_cast<double>(AgeSecOf(node, now)));
+  }
+}
+
+std::vector<StatsNodeRow> AggregatorCore::NodeRows() const {
+  const uint64_t now = clock_->NowMicros();
+  std::vector<StatsNodeRow> rows;
+  rows.reserve(nodes_.size());
+  for (const auto& [node_id, node] : nodes_) {
+    StatsNodeRow row;
+    row.node_id = node_id;
+    row.last_epoch = node.last_epoch;
+    row.age_sec = AgeSecOf(node, now);
+    row.stale = row.age_sec > stale_after_sec_ ? 1 : 0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string AggregatorCore::SerializeMerged() const {
+  if (!has_merged_) return std::string();
+  BinaryWriter writer;
+  merged_.Serialize(writer);
+  return writer.data();
+}
+
+}  // namespace server
+}  // namespace ltc

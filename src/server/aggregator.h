@@ -1,0 +1,144 @@
+// The aggregation tier's merge brain (docs/SERVING.md "Aggregation
+// tier"). Ingest nodes push flush-barrier sketch images over LTCQ
+// (PUSH_SKETCH); an AggregatorCore folds them into one merged LTC view
+// and republishes it through the ReadSnapshotHub, so the same query
+// front end that serves a single node serves the fleet.
+//
+// Delivery model — the whole point of this class: push clients retry on
+// ANY failure (at-least-once), so the aggregator must make duplicated,
+// reordered and re-sent pushes harmless. Two properties achieve that:
+//
+//   * Pushes are CUMULATIVE. Each image is the node's entire sketch at
+//     a barrier, not a delta, so applying a push is "replace this
+//     node's contribution", never "add to it". Replays cannot
+//     double-count.
+//   * The merged aggregate is recomputed by folding the per-node images
+//     in node_id order. The result is a pure function of {newest image
+//     per node}, so it is bit-identical no matter how many times a push
+//     was retried or in what order nodes' pushes interleaved (pinned by
+//     tests/aggregation_chaos_test.cc).
+//
+// Epoch rules, per node: epoch_seq must be >= 1 and is compared against
+// the newest applied epoch. Newer → applied; equal → acknowledged as a
+// duplicate (kOk, applied=0) without touching the aggregate; older →
+// kErrStaleEpoch, a terminal rejection the client must not retry.
+//
+// Degradation: a node that stops pushing never wedges anything — its
+// last image keeps contributing, its STATS row ages, and once the age
+// passes `stale_after_sec` the row is flagged and the
+// ltc_agg_node_staleness_sec gauge shows it. Operators alert on the
+// gauge; queries keep being answered either way.
+//
+// Threading: single-driver, by design the QueryServer event-loop thread
+// (dispatch calls ApplyPush, the loop calls Tick between polls). That
+// makes the hub's single-publisher contract hold for free. Read-only
+// accessors (SerializeMerged, NodeRows) are for tests and for callers
+// that own the loop, after Stop().
+
+#ifndef LTC_SERVER_AGGREGATOR_H_
+#define LTC_SERVER_AGGREGATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/ltc.h"
+#include "core/read_snapshot.h"
+#include "server/protocol.h"
+#include "telemetry/metrics.h"
+
+namespace ltc {
+namespace server {
+
+/// What one PUSH_SKETCH did. `status` maps straight onto the wire
+/// response; `applied` distinguishes a merge from a duplicate ack.
+struct PushOutcome {
+  Status status = Status::kOk;
+  bool applied = false;     // meaningful when status == kOk
+  uint64_t epoch_seq = 0;   // echoed in the ack
+  std::string detail;       // error detail for non-kOk statuses
+};
+
+class AggregatorCore {
+ public:
+  /// `config` fixes the aggregate's shape: every pushed sketch must
+  /// CanMergeWith a table of this config or the push is rejected with
+  /// kErrShapeMismatch. `hub` (may be null in library tests) receives
+  /// the merged image after every applied push. `clock` defaults to
+  /// SystemClock; tests inject a FakeClock to script staleness.
+  AggregatorCore(const LtcConfig& config, ReadSnapshotHub* hub,
+                 uint64_t stale_after_sec = 60, Clock* clock = nullptr);
+
+  AggregatorCore(const AggregatorCore&) = delete;
+  AggregatorCore& operator=(const AggregatorCore&) = delete;
+
+  /// Registers ltc_agg_* families. Call before the serving loop starts;
+  /// the registry must outlive this object.
+  void AttachMetrics(telemetry::MetricsRegistry* registry);
+
+  /// Applies one decoded PUSH_SKETCH. Total: every input yields a typed
+  /// outcome, never UB — a sketch that fails to deserialize or to merge
+  /// leaves the aggregate exactly as it was.
+  PushOutcome ApplyPush(const PushRequest& push);
+
+  /// Periodic upkeep (staleness gauge refresh). Cheap; the server loop
+  /// calls it between polls.
+  void Tick();
+
+  /// Per-node delivery state for STATS, in node_id order.
+  std::vector<StatsNodeRow> NodeRows() const;
+
+  /// Serialized bytes of the current merged aggregate — the oracle hook
+  /// for bit-identity assertions. Empty string before the first merge.
+  std::string SerializeMerged() const;
+
+  uint64_t merges_total() const { return merges_total_; }
+  uint64_t rejects_total() const { return rejects_total_; }
+  uint64_t total_records() const { return total_records_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  uint64_t stale_after_sec() const { return stale_after_sec_; }
+
+ private:
+  struct NodeState {
+    uint64_t last_epoch = 0;
+    uint64_t records = 0;
+    uint64_t last_push_usec = 0;
+    Ltc sketch;
+
+    explicit NodeState(Ltc s) : sketch(std::move(s)) {}
+  };
+
+  PushOutcome Reject(Status status, std::string detail);
+  /// Refolds nodes_ into merged_ and republishes. The rebuild makes the
+  /// aggregate a pure function of the node images (see file comment);
+  /// per-push cost is O(nodes × table), dwarfed by the network hop.
+  void RebuildAndPublish();
+  uint64_t AgeSecOf(const NodeState& node, uint64_t now_usec) const;
+
+  const LtcConfig config_;
+  const Ltc reference_;  // empty table: the shape every push must match
+  ReadSnapshotHub* hub_;
+  Clock* clock_;
+  const uint64_t stale_after_sec_;
+
+  std::map<uint64_t, NodeState> nodes_;  // node_id order = fold order
+  Ltc merged_;
+  bool has_merged_ = false;
+  uint64_t total_records_ = 0;
+  uint64_t merges_total_ = 0;
+  uint64_t rejects_total_ = 0;
+
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Counter* merges_counter_ = nullptr;
+  telemetry::Counter* rejects_counter_ = nullptr;
+  telemetry::Counter* duplicates_counter_ = nullptr;
+  telemetry::Gauge* nodes_gauge_ = nullptr;
+  std::map<uint64_t, telemetry::Gauge*> staleness_gauges_;  // per node
+};
+
+}  // namespace server
+}  // namespace ltc
+
+#endif  // LTC_SERVER_AGGREGATOR_H_

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "server/aggregator.h"
+
 namespace ltc {
 namespace server {
 
@@ -59,6 +61,9 @@ std::string QueryDispatcher::Handle(std::string_view payload) {
       stats_.by_opcode[opcode_byte]++;
       return HandleStats();
     }
+    case Opcode::kPushSketch:
+      stats_.by_opcode[opcode_byte]++;
+      return HandlePush(body);
   }
   return Error(Status::kErrUnknownOpcode,
                "opcode " + std::to_string(opcode_byte));
@@ -141,8 +146,27 @@ std::string QueryDispatcher::HandleStats() {
     stats.records = snapshot->records;
     stats.memory_bytes = snapshot->table->MemoryBytes();
   }
+  if (aggregator_ != nullptr) stats.nodes = aggregator_->NodeRows();
   stats_.by_status[static_cast<size_t>(Status::kOk)]++;
   return EncodeStatsResponse(stats);
+}
+
+std::string QueryDispatcher::HandlePush(std::string_view body) {
+  if (aggregator_ == nullptr) {
+    return Error(Status::kErrNotAggregator,
+                 "this server does not accept sketch pushes");
+  }
+  std::optional<PushRequest> push = DecodePushRequestBody(body);
+  if (!push.has_value()) {
+    return Error(Status::kErrMalformed,
+                 "PUSH_SKETCH body truncated or inconsistent");
+  }
+  const PushOutcome outcome = aggregator_->ApplyPush(*push);
+  if (outcome.status != Status::kOk) {
+    return Error(outcome.status, outcome.detail);
+  }
+  stats_.by_status[static_cast<size_t>(Status::kOk)]++;
+  return EncodePushResponse(outcome.epoch_seq, outcome.applied);
 }
 
 }  // namespace server

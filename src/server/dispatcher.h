@@ -24,14 +24,16 @@
 namespace ltc {
 namespace server {
 
+class AggregatorCore;
+
 /// Per-status dispatch counters (sampled into ltc_server_* metrics by
 /// the query server; plain fields — the dispatcher is driven from one
 /// event-loop thread).
 struct DispatchStats {
   uint64_t requests = 0;  // total payloads handled
   uint64_t errors = 0;    // payloads answered with a non-kOk status
-  uint64_t by_opcode[7] = {};   // index = valid Opcode value, 0 unused
-  uint64_t by_status[7] = {};   // index = Status value
+  uint64_t by_opcode[8] = {};   // index = valid Opcode value, 0 unused
+  uint64_t by_status[11] = {};  // index = Status value
 };
 
 class QueryDispatcher {
@@ -41,6 +43,14 @@ class QueryDispatcher {
   QueryDispatcher(const ReadSnapshotHub& hub, const KeyCodec& codec,
                   uint32_t num_shards)
       : hub_(hub), codec_(codec), num_shards_(num_shards) {}
+
+  /// Enables PUSH_SKETCH handling and the STATS node rows. Without an
+  /// aggregator attached, pushes are answered kErrNotAggregator. The
+  /// aggregator must outlive the dispatcher and is driven from the same
+  /// (single) thread that calls Handle.
+  void AttachAggregator(AggregatorCore* aggregator) {
+    aggregator_ = aggregator;
+  }
 
   /// Handles one request payload (the bytes inside a frame, NOT
   /// including the length prefix) and returns the response payload.
@@ -53,11 +63,13 @@ class QueryDispatcher {
   std::string HandleTopK(std::string_view body);
   std::string HandleEstimate(Opcode opcode, std::string_view body);
   std::string HandleStats();
+  std::string HandlePush(std::string_view body);
   std::string Error(Status status, std::string_view detail);
 
   const ReadSnapshotHub& hub_;
   const KeyCodec& codec_;
   uint32_t num_shards_;
+  AggregatorCore* aggregator_ = nullptr;
   DispatchStats stats_;
 };
 

@@ -21,6 +21,14 @@ const char* StatusName(Status status) {
       return "no_snapshot";
     case Status::kErrBadRequest:
       return "bad_request";
+    case Status::kErrShapeMismatch:
+      return "shape_mismatch";
+    case Status::kErrStaleEpoch:
+      return "stale_epoch";
+    case Status::kErrBadSketch:
+      return "bad_sketch";
+    case Status::kErrNotAggregator:
+      return "not_aggregator";
   }
   return "unknown_status";
 }
@@ -39,6 +47,8 @@ const char* OpcodeName(Opcode opcode) {
       return "estimate_persistency";
     case Opcode::kStats:
       return "stats";
+    case Opcode::kPushSketch:
+      return "push_sketch";
   }
   return "unknown_opcode";
 }
@@ -59,8 +69,19 @@ std::optional<std::string> FrameParser::Next() {
   uint32_t length = 0;
   std::memcpy(&length, buffer_.data(), 4);
   if (length > max_frame_bytes_) {
-    oversized_ = true;
-    return std::nullopt;
+    // Above the query cap: only a PUSH_SKETCH frame may be this large,
+    // and only when the parser was configured with a push cap. The
+    // opcode is payload byte 0 — wait for it before judging.
+    if (length > max_push_frame_bytes_) {
+      oversized_ = true;
+      return std::nullopt;
+    }
+    if (buffer_.size() < 5) return std::nullopt;
+    if (static_cast<uint8_t>(buffer_[4]) !=
+        static_cast<uint8_t>(Opcode::kPushSketch)) {
+      oversized_ = true;
+      return std::nullopt;
+    }
   }
   if (buffer_.size() < 4 + static_cast<size_t>(length)) return std::nullopt;
   std::string payload = buffer_.substr(4, length);
@@ -148,6 +169,35 @@ std::string EncodeStatsRequest() {
   return std::string(1, static_cast<char>(Opcode::kStats));
 }
 
+std::string EncodePushRequest(const PushRequest& push) {
+  std::string payload(1, static_cast<char>(Opcode::kPushSketch));
+  PutU64Raw(payload, push.node_id);
+  PutU64Raw(payload, push.epoch_seq);
+  payload.push_back(static_cast<char>(push.sketch_kind));
+  PutU64Raw(payload, push.records);
+  PutU32Raw(payload, static_cast<uint32_t>(push.payload.size()));
+  payload.append(push.payload);
+  return payload;
+}
+
+std::optional<PushRequest> DecodePushRequestBody(std::string_view body) {
+  PushRequest push;
+  size_t pos = 0;
+  if (!GetU64Raw(body, pos, &push.node_id)) return std::nullopt;
+  if (!GetU64Raw(body, pos, &push.epoch_seq)) return std::nullopt;
+  if (body.size() - pos < 1) return std::nullopt;
+  push.sketch_kind = static_cast<uint8_t>(body[pos]);
+  pos += 1;
+  if (!GetU64Raw(body, pos, &push.records)) return std::nullopt;
+  uint32_t payload_len = 0;
+  if (!GetU32Raw(body, pos, &payload_len)) return std::nullopt;
+  // The explicit length must match the remaining bytes exactly: a
+  // mismatch means a truncated or padded frame, not a sketch to trust.
+  if (body.size() - pos != payload_len) return std::nullopt;
+  push.payload = std::string(body.substr(pos, payload_len));
+  return push;
+}
+
 std::string EncodeErrorResponse(Status status, std::string_view detail) {
   std::string payload(1, static_cast<char>(status));
   PutU16(payload, static_cast<uint16_t>(
@@ -196,6 +246,20 @@ std::string EncodeStatsResponse(const StatsResult& stats) {
   PutU64Raw(payload, stats.records);
   PutU64Raw(payload, stats.memory_bytes);
   PutU32Raw(payload, stats.num_shards);
+  PutU32Raw(payload, static_cast<uint32_t>(stats.nodes.size()));
+  for (const StatsNodeRow& row : stats.nodes) {
+    PutU64Raw(payload, row.node_id);
+    PutU64Raw(payload, row.last_epoch);
+    PutU64Raw(payload, row.age_sec);
+    payload.push_back(static_cast<char>(row.stale));
+  }
+  return payload;
+}
+
+std::string EncodePushResponse(uint64_t epoch_seq, bool applied) {
+  std::string payload(1, static_cast<char>(Status::kOk));
+  PutU64Raw(payload, epoch_seq);
+  payload.push_back(static_cast<char>(applied ? 1 : 0));
   return payload;
 }
 
@@ -213,6 +277,10 @@ std::optional<DecodedResponse> DecodeResponse(Opcode request_opcode,
       case Status::kErrOversized:
       case Status::kErrNoSnapshot:
       case Status::kErrBadRequest:
+      case Status::kErrShapeMismatch:
+      case Status::kErrStaleEpoch:
+      case Status::kErrBadSketch:
+      case Status::kErrNotAggregator:
         break;
       default:
         return std::nullopt;  // not a status byte this protocol speaks
@@ -267,7 +335,7 @@ std::optional<DecodedResponse> DecodeResponse(Opcode request_opcode,
       return response;
     }
     case Opcode::kStats: {
-      if (payload.size() - pos != 1 + 8 + 8 + 8 + 4) return std::nullopt;
+      if (payload.size() - pos < 1 + 8 + 8 + 8 + 4) return std::nullopt;
       response.stats.protocol_version = static_cast<uint8_t>(payload[pos]);
       pos += 1;
       if (!GetU64Raw(payload, pos, &response.stats.snapshot_seq)) {
@@ -282,6 +350,30 @@ std::optional<DecodedResponse> DecodeResponse(Opcode request_opcode,
       if (!GetU32Raw(payload, pos, &response.stats.num_shards)) {
         return std::nullopt;
       }
+      // v1 responses end here; v2 appends the aggregation node rows.
+      if (pos == payload.size()) return response;
+      uint32_t num_nodes = 0;
+      if (!GetU32Raw(payload, pos, &num_nodes)) return std::nullopt;
+      if (payload.size() - pos !=
+          static_cast<size_t>(num_nodes) * (8 + 8 + 8 + 1)) {
+        return std::nullopt;
+      }
+      response.stats.nodes.reserve(num_nodes);
+      for (uint32_t i = 0; i < num_nodes; ++i) {
+        StatsNodeRow row;
+        if (!GetU64Raw(payload, pos, &row.node_id)) return std::nullopt;
+        if (!GetU64Raw(payload, pos, &row.last_epoch)) return std::nullopt;
+        if (!GetU64Raw(payload, pos, &row.age_sec)) return std::nullopt;
+        row.stale = static_cast<uint8_t>(payload[pos]);
+        pos += 1;
+        response.stats.nodes.push_back(row);
+      }
+      return response;
+    }
+    case Opcode::kPushSketch: {
+      if (payload.size() - pos != 8 + 1) return std::nullopt;
+      if (!GetU64Raw(payload, pos, &response.push_epoch)) return std::nullopt;
+      response.push_applied = payload[pos] != 0;
       return response;
     }
   }

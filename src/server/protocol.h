@@ -43,6 +43,10 @@ enum class Opcode : uint8_t {
   kEstimateFrequency = 0x04,     // body: u16 key_len, key bytes
   kEstimatePersistency = 0x05,   // body: u16 key_len, key bytes
   kStats = 0x06,                 // body: empty
+  kPushSketch = 0x07,            // body: u64 node_id, u64 epoch_seq,
+                                 //       u8 sketch kind, u64 records,
+                                 //       u32 payload_len, payload bytes
+                                 // (aggregation tier, docs/SERVING.md)
 };
 
 /// Response status (first payload byte of a response). Every error is
@@ -58,6 +62,15 @@ enum class Status : uint8_t {
                              // (the stream can no longer be trusted)
   kErrNoSnapshot = 0x05,     // no snapshot published yet
   kErrBadRequest = 0x06,     // semantically invalid (e.g. k == 0)
+  // Aggregation-tier statuses (PUSH_SKETCH, docs/SERVING.md):
+  kErrShapeMismatch = 0x07,  // pushed sketch's geometry/weights cannot
+                             // merge with the aggregate (ERR_SHAPE_MISMATCH)
+  kErrStaleEpoch = 0x08,     // epoch_seq older than the node's last
+                             // applied epoch — superseded, do not retry
+  kErrBadSketch = 0x09,      // push payload does not deserialize (or an
+                             // unsupported sketch kind)
+  kErrNotAggregator = 0x0a,  // PUSH_SKETCH at a server without an
+                             // aggregator attached
 };
 
 /// "ok", "unknown_opcode", ... — stable names used by error-frame
@@ -72,6 +85,12 @@ const char* OpcodeName(Opcode opcode);
 /// responses are bounded by clamping TOPK's k (see kMaxTopK).
 constexpr size_t kMaxFrameBytes = 1 << 16;
 
+/// Ceiling for PUSH_SKETCH request frames ONLY (a serialized sketch is
+/// as large as its memory budget, far above 64K). An aggregator-mode
+/// server raises its parser to this cap for push frames; query frames
+/// keep kMaxFrameBytes, so a query-only server is unchanged.
+constexpr size_t kMaxPushFrameBytes = 1 << 24;
+
 /// Largest k a TOPK request may ask for (keeps every response under
 /// kMaxFrameBytes even with maximal key names).
 constexpr uint32_t kMaxTopK = 1024;
@@ -79,8 +98,16 @@ constexpr uint32_t kMaxTopK = 1024;
 /// Largest key length the protocol accepts.
 constexpr size_t kMaxKeyBytes = 4096;
 
-/// Protocol version, reported by PING.
-constexpr uint8_t kProtocolVersion = 1;
+/// Protocol version, reported by PING and STATS. v2 adds PUSH_SKETCH,
+/// its typed statuses, and the per-node aggregation rows in STATS
+/// (absent on v1 responses; the decoder accepts both).
+constexpr uint8_t kProtocolVersion = 2;
+
+/// PUSH_SKETCH sketch kinds. Only single-table sketches are mergeable
+/// across nodes today (shards split the memory budget, so a sharded
+/// sketch has per-shard geometry no aggregate table can merge with);
+/// other kind bytes are answered with kErrBadSketch.
+constexpr uint8_t kSketchKindLtc = 0;
 
 // --- Framing ---------------------------------------------------------
 
@@ -90,10 +117,20 @@ std::string EncodeFrame(std::string_view payload);
 /// Incremental frame splitter for a byte stream. Feed bytes, then pop
 /// complete payloads. An oversized declared length poisons the parser
 /// (the remaining stream cannot be resynchronized).
+///
+/// `max_push_frame_bytes` (when above `max_frame_bytes`) raises the cap
+/// for frames whose first payload byte is the PUSH_SKETCH opcode ONLY —
+/// the aggregator accepts multi-megabyte sketch pushes while query
+/// frames stay bounded at 64K. Deciding needs that first byte, so a
+/// large declared length parks the parser until it arrives.
 class FrameParser {
  public:
-  explicit FrameParser(size_t max_frame_bytes = kMaxFrameBytes)
-      : max_frame_bytes_(max_frame_bytes) {}
+  explicit FrameParser(size_t max_frame_bytes = kMaxFrameBytes,
+                       size_t max_push_frame_bytes = 0)
+      : max_frame_bytes_(max_frame_bytes),
+        max_push_frame_bytes_(max_push_frame_bytes > max_frame_bytes
+                                  ? max_push_frame_bytes
+                                  : max_frame_bytes) {}
 
   void Feed(std::string_view bytes) { buffer_.append(bytes); }
 
@@ -109,6 +146,7 @@ class FrameParser {
  private:
   std::string buffer_;
   size_t max_frame_bytes_;
+  size_t max_push_frame_bytes_;
   bool oversized_ = false;
 };
 
@@ -118,6 +156,23 @@ std::string EncodePingRequest();
 std::string EncodeTopKRequest(uint32_t k);
 std::string EncodeEstimateRequest(Opcode opcode, std::string_view key);
 std::string EncodeStatsRequest();
+
+/// One PUSH_SKETCH request: a node's flush-barrier sketch image plus
+/// the delivery metadata the aggregator dedups on.
+struct PushRequest {
+  uint64_t node_id = 0;    // stable identity of the pushing node
+  uint64_t epoch_seq = 0;  // 1-based, strictly increasing per node
+  uint8_t sketch_kind = kSketchKindLtc;
+  uint64_t records = 0;    // stream records applied at the push barrier
+  std::string payload;     // serialized sketch (Ltc::Serialize bytes)
+};
+
+std::string EncodePushRequest(const PushRequest& push);
+
+/// Decodes a PUSH_SKETCH request BODY (the bytes after the opcode).
+/// nullopt = truncated, trailing bytes, or an inconsistent payload
+/// length (answered with kErrMalformed by the dispatcher).
+std::optional<PushRequest> DecodePushRequestBody(std::string_view body);
 
 // --- Responses -------------------------------------------------------
 
@@ -130,13 +185,24 @@ struct TopKEntry {
   double significance = 0.0;
 };
 
-/// Service-level counters answered by STATS.
+/// One aggregation-tier node row in STATS: delivery/staleness state of
+/// a node that has pushed at least once (docs/SERVING.md).
+struct StatsNodeRow {
+  uint64_t node_id = 0;
+  uint64_t last_epoch = 0;    // newest applied epoch_seq
+  uint64_t age_sec = 0;       // seconds since the last applied push
+  uint8_t stale = 0;          // 1 once age exceeds the staleness budget
+};
+
+/// Service-level counters answered by STATS. `nodes` is empty unless
+/// the server aggregates pushed sketches.
 struct StatsResult {
   uint64_t snapshot_seq = 0;    // publish sequence of the served image
   uint64_t records = 0;         // stream records applied at its barrier
   uint64_t memory_bytes = 0;    // model memory of the sketch
   uint32_t num_shards = 0;      // 0 = single (unsharded) table
   uint8_t protocol_version = kProtocolVersion;
+  std::vector<StatsNodeRow> nodes;  // aggregation tier only
 };
 
 std::string EncodeErrorResponse(Status status, std::string_view detail);
@@ -145,6 +211,10 @@ std::string EncodeTopKResponse(const std::vector<TopKEntry>& entries);
 std::string EncodeDoubleResponse(double value);   // ESTIMATE_SIGNIFICANCE
 std::string EncodeU64Response(uint64_t value);    // ESTIMATE_{FREQ,PERS}
 std::string EncodeStatsResponse(const StatsResult& stats);
+/// PUSH_SKETCH ack: the epoch the ack covers, and whether this delivery
+/// mutated the aggregate (applied=0 = a duplicate of an already-applied
+/// epoch — still kOk, because retried delivery must be idempotent).
+std::string EncodePushResponse(uint64_t epoch_seq, bool applied);
 
 /// A decoded response, as the client library sees it. Exactly the
 /// fields implied by `status` + the request's opcode are meaningful.
@@ -157,6 +227,8 @@ struct DecodedResponse {
   double value_double = 0.0;         // ESTIMATE_SIGNIFICANCE
   uint64_t value_u64 = 0;            // ESTIMATE_{FREQUENCY,PERSISTENCY}
   StatsResult stats;                 // STATS
+  uint64_t push_epoch = 0;           // PUSH_SKETCH
+  bool push_applied = false;         // PUSH_SKETCH (false = duplicate)
 };
 
 /// Decodes a response payload against the opcode of the request it

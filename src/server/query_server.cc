@@ -1,5 +1,7 @@
 #include "server/query_server.h"
 
+#include "server/aggregator.h"
+
 #include <arpa/inet.h>
 #include <errno.h>
 #include <fcntl.h>
@@ -48,6 +50,7 @@ void QueryServer::AttachMetrics(telemetry::MetricsRegistry* registry) {
       Opcode::kPing,                 Opcode::kTopK,
       Opcode::kEstimateSignificance, Opcode::kEstimateFrequency,
       Opcode::kEstimatePersistency,  Opcode::kStats,
+      Opcode::kPushSketch,
   };
   for (Opcode op : kOps) {
     op_counters_[static_cast<size_t>(op)] = &registry->CounterOf(
@@ -55,9 +58,11 @@ void QueryServer::AttachMetrics(telemetry::MetricsRegistry* registry) {
         {{"op", OpcodeName(op)}});
   }
   static constexpr Status kErrs[] = {
-      Status::kErrUnknownOpcode, Status::kErrMalformed,
-      Status::kErrBadKey,        Status::kErrOversized,
-      Status::kErrNoSnapshot,    Status::kErrBadRequest,
+      Status::kErrUnknownOpcode,  Status::kErrMalformed,
+      Status::kErrBadKey,         Status::kErrOversized,
+      Status::kErrNoSnapshot,     Status::kErrBadRequest,
+      Status::kErrShapeMismatch,  Status::kErrStaleEpoch,
+      Status::kErrBadSketch,      Status::kErrNotAggregator,
   };
   for (Status st : kErrs) {
     error_counters_[static_cast<size_t>(st)] = &registry->CounterOf(
@@ -72,6 +77,9 @@ void QueryServer::AttachMetrics(telemetry::MetricsRegistry* registry) {
   connections_rejected_total_ = &registry->CounterOf(
       "ltc_server_connections_rejected_total",
       "Connections refused because max_connections was reached.");
+  connections_idle_closed_total_ = &registry->CounterOf(
+      "ltc_server_connections_idle_closed_total",
+      "Connections evicted after idle_timeout_usec without traffic.");
   connections_open_ = &registry->GaugeOf("ltc_server_connections_open",
                                          "Client connections currently open.");
   snapshot_seq_gauge_ = &registry->GaugeOf(
@@ -81,6 +89,11 @@ void QueryServer::AttachMetrics(telemetry::MetricsRegistry* registry) {
                                            "Request bytes read from clients.");
   bytes_written_total_ = &registry->CounterOf(
       "ltc_server_bytes_written_total", "Response bytes written to clients.");
+}
+
+void QueryServer::AttachAggregator(AggregatorCore* aggregator) {
+  aggregator_ = aggregator;
+  dispatcher_.AttachAggregator(aggregator);
 }
 
 bool QueryServer::Start(std::string* error) {
@@ -157,6 +170,7 @@ bool QueryServer::FlushWrites(Conn& conn) {
                conn.out.size() - conn.out_off, MSG_NOSIGNAL);
     if (n > 0) {
       conn.out_off += static_cast<size_t>(n);
+      conn.last_activity_usec = NowMicros();
       if (bytes_written_total_ != nullptr) {
         bytes_written_total_->Increment(static_cast<uint64_t>(n));
       }
@@ -188,9 +202,9 @@ void QueryServer::RecordRequest(std::string_view request_payload,
   if (metrics_ == nullptr) return;
   if (!request_payload.empty()) {
     const size_t op = static_cast<uint8_t>(request_payload[0]);
-    if (op < 7 && op_counters_[op] != nullptr) op_counters_[op]->Increment();
+    if (op < 8 && op_counters_[op] != nullptr) op_counters_[op]->Increment();
   }
-  if (status < 7 && error_counters_[status] != nullptr) {
+  if (status < 11 && error_counters_[status] != nullptr) {
     error_counters_[status]->Increment();
   }
   request_duration_usec_->Record(micros);
@@ -205,6 +219,7 @@ bool QueryServer::HandleReadable(Conn& conn) {
       if (bytes_read_total_ != nullptr) {
         bytes_read_total_->Increment(static_cast<uint64_t>(n));
       }
+      conn.last_activity_usec = NowMicros();
       conn.parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
       if (conn.parser.buffered_bytes() >= sizeof(buf)) break;  // be fair
       continue;
@@ -258,8 +273,10 @@ void QueryServer::HandleListener() {
       }
       continue;
     }
-    auto conn = std::make_unique<Conn>(config_.max_frame_bytes);
+    auto conn = std::make_unique<Conn>(config_.max_frame_bytes,
+                                       config_.max_push_frame_bytes);
     conn->fd = fd;
+    conn->last_activity_usec = NowMicros();
     conns_.push_back(std::move(conn));
     conns_opened_.fetch_add(1, std::memory_order_relaxed);
     if (connections_total_ != nullptr) connections_total_->Increment();
@@ -298,7 +315,14 @@ void QueryServer::Loop() {
       fds.push_back({conn->fd, events, 0});
     }
 
-    const int timeout_ms = draining ? 20 : -1;
+    // Idle eviction and aggregator upkeep need time to pass even when
+    // no socket stirs, so those modes poll with a finite timeout.
+    int timeout_ms = -1;
+    if (draining) {
+      timeout_ms = 20;
+    } else if (config_.idle_timeout_usec > 0 || aggregator_ != nullptr) {
+      timeout_ms = 250;
+    }
     const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (ready < 0 && errno != EINTR) break;  // unrecoverable poll failure
 
@@ -328,6 +352,25 @@ void QueryServer::Loop() {
         CloseConn(conn);
       }
     }
+    // Evict slow-loris peers: a connection that moved no bytes in
+    // either direction for the whole idle budget gives up its slot.
+    // Not during drain — drain has its own (shorter) deadline.
+    if (!draining && config_.idle_timeout_usec > 0) {
+      const uint64_t now = NowMicros();
+      for (const auto& conn : conns_) {
+        if (conn->fd < 0) continue;
+        if (now - conn->last_activity_usec < config_.idle_timeout_usec) {
+          continue;
+        }
+        conns_idle_closed_.fetch_add(1, std::memory_order_relaxed);
+        if (connections_idle_closed_total_ != nullptr) {
+          connections_idle_closed_total_->Increment();
+        }
+        ::shutdown(conn->fd, SHUT_WR);
+        CloseConn(*conn);
+      }
+    }
+    if (aggregator_ != nullptr) aggregator_->Tick();
     std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) {
       return c->fd < 0;
     });

@@ -53,9 +53,20 @@ struct QueryServerConfig {
   /// Frame-size ceiling, both directions.
   size_t max_frame_bytes = kMaxFrameBytes;
 
+  /// Ceiling for PUSH_SKETCH request frames (see FrameParser). Leave at
+  /// max_frame_bytes for a query-only server; aggregator mode raises it
+  /// to kMaxPushFrameBytes so serialized sketches fit.
+  size_t max_push_frame_bytes = kMaxFrameBytes;
+
   /// Stop(): how long the drain may spend flushing response buffers to
   /// slow readers before force-closing them.
   uint64_t drain_grace_usec = 3'000'000;
+
+  /// Connections with no traffic in either direction for this long are
+  /// closed (counted in ltc_server_connections_idle_closed_total), so a
+  /// slow-loris peer cannot hold a max_connections slot forever. 0
+  /// disables eviction.
+  uint64_t idle_timeout_usec = 300'000'000;
 };
 
 class QueryServer {
@@ -75,6 +86,13 @@ class QueryServer {
   /// registry must outlive the server. The event loop updates the
   /// metrics directly (they are lock-free by design).
   void AttachMetrics(telemetry::MetricsRegistry* registry);
+
+  /// Turns this server into the aggregation tier's front end: the event
+  /// loop dispatches PUSH_SKETCH into `aggregator` and ticks its
+  /// staleness upkeep between polls. Call before Start (the aggregator
+  /// is then driven exclusively by the loop thread, which also makes it
+  /// the hub's single publisher). Must outlive the server.
+  void AttachAggregator(AggregatorCore* aggregator);
 
   /// Binds, listens and spawns the event loop. False (with `error`)
   /// when the socket setup fails; the server is then inert and Start
@@ -105,6 +123,9 @@ class QueryServer {
   uint64_t ConnectionsRejected() const {
     return conns_rejected_.load(std::memory_order_relaxed);
   }
+  uint64_t ConnectionsIdleClosed() const {
+    return conns_idle_closed_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Conn {
@@ -114,8 +135,10 @@ class QueryServer {
     size_t out_off = 0;
     bool peer_eof = false;        // read side closed by the peer
     bool close_after_flush = false;  // poisoned stream: flush, then close
+    uint64_t last_activity_usec = 0;  // idle-eviction clock
 
-    explicit Conn(size_t max_frame_bytes) : parser(max_frame_bytes) {}
+    Conn(size_t max_frame_bytes, size_t max_push_frame_bytes)
+        : parser(max_frame_bytes, max_push_frame_bytes) {}
   };
 
   void Loop();
@@ -131,6 +154,7 @@ class QueryServer {
   const ReadSnapshotHub& hub_;
   QueryServerConfig config_;
   QueryDispatcher dispatcher_;
+  AggregatorCore* aggregator_ = nullptr;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() wakes poll()
@@ -146,14 +170,16 @@ class QueryServer {
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> conns_opened_{0};
   std::atomic<uint64_t> conns_rejected_{0};
+  std::atomic<uint64_t> conns_idle_closed_{0};
 
   // Metrics (resolved once at AttachMetrics; loop-thread-written).
   telemetry::MetricsRegistry* metrics_ = nullptr;
-  telemetry::Counter* op_counters_[7] = {};      // index = Opcode value
-  telemetry::Counter* error_counters_[7] = {};   // index = Status value
+  telemetry::Counter* op_counters_[8] = {};      // index = Opcode value
+  telemetry::Counter* error_counters_[11] = {};  // index = Status value
   telemetry::Histogram* request_duration_usec_ = nullptr;
   telemetry::Counter* connections_total_ = nullptr;
   telemetry::Counter* connections_rejected_total_ = nullptr;
+  telemetry::Counter* connections_idle_closed_total_ = nullptr;
   telemetry::Gauge* connections_open_ = nullptr;
   telemetry::Gauge* snapshot_seq_gauge_ = nullptr;
   telemetry::Counter* bytes_read_total_ = nullptr;

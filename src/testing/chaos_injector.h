@@ -31,6 +31,7 @@
 #include "common/rng.h"
 #include "ingest/ingest_pipeline.h"
 #include "snapshot/failpoint_fs.h"
+#include "testing/faulty_transport.h"
 
 namespace ltc {
 
@@ -54,6 +55,13 @@ struct ChaosConfig {
   /// Burst length is uniform in [1, max_io_burst] matching ops.
   uint64_t max_io_burst = 2;
 
+  /// Per-Step probability of arming one network fault burst (uniformly
+  /// chosen kind) on one uniformly chosen attached FaultyTransport.
+  double transport_fault_probability = 0.0;
+
+  /// Network burst length is uniform in [1, max_transport_burst].
+  uint64_t max_transport_burst = 2;
+
   /// Root of all chaos: same seed, same disaster schedule.
   uint64_t seed = 1;
 };
@@ -65,8 +73,20 @@ class ChaosInjector {
   ChaosInjector(IngestPipeline& pipeline, const ChaosConfig& config,
                 FailpointFs* fs = nullptr);
 
+  /// Pipeline-less form for network-only chaos (the aggregation tier
+  /// has no local ingest workers to kill): only I/O faults and attached
+  /// transports get the dice.
+  explicit ChaosInjector(const ChaosConfig& config, FailpointFs* fs = nullptr);
+
+  /// Adds a FaultyTransport to the network-fault lottery (see
+  /// transport_fault_probability). Must outlive the injector. Arm() on
+  /// the transport is thread-safe, so Step keeps belonging to the test
+  /// thread while pushers drive the transports.
+  void AttachTransport(FaultyTransport* transport);
+
   /// One round of dice: maybe kill, maybe hang, maybe arm an I/O fault
-  /// burst; releases hangs whose step budget expired.
+  /// burst or a network fault burst; releases hangs whose step budget
+  /// expired.
   void Step();
 
   /// Releases every still-pending hang (call before Stop() so no lane
@@ -76,17 +96,20 @@ class ChaosInjector {
   uint64_t kills_injected() const { return kills_; }
   uint64_t hangs_injected() const { return hangs_; }
   uint64_t io_faults_armed() const { return io_faults_; }
+  uint64_t transport_faults_armed() const { return transport_faults_; }
 
  private:
-  IngestPipeline& pipeline_;
+  IngestPipeline* pipeline_;  // null = network-only chaos
   ChaosConfig config_;
   FailpointFs* fs_;
   Rng rng_;
+  std::vector<FaultyTransport*> transports_;
   // steps left before the shard's injected hang is released; 0 = none.
   std::vector<uint64_t> hang_budget_;
   uint64_t kills_ = 0;
   uint64_t hangs_ = 0;
   uint64_t io_faults_ = 0;
+  uint64_t transport_faults_ = 0;
 };
 
 }  // namespace ltc

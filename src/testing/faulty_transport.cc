@@ -1,0 +1,135 @@
+#include "testing/faulty_transport.h"
+
+namespace ltc {
+
+FaultyTransport::FaultyTransport(server::PushTransport* inner,
+                                 const FaultyTransportConfig& config,
+                                 Clock* clock)
+    : inner_(inner),
+      config_(config),
+      clock_(clock != nullptr ? clock : &SystemClock()),
+      rng_(config.seed) {}
+
+void FaultyTransport::Arm(TransportFault kind, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_[static_cast<size_t>(kind)] += count;
+}
+
+uint64_t FaultyTransport::faults_injected(TransportFault kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_[static_cast<size_t>(kind)];
+}
+
+uint64_t FaultyTransport::total_faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (uint64_t n : injected_) total += n;
+  return total;
+}
+
+bool FaultyTransport::FireLocked(TransportFault kind, double probability) {
+  const size_t i = static_cast<size_t>(kind);
+  if (armed_[i] > 0) {
+    --armed_[i];
+    ++injected_[i];
+    return true;
+  }
+  if (probability > 0.0 && rng_.Bernoulli(probability)) {
+    ++injected_[i];
+    return true;
+  }
+  return false;
+}
+
+void FaultyTransport::MaybeDelay() {
+  uint64_t delay = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (FireLocked(TransportFault::kDelay, config_.delay_probability)) {
+      delay = config_.delay_usec;
+    }
+  }
+  // Sleep outside the lock: the chaos thread must stay free to Arm.
+  if (delay > 0) clock_->SleepMicros(delay);
+}
+
+bool FaultyTransport::Connect(const std::string& host, uint16_t port,
+                              uint64_t deadline_usec) {
+  MaybeDelay();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (FireLocked(TransportFault::kRefuseConnect,
+                   config_.refuse_probability)) {
+      return false;
+    }
+  }
+  return inner_->Connect(host, port, deadline_usec);
+}
+
+bool FaultyTransport::Send(std::string_view bytes, uint64_t deadline_usec) {
+  MaybeDelay();
+  enum class Mode { kClean, kDrop, kShort, kDropAck };
+  Mode mode = Mode::kClean;
+  size_t short_len = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (FireLocked(TransportFault::kDropSend, config_.drop_send_probability)) {
+      mode = Mode::kDrop;
+    } else if (FireLocked(TransportFault::kShortWrite,
+                          config_.short_write_probability)) {
+      mode = Mode::kShort;
+      // A strict prefix, possibly zero bytes — may tear mid-length-
+      // prefix, mid-opcode, or mid-payload.
+      short_len = bytes.empty() ? 0 : rng_.Uniform(bytes.size());
+    } else if (FireLocked(TransportFault::kDropAck,
+                          config_.drop_ack_probability)) {
+      mode = Mode::kDropAck;
+    }
+  }
+  switch (mode) {
+    case Mode::kDrop:
+      inner_->Close();
+      return false;
+    case Mode::kShort:
+      if (short_len > 0) {
+        (void)inner_->Send(bytes.substr(0, short_len), deadline_usec);
+      }
+      inner_->Close();
+      return false;
+    case Mode::kDropAck: {
+      // The frame goes out whole; only the ack will be eaten.
+      const bool sent = inner_->Send(bytes, deadline_usec);
+      if (sent) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        drop_next_recv_ = true;
+      }
+      return sent;
+    }
+    case Mode::kClean:
+      break;
+  }
+  return inner_->Send(bytes, deadline_usec);
+}
+
+bool FaultyTransport::Recv(std::string* out, size_t max_bytes,
+                           uint64_t deadline_usec) {
+  MaybeDelay();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (drop_next_recv_) {
+      drop_next_recv_ = false;
+      return false;
+    }
+  }
+  return inner_->Recv(out, max_bytes, deadline_usec);
+}
+
+void FaultyTransport::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drop_next_recv_ = false;
+  }
+  inner_->Close();
+}
+
+}  // namespace ltc

@@ -1,0 +1,112 @@
+// FaultyTransport — seeded network-fault injection for the aggregation
+// tier, wrapping any PushTransport (docs/SERVING.md "Aggregation
+// tier"). The same philosophy as FailpointFs for disk I/O: the
+// production code path is untouched; faults enter through the seam the
+// code already depends on.
+//
+// Fault menu (each a distinct delivery failure mode the pusher's retry
+// loop must survive):
+//
+//   kRefuseConnect    Connect fails — the aggregator is down/rebooting.
+//   kDropSend         Send fails before anything leaves — clean loss.
+//   kShortWrite       Send delivers only a PREFIX of the bytes, then the
+//                     connection dies — a torn frame the server's parser
+//                     must park on and the pusher must resend whole.
+//   kDelay            The op sleeps first — latency, reordering fuel.
+//   kDropAck          Send delivers EVERYTHING, then Recv fails — the
+//                     push applied but the ack is lost, so the client
+//                     retries a delivered push. This is the fault that
+//                     proves idempotent dedup, because without it
+//                     duplicates are only ever races.
+//
+// Faults trigger two ways: seeded per-op probabilities (a lossy-network
+// background hum) and Arm(kind, count) bursts (deterministic "now fail
+// exactly twice", used by ChaosInjector and directed tests). Armed
+// bursts are consumed before the dice roll.
+//
+// Thread-safe: each pusher thread drives its own transport while the
+// chaos thread arms bursts into it; a mutex covers the fault state (the
+// wrapped transport itself stays single-caller).
+
+#ifndef LTC_TESTING_FAULTY_TRANSPORT_H_
+#define LTC_TESTING_FAULTY_TRANSPORT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "server/push_client.h"
+
+namespace ltc {
+
+enum class TransportFault : uint8_t {
+  kRefuseConnect = 0,
+  kDropSend = 1,
+  kShortWrite = 2,
+  kDelay = 3,
+  kDropAck = 4,
+};
+constexpr size_t kNumTransportFaults = 5;
+
+struct FaultyTransportConfig {
+  /// Per-op trigger probabilities (0 = only armed bursts fire).
+  double refuse_probability = 0.0;
+  double drop_send_probability = 0.0;
+  double short_write_probability = 0.0;
+  double delay_probability = 0.0;
+  double drop_ack_probability = 0.0;
+
+  /// Injected latency per kDelay trigger.
+  uint64_t delay_usec = 2'000;
+
+  /// Same seed, same storm.
+  uint64_t seed = 1;
+};
+
+class FaultyTransport final : public server::PushTransport {
+ public:
+  /// `inner` does the real I/O and must outlive this wrapper. `clock`
+  /// sleeps the kDelay faults (FakeClock makes them free).
+  FaultyTransport(server::PushTransport* inner,
+                  const FaultyTransportConfig& config,
+                  Clock* clock = nullptr);
+
+  /// Queues `count` deterministic triggers of `kind`, consumed (before
+  /// any dice roll) by the next matching ops. Any thread.
+  void Arm(TransportFault kind, uint64_t count);
+
+  /// Total faults injected, by kind. Any thread.
+  uint64_t faults_injected(TransportFault kind) const;
+  uint64_t total_faults_injected() const;
+
+  // PushTransport:
+  bool Connect(const std::string& host, uint16_t port,
+               uint64_t deadline_usec) override;
+  bool Send(std::string_view bytes, uint64_t deadline_usec) override;
+  bool Recv(std::string* out, size_t max_bytes,
+            uint64_t deadline_usec) override;
+  void Close() override;
+  bool connected() const override { return inner_->connected(); }
+
+ private:
+  /// Consumes an armed trigger or rolls the dice. Lock held by caller.
+  bool FireLocked(TransportFault kind, double probability);
+  void MaybeDelay();
+
+  server::PushTransport* inner_;
+  FaultyTransportConfig config_;
+  Clock* clock_;
+
+  mutable std::mutex mutex_;
+  Rng rng_;
+  uint64_t armed_[kNumTransportFaults] = {};
+  uint64_t injected_[kNumTransportFaults] = {};
+  bool drop_next_recv_ = false;  // set by a fired kDropAck on Send
+};
+
+}  // namespace ltc
+
+#endif  // LTC_TESTING_FAULTY_TRANSPORT_H_

@@ -191,13 +191,17 @@ std::optional<std::string> MergeIdentityCheck(const Ltc& table) {
     return std::string("merge: clone cannot merge with empty peer");
   }
   Ltc self_plus_empty = finalized;
-  self_plus_empty.MergeFrom(empty);
+  if (!self_plus_empty.MergeFrom(empty)) {
+    return std::string("merge: A+0 rejected despite CanMergeWith");
+  }
   if (auto err = DiffTables(self_plus_empty, finalized,
                             "merge: A+0 != A")) {
     return err;
   }
   Ltc empty_plus_self(finalized.config());
-  empty_plus_self.MergeFrom(finalized);
+  if (!empty_plus_self.MergeFrom(finalized)) {
+    return std::string("merge: 0+A rejected despite CanMergeWith");
+  }
   if (auto err = DiffTables(empty_plus_self, finalized,
                             "merge: 0+A != A")) {
     return err;

@@ -1,0 +1,652 @@
+// Aggregation-tier battery (docs/SERVING.md "Aggregation tier"):
+// PUSH_SKETCH wire goldens, the push-only frame-cap raise, the
+// AggregatorCore's idempotent-merge semantics (duplicates, stale
+// epochs, reorderings — all bit-identical), typed rejection of every
+// malformed push (corruption sweep included), FakeClock staleness
+// rows, dispatcher integration, and the SketchPusher's retry loop
+// driven against an in-process loopback transport under injected
+// faults. The socket-level storm lives in tests/aggregation_chaos_test.
+//
+// The tier's central claim mirrors the protocol's totality claim: for
+// EVERY push a client can send — duplicated, reordered, truncated,
+// corrupted, wrong-shaped — the aggregator answers a typed outcome and
+// its merged aggregate stays a pure function of {newest valid image
+// per node}.
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/serial.h"
+#include "core/ltc.h"
+#include "core/read_snapshot.h"
+#include "server/aggregator.h"
+#include "server/dispatcher.h"
+#include "server/key_codec.h"
+#include "server/protocol.h"
+#include "server/push_client.h"
+#include "testing/faulty_transport.h"
+
+namespace ltc {
+namespace server {
+namespace {
+
+LtcConfig SmallConfig() {
+  LtcConfig config;
+  config.memory_bytes = 4 * 1024;
+  config.period_mode = PeriodMode::kCountBased;
+  config.items_per_period = 100;
+  return config;
+}
+
+/// A finalized sketch holding `copies` inserts of each item in `items`
+/// — the image a pusher would ship at a barrier.
+Ltc MakeSketch(const LtcConfig& config, const std::vector<ItemId>& items,
+               uint64_t copies = 1) {
+  Ltc table(config);
+  for (uint64_t c = 0; c < copies; ++c) {
+    for (ItemId item : items) table.Insert(item);
+  }
+  table.Finalize();
+  return table;
+}
+
+std::string SerializeTable(const Ltc& table) {
+  BinaryWriter writer;
+  table.Serialize(writer);
+  return writer.data();
+}
+
+PushRequest MakePush(uint64_t node_id, uint64_t epoch, const Ltc& table,
+                     uint64_t records = 0) {
+  PushRequest push;
+  push.node_id = node_id;
+  push.epoch_seq = epoch;
+  push.records = records;
+  push.payload = SerializeTable(table);
+  return push;
+}
+
+// --- Wire format ------------------------------------------------------
+
+TEST(PushProtocol, RequestLayoutIsPinnedAndRoundTrips) {
+  PushRequest push;
+  push.node_id = 0x1122334455667788;
+  push.epoch_seq = 7;
+  push.sketch_kind = kSketchKindLtc;
+  push.records = 1000;
+  push.payload = "abc";
+
+  const std::string encoded = EncodePushRequest(push);
+  // u8 opcode + u64 node + u64 epoch + u8 kind + u64 records +
+  // u32 payload_len + payload.
+  ASSERT_EQ(encoded.size(), 1 + 8 + 8 + 1 + 8 + 4 + 3);
+  EXPECT_EQ(static_cast<uint8_t>(encoded[0]),
+            static_cast<uint8_t>(Opcode::kPushSketch));
+  EXPECT_EQ(static_cast<uint8_t>(encoded[1]), 0x88);  // little-endian
+  EXPECT_EQ(static_cast<uint8_t>(encoded[8]), 0x11);
+
+  const auto decoded = DecodePushRequestBody(
+      std::string_view(encoded).substr(1));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->node_id, push.node_id);
+  EXPECT_EQ(decoded->epoch_seq, 7u);
+  EXPECT_EQ(decoded->sketch_kind, kSketchKindLtc);
+  EXPECT_EQ(decoded->records, 1000u);
+  EXPECT_EQ(decoded->payload, "abc");
+}
+
+TEST(PushProtocol, DecodeRejectsTruncatedAndInconsistentBodies) {
+  PushRequest push;
+  push.node_id = 5;
+  push.epoch_seq = 1;
+  push.records = 10;
+  push.payload = "sketchbytes";
+  const std::string body = EncodePushRequest(push).substr(1);
+
+  // Every strict prefix is truncated.
+  for (size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(DecodePushRequestBody(body.substr(0, len)).has_value())
+        << "prefix of " << len << " bytes decoded";
+  }
+  // Trailing garbage makes the declared payload length inconsistent.
+  EXPECT_FALSE(DecodePushRequestBody(body + "x").has_value());
+  // A declared length above the actual bytes is truncation, not UB.
+  std::string inflated = body;
+  inflated[8 + 8 + 1 + 8] = static_cast<char>(0xff);
+  EXPECT_FALSE(DecodePushRequestBody(inflated).has_value());
+}
+
+TEST(PushProtocol, AckRoundTripsAndRejectionsAreTyped) {
+  const auto applied = DecodeResponse(Opcode::kPushSketch,
+                                      EncodePushResponse(9, true));
+  ASSERT_TRUE(applied.has_value());
+  EXPECT_EQ(applied->status, Status::kOk);
+  EXPECT_EQ(applied->push_epoch, 9u);
+  EXPECT_TRUE(applied->push_applied);
+
+  const auto duplicate = DecodeResponse(Opcode::kPushSketch,
+                                        EncodePushResponse(9, false));
+  ASSERT_TRUE(duplicate.has_value());
+  EXPECT_FALSE(duplicate->push_applied);
+
+  for (Status status : {Status::kErrShapeMismatch, Status::kErrStaleEpoch,
+                        Status::kErrBadSketch, Status::kErrNotAggregator}) {
+    const auto error = DecodeResponse(
+        Opcode::kPushSketch, EncodeErrorResponse(status, "why"));
+    ASSERT_TRUE(error.has_value()) << StatusName(status);
+    EXPECT_EQ(error->status, status);
+    EXPECT_EQ(error->error_detail, "why");
+  }
+
+  // A truncated ack is a malformed payload, not a crash.
+  const std::string ack = EncodePushResponse(9, true);
+  for (size_t len = 0; len < ack.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeResponse(Opcode::kPushSketch, ack.substr(0, len)).has_value());
+  }
+}
+
+TEST(PushProtocol, FrameParserRaisesTheCapForPushFramesOnly) {
+  const size_t query_cap = 64;
+  const size_t push_cap = 1 << 20;
+  const std::string big_push(
+      EncodePushRequest(MakePush(1, 1, MakeSketch(SmallConfig(), {1, 2, 3}))));
+  ASSERT_GT(big_push.size(), query_cap);
+  ASSERT_LE(big_push.size(), push_cap);
+
+  // A push frame above the query cap parses.
+  FrameParser parser(query_cap, push_cap);
+  parser.Feed(EncodeFrame(big_push));
+  const auto payload = parser.Next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, big_push);
+  EXPECT_FALSE(parser.oversized());
+
+  // The same length under a non-push opcode poisons the stream.
+  std::string big_query = big_push;
+  big_query[0] = static_cast<char>(Opcode::kTopK);
+  FrameParser query_parser(query_cap, push_cap);
+  query_parser.Feed(EncodeFrame(big_query));
+  EXPECT_FALSE(query_parser.Next().has_value());
+  EXPECT_TRUE(query_parser.oversized());
+
+  // Above even the push cap: poisoned regardless of opcode.
+  FrameParser capped(query_cap, /*max_push_frame_bytes=*/128);
+  capped.Feed(EncodeFrame(big_push));
+  EXPECT_FALSE(capped.Next().has_value());
+  EXPECT_TRUE(capped.oversized());
+
+  // Deciding needs the opcode byte: a large declared length parks the
+  // parser (not poisoned, not popped) until byte 5 arrives.
+  FrameParser parked(query_cap, push_cap);
+  const std::string wire = EncodeFrame(big_push);
+  parked.Feed(std::string_view(wire).substr(0, 4));
+  EXPECT_FALSE(parked.Next().has_value());
+  EXPECT_FALSE(parked.oversized());
+  parked.Feed(std::string_view(wire).substr(4));
+  const auto parked_payload = parked.Next();
+  ASSERT_TRUE(parked_payload.has_value());
+  EXPECT_EQ(*parked_payload, big_push);
+}
+
+// --- AggregatorCore: idempotent merge semantics -----------------------
+
+TEST(Aggregator, MergesAndAnswersDuplicatesWithoutReapplying) {
+  const LtcConfig config = SmallConfig();
+  AggregatorCore aggregator(config, /*hub=*/nullptr);
+
+  const Ltc node_a = MakeSketch(config, {1, 2, 3}, 10);
+  const Ltc node_b = MakeSketch(config, {4, 5, 6}, 20);
+
+  auto outcome = aggregator.ApplyPush(MakePush(1, 1, node_a, 30));
+  EXPECT_EQ(outcome.status, Status::kOk);
+  EXPECT_TRUE(outcome.applied);
+  EXPECT_EQ(outcome.epoch_seq, 1u);
+
+  outcome = aggregator.ApplyPush(MakePush(2, 1, node_b, 60));
+  EXPECT_TRUE(outcome.applied);
+  EXPECT_EQ(aggregator.merges_total(), 2u);
+  EXPECT_EQ(aggregator.num_nodes(), 2u);
+  EXPECT_EQ(aggregator.total_records(), 90u);
+
+  // A retried delivery of an applied epoch: kOk, applied=0, and the
+  // aggregate does not move by a single bit.
+  const std::string before = aggregator.SerializeMerged();
+  outcome = aggregator.ApplyPush(MakePush(1, 1, node_a, 30));
+  EXPECT_EQ(outcome.status, Status::kOk);
+  EXPECT_FALSE(outcome.applied);
+  EXPECT_EQ(aggregator.SerializeMerged(), before);
+  EXPECT_EQ(aggregator.merges_total(), 2u);
+
+  // The aggregate equals a sequential fold of the images in node order.
+  Ltc oracle(config);
+  ASSERT_TRUE(oracle.MergeFrom(node_a));
+  ASSERT_TRUE(oracle.MergeFrom(node_b));
+  EXPECT_EQ(before, SerializeTable(oracle));
+}
+
+TEST(Aggregator, EpochGateIsTypedAndJudgedBeforeDeserializing) {
+  const LtcConfig config = SmallConfig();
+  AggregatorCore aggregator(config, nullptr);
+  const Ltc image = MakeSketch(config, {7, 8}, 5);
+
+  // Epoch 0 is never valid.
+  auto outcome = aggregator.ApplyPush(MakePush(1, 0, image));
+  EXPECT_EQ(outcome.status, Status::kErrBadSketch);
+
+  ASSERT_TRUE(aggregator.ApplyPush(MakePush(1, 4, image)).applied);
+
+  // Older than applied: terminal stale rejection...
+  outcome = aggregator.ApplyPush(MakePush(1, 3, image));
+  EXPECT_EQ(outcome.status, Status::kErrStaleEpoch);
+  // ...even when the retransmit is corrupt — the gate fires first, so
+  // the client hears the retry-stopping answer, not kErrBadSketch.
+  PushRequest corrupt = MakePush(1, 2, image);
+  corrupt.payload = "garbage";
+  EXPECT_EQ(aggregator.ApplyPush(corrupt).status, Status::kErrStaleEpoch);
+
+  // A duplicate of the newest epoch is judged by sequence alone too.
+  corrupt = MakePush(1, 4, image);
+  corrupt.payload = "garbage";
+  outcome = aggregator.ApplyPush(corrupt);
+  EXPECT_EQ(outcome.status, Status::kOk);
+  EXPECT_FALSE(outcome.applied);
+  EXPECT_EQ(aggregator.rejects_total(), 3u);  // epoch-0, stale, stale
+}
+
+TEST(Aggregator, AggregateIsAPureFunctionOfNewestImagesPerNode) {
+  const LtcConfig config = SmallConfig();
+  const Ltc a1 = MakeSketch(config, {1, 2}, 5);
+  const Ltc a2 = MakeSketch(config, {1, 2, 3}, 9);
+  const Ltc b1 = MakeSketch(config, {10, 11}, 4);
+
+  // Clean sequential delivery.
+  AggregatorCore clean(config, nullptr);
+  ASSERT_TRUE(clean.ApplyPush(MakePush(1, 1, a1)).applied);
+  ASSERT_TRUE(clean.ApplyPush(MakePush(2, 1, b1)).applied);
+  ASSERT_TRUE(clean.ApplyPush(MakePush(1, 2, a2)).applied);
+
+  // The same final state delivered messily: interleaved, duplicated,
+  // and with a stale straggler rejected along the way.
+  AggregatorCore messy(config, nullptr);
+  EXPECT_TRUE(messy.ApplyPush(MakePush(2, 1, b1)).applied);
+  EXPECT_FALSE(messy.ApplyPush(MakePush(2, 1, b1)).applied);  // dup
+  EXPECT_TRUE(messy.ApplyPush(MakePush(1, 1, a1)).applied);
+  EXPECT_TRUE(messy.ApplyPush(MakePush(1, 2, a2)).applied);
+  EXPECT_EQ(messy.ApplyPush(MakePush(1, 1, a1)).status,
+            Status::kErrStaleEpoch);                          // straggler
+  EXPECT_FALSE(messy.ApplyPush(MakePush(1, 2, a2)).applied);  // dup
+
+  const std::string merged = clean.SerializeMerged();
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged, messy.SerializeMerged());
+}
+
+TEST(Aggregator, WrongShapeAndWrongKindAreTypedRejections) {
+  const LtcConfig config = SmallConfig();
+  AggregatorCore aggregator(config, nullptr);
+  ASSERT_TRUE(
+      aggregator.ApplyPush(MakePush(1, 1, MakeSketch(config, {1}))).applied);
+  const std::string before = aggregator.SerializeMerged();
+
+  // Different geometry cannot merge.
+  LtcConfig big = config;
+  big.memory_bytes = 2 * config.memory_bytes;
+  auto outcome = aggregator.ApplyPush(MakePush(2, 1, MakeSketch(big, {2})));
+  EXPECT_EQ(outcome.status, Status::kErrShapeMismatch);
+
+  // Different significance weights cannot merge either.
+  LtcConfig reweighted = config;
+  reweighted.alpha = 3.0;
+  outcome = aggregator.ApplyPush(MakePush(2, 1, MakeSketch(reweighted, {2})));
+  EXPECT_EQ(outcome.status, Status::kErrShapeMismatch);
+
+  // Unknown sketch kind.
+  PushRequest push = MakePush(2, 1, MakeSketch(config, {2}));
+  push.sketch_kind = 9;
+  EXPECT_EQ(aggregator.ApplyPush(push).status, Status::kErrBadSketch);
+
+  // None of it moved the aggregate, and no node was registered.
+  EXPECT_EQ(aggregator.SerializeMerged(), before);
+  EXPECT_EQ(aggregator.num_nodes(), 1u);
+  EXPECT_EQ(aggregator.rejects_total(), 3u);
+}
+
+TEST(Aggregator, CorruptionSweepNeverCrashesAndRejectionsNeverMutate) {
+  const LtcConfig config = SmallConfig();
+  AggregatorCore aggregator(config, nullptr);
+  ASSERT_TRUE(
+      aggregator.ApplyPush(MakePush(1, 1, MakeSketch(config, {1, 2}, 3)))
+          .applied);
+
+  const std::string valid = SerializeTable(MakeSketch(config, {5, 6}, 7));
+  uint64_t applied = 0, rejected = 0, epoch = 0;
+  for (size_t offset = 0; offset < valid.size(); ++offset) {
+    PushRequest push;
+    push.node_id = 2;
+    push.payload = valid;
+    push.payload[offset] = static_cast<char>(push.payload[offset] ^ 0xff);
+    push.epoch_seq = epoch + 1;  // fresh epoch: the gate never masks it
+    const std::string before = aggregator.SerializeMerged();
+    const PushOutcome outcome = aggregator.ApplyPush(push);
+    if (outcome.status == Status::kOk) {
+      // The flip still deserialized into a mergeable table — from the
+      // wire that is indistinguishable from honest data.
+      ASSERT_TRUE(outcome.applied);
+      ++applied;
+      ++epoch;
+    } else {
+      // A typed rejection, and the aggregate did not move one bit.
+      EXPECT_TRUE(outcome.status == Status::kErrBadSketch ||
+                  outcome.status == Status::kErrShapeMismatch)
+          << "offset " << offset << ": status "
+          << StatusName(outcome.status);
+      EXPECT_EQ(aggregator.SerializeMerged(), before) << "offset " << offset;
+      ++rejected;
+    }
+  }
+  // The sweep genuinely exercised the rejection path.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(applied + rejected, valid.size());
+}
+
+TEST(Aggregator, StalenessRowsAgeOnTheInjectedClock) {
+  FakeClock clock;
+  const LtcConfig config = SmallConfig();
+  AggregatorCore aggregator(config, nullptr, /*stale_after_sec=*/30, &clock);
+  const Ltc image = MakeSketch(config, {1});
+
+  ASSERT_TRUE(aggregator.ApplyPush(MakePush(7, 1, image)).applied);
+  clock.Advance(10'000'000);
+  ASSERT_TRUE(aggregator.ApplyPush(MakePush(8, 1, image)).applied);
+
+  clock.Advance(25'000'000);  // node 7: 35s, node 8: 25s
+  auto rows = aggregator.NodeRows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].node_id, 7u);
+  EXPECT_EQ(rows[0].age_sec, 35u);
+  EXPECT_EQ(rows[0].stale, 1u);
+  EXPECT_EQ(rows[1].node_id, 8u);
+  EXPECT_EQ(rows[1].age_sec, 25u);
+  EXPECT_EQ(rows[1].stale, 0u);
+
+  // A fresh push heals the row; the dead node keeps degrading but the
+  // aggregator keeps serving (its image still contributes).
+  ASSERT_TRUE(aggregator.ApplyPush(MakePush(7, 2, image)).applied);
+  rows = aggregator.NodeRows();
+  EXPECT_EQ(rows[0].age_sec, 0u);
+  EXPECT_EQ(rows[0].stale, 0u);
+  EXPECT_FALSE(aggregator.SerializeMerged().empty());
+}
+
+TEST(Aggregator, RepublishesTheMergedViewThroughTheHub) {
+  const LtcConfig config = SmallConfig();
+  ReadSnapshotHub hub;
+  AggregatorCore aggregator(config, &hub);
+  EXPECT_EQ(hub.PublishedSeq(), 0u);
+
+  ASSERT_TRUE(
+      aggregator.ApplyPush(MakePush(1, 1, MakeSketch(config, {42}, 9), 9))
+          .applied);
+  ASSERT_EQ(hub.PublishedSeq(), 1u);
+  {
+    auto ref = hub.Acquire();
+    ASSERT_TRUE(ref);
+    EXPECT_EQ(ref->records, 9u);
+    const auto top = ref->table->TopK(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].item, 42u);
+  }
+
+  // A duplicate republishes nothing; a new epoch republishes.
+  aggregator.ApplyPush(MakePush(1, 1, MakeSketch(config, {42}, 9), 9));
+  EXPECT_EQ(hub.PublishedSeq(), 1u);
+  ASSERT_TRUE(
+      aggregator.ApplyPush(MakePush(1, 2, MakeSketch(config, {42}, 10), 10))
+          .applied);
+  EXPECT_EQ(hub.PublishedSeq(), 2u);
+}
+
+// --- Dispatcher integration ------------------------------------------
+
+struct DispatcherFixture {
+  DispatcherFixture() : dispatcher(hub, codec, 0) {}
+
+  std::optional<DecodedResponse> Push(const PushRequest& push) {
+    return DecodeResponse(Opcode::kPushSketch,
+                          dispatcher.Handle(EncodePushRequest(push)));
+  }
+
+  ReadSnapshotHub hub;
+  NumericKeyCodec codec;
+  QueryDispatcher dispatcher;
+};
+
+TEST(DispatcherPush, WithoutAnAggregatorPushesGetATypedRefusal) {
+  DispatcherFixture fx;
+  const auto response =
+      fx.Push(MakePush(1, 1, MakeSketch(SmallConfig(), {1})));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kErrNotAggregator);
+}
+
+TEST(DispatcherPush, PushesMergeAndStatsGrowNodeRows) {
+  DispatcherFixture fx;
+  const LtcConfig config = SmallConfig();
+  AggregatorCore aggregator(config, &fx.hub);
+  fx.dispatcher.AttachAggregator(&aggregator);
+
+  auto ack = fx.Push(MakePush(3, 1, MakeSketch(config, {1, 2}, 4), 8));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, Status::kOk);
+  EXPECT_EQ(ack->push_epoch, 1u);
+  EXPECT_TRUE(ack->push_applied);
+
+  // The duplicate ack over the wire.
+  ack = fx.Push(MakePush(3, 1, MakeSketch(config, {1, 2}, 4), 8));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, Status::kOk);
+  EXPECT_FALSE(ack->push_applied);
+
+  // STATS now carries the per-node delivery rows.
+  const auto stats = DecodeResponse(
+      Opcode::kStats, fx.dispatcher.Handle(EncodeStatsRequest()));
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_EQ(stats->stats.nodes.size(), 1u);
+  EXPECT_EQ(stats->stats.nodes[0].node_id, 3u);
+  EXPECT_EQ(stats->stats.nodes[0].last_epoch, 1u);
+  EXPECT_EQ(stats->stats.protocol_version, kProtocolVersion);
+
+  // A truncated push body is malformed, never a crash.
+  const std::string wire =
+      EncodePushRequest(MakePush(3, 2, MakeSketch(config, {1})));
+  const auto malformed = DecodeResponse(
+      Opcode::kPushSketch, fx.dispatcher.Handle(wire.substr(0, 12)));
+  ASSERT_TRUE(malformed.has_value());
+  EXPECT_EQ(malformed->status, Status::kErrMalformed);
+}
+
+TEST(DispatcherPush, CorruptedRequestBytesAlwaysGetAWellFormedAnswer) {
+  DispatcherFixture fx;
+  const LtcConfig config = SmallConfig();
+  AggregatorCore aggregator(config, &fx.hub);
+  fx.dispatcher.AttachAggregator(&aggregator);
+
+  const std::string wire =
+      EncodePushRequest(MakePush(4, 1, MakeSketch(config, {9}, 2)));
+  for (size_t offset = 0; offset < wire.size(); ++offset) {
+    std::string corrupt = wire;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0xff);
+    const std::string response = fx.dispatcher.Handle(corrupt);
+    ASSERT_FALSE(response.empty()) << "offset " << offset;
+    // First byte is always a known status.
+    EXPECT_LE(static_cast<uint8_t>(response[0]),
+              static_cast<uint8_t>(Status::kErrNotAggregator))
+        << "offset " << offset;
+  }
+}
+
+// --- SketchPusher against an in-process loopback ---------------------
+
+/// A PushTransport that short-circuits straight into a dispatcher: Send
+/// feeds the server-side frame parser (push cap raised, like an
+/// aggregator's), Recv drains the queued response frames. Close models
+/// a dropped connection — buffered bytes in both directions are gone.
+class LoopbackTransport final : public PushTransport {
+ public:
+  explicit LoopbackTransport(QueryDispatcher* dispatcher)
+      : dispatcher_(dispatcher), parser_(kMaxFrameBytes, kMaxPushFrameBytes) {}
+
+  bool Connect(const std::string&, uint16_t, uint64_t) override {
+    connected_ = true;
+    return true;
+  }
+
+  bool Send(std::string_view bytes, uint64_t) override {
+    if (!connected_) return false;
+    parser_.Feed(bytes);
+    while (auto payload = parser_.Next()) {
+      out_ += EncodeFrame(dispatcher_->Handle(*payload));
+    }
+    return true;
+  }
+
+  bool Recv(std::string* out, size_t max_bytes, uint64_t) override {
+    if (!connected_ || out_.empty()) return false;  // "deadline expired"
+    const size_t n = std::min(max_bytes, out_.size());
+    out->append(out_, 0, n);
+    out_.erase(0, n);
+    return true;
+  }
+
+  void Close() override {
+    connected_ = false;
+    out_.clear();
+    parser_ = FrameParser(kMaxFrameBytes, kMaxPushFrameBytes);
+  }
+
+  bool connected() const override { return connected_; }
+
+ private:
+  QueryDispatcher* dispatcher_;
+  FrameParser parser_;
+  std::string out_;
+  bool connected_ = false;
+};
+
+struct PusherFixture {
+  PusherFixture()
+      : aggregator(SmallConfig(), &hub),
+        dispatcher(hub, codec, 0),
+        loopback(&dispatcher),
+        faulty(&loopback, FaultyTransportConfig{}, &clock) {
+    dispatcher.AttachAggregator(&aggregator);
+    SketchPusherConfig config;
+    config.node_id = 3;
+    pusher.emplace(config, &faulty, &clock);
+  }
+
+  ReadSnapshotHub hub;
+  NumericKeyCodec codec;
+  AggregatorCore aggregator;
+  QueryDispatcher dispatcher;
+  LoopbackTransport loopback;
+  FakeClock clock;
+  FaultyTransport faulty;
+  std::optional<SketchPusher> pusher;
+};
+
+TEST(SketchPusher, RetriesThroughTransportFaultsUntilDelivered) {
+  PusherFixture fx;
+  // Two refused connects, then a torn frame: three full re-attempts
+  // before the fourth lands. The FakeClock eats the backoff sleeps.
+  fx.faulty.Arm(TransportFault::kRefuseConnect, 2);
+  fx.faulty.Arm(TransportFault::kShortWrite, 1);
+
+  const auto result =
+      fx.pusher->Push(MakeSketch(SmallConfig(), {1, 2, 3}, 5), 1, 15);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_TRUE(result.applied);
+  EXPECT_FALSE(result.terminal);
+  EXPECT_EQ(fx.pusher->attempts(), 4u);
+  EXPECT_EQ(fx.pusher->retries(), 3u);
+  EXPECT_EQ(fx.pusher->delivered(), 1u);
+  EXPECT_EQ(fx.faulty.total_faults_injected(), 3u);
+  EXPECT_EQ(fx.aggregator.merges_total(), 1u);
+  // The backoff slept between attempts, per the policy's schedule.
+  EXPECT_EQ(fx.clock.sleeps_usec().size(), 3u);
+}
+
+TEST(SketchPusher, LostAckRetryIsDedupedNotDoubleCounted) {
+  PusherFixture fx;
+  // The frame delivers, the ack is lost: the aggregator applied the
+  // push, the client cannot know, and retries a delivered push. The
+  // retry must be acked as a duplicate, not merged twice.
+  fx.faulty.Arm(TransportFault::kDropAck, 1);
+
+  const Ltc image = MakeSketch(SmallConfig(), {7, 8}, 6);
+  const auto result = fx.pusher->Push(image, 1, 12);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_FALSE(result.applied);  // the surviving ack is the duplicate's
+  EXPECT_EQ(fx.pusher->attempts(), 2u);
+  EXPECT_EQ(fx.aggregator.merges_total(), 1u);
+
+  // Bit-identical to a single clean delivery.
+  AggregatorCore oracle(SmallConfig(), nullptr);
+  ASSERT_TRUE(oracle.ApplyPush(MakePush(3, 1, image, 12)).applied);
+  EXPECT_EQ(fx.aggregator.SerializeMerged(), oracle.SerializeMerged());
+}
+
+TEST(SketchPusher, TypedRejectionIsTerminalAndStopsTheRetryLoop) {
+  PusherFixture fx;
+  LtcConfig wrong = SmallConfig();
+  wrong.memory_bytes *= 2;
+
+  auto result = fx.pusher->Push(MakeSketch(wrong, {1}), 1, 1);
+  EXPECT_FALSE(result.delivered);
+  EXPECT_TRUE(result.terminal);
+  EXPECT_EQ(result.status, Status::kErrShapeMismatch);
+  EXPECT_EQ(fx.pusher->attempts(), 1u);  // no retry can fix a shape
+  EXPECT_EQ(fx.pusher->rejected(), 1u);
+
+  // Undeserializable bytes are equally terminal.
+  result = fx.pusher->PushSerialized("not a sketch", 2, 1);
+  EXPECT_TRUE(result.terminal);
+  EXPECT_EQ(result.status, Status::kErrBadSketch);
+  EXPECT_EQ(fx.pusher->attempts(), 2u);
+  EXPECT_EQ(fx.aggregator.merges_total(), 0u);
+}
+
+TEST(SketchPusher, GivesUpAfterTheRetryBudgetAgainstADeadAggregator) {
+  ReadSnapshotHub hub;
+  NumericKeyCodec codec;
+  QueryDispatcher dispatcher(hub, codec, 0);
+  LoopbackTransport loopback(&dispatcher);
+  FakeClock clock;
+  FaultyTransportConfig storm;
+  storm.refuse_probability = 1.0;  // the aggregator is just gone
+  FaultyTransport faulty(&loopback, storm, &clock);
+  SketchPusherConfig config;
+  config.node_id = 1;
+  config.retry.max_attempts = 5;
+  SketchPusher pusher(config, &faulty, &clock);
+
+  const auto result = pusher.Push(MakeSketch(SmallConfig(), {1}), 1, 1);
+  EXPECT_FALSE(result.delivered);
+  EXPECT_FALSE(result.terminal);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_EQ(pusher.attempts(), 5u);
+  EXPECT_EQ(pusher.retries(), 4u);
+  EXPECT_EQ(pusher.delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace ltc

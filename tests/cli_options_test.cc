@@ -220,6 +220,82 @@ TEST(CliOptions, ServeFlagMatrix) {
   }
 }
 
+TEST(CliOptions, PushFlagsParsedWithDefaults) {
+  auto options = Parse({"trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_TRUE(options->push_to.empty());
+  EXPECT_EQ(options->push_every, 0u);
+  EXPECT_EQ(options->node_id, 0u);
+  EXPECT_FALSE(options->aggregate);
+
+  options = Parse({"--push-to", "agg.example:9100", "--node-id", "7",
+                   "--push-every", "50000", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->push_to, "agg.example:9100");
+  EXPECT_EQ(options->node_id, 7u);
+  EXPECT_EQ(options->push_every, 50000u);
+}
+
+TEST(CliOptions, AggregateParsed) {
+  auto options = Parse({"--aggregate", "--serve", "0"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_TRUE(options->aggregate);
+  EXPECT_TRUE(options->trace_path.empty());
+  EXPECT_EQ(options->agg_stale_after, 60u);  // default
+
+  options = Parse({"--aggregate", "--serve", "9100", "--agg-stale-after",
+                   "5"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->agg_stale_after, 5u);
+}
+
+// The aggregation-tier role rules (docs/SERVING.md "Aggregation
+// tier"): --aggregate is a server role with no trace, --push-to is a
+// node role needing an identity, and the two never mix in one process.
+TEST(CliOptions, AggregationRoleRejections) {
+  std::string error;
+  // --aggregate IS a query server; pushes arrive on the --serve port.
+  EXPECT_FALSE(Parse({"--aggregate"}, &error).has_value());
+  EXPECT_NE(error.find("--serve"), std::string::npos);
+  // Its data arrives via PUSH_SKETCH, never a trace.
+  EXPECT_FALSE(
+      Parse({"--aggregate", "--serve", "0", "trace.csv"}, &error).has_value());
+  EXPECT_NE(error.find("no trace"), std::string::npos);
+  // One process, one role.
+  EXPECT_FALSE(Parse({"--aggregate", "--serve", "0", "--push-to", "h:1"},
+                     &error)
+                   .has_value());
+  EXPECT_NE(error.find("role"), std::string::npos);
+  // The aggregator dedups on node identity, so a pusher must have one.
+  EXPECT_FALSE(Parse({"--push-to", "h:1", "trace.csv"}, &error).has_value());
+  EXPECT_NE(error.find("--node-id"), std::string::npos);
+  EXPECT_FALSE(Parse({"--push-to", "h:1", "--node-id", "0", "trace.csv"},
+                     &error)
+                   .has_value());
+  // Pushes ship flush-barrier clones of the single table.
+  EXPECT_FALSE(Parse({"--push-to", "h:1", "--node-id", "1", "--threads", "4",
+                      "trace.csv"},
+                     &error)
+                   .has_value());
+  EXPECT_NE(error.find("--threads"), std::string::npos);
+  // The cadence is meaningless without a destination.
+  EXPECT_FALSE(
+      Parse({"--push-every", "1000", "trace.csv"}, &error).has_value());
+  EXPECT_NE(error.find("--push-to"), std::string::npos);
+  // Value validation: HOST:PORT shape and numeric fields.
+  EXPECT_FALSE(Parse({"--push-to", "", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--push-to", "noport", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--push-to", "h:0", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--push-to", "h:65536", "t"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--node-id", "potato", "t"}, &error).has_value());
+  // --push-every 0 is the documented "one final push" spelling, legal
+  // alongside --push-to.
+  const auto zero_cadence = Parse(
+      {"--push-to", "h:1", "--node-id", "1", "--push-every", "0", "t"});
+  ASSERT_TRUE(zero_cadence.has_value());
+  EXPECT_EQ(zero_cadence->push_every, 0u);
+}
+
 TEST(CliOptions, ToLtcConfigReflectsFlags) {
   auto options = Parse({"--memory", "10K", "--alpha", "2", "--beta", "3",
                         "--d", "4", "--no-ltr", "t.csv"});

@@ -160,7 +160,7 @@ TEST(Metamorphic, MergeOfItemPartitionedTablesIsExact) {
   right.Finalize();
 
   Ltc merged = left;
-  merged.MergeFrom(right);
+  ASSERT_TRUE(merged.MergeFrom(right));
   EXPECT_TRUE(merged.CheckInvariants());
 
   for (const Ltc* source : {&left, &right}) {

@@ -307,8 +307,12 @@ TEST(Dispatcher, TypedErrorForEveryMalformedShape) {
   ExpectError(dispatcher, "", Status::kErrMalformed);
   ExpectError(dispatcher, std::string_view("\x00", 1),
               Status::kErrUnknownOpcode);
-  ExpectError(dispatcher, "\x07", Status::kErrUnknownOpcode);
+  ExpectError(dispatcher, "\x08", Status::kErrUnknownOpcode);
   ExpectError(dispatcher, "\xff", Status::kErrUnknownOpcode);
+
+  // 0x07 (PUSH_SKETCH, v2) is assigned, but this dispatcher has no
+  // aggregator attached — the refusal is typed, not unknown-opcode.
+  ExpectError(dispatcher, "\x07", Status::kErrNotAggregator);
 
   // Bodies on body-less opcodes.
   ExpectError(dispatcher, "\x01junk", Status::kErrMalformed);
@@ -603,6 +607,34 @@ TEST_F(QueryServerTest, StopDrainsGracefully) {
   // The held connection was FIN'd, not reset.
   EXPECT_TRUE(client.RecvEof());
   EXPECT_EQ(server_->TotalRequests(), 1u);
+}
+
+TEST(QueryServerIdle, IdleConnectionsAreEvictedAndCounted) {
+  ReadSnapshotHub hub;
+  NumericKeyCodec codec;
+  hub.Publish(std::make_unique<Ltc>(SmallConfig()), 0);
+  QueryServerConfig config;
+  config.idle_timeout_usec = 150'000;  // tiny, so the test stays fast
+  QueryServer server(hub, codec, 0, config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  TestClient idle_client(server.port());
+  ASSERT_TRUE(idle_client.connected());
+  // Activity arms the idle clock; then the client goes silent.
+  ASSERT_TRUE(idle_client.SendRaw(EncodeFrame(EncodePingRequest())));
+  ASSERT_TRUE(idle_client.RecvPayload().has_value());
+
+  // The server FINs the idle connection on its own.
+  EXPECT_TRUE(idle_client.RecvEof());
+  EXPECT_EQ(server.ConnectionsIdleClosed(), 1u);
+
+  // An active server is otherwise unaffected: a fresh connection works.
+  TestClient fresh(server.port());
+  ASSERT_TRUE(fresh.connected());
+  ASSERT_TRUE(fresh.SendRaw(EncodeFrame(EncodePingRequest())));
+  EXPECT_TRUE(fresh.RecvPayload().has_value());
+  server.Stop();
 }
 
 TEST_F(QueryServerTest, CountersTrackTraffic) {

@@ -41,6 +41,42 @@ TEST(LtcMerge, CanMergeRequiresMatchingShape) {
   EXPECT_FALSE(Ltc(a).CanMergeWith(Ltc(b)));
 }
 
+TEST(LtcMerge, MismatchedMergeIsRejectedWithoutMutation) {
+  // A shape-mismatched MergeFrom must fail typed (return false), not
+  // assert or silently corrupt — the aggregation tier relies on this to
+  // answer ERR_SHAPE_MISMATCH and keep serving the previous aggregate.
+  LtcConfig small;
+  small.memory_bytes = 4 * 1024;
+  small.items_per_period = 100;
+  LtcConfig big = small;
+  big.memory_bytes = 8 * 1024;
+
+  Ltc target(small), peer(big);
+  for (ItemId item = 1; item <= 500; ++item) target.Insert(item % 37 + 1);
+  for (ItemId item = 1; item <= 500; ++item) peer.Insert(item % 53 + 1);
+  target.Finalize();
+  peer.Finalize();
+
+  BinaryWriter before;
+  target.Serialize(before);
+  EXPECT_FALSE(target.MergeFrom(peer));
+  BinaryWriter after;
+  target.Serialize(after);
+  EXPECT_EQ(before.data(), after.data());  // bit-identical: untouched
+
+  // Mismatched weights and seeds are rejected the same way.
+  LtcConfig reweighted = small;
+  reweighted.alpha = 3.0;
+  Ltc odd_weights(reweighted);
+  odd_weights.Finalize();
+  EXPECT_FALSE(target.MergeFrom(odd_weights));
+  LtcConfig reseeded = small;
+  reseeded.seed = 999;
+  Ltc odd_seed(reseeded);
+  odd_seed.Finalize();
+  EXPECT_FALSE(target.MergeFrom(odd_seed));
+}
+
 TEST(LtcMerge, ItemPartitionedMergeIsExactForTrackedItems) {
   // Two peers process disjoint item sets (odd/even); after merge, every
   // item that survives in the merged table reports exactly the value its
@@ -59,8 +95,8 @@ TEST(LtcMerge, ItemPartitionedMergeIsExactForTrackedItems) {
   odd.Finalize();
   even.Finalize();
 
-  merged.MergeFrom(odd);  // merged starts empty: absorb both peers
-  merged.MergeFrom(even);
+  ASSERT_TRUE(merged.MergeFrom(odd));  // merged starts empty: absorb both
+  ASSERT_TRUE(merged.MergeFrom(even));
 
   for (const auto& report : merged.TopK(100)) {
     const Ltc& owner = ((report.item >> 1) & 1) ? odd : even;
@@ -80,7 +116,7 @@ TEST(LtcMerge, DuplicateItemsAddTheirFields) {
   for (int i = 0; i < 5; ++i) b.Insert(7);
   a.Finalize();
   b.Finalize();
-  a.MergeFrom(b);
+  ASSERT_TRUE(a.MergeFrom(b));
   EXPECT_EQ(a.EstimateFrequency(7), 8u);
   EXPECT_EQ(a.EstimatePersistency(7), 2u);  // 1 + 1 (same wall period,
                                             // item-partitioning violated —
@@ -111,7 +147,7 @@ TEST(LtcMerge, KeepsMostSignificantWhenOverfull) {
   for (int i = 0; i < 1; ++i) b.Insert(4);
   a.Finalize();
   b.Finalize();
-  a.MergeFrom(b);
+  ASSERT_TRUE(a.MergeFrom(b));
   // Union is {1:10, 2:2, 3:7, 4:1}; a 2-cell bucket keeps {1, 3}.
   EXPECT_EQ(a.EstimateFrequency(1), 10u);
   EXPECT_EQ(a.EstimateFrequency(3), 7u);

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Aggregation-tier end-to-end proof (docs/SERVING.md "Aggregation
+# tier"): one `ltc_cli --aggregate` process, two `ltc_cli --push-to`
+# nodes over real sockets, one node SIGKILLed mid-stream. Asserts the
+# process-level half of the fault-tolerance contract:
+#   * the merged view blends both nodes and answers queries throughout,
+#   * a killed pusher degrades to a stale STATS row — the aggregator
+#     keeps serving its last image, never wedges,
+#   * the surviving node completes with every push delivered,
+#   * SIGTERM drains the aggregator (exit 143) and its exposition
+#     carries the ltc_agg_* families; the pusher exposition carries
+#     the ltc_push_* families.
+#
+# usage: aggregation_e2e.sh <ltc_gen> <ltc_cli> <ltc_query> <work_dir>
+#
+# Companion to server_e2e.sh (single-node serving contract) and to
+# tests/aggregation_chaos_test.cc (bit-identical convergence under
+# injected faults — the in-process, deterministic half).
+set -u
+
+fail() { echo "aggregation_e2e: FAIL: $*" >&2; exit 1; }
+
+GEN="$(readlink -f "$1")" || fail "cannot resolve $1"
+CLI="$(readlink -f "$2")" || fail "cannot resolve $2"
+QUERY="$(readlink -f "$3")" || fail "cannot resolve $3"
+WORK="$4"
+
+mkdir -p "$WORK" || fail "cannot create $WORK"
+cd "$WORK" || fail "cannot cd $WORK"
+rm -f node1.txt node2.txt agg.err push1.err push2.err \
+  agg_metrics.prom push2_metrics.prom stats.out query.err
+
+# Both nodes must be shape-compatible with the aggregator: same
+# --memory (and default cells/seed/alpha/beta) everywhere.
+MEMORY=16K
+
+# The victim's trace is big and its cadence fine-grained so the push
+# sequence is long enough to be interrupted mid-stream deterministically
+# (we kill on an *observed* merge, not on a timer).
+"$GEN" --dataset zipf --records 2000000 --distinct 2000 --gamma 1.1 \
+  --periods 20 --seed 11 node1.txt || fail "ltc_gen node1"
+"$GEN" --dataset zipf --records 200000 --distinct 2000 --gamma 1.1 \
+  --periods 20 --seed 22 node2.txt || fail "ltc_gen node2"
+
+# --- 1. The aggregator: a query server fed only by PUSH_SKETCH. ------
+"$CLI" --memory "$MEMORY" --aggregate --serve 0 --agg-stale-after 2 \
+  --metrics-out agg_metrics.prom > /dev/null 2> agg.err &
+agg_pid=$!
+port=""
+for _ in $(seq 100); do
+  port=$(grep -oE 'serving on port [0-9]+' agg.err 2> /dev/null \
+           | grep -oE '[0-9]+$' || true)
+  [ -n "$port" ] && break
+  kill -0 "$agg_pid" 2> /dev/null || fail "aggregator died: $(cat agg.err)"
+  sleep 0.1
+done
+[ -n "$port" ] || fail "aggregator never announced its port: $(cat agg.err)"
+grep -q "aggregating" agg.err || fail "no aggregating notice: $(cat agg.err)"
+
+# Queries that beat the first push see an empty table, not an error.
+"$QUERY" --port "$port" stats > stats.out 2> query.err \
+  || fail "pre-push stats failed: $(cat query.err)"
+grep -q "^stats snapshot_seq=" stats.out || fail "no pre-push stats"
+
+# --- 2. Node 1 (the victim): killed mid-stream. ----------------------
+"$CLI" --memory "$MEMORY" --push-to "127.0.0.1:$port" --node-id 1 \
+  --push-every 10000 node1.txt > /dev/null 2> push1.err &
+push1_pid=$!
+
+# Wait for the aggregator to apply a few of node 1's epochs, then
+# SIGKILL the pusher — no final push, no goodbye, a torn connection.
+killed=""
+for _ in $(seq 600); do
+  "$QUERY" --port "$port" stats > stats.out 2> /dev/null
+  last_epoch=$(grep -oE '^node 1 last_epoch=[0-9]+' stats.out \
+                 | grep -oE '[0-9]+$' || true)
+  if [ -n "$last_epoch" ] && [ "$last_epoch" -ge 3 ]; then
+    kill -9 "$push1_pid" 2> /dev/null || fail "node 1 finished before the \
+mid-stream kill (observed epoch $last_epoch); grow its trace"
+    killed=1
+    break
+  fi
+  kill -0 "$push1_pid" 2> /dev/null || fail "node 1 exited early (observed \
+epoch ${last_epoch:-none}): $(cat push1.err)"
+  sleep 0.02
+done
+[ -n "$killed" ] || fail "node 1 never reached epoch 3: $(cat push1.err)"
+wait "$push1_pid" 2> /dev/null
+echo "aggregation_e2e: node 1 SIGKILLed after epoch $last_epoch"
+
+# The aggregator must keep answering with node 1's last image intact.
+"$QUERY" --port "$port" stats topk 5 > stats.out 2> query.err \
+  || fail "post-kill query failed: $(cat query.err)"
+grep -qE "^node 1 last_epoch=[0-9]+" stats.out \
+  || fail "node 1 row lost after the kill: $(cat stats.out)"
+grep -q "5 item(s)" stats.out || fail "no topk after the kill"
+
+# --- 3. Node 2 (the survivor): runs to completion. -------------------
+"$CLI" --memory "$MEMORY" --push-to "127.0.0.1:$port" --node-id 2 \
+  --metrics-out push2_metrics.prom node2.txt > /dev/null 2> push2.err \
+  || fail "node 2 run failed: $(cat push2.err)"
+grep -qE "pushes: [1-9][0-9]* delivered" push2.err \
+  || fail "node 2 delivered nothing: $(cat push2.err)"
+grep -q "rejected push" push2.err \
+  && fail "node 2 was rejected: $(cat push2.err)"
+
+# Both nodes in the merged view: two STATS rows, blended TOPK.
+"$QUERY" --port "$port" stats topk 5 > stats.out 2> query.err \
+  || fail "post-merge query failed: $(cat query.err)"
+grep -qE "^node 1 last_epoch=" stats.out || fail "node 1 row missing"
+grep -qE "^node 2 last_epoch=" stats.out || fail "node 2 row missing"
+grep -q "5 item(s)" stats.out || fail "no merged topk rows"
+
+# --- 4. Degradation: the dead node goes stale, service stays up. -----
+# stale flips at age_sec strictly greater than --agg-stale-after (2s
+# here), so sleep well past the threshold.
+sleep 3.5
+"$QUERY" --port "$port" stats topk 5 > stats.out 2> query.err \
+  || fail "staleness query failed: $(cat query.err)"
+grep -qE "^node 1 last_epoch=[0-9]+ age_sec=[0-9]+ stale=1" stats.out \
+  || fail "node 1 not flagged stale after --agg-stale-after: $(cat stats.out)"
+grep -q "5 item(s)" stats.out || fail "no topk while a node is stale"
+echo "aggregation_e2e: dead node flagged stale, service still answering"
+
+# --- 5. Drain + expositions. -----------------------------------------
+kill -TERM "$agg_pid" 2> /dev/null
+wait "$agg_pid"
+status=$?
+[ "$status" -eq 143 ] \
+  || fail "expected aggregator exit 143 (128+SIGTERM), got $status: $(cat agg.err)"
+grep -q "drained" agg.err || fail "no drain notice: $(cat agg.err)"
+grep -qE "aggregated [1-9][0-9]* merge\(s\) from 2 node\(s\)" agg.err \
+  || fail "no aggregation summary: $(cat agg.err)"
+
+[ -s agg_metrics.prom ] || fail "no aggregator exposition"
+for family in ltc_agg_merges_total ltc_agg_nodes ltc_agg_node_staleness_sec \
+    ltc_server_requests_total; do
+  grep -q "^$family" agg_metrics.prom \
+    || fail "aggregator exposition missing $family"
+done
+[ -s push2_metrics.prom ] || fail "no pusher exposition"
+for family in ltc_push_attempts_total ltc_push_delivered_total; do
+  grep -q "^$family" push2_metrics.prom \
+    || fail "pusher exposition missing $family"
+done
+
+echo "aggregation_e2e: PASS"

@@ -94,6 +94,23 @@ options:
                     printed to stderr as "serving on port N"). Reads are
                     flush-barrier snapshots — see docs/SERVING.md.
                     Composes with every other flag [off]
+  --push-to HOST:PORT
+                    push flush-barrier sketch images to an aggregator
+                    over LTCQ (PUSH_SKETCH) while feeding, with
+                    deadline-bounded retries; requires --node-id and
+                    --threads 1 (see docs/SERVING.md "Aggregation
+                    tier") [off]
+  --push-every N    push cadence in records (0 = one final push at the
+                    end of the trace; requires --push-to) [0]
+  --node-id N       this node's stable identity at the aggregator
+                    (>= 1; required with --push-to)
+  --aggregate       be the aggregator: accept PUSH_SKETCH, serve the
+                    merged view. Requires --serve; takes no trace.
+                    Sketch shape comes from --memory/--d/--alpha/--beta,
+                    which every pusher must match [off]
+  --agg-stale-after SEC
+                    seconds without a push before a node's STATS row is
+                    flagged stale [60]
   --help            this text
 )";
 }
@@ -176,6 +193,31 @@ std::optional<CliOptions> ParseCliOptions(
                     "' (need 0..65535; 0 = ephemeral)");
       }
       options.serve_port = static_cast<int32_t>(parsed);
+    } else if (arg == "--push-to") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      const size_t colon = value.rfind(':');
+      uint64_t port = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          !ParseU64Arg(value.substr(colon + 1), &port) || port == 0 ||
+          port > 65535) {
+        return fail("bad --push-to '" + value + "' (need HOST:PORT)");
+      }
+      options.push_to = value;
+    } else if (arg == "--push-every" || arg == "--node-id" ||
+               arg == "--agg-stale-after") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      uint64_t parsed;
+      if (!ParseU64Arg(value, &parsed)) {
+        return fail("bad " + arg + " '" + value + "'");
+      }
+      if (arg == "--push-every") options.push_every = parsed;
+      if (arg == "--node-id") {
+        if (parsed == 0) return fail("--node-id must be >= 1");
+        options.node_id = parsed;
+      }
+      if (arg == "--agg-stale-after") options.agg_stale_after = parsed;
+    } else if (arg == "--aggregate") {
+      options.aggregate = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return fail("unknown option '" + arg + "'");
     } else {
@@ -186,8 +228,35 @@ std::optional<CliOptions> ParseCliOptions(
     }
   }
 
-  if (options.trace_path.empty()) {
+  if (options.aggregate) {
+    if (options.serve_port < 0) {
+      return fail("--aggregate requires --serve (the aggregator IS a query "
+                  "server; pushes arrive on the same port)");
+    }
+    if (!options.trace_path.empty()) {
+      return fail("--aggregate takes no trace (its data arrives via "
+                  "PUSH_SKETCH)");
+    }
+    if (!options.push_to.empty()) {
+      return fail("--aggregate and --push-to are different roles; run one "
+                  "process per role");
+    }
+  } else if (options.trace_path.empty()) {
     return fail("no trace file given (use '-' for stdin)");
+  }
+  if (!options.push_to.empty()) {
+    if (options.node_id == 0) {
+      return fail("--push-to requires --node-id (a stable identity the "
+                  "aggregator dedups on)");
+    }
+    if (options.threads != 1) {
+      return fail("--push-to requires --threads 1 (pushes serialize the "
+                  "single table at its flush barrier; sharded pushes are "
+                  "not mergeable across nodes)");
+    }
+  }
+  if (options.push_every > 0 && options.push_to.empty()) {
+    return fail("--push-every requires --push-to (it sets the push cadence)");
   }
   if (options.alpha == 0.0 && options.beta == 0.0) {
     return fail("alpha and beta cannot both be 0");

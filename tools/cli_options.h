@@ -38,6 +38,17 @@ struct CliOptions {
   int32_t serve_port = -1;    // >= 0: serve queries on this TCP port while
                               // (and after) feeding; 0 = ephemeral port,
                               // printed to stderr; -1 = no serving
+  std::string push_to;        // "HOST:PORT": push flush-barrier sketches
+                              // to an aggregator over LTCQ (empty = off)
+  uint64_t push_every = 0;    // push cadence in records (0 = only one
+                              // final push; requires --push-to)
+  uint64_t node_id = 0;       // identity at the aggregator (required
+                              // with --push-to, must be >= 1)
+  bool aggregate = false;     // run as the aggregation tier: no trace
+                              // feeding, serve merged pushed sketches
+                              // (requires --serve)
+  uint64_t agg_stale_after = 60;  // seconds without a push before a
+                                  // node's STATS row is flagged stale
   bool show_help = false;
 
   /// The LtcConfig these options describe (period pacing filled by the

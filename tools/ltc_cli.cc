@@ -15,6 +15,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <span>
@@ -31,7 +32,10 @@
 #include "core/sharded_ltc.h"
 #include "core/significance_estimator.h"
 #include "ingest/ingest_pipeline.h"
+#include "server/aggregator.h"
 #include "server/key_codec.h"
+#include "server/protocol.h"
+#include "server/push_client.h"
 #include "server/query_server.h"
 #include "snapshot/frame.h"
 #include "snapshot/fs.h"
@@ -90,6 +94,78 @@ std::optional<std::string> LoadCheckpointPayload(const std::string& path) {
                static_cast<unsigned long long>(recovered->seq),
                store.base_path().c_str());
   return recovered->payload;
+}
+
+/// Writes the metrics exposition to `path` (.json = JSON form, else
+/// Prometheus text), atomically; failures are warnings, never fatal.
+void WriteMetricsFile(telemetry::MetricsRegistry& registry,
+                      const std::string& path) {
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string body = json ? telemetry::ExpositionJson(registry)
+                                : telemetry::ExpositionText(registry);
+  std::string write_error;
+  if (!AtomicWriteFile(SystemFs(), path, body, &write_error)) {
+    std::fprintf(stderr, "ltc_cli: warning: cannot write metrics '%s': %s\n",
+                 path.c_str(), write_error.c_str());
+  }
+}
+
+/// --aggregate: the aggregation tier (docs/SERVING.md "Aggregation
+/// tier"). No trace is fed; the data arrives as PUSH_SKETCH images from
+/// --push-to nodes, merged idempotently by an AggregatorCore and served
+/// through the same query front end as a single node. Runs until
+/// SIGINT/SIGTERM, like the plain --serve tail.
+int RunAggregator(const CliOptions& options) {
+  const LtcConfig config = options.ToLtcConfig();
+  const bool metrics_enabled = !options.metrics_out.empty();
+  telemetry::MetricsRegistry registry;
+
+  ReadSnapshotHub hub;
+  // Seed the hub from this thread BEFORE the server starts: queries
+  // that beat the first push see an empty table, and once the event
+  // loop runs it is the hub's sole publisher (single-publisher
+  // contract).
+  hub.Publish(std::make_unique<Ltc>(config), 0);
+
+  server::AggregatorCore aggregator(config, &hub, options.agg_stale_after);
+  if (metrics_enabled) aggregator.AttachMetrics(&registry);
+
+  // Pushed sketches carry bare item ids (each pusher's interner is
+  // local), so the merged view speaks numeric keys.
+  server::NumericKeyCodec codec;
+  server::QueryServerConfig server_config;
+  server_config.port = static_cast<uint16_t>(options.serve_port);
+  // Query frames stay small; only PUSH_SKETCH may use the raised cap.
+  server_config.max_push_frame_bytes = server::kMaxPushFrameBytes;
+  server::QueryServer server(hub, codec, /*num_shards=*/0, server_config);
+  server.AttachAggregator(&aggregator);  // before Start: loop reads it
+  if (metrics_enabled) server.AttachMetrics(&registry);
+  std::string serve_error;
+  if (!server.Start(&serve_error)) {
+    std::fprintf(stderr, "ltc_cli: cannot serve: %s\n", serve_error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "ltc_cli: serving on port %u\n",
+               static_cast<unsigned>(server.port()));
+  std::fprintf(stderr, "ltc_cli: aggregating (nodes stale after %llu s)\n",
+               static_cast<unsigned long long>(options.agg_stale_after));
+  std::fflush(stderr);
+
+  while (g_caught_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.Stop();
+  std::fprintf(
+      stderr,
+      "ltc_cli: aggregated %llu merge(s) from %zu node(s) (%llu "
+      "rejection(s)), served %llu request(s), drained\n",
+      static_cast<unsigned long long>(aggregator.merges_total()),
+      aggregator.num_nodes(),
+      static_cast<unsigned long long>(aggregator.rejects_total()),
+      static_cast<unsigned long long>(server.TotalRequests()));
+  if (metrics_enabled) WriteMetricsFile(registry, options.metrics_out);
+  return 128 + static_cast<int>(g_caught_signal);
 }
 
 int Run(const CliOptions& options) {
@@ -203,16 +279,7 @@ int Run(const CliOptions& options) {
   auto write_metrics = [&] {
     if (!metrics_enabled) return;
     publish_core();
-    const std::string& path = options.metrics_out;
-    const bool json =
-        path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
-    const std::string body = json ? telemetry::ExpositionJson(registry)
-                                  : telemetry::ExpositionText(registry);
-    std::string write_error;
-    if (!AtomicWriteFile(SystemFs(), path, body, &write_error)) {
-      std::fprintf(stderr, "ltc_cli: warning: cannot write metrics '%s': %s\n",
-                   path.c_str(), write_error.c_str());
-    }
+    WriteMetricsFile(registry, options.metrics_out);
   };
 
   // Serving (docs/SERVING.md): --serve answers queries over TCP while
@@ -262,6 +329,49 @@ int Run(const CliOptions& options) {
     publish_snapshot(0);
   }
 
+  // Aggregation push (docs/SERVING.md "Aggregation tier"): --push-to
+  // ships finalized flush-barrier images to an aggregator, epoch-tagged
+  // so its retries are idempotent there. Option validation pinned
+  // --threads 1, so only the single-table feed loop pushes.
+  const bool pushing = !options.push_to.empty();
+  std::optional<server::TcpPushTransport> push_transport;
+  std::optional<server::SketchPusher> pusher;
+  uint64_t push_epoch = 0;
+  bool push_enabled = pushing;
+  if (pushing) {
+    const size_t colon = options.push_to.rfind(':');
+    server::SketchPusherConfig push_config;
+    push_config.host = options.push_to.substr(0, colon);
+    push_config.port = static_cast<uint16_t>(
+        std::strtoull(options.push_to.c_str() + colon + 1, nullptr, 10));
+    push_config.node_id = options.node_id;
+    push_transport.emplace();
+    pusher.emplace(push_config, &*push_transport);
+    if (metrics_enabled) pusher->AttachMetrics(&registry);
+  }
+  auto push_image = [&](uint64_t records_applied) {
+    if (!push_enabled) return;
+    Ltc image = table->CloneAtBarrier();
+    image.Finalize();
+    const auto result = pusher->Push(image, ++push_epoch, records_applied);
+    if (result.terminal) {
+      // A typed rejection (shape mismatch, stale epoch) cannot heal by
+      // resending — stop pushing, keep feeding and serving locally.
+      std::fprintf(stderr,
+                   "ltc_cli: warning: aggregator rejected push %llu (%s); "
+                   "disabling further pushes\n",
+                   static_cast<unsigned long long>(push_epoch),
+                   server::StatusName(result.status));
+      push_enabled = false;
+    } else if (!result.delivered) {
+      std::fprintf(stderr,
+                   "ltc_cli: warning: push %llu undelivered after retries "
+                   "(%s); the next cadence retries with a fresher image\n",
+                   static_cast<unsigned long long>(push_epoch),
+                   result.error.c_str());
+    }
+  };
+
   // 3. Feed the stream: parallel pipeline when sharded, the batch fast
   // path otherwise. With --checkpoint-every, mid-run snapshots rotate
   // at <save>.<seq>.snap — after a crash, --load walks back to the
@@ -295,7 +405,11 @@ int Run(const CliOptions& options) {
   if (options.stats_every > 0) {
     chunk = std::min<size_t>(chunk, options.stats_every);
   }
+  if (options.push_every > 0) {
+    chunk = std::min<size_t>(chunk, options.push_every);
+  }
   uint64_t since_stats = 0;
+  uint64_t since_push = 0;
   if (sharded) {
     IngestConfig ingest;
     ingest.checkpoint_every = options.checkpoint_every;
@@ -347,6 +461,11 @@ int Run(const CliOptions& options) {
       publish_snapshot(i + n);  // chunk boundary = a quiescent barrier
       since_ckpt += n;
       since_stats += n;
+      since_push += n;
+      if (options.push_every > 0 && since_push >= options.push_every) {
+        since_push = 0;
+        push_image(i + n);
+      }
       if (rotation && since_ckpt >= options.checkpoint_every &&
           i + n < records.size()) {
         since_ckpt = 0;
@@ -373,6 +492,24 @@ int Run(const CliOptions& options) {
                      save_error.c_str());
       }
     }
+  }
+
+  // Final push: the whole trace in one cumulative image. Skipped when
+  // the cadence already pushed the exact end-of-trace barrier, and on
+  // interruption (the signal means stop pushing).
+  if (pushing && g_caught_signal == 0 &&
+      (push_epoch == 0 || since_push > 0)) {
+    push_image(records.size());
+  }
+  if (pushing) {
+    std::fprintf(stderr,
+                 "ltc_cli: pushes: %llu delivered in %llu attempt(s) "
+                 "(%llu retr%s, %llu rejected)\n",
+                 static_cast<unsigned long long>(pusher->delivered()),
+                 static_cast<unsigned long long>(pusher->attempts()),
+                 static_cast<unsigned long long>(pusher->retries()),
+                 pusher->retries() == 1 ? "y" : "ies",
+                 static_cast<unsigned long long>(pusher->rejected()));
   }
 
   // Serving: the trace is fully fed (or the feed was interrupted) —
@@ -470,5 +607,6 @@ int main(int argc, char** argv) {
     std::fputs(ltc::CliUsage().c_str(), stdout);
     return 0;
   }
+  if (options->aggregate) return ltc::RunAggregator(*options);
   return ltc::Run(*options);
 }

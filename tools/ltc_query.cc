@@ -2,7 +2,7 @@
 // (docs/SERVING.md). One TCP connection, one request per verb given on
 // the command line (pipelined in order), human-readable output.
 //
-//   ltc_query --port P [--host H] <verb> [arg] [<verb> [arg] ...]
+//   ltc_query --port P [--host H] [--timeout-ms N] <verb> [arg] [...]
 //
 // verbs:
 //   ping            liveness + current snapshot seq / record count
@@ -10,17 +10,27 @@
 //   sig KEY         estimated significance of KEY
 //   freq KEY        estimated frequency of KEY
 //   pers KEY        estimated persistency of KEY
-//   stats           service stats (snapshot seq, records, memory, shards)
+//   stats           service stats (snapshot seq, records, memory, shards,
+//                   aggregation node rows when the server aggregates)
+//
+// Every socket step (connect, send, each response read) runs under
+// --timeout-ms (default 5000, 0 = wait forever), so a hung or half-open
+// server costs one deadline, never a hang.
 //
 // exit status: 0 = every request answered kOk; 2 = usage error;
 // 3 = the server answered at least one typed error frame;
-// 4 = connection / transport failure (includes truncated responses).
+// 4 = connection / transport failure (includes truncated responses);
+// 5 = a deadline expired (connect or response timeout).
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <chrono>
 
 #include <cstdint>
 #include <cstdio>
@@ -41,19 +51,62 @@ struct PendingRequest {
   std::string label;  // "topk 5", "sig alpha", ... for output headers
 };
 
+/// Set by any expired deadline so Main can exit 5 instead of 4.
+bool g_timed_out = false;
+
 int Usage(const char* message) {
   if (message != nullptr) std::fprintf(stderr, "ltc_query: %s\n", message);
   std::fputs(
-      "usage: ltc_query --port P [--host H] <verb> [arg] [...]\n"
+      "usage: ltc_query --port P [--host H] [--timeout-ms N] <verb> [arg] "
+      "[...]\n"
       "verbs: ping | topk K | sig KEY | freq KEY | pers KEY | stats\n",
       stderr);
   return 2;
 }
 
-int Connect(const std::string& host, uint16_t port, std::string* error) {
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Polls `fd` for `events` until the absolute deadline (0 = forever).
+bool PollUntil(int fd, short events, uint64_t deadline_usec) {
+  while (true) {
+    int timeout_ms = -1;
+    if (deadline_usec != 0) {
+      const uint64_t now = NowMicros();
+      if (now >= deadline_usec) return false;
+      const uint64_t remaining_ms = (deadline_usec - now) / 1'000;
+      timeout_ms = static_cast<int>(remaining_ms > 0 ? remaining_ms : 1);
+    }
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready > 0) return (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
+    if (ready == 0) {
+      g_timed_out = true;
+      return false;
+    }
+    if (errno != EINTR) return false;
+  }
+}
+
+uint64_t Deadline(uint64_t timeout_usec) {
+  return timeout_usec == 0 ? 0 : NowMicros() + timeout_usec;
+}
+
+int Connect(const std::string& host, uint16_t port, uint64_t timeout_usec,
+            std::string* error) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    *error = std::string("fcntl: ") + std::strerror(errno);
+    ::close(fd);
     return -1;
   }
   sockaddr_in addr{};
@@ -65,20 +118,45 @@ int Connect(const std::string& host, uint16_t port, std::string* error) {
     return -1;
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    *error = std::string("connect: ") + std::strerror(errno);
-    ::close(fd);
-    return -1;
+    if (errno != EINPROGRESS) {
+      *error = std::string("connect: ") + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    if (!PollUntil(fd, POLLOUT, Deadline(timeout_usec))) {
+      *error = g_timed_out ? "connect timed out"
+                           : std::string("connect: ") + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      *error = std::string("connect: ") + std::strerror(err != 0 ? err : errno);
+      ::close(fd);
+      return -1;
+    }
   }
   return fd;
 }
 
-bool SendAll(int fd, std::string_view bytes, std::string* error) {
+bool SendAll(int fd, std::string_view bytes, uint64_t timeout_usec,
+             std::string* error) {
+  const uint64_t deadline = Deadline(timeout_usec);
   size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n =
         ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!PollUntil(fd, POLLOUT, deadline)) {
+          *error = g_timed_out ? "send timed out"
+                               : std::string("send: ") + std::strerror(errno);
+          return false;
+        }
+        continue;
+      }
       *error = std::string("send: ") + std::strerror(errno);
       return false;
     }
@@ -87,9 +165,11 @@ bool SendAll(int fd, std::string_view bytes, std::string* error) {
   return true;
 }
 
-/// Blocking-reads one complete response payload.
+/// Reads one complete response payload under the per-response deadline.
 std::optional<std::string> RecvFrame(int fd, FrameParser& parser,
+                                     uint64_t timeout_usec,
                                      std::string* error) {
+  const uint64_t deadline = Deadline(timeout_usec);
   while (true) {
     if (auto payload = parser.Next()) return payload;
     if (parser.oversized()) {
@@ -104,6 +184,14 @@ std::optional<std::string> RecvFrame(int fd, FrameParser& parser,
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!PollUntil(fd, POLLIN, deadline)) {
+          *error = g_timed_out ? "response timed out"
+                               : std::string("recv: ") + std::strerror(errno);
+          return std::nullopt;
+        }
+        continue;
+      }
       *error = std::string("recv: ") + std::strerror(errno);
       return std::nullopt;
     }
@@ -147,6 +235,19 @@ void PrintResponse(const PendingRequest& request,
           static_cast<unsigned long long>(response.stats.records),
           static_cast<unsigned long long>(response.stats.memory_bytes),
           response.stats.num_shards, response.stats.protocol_version);
+      for (const StatsNodeRow& row : response.stats.nodes) {
+        std::printf("node %llu last_epoch=%llu age_sec=%llu stale=%u\n",
+                    static_cast<unsigned long long>(row.node_id),
+                    static_cast<unsigned long long>(row.last_epoch),
+                    static_cast<unsigned long long>(row.age_sec), row.stale);
+      }
+      return;
+    case Opcode::kPushSketch:
+      // ltc_query never pushes (that is ltc_cli --push-to's job), but
+      // the switch stays total over the protocol's opcodes.
+      std::printf("push ack epoch=%llu applied=%d\n",
+                  static_cast<unsigned long long>(response.push_epoch),
+                  response.push_applied ? 1 : 0);
       return;
   }
 }
@@ -154,6 +255,7 @@ void PrintResponse(const PendingRequest& request,
 int Main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int32_t port = -1;
+  uint64_t timeout_usec = 5'000'000;
   std::vector<PendingRequest> requests;
 
   for (int i = 1; i < argc; ++i) {
@@ -181,6 +283,15 @@ int Main(int argc, char** argv) {
       const char* value = next("--host");
       if (value == nullptr) return 2;
       host = value;
+    } else if (arg == "--timeout-ms") {
+      const char* value = next("--timeout-ms");
+      if (value == nullptr) return 2;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0') {
+        return Usage("bad --timeout-ms (milliseconds, 0 = no timeout)");
+      }
+      timeout_usec = static_cast<uint64_t>(parsed) * 1'000;
     } else if (arg == "ping") {
       requests.push_back({Opcode::kPing, EncodeFrame(EncodePingRequest()), "ping"});
     } else if (arg == "stats") {
@@ -214,29 +325,30 @@ int Main(int argc, char** argv) {
   if (requests.empty()) return Usage("no request verbs given");
 
   std::string error;
-  const int fd = Connect(host, static_cast<uint16_t>(port), &error);
+  const int fd =
+      Connect(host, static_cast<uint16_t>(port), timeout_usec, &error);
   if (fd < 0) {
     std::fprintf(stderr, "ltc_query: %s\n", error.c_str());
-    return 4;
+    return g_timed_out ? 5 : 4;
   }
 
   // Pipeline every request, then read the responses back in order.
   std::string outgoing;
   for (const PendingRequest& request : requests) outgoing += request.frame;
-  if (!SendAll(fd, outgoing, &error)) {
+  if (!SendAll(fd, outgoing, timeout_usec, &error)) {
     std::fprintf(stderr, "ltc_query: %s\n", error.c_str());
     ::close(fd);
-    return 4;
+    return g_timed_out ? 5 : 4;
   }
 
   FrameParser parser;
   bool server_error = false;
   for (const PendingRequest& request : requests) {
-    const auto payload = RecvFrame(fd, parser, &error);
+    const auto payload = RecvFrame(fd, parser, timeout_usec, &error);
     if (!payload) {
       std::fprintf(stderr, "ltc_query: %s\n", error.c_str());
       ::close(fd);
-      return 4;
+      return g_timed_out ? 5 : 4;
     }
     const auto response = DecodeResponse(request.opcode, *payload);
     if (!response) {

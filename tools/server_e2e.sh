@@ -135,4 +135,41 @@ run_suite "single"
 start_server "--threads 2"
 run_suite "sharded"
 
+# --- ltc_query deadlines: a hung server costs one timeout, exit 5. ----
+# A listener that accepts and then never answers — the half-open peer
+# that used to hang the client forever.
+rm -f hung.port
+python3 - > hung.port 2> /dev/null <<'PYEOF' &
+import socket, time
+srv = socket.socket()
+srv.bind(("127.0.0.1", 0))
+srv.listen(1)
+print(srv.getsockname()[1], flush=True)
+conns = []
+end = time.time() + 30
+while time.time() < end:
+    srv.settimeout(max(0.1, end - time.time()))
+    try:
+        conns.append(srv.accept()[0])  # accept, never respond
+    except socket.timeout:
+        break
+PYEOF
+hung_pid=$!
+hung_port=""
+for _ in $(seq 100); do
+  hung_port=$(cat hung.port 2> /dev/null)
+  [ -n "$hung_port" ] && break
+  sleep 0.1
+done
+[ -n "$hung_port" ] || fail "hung listener never reported its port"
+"$QUERY" --port "$hung_port" --timeout-ms 300 ping > /dev/null 2> query.err
+status=$?
+[ "$status" -eq 5 ] \
+  || fail "hung server should exit 5 (deadline), got $status: $(cat query.err)"
+grep -q "timed out" query.err \
+  || fail "expected a timeout notice: $(cat query.err)"
+kill "$hung_pid" 2> /dev/null
+wait "$hung_pid" 2> /dev/null
+echo "server_e2e: hung server correctly answered with exit 5"
+
 echo "server_e2e: PASS"
