@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "telemetry/trace.h"
+
 namespace ltc {
 
 void ReadSnapshotHub::Ref::Release() {
@@ -22,6 +24,8 @@ void ReadSnapshotHub::Ref::Release() {
 
 bool ReadSnapshotHub::Publish(
     std::unique_ptr<const SignificanceEstimator> table, uint64_t records) {
+  telemetry::Span span("hub.publish");
+  span.AddAttr("records", records);
   // The inactive slot is the one readers abandoned a generation ago;
   // wait (bounded) for the last of them to unpin it.
   const int32_t active = active_.load(std::memory_order_relaxed);
@@ -32,6 +36,7 @@ bool ReadSnapshotHub::Publish(
     if (++yields > spin_limit_) {
       // Never stall the producer: keep serving the previous snapshot.
       skipped_.fetch_add(1, std::memory_order_relaxed);
+      span.AddAttr("skipped", 1);
       return false;
     }
     std::this_thread::yield();

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "snapshot/snapshot_store.h"
+#include "telemetry/trace.h"
 
 namespace ltc {
 
@@ -356,6 +357,7 @@ void IngestPipeline::PushBatch(std::span<const Record> records) {
 }
 
 bool IngestPipeline::Flush() {
+  telemetry::Span span("ingest.flush");
   const auto start = std::chrono::steady_clock::now();
   bool complete = true;
   for (auto& lane : lanes_) {
@@ -426,6 +428,7 @@ std::string IngestPipeline::StallDetail() const {
 }
 
 bool IngestPipeline::CheckpointOnce(std::string* error) {
+  telemetry::Span span("ingest.checkpoint");
   if (!Flush()) {
     if (error != nullptr) {
       *error = "pipeline stalled; checkpoint skipped (" + StallDetail() + ")";

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/serial.h"
+#include "telemetry/trace.h"
 
 namespace ltc {
 namespace server {
@@ -41,6 +42,11 @@ PushOutcome AggregatorCore::Reject(Status status, std::string detail) {
 }
 
 PushOutcome AggregatorCore::ApplyPush(const PushRequest& push) {
+  // Parents under the dispatcher's server.request span, which itself
+  // carries the pusher's remote context — the cross-process link.
+  telemetry::Span span("agg.merge");
+  span.AddAttr("node", push.node_id);
+  span.AddAttr("epoch", push.epoch_seq);
   if (push.sketch_kind != kSketchKindLtc) {
     return Reject(Status::kErrBadSketch,
                   "unsupported sketch kind " +
@@ -107,6 +113,8 @@ PushOutcome AggregatorCore::ApplyPush(const PushRequest& push) {
 }
 
 void AggregatorCore::RebuildAndPublish() {
+  telemetry::Span span("agg.republish");
+  span.AddAttr("nodes", nodes_.size());
   Ltc merged(config_);
   uint64_t records = 0;
   for (const auto& [node_id, node] : nodes_) {

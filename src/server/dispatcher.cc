@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "server/aggregator.h"
+#include "telemetry/trace.h"
 
 namespace ltc {
 namespace server {
@@ -32,7 +33,18 @@ std::string QueryDispatcher::Handle(std::string_view payload) {
     return Error(Status::kErrMalformed, "empty request payload");
   }
   const uint8_t opcode_byte = static_cast<uint8_t>(payload[0]);
-  const std::string_view body = payload.substr(1);
+  std::string_view body = payload.substr(1);
+  // v3 trace-context extension: strip it before the opcode handlers so
+  // their length checks see exactly the v2 body, and parent this
+  // request's span under the caller's remote span when present.
+  std::optional<TraceContextExt> ext;
+  if (!SplitTraceExt(static_cast<Opcode>(opcode_byte), body, &body, &ext)) {
+    return Error(Status::kErrMalformed, "bad trace-context extension");
+  }
+  telemetry::TraceContext remote;
+  if (ext.has_value()) remote = {ext->trace_id, ext->span_id};
+  telemetry::Span span("server.request", remote);
+  span.AddAttr("opcode", opcode_byte);
   switch (static_cast<Opcode>(opcode_byte)) {
     case Opcode::kPing: {
       if (!body.empty()) {
@@ -64,6 +76,9 @@ std::string QueryDispatcher::Handle(std::string_view payload) {
     case Opcode::kPushSketch:
       stats_.by_opcode[opcode_byte]++;
       return HandlePush(body);
+    case Opcode::kDumpTrace:
+      stats_.by_opcode[opcode_byte]++;
+      return HandleDumpTrace(body);
   }
   return Error(Status::kErrUnknownOpcode,
                "opcode " + std::to_string(opcode_byte));
@@ -167,6 +182,20 @@ std::string QueryDispatcher::HandlePush(std::string_view body) {
   }
   stats_.by_status[static_cast<size_t>(Status::kOk)]++;
   return EncodePushResponse(outcome.epoch_seq, outcome.applied);
+}
+
+std::string QueryDispatcher::HandleDumpTrace(std::string_view body) {
+  if (!body.empty()) {
+    return Error(Status::kErrMalformed, "DUMP_TRACE takes no body");
+  }
+  telemetry::FlightRecorder* recorder = telemetry::FlightRecorder::active();
+  if (recorder == nullptr) {
+    return Error(Status::kErrBadRequest,
+                 "tracing is not enabled on this server");
+  }
+  stats_.by_status[static_cast<size_t>(Status::kOk)]++;
+  // Status byte + u32 length + headroom must stay under the frame cap.
+  return EncodeTraceDumpResponse(recorder->DumpChromeJson(kMaxFrameBytes - 64));
 }
 
 }  // namespace server

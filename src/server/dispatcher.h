@@ -32,7 +32,7 @@ class AggregatorCore;
 struct DispatchStats {
   uint64_t requests = 0;  // total payloads handled
   uint64_t errors = 0;    // payloads answered with a non-kOk status
-  uint64_t by_opcode[8] = {};   // index = valid Opcode value, 0 unused
+  uint64_t by_opcode[9] = {};   // index = valid Opcode value, 0 unused
   uint64_t by_status[11] = {};  // index = Status value
 };
 
@@ -64,6 +64,7 @@ class QueryDispatcher {
   std::string HandleEstimate(Opcode opcode, std::string_view body);
   std::string HandleStats();
   std::string HandlePush(std::string_view body);
+  std::string HandleDumpTrace(std::string_view body);
   std::string Error(Status status, std::string_view detail);
 
   const ReadSnapshotHub& hub_;

@@ -49,6 +49,8 @@ const char* OpcodeName(Opcode opcode) {
       return "stats";
     case Opcode::kPushSketch:
       return "push_sketch";
+    case Opcode::kDumpTrace:
+      return "dump_trace";
   }
   return "unknown_opcode";
 }
@@ -99,8 +101,11 @@ void PutU16(std::string& out, uint16_t v) {
   out.push_back(static_cast<char>((v >> 8) & 0xff));
 }
 
+// Every Get* guard must tolerate pos > data.size(): SplitTraceExt seeks
+// straight to a fixed-layout field, so an unsigned size-minus-pos check
+// alone would wrap and read past the end on truncated bodies.
 bool GetU16(std::string_view data, size_t& pos, uint16_t* out) {
-  if (data.size() - pos < 2) return false;
+  if (pos > data.size() || data.size() - pos < 2) return false;
   *out = static_cast<uint16_t>(static_cast<uint8_t>(data[pos])) |
          (static_cast<uint16_t>(static_cast<uint8_t>(data[pos + 1])) << 8);
   pos += 2;
@@ -126,21 +131,21 @@ void PutDoubleRaw(std::string& out, double v) {
 }
 
 bool GetU32Raw(std::string_view data, size_t& pos, uint32_t* out) {
-  if (data.size() - pos < 4) return false;
+  if (pos > data.size() || data.size() - pos < 4) return false;
   std::memcpy(out, data.data() + pos, 4);
   pos += 4;
   return true;
 }
 
 bool GetU64Raw(std::string_view data, size_t& pos, uint64_t* out) {
-  if (data.size() - pos < 8) return false;
+  if (pos > data.size() || data.size() - pos < 8) return false;
   std::memcpy(out, data.data() + pos, 8);
   pos += 8;
   return true;
 }
 
 bool GetDoubleRaw(std::string_view data, size_t& pos, double* out) {
-  if (data.size() - pos < 8) return false;
+  if (pos > data.size() || data.size() - pos < 8) return false;
   std::memcpy(out, data.data() + pos, 8);
   pos += 8;
   return true;
@@ -167,6 +172,67 @@ std::string EncodeEstimateRequest(Opcode opcode, std::string_view key) {
 
 std::string EncodeStatsRequest() {
   return std::string(1, static_cast<char>(Opcode::kStats));
+}
+
+std::string EncodeDumpTraceRequest() {
+  return std::string(1, static_cast<char>(Opcode::kDumpTrace));
+}
+
+void AppendTraceExt(std::string* request_payload,
+                    const TraceContextExt& ext) {
+  PutU16(*request_payload, kTraceExtMagic);
+  PutU64Raw(*request_payload, ext.trace_id);
+  PutU64Raw(*request_payload, ext.span_id);
+}
+
+bool SplitTraceExt(Opcode opcode, std::string_view body,
+                   std::string_view* base_body,
+                   std::optional<TraceContextExt>* ext) {
+  *base_body = body;
+  ext->reset();
+  // The base body's length from its own explicit length fields; nullopt
+  // when the body is too short to even carry them (the handler's own
+  // truncation error is better than anything decidable here).
+  std::optional<size_t> base;
+  switch (opcode) {
+    case Opcode::kPing:
+    case Opcode::kStats:
+    case Opcode::kDumpTrace:
+      base = 0;
+      break;
+    case Opcode::kTopK:
+      base = 4;
+      break;
+    case Opcode::kEstimateSignificance:
+    case Opcode::kEstimateFrequency:
+    case Opcode::kEstimatePersistency: {
+      size_t pos = 0;
+      uint16_t key_len = 0;
+      if (GetU16(body, pos, &key_len)) base = 2 + static_cast<size_t>(key_len);
+      break;
+    }
+    case Opcode::kPushSketch: {
+      // u64 node_id, u64 epoch_seq, u8 kind, u64 records, u32 payload_len.
+      size_t pos = 8 + 8 + 1 + 8;
+      uint32_t payload_len = 0;
+      if (GetU32Raw(body, pos, &payload_len)) {
+        base = pos + static_cast<size_t>(payload_len);
+      }
+      break;
+    }
+  }
+  if (!base.has_value() || body.size() <= *base) return true;
+  if (body.size() != *base + kTraceExtBytes) return true;
+  size_t pos = *base;
+  uint16_t magic = 0;
+  if (!GetU16(body, pos, &magic)) return true;
+  if (magic != kTraceExtMagic) return false;
+  TraceContextExt decoded;
+  if (!GetU64Raw(body, pos, &decoded.trace_id)) return false;
+  if (!GetU64Raw(body, pos, &decoded.span_id)) return false;
+  *ext = decoded;
+  *base_body = body.substr(0, *base);
+  return true;
 }
 
 std::string EncodePushRequest(const PushRequest& push) {
@@ -260,6 +326,13 @@ std::string EncodePushResponse(uint64_t epoch_seq, bool applied) {
   std::string payload(1, static_cast<char>(Status::kOk));
   PutU64Raw(payload, epoch_seq);
   payload.push_back(static_cast<char>(applied ? 1 : 0));
+  return payload;
+}
+
+std::string EncodeTraceDumpResponse(std::string_view json) {
+  std::string payload(1, static_cast<char>(Status::kOk));
+  PutU32Raw(payload, static_cast<uint32_t>(json.size()));
+  payload.append(json);
   return payload;
 }
 
@@ -374,6 +447,13 @@ std::optional<DecodedResponse> DecodeResponse(Opcode request_opcode,
       if (payload.size() - pos != 8 + 1) return std::nullopt;
       if (!GetU64Raw(payload, pos, &response.push_epoch)) return std::nullopt;
       response.push_applied = payload[pos] != 0;
+      return response;
+    }
+    case Opcode::kDumpTrace: {
+      uint32_t json_len = 0;
+      if (!GetU32Raw(payload, pos, &json_len)) return std::nullopt;
+      if (payload.size() - pos != json_len) return std::nullopt;
+      response.trace_json = std::string(payload.substr(pos, json_len));
       return response;
     }
   }

@@ -47,6 +47,9 @@ enum class Opcode : uint8_t {
                                  //       u8 sketch kind, u64 records,
                                  //       u32 payload_len, payload bytes
                                  // (aggregation tier, docs/SERVING.md)
+  kDumpTrace = 0x08,             // body: empty; answers the server's
+                                 // flight-recorder dump as Chrome
+                                 // trace-event JSON (v3)
 };
 
 /// Response status (first payload byte of a response). Every error is
@@ -100,8 +103,11 @@ constexpr size_t kMaxKeyBytes = 4096;
 
 /// Protocol version, reported by PING and STATS. v2 adds PUSH_SKETCH,
 /// its typed statuses, and the per-node aggregation rows in STATS
-/// (absent on v1 responses; the decoder accepts both).
-constexpr uint8_t kProtocolVersion = 2;
+/// (absent on v1 responses; the decoder accepts both). v3 adds the
+/// optional trace-context request extension and DUMP_TRACE; a request
+/// without the extension is byte-identical to its v2 encoding, so v2
+/// clients interoperate unchanged.
+constexpr uint8_t kProtocolVersion = 3;
 
 /// PUSH_SKETCH sketch kinds. Only single-table sketches are mergeable
 /// across nodes today (shards split the memory budget, so a sharded
@@ -150,12 +156,49 @@ class FrameParser {
   bool oversized_ = false;
 };
 
+// --- Trace-context extension (v3) ------------------------------------
+//
+// Any request MAY carry a trailing trace-context extension:
+//
+//   u16 magic = kTraceExtMagic, u64 trace_id, u64 span_id
+//
+// appended after the opcode's base body. It parents the server-side
+// span under the caller's span, stitching one trace across processes
+// (docs/TELEMETRY.md#tracing--flight-recorder). Detection is exact, not
+// heuristic: every opcode's base-body length is derivable from its own
+// explicit length fields (the same discipline as the push-opcode
+// frame-cap gate — decide from the bytes the protocol already pins), so
+// a key or sketch payload that happens to end in the magic can never be
+// mis-split. Clients only append it when tracing is active, keeping
+// default frames byte-identical to v2 for old servers.
+
+constexpr uint16_t kTraceExtMagic = 0x5443;  // "TC" little-endian
+constexpr size_t kTraceExtBytes = 2 + 8 + 8;
+
+struct TraceContextExt {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+/// Appends the extension to a complete request payload (opcode + body).
+void AppendTraceExt(std::string* request_payload, const TraceContextExt& ext);
+
+/// Splits a request BODY (the bytes after the opcode) into its base
+/// body and the optional extension. Returns false only for a tail that
+/// occupies exactly the extension's place with the wrong magic
+/// (answered kErrMalformed); any other length mismatch passes through
+/// untouched for the opcode handler's own typed error.
+bool SplitTraceExt(Opcode opcode, std::string_view body,
+                   std::string_view* base_body,
+                   std::optional<TraceContextExt>* ext);
+
 // --- Requests --------------------------------------------------------
 
 std::string EncodePingRequest();
 std::string EncodeTopKRequest(uint32_t k);
 std::string EncodeEstimateRequest(Opcode opcode, std::string_view key);
 std::string EncodeStatsRequest();
+std::string EncodeDumpTraceRequest();
 
 /// One PUSH_SKETCH request: a node's flush-barrier sketch image plus
 /// the delivery metadata the aggregator dedups on.
@@ -215,6 +258,9 @@ std::string EncodeStatsResponse(const StatsResult& stats);
 /// mutated the aggregate (applied=0 = a duplicate of an already-applied
 /// epoch — still kOk, because retried delivery must be idempotent).
 std::string EncodePushResponse(uint64_t epoch_seq, bool applied);
+/// DUMP_TRACE: u32 json_len + Chrome trace-event JSON bytes (already
+/// truncated by the dispatcher to fit kMaxFrameBytes).
+std::string EncodeTraceDumpResponse(std::string_view json);
 
 /// A decoded response, as the client library sees it. Exactly the
 /// fields implied by `status` + the request's opcode are meaningful.
@@ -229,6 +275,7 @@ struct DecodedResponse {
   StatsResult stats;                 // STATS
   uint64_t push_epoch = 0;           // PUSH_SKETCH
   bool push_applied = false;         // PUSH_SKETCH (false = duplicate)
+  std::string trace_json;            // DUMP_TRACE
 };
 
 /// Decodes a response payload against the opcode of the request it

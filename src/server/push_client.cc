@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "common/serial.h"
+#include "telemetry/trace.h"
 
 namespace ltc {
 namespace server {
@@ -168,7 +169,18 @@ SketchPusher::Result SketchPusher::PushSerialized(std::string_view sketch_bytes,
   request.sketch_kind = kSketchKindLtc;
   request.records = records;
   request.payload = std::string(sketch_bytes);
-  const std::string frame = EncodeFrame(EncodePushRequest(request));
+
+  // The delivery span covers the whole retry schedule; each attempt is
+  // a child, so a retry storm is visible as a fan of attempt spans.
+  telemetry::Span deliver_span("push.deliver");
+  deliver_span.AddAttr("node", config_.node_id);
+  deliver_span.AddAttr("epoch", epoch_seq);
+  std::string payload = EncodePushRequest(request);
+  if (config_.propagate_trace && deliver_span.recording()) {
+    const telemetry::TraceContext ctx = deliver_span.context();
+    AppendTraceExt(&payload, {ctx.trace_id, ctx.span_id});
+  }
+  const std::string frame = EncodeFrame(payload);
 
   Result result;
   uint64_t retries_before = retries_;
@@ -177,6 +189,8 @@ SketchPusher::Result SketchPusher::PushSerialized(std::string_view sketch_bytes,
       [&] {
         attempts_++;
         if (attempts_counter_ != nullptr) attempts_counter_->Increment();
+        telemetry::Span attempt_span("push.attempt");
+        attempt_span.AddAttr("attempt", attempts_);
         if (Attempt(frame, &result)) return true;
         // Whatever broke, the stream state is unknowable: reconnect.
         transport_->Close();

@@ -101,6 +101,13 @@ struct SketchPusherConfig {
   BackoffPolicy retry{/*max_attempts=*/8, /*initial_delay_usec=*/20'000,
                       /*multiplier=*/2.0, /*max_delay_usec=*/1'000'000,
                       /*jitter=*/0.25, /*seed=*/1};
+
+  /// Append the v3 trace-context extension to push frames, parenting
+  /// the aggregator's merge span under this node's delivery span. Only
+  /// effective while a FlightRecorder is installed AND the server
+  /// speaks v3 — leave off against pre-v3 aggregators (they answer
+  /// extended frames with kErrMalformed).
+  bool propagate_trace = false;
 };
 
 /// One node's push loop: serialize a finalized flush-barrier clone,

@@ -50,7 +50,7 @@ void QueryServer::AttachMetrics(telemetry::MetricsRegistry* registry) {
       Opcode::kPing,                 Opcode::kTopK,
       Opcode::kEstimateSignificance, Opcode::kEstimateFrequency,
       Opcode::kEstimatePersistency,  Opcode::kStats,
-      Opcode::kPushSketch,
+      Opcode::kPushSketch,           Opcode::kDumpTrace,
   };
   for (Opcode op : kOps) {
     op_counters_[static_cast<size_t>(op)] = &registry->CounterOf(
@@ -202,7 +202,7 @@ void QueryServer::RecordRequest(std::string_view request_payload,
   if (metrics_ == nullptr) return;
   if (!request_payload.empty()) {
     const size_t op = static_cast<uint8_t>(request_payload[0]);
-    if (op < 8 && op_counters_[op] != nullptr) op_counters_[op]->Increment();
+    if (op < 9 && op_counters_[op] != nullptr) op_counters_[op]->Increment();
   }
   if (status < 11 && error_counters_[status] != nullptr) {
     error_counters_[status]->Increment();

@@ -174,7 +174,7 @@ class QueryServer {
 
   // Metrics (resolved once at AttachMetrics; loop-thread-written).
   telemetry::MetricsRegistry* metrics_ = nullptr;
-  telemetry::Counter* op_counters_[8] = {};      // index = Opcode value
+  telemetry::Counter* op_counters_[9] = {};      // index = Opcode value
   telemetry::Counter* error_counters_[11] = {};  // index = Status value
   telemetry::Histogram* request_duration_usec_ = nullptr;
   telemetry::Counter* connections_total_ = nullptr;

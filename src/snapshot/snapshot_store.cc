@@ -5,6 +5,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "telemetry/trace.h"
+
 namespace ltc {
 namespace {
 
@@ -73,6 +75,8 @@ std::vector<SnapshotStore::Candidate> SnapshotStore::ListSnapshots() const {
 
 std::optional<uint64_t> SnapshotStore::Save(std::string_view payload,
                                             std::string* error) {
+  telemetry::Span span("snapshot.save");
+  span.AddAttr("bytes", payload.size());
   const auto start = std::chrono::steady_clock::now();
   if (next_seq_ == 0) {
     const auto existing = ListSnapshots();
@@ -145,6 +149,7 @@ void SnapshotStore::Prune() {
 
 std::optional<SnapshotStore::Recovered> SnapshotStore::LoadLatest(
     std::string* error, const PayloadValidator& validate) const {
+  telemetry::Span span("snapshot.load");
   // Per-error-type skip counter; label values are dynamic, so this one
   // goes through the registry (find-or-create under its mutex) instead
   // of a cached reference. Recovery is far off any hot path.
@@ -190,6 +195,7 @@ std::optional<SnapshotStore::Recovered> SnapshotStore::LoadLatest(
     if (recovery_walkback_depth_ != nullptr) {
       recovery_walkback_depth_->Record(result.skipped.size());
     }
+    span.AddAttr("walkback_depth", result.skipped.size());
     return result;
   }
   if (error != nullptr) {

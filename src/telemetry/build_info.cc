@@ -1,0 +1,36 @@
+#include "telemetry/build_info.h"
+
+#include <cstdlib>
+
+#ifndef LTC_GIT_SHA
+#define LTC_GIT_SHA "unknown"
+#endif
+
+#ifndef LTC_VERSION
+#define LTC_VERSION "0"
+#endif
+
+namespace ltc {
+namespace telemetry {
+
+std::string BuildGitSha() {
+  const char* env = std::getenv("LTC_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+  return LTC_GIT_SHA;
+}
+
+std::string BuildVersion() { return LTC_VERSION; }
+
+void RegisterBuildInfo(MetricsRegistry& registry,
+                       const std::string& probe_backend) {
+  registry
+      .GaugeOf("ltc_build_info",
+               "Build identity; always 1 — the labels carry the data.",
+               {{"git_sha", BuildGitSha()},
+                {"probe_backend", probe_backend},
+                {"version", BuildVersion()}})
+      .Set(1.0);
+}
+
+}  // namespace telemetry
+}  // namespace ltc

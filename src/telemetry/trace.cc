@@ -1,0 +1,387 @@
+#include "telemetry/trace.h"
+
+#ifdef LTC_TRACING
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+// GCC's ThreadSanitizer cannot model atomic_thread_fence and warns
+// fatally under -Werror. Every seqlock slot field is individually
+// atomic, so tsan sees no data race either way — the fences only pin
+// the seqlock's publish/validate ordering, which tsan does not check.
+#if defined(__SANITIZE_THREAD__) && defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wtsan"
+#endif
+
+namespace ltc {
+namespace telemetry {
+
+namespace {
+
+// The process-wide active recorder. Relaxed loads suffice for the idle
+// check; Install publishes with release so a freshly-constructed
+// recorder's fields are visible to spans that observe the pointer.
+std::atomic<FlightRecorder*> g_active{nullptr};
+
+// Each recorder gets a distinct generation so the thread-local ring
+// cache can't follow a stale pointer into a recorder that was destroyed
+// and another allocated at the same address.
+std::atomic<uint64_t> g_recorder_generation{1};
+
+// The innermost live span on this thread (invalid when none).
+thread_local TraceContext t_current_context;
+
+struct RingCache {
+  uint64_t generation = 0;
+  void* ring = nullptr;
+};
+thread_local RingCache t_ring_cache;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void AppendJsonEscaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out.append(buf);
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+}
+
+}  // namespace
+
+// One committed span. Every field is an atomic accessed relaxed, with
+// the per-slot `seq` (odd = write in progress, even = stable) ordered
+// by fences — the dumper re-checks seq after reading and discards torn
+// slots, so no lock is ever taken and TSan sees only atomics.
+struct FlightRecorder::Slot {
+  std::atomic<uint64_t> seq{0};  // 0 = never written
+  std::atomic<uint64_t> name{0};  // const char* literal, stored as u64
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<uint64_t> span_id{0};
+  std::atomic<uint64_t> parent_id{0};
+  std::atomic<uint64_t> start_usec{0};
+  std::atomic<uint64_t> end_usec{0};
+  std::atomic<uint64_t> attr_count{0};
+  std::atomic<uint64_t> attr_keys[Span::kMaxAttrs] = {};
+  std::atomic<uint64_t> attr_vals[Span::kMaxAttrs] = {};
+};
+
+// One writing thread's ring. `next` counts commits forever; the slot is
+// next % spans_per_thread, so the ring holds the newest spans.
+struct FlightRecorder::Ring {
+  std::unique_ptr<Slot[]> slots;
+  std::atomic<uint64_t> next{0};
+};
+
+FlightRecorder::FlightRecorder(Clock* clock, size_t spans_per_thread)
+    : clock_(clock != nullptr ? clock : &SystemClock()),
+      spans_per_thread_(spans_per_thread > 0 ? spans_per_thread : 1),
+      rings_(new Ring[kMaxThreads]),
+      next_id_(0),
+      generation_(g_recorder_generation.fetch_add(1,
+                                                  std::memory_order_relaxed)) {
+  for (size_t i = 0; i < kMaxThreads; ++i) {
+    rings_[i].slots.reset(new Slot[spans_per_thread_]);
+  }
+  // Seed ids with pid + time: ids from different processes must not
+  // alias when their dumps are merged for cross-process linkage.
+  const uint64_t seed =
+      SplitMix64((static_cast<uint64_t>(getpid()) << 32) ^
+                 clock_->NowMicros());
+  next_id_.store(seed, std::memory_order_relaxed);
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (g_active.load(std::memory_order_relaxed) == this) {
+    Install(nullptr);
+  }
+}
+
+void FlightRecorder::Install(FlightRecorder* recorder) {
+  g_active.store(recorder, std::memory_order_release);
+}
+
+FlightRecorder* FlightRecorder::active() {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+uint64_t FlightRecorder::NewId() {
+  const uint64_t raw = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t id = SplitMix64(raw);
+  return id != 0 ? id : 1;
+}
+
+FlightRecorder::Ring* FlightRecorder::RingOfThisThread() {
+  if (t_ring_cache.generation == generation_) {
+    return static_cast<Ring*>(t_ring_cache.ring);
+  }
+  const uint64_t index =
+      rings_claimed_.fetch_add(1, std::memory_order_relaxed);
+  Ring* ring = index < kMaxThreads ? &rings_[index] : nullptr;
+  t_ring_cache.generation = generation_;
+  t_ring_cache.ring = ring;
+  return ring;
+}
+
+void FlightRecorder::Record(const char* name, uint64_t trace_id,
+                            uint64_t span_id, uint64_t parent_id,
+                            uint64_t start_usec, uint64_t end_usec,
+                            uint32_t attr_count, const char* const* attr_keys,
+                            const uint64_t* attr_vals) {
+  Ring* ring = RingOfThisThread();
+  if (ring == nullptr) {
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const uint64_t pos = ring->next.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring->slots[pos % spans_per_thread_];
+  // Seqlock write: bump to odd, fence, write fields, publish even.
+  const uint64_t s = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.name.store(reinterpret_cast<uint64_t>(name),
+                  std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.span_id.store(span_id, std::memory_order_relaxed);
+  slot.parent_id.store(parent_id, std::memory_order_relaxed);
+  slot.start_usec.store(start_usec, std::memory_order_relaxed);
+  slot.end_usec.store(end_usec, std::memory_order_relaxed);
+  if (attr_count > Span::kMaxAttrs) attr_count = Span::kMaxAttrs;
+  slot.attr_count.store(attr_count, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < attr_count; ++i) {
+    slot.attr_keys[i].store(reinterpret_cast<uint64_t>(attr_keys[i]),
+                            std::memory_order_relaxed);
+    slot.attr_vals[i].store(attr_vals[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(s + 2, std::memory_order_release);
+}
+
+namespace {
+
+struct DumpedSpan {
+  const char* name = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  uint64_t start_usec = 0;
+  uint64_t end_usec = 0;
+  uint32_t attr_count = 0;
+  const char* attr_keys[Span::kMaxAttrs] = {};
+  uint64_t attr_vals[Span::kMaxAttrs] = {};
+  uint32_t tid = 0;
+};
+
+}  // namespace
+
+std::vector<FlightRecorder::Exemplar> FlightRecorder::WorstSpans() const {
+  std::unordered_map<const char*, Exemplar> worst;
+  const uint64_t claimed =
+      std::min<uint64_t>(rings_claimed_.load(std::memory_order_relaxed),
+                         kMaxThreads);
+  for (uint64_t r = 0; r < claimed; ++r) {
+    for (size_t i = 0; i < spans_per_thread_; ++i) {
+      const Slot& slot = rings_[r].slots[i];
+      const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 == 0 || (s1 & 1) != 0) continue;
+      const char* name = reinterpret_cast<const char*>(
+          slot.name.load(std::memory_order_relaxed));
+      if (name == nullptr) continue;
+      const uint64_t trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      const uint64_t span_id = slot.span_id.load(std::memory_order_relaxed);
+      const uint64_t start = slot.start_usec.load(std::memory_order_relaxed);
+      const uint64_t end = slot.end_usec.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+      const uint64_t duration = end >= start ? end - start : 0;
+      Exemplar& e = worst[name];
+      if (e.name.empty() || duration > e.duration_usec) {
+        e.name = name;
+        e.trace_id = trace_id;
+        e.span_id = span_id;
+        e.duration_usec = duration;
+      }
+    }
+  }
+  std::vector<Exemplar> out;
+  out.reserve(worst.size());
+  for (auto& kv : worst) out.push_back(std::move(kv.second));
+  std::sort(out.begin(), out.end(),
+            [](const Exemplar& a, const Exemplar& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string FlightRecorder::DumpChromeJson(size_t max_bytes) const {
+  std::vector<DumpedSpan> spans;
+  const uint64_t claimed =
+      std::min<uint64_t>(rings_claimed_.load(std::memory_order_relaxed),
+                         kMaxThreads);
+  for (uint64_t r = 0; r < claimed; ++r) {
+    for (size_t i = 0; i < spans_per_thread_; ++i) {
+      const Slot& slot = rings_[r].slots[i];
+      const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 == 0 || (s1 & 1) != 0) continue;
+      DumpedSpan span;
+      span.name = reinterpret_cast<const char*>(
+          slot.name.load(std::memory_order_relaxed));
+      span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      span.span_id = slot.span_id.load(std::memory_order_relaxed);
+      span.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+      span.start_usec = slot.start_usec.load(std::memory_order_relaxed);
+      span.end_usec = slot.end_usec.load(std::memory_order_relaxed);
+      span.attr_count = static_cast<uint32_t>(
+          std::min<uint64_t>(slot.attr_count.load(std::memory_order_relaxed),
+                             Span::kMaxAttrs));
+      for (uint32_t a = 0; a < span.attr_count; ++a) {
+        span.attr_keys[a] = reinterpret_cast<const char*>(
+            slot.attr_keys[a].load(std::memory_order_relaxed));
+        span.attr_vals[a] = slot.attr_vals[a].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+      span.tid = static_cast<uint32_t>(r);
+      spans.push_back(span);
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const DumpedSpan& a, const DumpedSpan& b) {
+              return a.start_usec < b.start_usec;
+            });
+
+  const uint64_t pid = static_cast<uint64_t>(getpid());
+  std::vector<std::string> events;
+  events.reserve(spans.size());
+  for (const DumpedSpan& span : spans) {
+    std::string e = "{\"name\":\"";
+    AppendJsonEscaped(e, span.name != nullptr ? span.name : "?");
+    char buf[160];
+    const uint64_t duration =
+        span.end_usec >= span.start_usec ? span.end_usec - span.start_usec : 0;
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"ltc\",\"ph\":\"X\",\"ts\":%" PRIu64
+                  ",\"dur\":%" PRIu64 ",\"pid\":%" PRIu64 ",\"tid\":%u",
+                  span.start_usec, duration, pid, span.tid);
+    e.append(buf);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"trace_id\":\"0x%016" PRIx64
+                  "\",\"span_id\":\"0x%016" PRIx64
+                  "\",\"parent_id\":\"0x%016" PRIx64 "\"",
+                  span.trace_id, span.span_id, span.parent_id);
+    e.append(buf);
+    for (uint32_t a = 0; a < span.attr_count; ++a) {
+      e.append(",\"");
+      AppendJsonEscaped(e, span.attr_keys[a] != nullptr ? span.attr_keys[a]
+                                                        : "?");
+      std::snprintf(buf, sizeof(buf), "\":%" PRIu64, span.attr_vals[a]);
+      e.append(buf);
+    }
+    e.append("}}");
+    events.push_back(std::move(e));
+  }
+
+  // Budgeted output keeps the NEWEST events: walk backwards until the
+  // envelope would overflow, then emit the kept suffix in time order.
+  const char* kPrefix = "{\"traceEvents\":[";
+  char footer[128];
+  size_t first = 0;
+  bool truncated = false;
+  if (max_bytes > 0) {
+    size_t total = std::strlen(kPrefix) + sizeof(footer);
+    first = events.size();
+    while (first > 0) {
+      const size_t cost = events[first - 1].size() + 1;  // + comma
+      if (total + cost > max_bytes) break;
+      total += cost;
+      --first;
+    }
+    truncated = first > 0;
+  }
+  std::snprintf(footer, sizeof(footer),
+                "],\"otherData\":{\"pid\":%" PRIu64
+                ",\"truncated\":%s,\"dropped_spans\":%" PRIu64 "}}",
+                pid, truncated ? "true" : "false",
+                dropped_spans_.load(std::memory_order_relaxed));
+  std::string out = kPrefix;
+  for (size_t i = first; i < events.size(); ++i) {
+    if (i > first) out.push_back(',');
+    out.append(events[i]);
+  }
+  out.append(footer);
+  return out;
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path,
+                                std::string* error) const {
+  const std::string json = DumpChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "open failed: " + path;
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool flush_ok = std::fclose(f) == 0;
+  if (written != json.size() || !flush_ok) {
+    if (error != nullptr) *error = "short write: " + path;
+    return false;
+  }
+  return true;
+}
+
+Span::Span(const char* name, TraceContext remote_parent) {
+  FlightRecorder* recorder = FlightRecorder::active();
+  if (recorder == nullptr) return;
+  recorder_ = recorder;
+  name_ = name;
+  prev_current_ = t_current_context;
+  if (remote_parent.valid()) {
+    trace_id_ = remote_parent.trace_id;
+    parent_id_ = remote_parent.span_id;
+  } else if (prev_current_.valid()) {
+    trace_id_ = prev_current_.trace_id;
+    parent_id_ = prev_current_.span_id;
+  } else {
+    trace_id_ = recorder->NewId();
+  }
+  span_id_ = recorder->NewId();
+  start_usec_ = recorder->clock()->NowMicros();
+  t_current_context = {trace_id_, span_id_};
+}
+
+Span::~Span() {
+  if (recorder_ == nullptr) return;
+  t_current_context = prev_current_;
+  const uint64_t end_usec = recorder_->clock()->NowMicros();
+  recorder_->Record(name_, trace_id_, span_id_, parent_id_, start_usec_,
+                    end_usec, attr_count_, attr_keys_, attr_vals_);
+}
+
+void Span::AddAttr(const char* key, uint64_t value) {
+  if (recorder_ == nullptr || attr_count_ >= kMaxAttrs) return;
+  attr_keys_[attr_count_] = key;
+  attr_vals_[attr_count_] = value;
+  attr_count_++;
+}
+
+TraceContext CurrentTraceContext() { return t_current_context; }
+
+}  // namespace telemetry
+}  // namespace ltc
+
+#endif  // LTC_TRACING

@@ -1,0 +1,255 @@
+// End-to-end tracing: an always-on flight recorder plus RAII spans.
+//
+// The recorder keeps the last N spans per thread in lock-free ring
+// buffers — cheap enough to leave on in production — and dumps them as
+// Chrome trace-event JSON (open the file in Perfetto or
+// chrome://tracing) on demand, on SIGUSR1, or over the wire via the
+// DUMP_TRACE opcode (docs/TELEMETRY.md#tracing--flight-recorder).
+//
+// Span model:
+//   * A `Span` is an RAII scope. Construction stamps the begin time on
+//     the recorder's injectable `Clock`; destruction stamps the end and
+//     commits one fixed-size slot into the calling thread's ring.
+//   * Parentage is automatic: a thread-local "current span" makes a new
+//     span the child of the innermost live span on the same thread. A
+//     remote `TraceContext` (carried by the LTCQ trace-context frame
+//     extension) overrides that, stitching one trace across processes.
+//   * Span names and attribute keys MUST be string literals (or other
+//     pointers that outlive the recorder): slots store the pointer, not
+//     a copy, so recording never allocates.
+//
+// Cost discipline (mirrors the LTC_METRICS sink rules):
+//   * Compile-time optional: -DLTC_TRACING=OFF replaces everything here
+//     with inline no-op stubs, so instrumented call sites compile to
+//     exactly the untraced code.
+//   * Near-zero when idle: with no recorder installed, a Span is one
+//     relaxed atomic load and a branch; nothing is written.
+//   * Lock-free when active: committing a span is a handful of relaxed
+//     atomic stores into the thread's own ring, bracketed by a per-slot
+//     sequence word (odd = being written, even = stable) so a
+//     concurrent dumper discards torn slots instead of locking.
+
+#ifndef LTC_TELEMETRY_TRACE_H_
+#define LTC_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace ltc {
+namespace telemetry {
+
+/// The identity a span tree carries across threads and processes.
+/// trace_id 0 means "no context" everywhere.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// True when the build carries the tracing layer (-DLTC_TRACING=ON).
+#ifdef LTC_TRACING
+constexpr bool kTracingEnabled = true;
+#else
+constexpr bool kTracingEnabled = false;
+#endif
+
+#ifdef LTC_TRACING
+
+class FlightRecorder;
+
+/// One traced scope. Constructing with no parent context starts a new
+/// trace when no span is live on this thread, or a child of the
+/// innermost live span otherwise. All methods are safe (and free) when
+/// no recorder is installed.
+class Span {
+ public:
+  static constexpr size_t kMaxAttrs = 4;
+
+  explicit Span(const char* name) : Span(name, TraceContext{}) {}
+
+  /// `remote_parent`, when valid, forces this span into the caller's
+  /// trace (its ids arrived over the wire); otherwise falls back to the
+  /// thread-local parent.
+  Span(const char* name, TraceContext remote_parent);
+
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a u64 attribute (first kMaxAttrs stick; extras are
+  /// dropped). `key` must be a string literal.
+  void AddAttr(const char* key, uint64_t value);
+
+  /// This span's identity — what a client puts into the trace-context
+  /// frame extension to parent remote work under this span.
+  TraceContext context() const { return {trace_id_, span_id_}; }
+
+  /// False when no recorder was installed at construction.
+  bool recording() const { return recorder_ != nullptr; }
+
+ private:
+  FlightRecorder* recorder_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint64_t start_usec_ = 0;
+  uint32_t attr_count_ = 0;
+  const char* attr_keys_[kMaxAttrs] = {};
+  uint64_t attr_vals_[kMaxAttrs] = {};
+  TraceContext prev_current_;
+};
+
+/// The innermost live span's context on this thread (invalid when none).
+TraceContext CurrentTraceContext();
+
+/// The flight recorder: per-thread rings of fixed-size span slots.
+/// Install one per process with `Install`; spans find it through the
+/// global pointer so instrumentation sites need no plumbing.
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultSpansPerThread = 256;
+  /// Rings are claimed first-come by writing threads; threads beyond
+  /// this many record nothing (counted in dropped_spans).
+  static constexpr size_t kMaxThreads = 32;
+
+  /// `clock` defaults to SystemClock(). Timestamps are whatever the
+  /// clock says (microseconds); with the default steady clock they are
+  /// comparable across threads of one process but not across reboots.
+  explicit FlightRecorder(Clock* clock = nullptr,
+                          size_t spans_per_thread = kDefaultSpansPerThread);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Makes `recorder` (may be null) the process-wide active recorder.
+  /// The recorder must outlive every span opened while it was active.
+  static void Install(FlightRecorder* recorder);
+
+  /// The active recorder, or null. One relaxed load — this is the whole
+  /// cost of an instrumented scope when tracing is idle.
+  static FlightRecorder* active();
+
+  /// Fresh nonzero id, unique within the process and seeded with
+  /// pid + clock time so two processes started together don't collide
+  /// (trace ids from different processes meeting in one dump must not
+  /// alias, or cross-process linkage lies).
+  uint64_t NewId();
+
+  Clock* clock() const { return clock_; }
+
+  /// Commits one finished span into the calling thread's ring. Called
+  /// by ~Span; exposed for tests.
+  void Record(const char* name, uint64_t trace_id, uint64_t span_id,
+              uint64_t parent_id, uint64_t start_usec, uint64_t end_usec,
+              uint32_t attr_count, const char* const* attr_keys,
+              const uint64_t* attr_vals);
+
+  /// Renders every stable slot as Chrome trace-event JSON
+  /// ({"traceEvents":[...]}), events in start-time order. When
+  /// `max_bytes` > 0 and the full dump would exceed it, the OLDEST
+  /// events are dropped to fit and "truncated":true is set in
+  /// "otherData". Safe to call from any thread while writers run;
+  /// slots mid-write are skipped.
+  std::string DumpChromeJson(size_t max_bytes = 0) const;
+
+  /// DumpChromeJson to a file. False (with `error` filled) on I/O
+  /// failure.
+  bool DumpToFile(const std::string& path, std::string* error = nullptr) const;
+
+  /// Worst (longest) recorded span per distinct name — the exemplars
+  /// the metrics exposition links to trace ids.
+  struct Exemplar {
+    std::string name;
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t duration_usec = 0;
+  };
+  std::vector<Exemplar> WorstSpans() const;
+
+  /// Spans lost because more than kMaxThreads threads recorded.
+  uint64_t dropped_spans() const {
+    return dropped_spans_.load(std::memory_order_relaxed);
+  }
+
+  size_t spans_per_thread() const { return spans_per_thread_; }
+
+ private:
+  struct Slot;
+  struct Ring;
+
+  Ring* RingOfThisThread();
+
+  Clock* clock_;
+  size_t spans_per_thread_;
+  std::unique_ptr<Ring[]> rings_;
+  std::atomic<uint64_t> rings_claimed_{0};
+  std::atomic<uint64_t> next_id_;
+  std::atomic<uint64_t> dropped_spans_{0};
+  uint64_t generation_;  // distinguishes recorders reusing an address
+};
+
+#else  // !LTC_TRACING — the whole layer compiles to nothing.
+
+class FlightRecorder;
+
+class Span {
+ public:
+  static constexpr size_t kMaxAttrs = 4;
+  explicit Span(const char*) {}
+  Span(const char*, TraceContext) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void AddAttr(const char*, uint64_t) {}
+  TraceContext context() const { return {}; }
+  bool recording() const { return false; }
+};
+
+inline TraceContext CurrentTraceContext() { return {}; }
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultSpansPerThread = 256;
+  static constexpr size_t kMaxThreads = 32;
+  explicit FlightRecorder(Clock* = nullptr,
+                          size_t = kDefaultSpansPerThread) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  static void Install(FlightRecorder*) {}
+  static FlightRecorder* active() { return nullptr; }
+  uint64_t NewId() { return 0; }
+  Clock* clock() const { return nullptr; }
+  void Record(const char*, uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
+              uint32_t, const char* const*, const uint64_t*) {}
+  std::string DumpChromeJson(size_t = 0) const {
+    return "{\"traceEvents\":[]}";
+  }
+  bool DumpToFile(const std::string&, std::string* error = nullptr) const {
+    if (error != nullptr) *error = "built without LTC_TRACING";
+    return false;
+  }
+  struct Exemplar {
+    std::string name;
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t duration_usec = 0;
+  };
+  std::vector<Exemplar> WorstSpans() const { return {}; }
+  uint64_t dropped_spans() const { return 0; }
+  size_t spans_per_thread() const { return 0; }
+};
+
+#endif  // LTC_TRACING
+
+}  // namespace telemetry
+}  // namespace ltc
+
+#endif  // LTC_TELEMETRY_TRACE_H_

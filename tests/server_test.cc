@@ -307,12 +307,17 @@ TEST(Dispatcher, TypedErrorForEveryMalformedShape) {
   ExpectError(dispatcher, "", Status::kErrMalformed);
   ExpectError(dispatcher, std::string_view("\x00", 1),
               Status::kErrUnknownOpcode);
-  ExpectError(dispatcher, "\x08", Status::kErrUnknownOpcode);
+  ExpectError(dispatcher, "\x09", Status::kErrUnknownOpcode);
   ExpectError(dispatcher, "\xff", Status::kErrUnknownOpcode);
 
   // 0x07 (PUSH_SKETCH, v2) is assigned, but this dispatcher has no
   // aggregator attached — the refusal is typed, not unknown-opcode.
   ExpectError(dispatcher, "\x07", Status::kErrNotAggregator);
+
+  // 0x08 (DUMP_TRACE, v3) is assigned, but no flight recorder is
+  // installed here — again typed, not unknown-opcode.
+  ExpectError(dispatcher, "\x08", Status::kErrBadRequest);
+  ExpectError(dispatcher, "\x08junk", Status::kErrMalformed);
 
   // Bodies on body-less opcodes.
   ExpectError(dispatcher, "\x01junk", Status::kErrMalformed);

@@ -88,6 +88,12 @@ options:
   --stats-every N   also rewrite --metrics-out every N records, so a
                     long run can be watched live (requires
                     --metrics-out) [off]
+  --trace-out FILE  install the always-on flight recorder and write its
+                    Chrome trace-event JSON (open in Perfetto) to FILE
+                    on exit and on SIGUSR1; also enables trace-context
+                    propagation on --push-to frames and answers
+                    DUMP_TRACE / `ltc_query trace` when serving
+                    (docs/TELEMETRY.md) [off]
   --serve PORT      serve TOPK/ESTIMATE_*/STATS/PING queries over TCP on
                     PORT while the trace feeds and until SIGINT/SIGTERM
                     (PORT 0 = pick an ephemeral port; the bound port is
@@ -185,6 +191,9 @@ std::optional<CliOptions> ParseCliOptions(
     } else if (arg == "--metrics-out") {
       if (!next_value(arg, &value)) return std::nullopt;
       options.metrics_out = value;
+    } else if (arg == "--trace-out") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      options.trace_out = value;
     } else if (arg == "--serve") {
       if (!next_value(arg, &value)) return std::nullopt;
       uint64_t parsed;

@@ -35,6 +35,9 @@ struct CliOptions {
                               // (.json = JSON, else Prometheus text)
   uint64_t stats_every = 0;   // ALSO rewrite metrics_out every N records
                               // (0 = only on exit; requires metrics_out)
+  std::string trace_out;      // install the flight recorder and write
+                              // its Chrome trace-event JSON here on
+                              // exit and on SIGUSR1 (empty = off)
   int32_t serve_port = -1;    // >= 0: serve queries on this TCP port while
                               // (and after) feeding; 0 = ephemeral port,
                               // printed to stderr; -1 = no serving

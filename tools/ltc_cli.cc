@@ -31,6 +31,7 @@
 #include "core/read_snapshot.h"
 #include "core/sharded_ltc.h"
 #include "core/significance_estimator.h"
+#include "core/table_layout.h"
 #include "ingest/ingest_pipeline.h"
 #include "server/aggregator.h"
 #include "server/key_codec.h"
@@ -41,9 +42,11 @@
 #include "snapshot/fs.h"
 #include "snapshot/snapshot_store.h"
 #include "stream/trace_io.h"
+#include "telemetry/build_info.h"
 #include "telemetry/exposition.h"
 #include "telemetry/ltc_collectors.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace ltc {
 namespace {
@@ -58,9 +61,17 @@ volatile std::sig_atomic_t g_caught_signal = 0;
 
 void LatchSignal(int signo) { g_caught_signal = signo; }
 
+// SIGUSR1 = dump the flight recorder now (docs/TELEMETRY.md). Same
+// latch-only discipline: JSON rendering is nowhere near async-signal
+// safe, so the loops poll this between chunks / idle ticks.
+volatile std::sig_atomic_t g_dump_trace = 0;
+
+void LatchDumpSignal(int) { g_dump_trace = 1; }
+
 void InstallSignalHandlers() {
   std::signal(SIGINT, LatchSignal);
   std::signal(SIGTERM, LatchSignal);
+  std::signal(SIGUSR1, LatchDumpSignal);
 }
 
 /// Reads a checkpoint payload: the exact file when its frame validates,
@@ -96,6 +107,81 @@ std::optional<std::string> LoadCheckpointPayload(const std::string& path) {
   return recovered->payload;
 }
 
+/// --trace-out: installs the process-wide flight recorder and owns its
+/// dumps — SIGUSR1 (polled between chunks / idle ticks) and the final
+/// dump on destruction, error exits included.
+class TraceSession {
+ public:
+  explicit TraceSession(const std::string& path) : path_(path) {
+    if (path_.empty()) return;
+    if (!telemetry::kTracingEnabled) {
+      std::fprintf(stderr,
+                   "ltc_cli: warning: built with LTC_TRACING=OFF; "
+                   "--trace-out ignored\n");
+      return;
+    }
+    recorder_.emplace();
+    telemetry::FlightRecorder::Install(&*recorder_);
+  }
+
+  ~TraceSession() {
+    if (!recorder_) return;
+    telemetry::FlightRecorder::Install(nullptr);
+    Dump("final");
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool active() const { return recorder_.has_value(); }
+  telemetry::FlightRecorder* recorder() {
+    return recorder_ ? &*recorder_ : nullptr;
+  }
+
+  /// Dumps now if SIGUSR1 fired since the last poll.
+  void PollDumpSignal() {
+    if (g_dump_trace == 0) return;
+    g_dump_trace = 0;
+    if (recorder_) Dump("SIGUSR1");
+  }
+
+ private:
+  void Dump(const char* why) {
+    std::string dump_error;
+    if (!recorder_->DumpToFile(path_, &dump_error)) {
+      std::fprintf(stderr, "ltc_cli: warning: trace dump failed: %s\n",
+                   dump_error.c_str());
+    } else {
+      std::fprintf(stderr, "ltc_cli: trace (%s) written to '%s'\n", why,
+                   path_.c_str());
+      std::fflush(stderr);
+    }
+  }
+
+  std::string path_;
+  std::optional<telemetry::FlightRecorder> recorder_;
+};
+
+/// ltc_trace_exemplar_duration_usec{span,trace_id}: worst recent span
+/// per name; the trace_id label links the scrape to the span tree in
+/// the flight-recorder dump. Cardinality is bounded by span names ×
+/// distinct worst spans seen at write cadences.
+void PublishTraceExemplars(telemetry::MetricsRegistry& registry,
+                           telemetry::FlightRecorder* recorder) {
+  if (recorder == nullptr) return;
+  for (const auto& exemplar : recorder->WorstSpans()) {
+    char trace_id[32];
+    std::snprintf(trace_id, sizeof(trace_id), "0x%016llx",
+                  static_cast<unsigned long long>(exemplar.trace_id));
+    registry
+        .GaugeOf("ltc_trace_exemplar_duration_usec",
+                 "Worst recent span duration per name; trace_id links "
+                 "to the flight-recorder dump.",
+                 {{"span", exemplar.name}, {"trace_id", trace_id}})
+        .Set(static_cast<double>(exemplar.duration_usec));
+  }
+}
+
 /// Writes the metrics exposition to `path` (.json = JSON form, else
 /// Prometheus text), atomically; failures are warnings, never fatal.
 void WriteMetricsFile(telemetry::MetricsRegistry& registry,
@@ -120,6 +206,11 @@ int RunAggregator(const CliOptions& options) {
   const LtcConfig config = options.ToLtcConfig();
   const bool metrics_enabled = !options.metrics_out.empty();
   telemetry::MetricsRegistry registry;
+  if (metrics_enabled) {
+    telemetry::RegisterBuildInfo(registry,
+                                 ProbeBackendName(ActiveProbeBackend()));
+  }
+  TraceSession trace_session(options.trace_out);
 
   ReadSnapshotHub hub;
   // Seed the hub from this thread BEFORE the server starts: queries
@@ -153,6 +244,7 @@ int RunAggregator(const CliOptions& options) {
   std::fflush(stderr);
 
   while (g_caught_signal == 0) {
+    trace_session.PollDumpSignal();
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   server.Stop();
@@ -164,11 +256,18 @@ int RunAggregator(const CliOptions& options) {
       aggregator.num_nodes(),
       static_cast<unsigned long long>(aggregator.rejects_total()),
       static_cast<unsigned long long>(server.TotalRequests()));
-  if (metrics_enabled) WriteMetricsFile(registry, options.metrics_out);
+  if (metrics_enabled) {
+    PublishTraceExemplars(registry, trace_session.recorder());
+    WriteMetricsFile(registry, options.metrics_out);
+  }
   return 128 + static_cast<int>(g_caught_signal);
 }
 
 int Run(const CliOptions& options) {
+  // Tracing first: the recorder must be installed before the first
+  // instrumented seam (snapshot restore below) opens a span.
+  TraceSession trace_session(options.trace_out);
+
   // 1. Load the trace (file or stdin).
   std::string error;
   std::optional<TraceReadResult> trace;
@@ -243,6 +342,10 @@ int Run(const CliOptions& options) {
   // --metrics-out on exit and at each --stats-every cadence.
   const bool metrics_enabled = !options.metrics_out.empty();
   telemetry::MetricsRegistry registry;
+  if (metrics_enabled) {
+    telemetry::RegisterBuildInfo(registry,
+                                 ProbeBackendName(ActiveProbeBackend()));
+  }
 #ifdef LTC_METRICS
   // One sink per shard (sized once: the tables keep raw pointers).
   std::vector<LtcMetricsSink> sinks;
@@ -279,6 +382,7 @@ int Run(const CliOptions& options) {
   auto write_metrics = [&] {
     if (!metrics_enabled) return;
     publish_core();
+    PublishTraceExemplars(registry, trace_session.recorder());
     WriteMetricsFile(registry, options.metrics_out);
   };
 
@@ -345,6 +449,9 @@ int Run(const CliOptions& options) {
     push_config.port = static_cast<uint16_t>(
         std::strtoull(options.push_to.c_str() + colon + 1, nullptr, 10));
     push_config.node_id = options.node_id;
+    // With tracing on, push frames carry this node's span context so
+    // the aggregator's merge span joins the same trace.
+    push_config.propagate_trace = trace_session.active();
     push_transport.emplace();
     pusher.emplace(push_config, &*push_transport);
     if (metrics_enabled) pusher->AttachMetrics(&registry);
@@ -422,7 +529,10 @@ int Run(const CliOptions& options) {
     if (serving) pipeline.AttachReadSnapshotHub(&hub);
     for (size_t i = 0; i < records.size(); i += chunk) {
       if (g_caught_signal != 0) break;
+      trace_session.PollDumpSignal();
       const size_t n = std::min(chunk, records.size() - i);
+      telemetry::Span chunk_span("ingest.chunk");
+      chunk_span.AddAttr("records", n);
       pipeline.PushBatch(records.subspan(i, n));
       if (serving) pipeline.Flush();  // barrier → snapshot publish
       since_stats += n;
@@ -456,7 +566,12 @@ int Run(const CliOptions& options) {
     uint64_t since_ckpt = 0;
     for (size_t i = 0; i < records.size(); i += chunk) {
       if (g_caught_signal != 0) break;
+      trace_session.PollDumpSignal();
       const size_t n = std::min(chunk, records.size() - i);
+      // The chunk span is the local root every per-chunk seam —
+      // hub.publish, push.deliver, checkpoint saves — parents under.
+      telemetry::Span chunk_span("ingest.chunk");
+      chunk_span.AddAttr("records", n);
       estimator->InsertBatch(records.subspan(i, n));
       publish_snapshot(i + n);  // chunk boundary = a quiescent barrier
       since_ckpt += n;
@@ -519,6 +634,7 @@ int Run(const CliOptions& options) {
   // epilogue below runs.
   if (serving) {
     while (g_caught_signal == 0) {
+      trace_session.PollDumpSignal();
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
     server->Stop();

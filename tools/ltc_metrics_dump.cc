@@ -1,10 +1,15 @@
 // ltc_metrics_dump — pretty-prints a Prometheus text exposition (the
 // file ltc_cli --metrics-out writes) as a compact human-readable
 // summary: one block per family, histograms folded into
-// count/sum/avg/max-bucket instead of their cumulative bucket series.
+// count/sum/avg/p50/p90/p99 instead of their cumulative bucket series.
+// Percentiles interpolate linearly inside the log2 buckets, so they
+// carry at most one-bucket-width error; a value landing in the +Inf
+// bucket reports the last finite bound with a ">" prefix.
 //
 //   usage: ltc_metrics_dump [FILE | -]      (default: stdin)
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -27,7 +32,9 @@ struct Family {
   // Histogram pieces keyed by the le-stripped label set.
   std::map<std::string, std::string> hist_count;
   std::map<std::string, std::string> hist_sum;
-  std::map<std::string, std::string> hist_max_bucket;  // largest finite le
+  // le bound -> cumulative count, per series (le=+Inf stored as INFINITY;
+  // the map keeps the bounds sorted, which the quantile walk relies on).
+  std::map<std::string, std::map<double, double>> hist_buckets;
 };
 
 /// Splits "name{labels} value" / "name value"; returns false on junk.
@@ -66,6 +73,64 @@ std::string StripLe(const std::string& labels) {
   }
   std::string out = labels.substr(0, begin) + labels.substr(end);
   return out == "{}" ? "" : out;
+}
+
+/// Pulls the le="..." bound out of a bucket's label string.
+/// Returns false when no le pair is present (malformed bucket line).
+bool ParseLe(const std::string& labels, double* le) {
+  const size_t at = labels.find("le=\"");
+  if (at == std::string::npos) return false;
+  const size_t end = labels.find('"', at + 4);
+  if (end == std::string::npos) return false;
+  const std::string text = labels.substr(at + 4, end - (at + 4));
+  if (text == "+Inf") {
+    *le = INFINITY;
+    return true;
+  }
+  try {
+    *le = std::stod(text);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+/// The q-quantile (q in [0,1]) of one cumulative bucket series, linearly
+/// interpolated inside the winning bucket. Returns NAN for an empty
+/// histogram and -bound when the quantile lands in the +Inf bucket (the
+/// caller renders that as ">bound").
+double Quantile(const std::map<double, double>& buckets, double q) {
+  if (buckets.empty()) return NAN;
+  const double total = buckets.rbegin()->second;
+  if (total <= 0) return NAN;
+  const double target = q * total;
+  double prev_le = 0.0;
+  double prev_cum = 0.0;
+  for (const auto& [le, cum] : buckets) {
+    if (cum >= target && cum > prev_cum) {
+      if (std::isinf(le)) {
+        return prev_le > 0 ? -prev_le : 0.0;  // beyond the finite buckets
+      }
+      const double fraction = (target - prev_cum) / (cum - prev_cum);
+      return prev_le + (le - prev_le) * fraction;
+    }
+    prev_le = le;
+    prev_cum = cum;
+  }
+  return std::isinf(prev_le) ? -0.0 : prev_le;
+}
+
+/// Renders a Quantile() result: "p90=12.0", "p90>4096" or "p90=?".
+std::string FormatQuantile(const char* tag, double value) {
+  char buf[48];
+  if (std::isnan(value)) {
+    std::snprintf(buf, sizeof(buf), "%s=?", tag);
+  } else if (std::signbit(value)) {
+    std::snprintf(buf, sizeof(buf), "%s>%g", tag, -value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s=%g", tag, value);
+  }
+  return buf;
 }
 
 /// Ends with `suffix`? Then strip it into `stem`.
@@ -120,8 +185,19 @@ int DumpStream(std::istream& in) {
       Family& family = families[stem];
       const std::string key = StripLe(labels);
       family.hist_count[key];  // ensure the series exists
-      if (labels.find("le=\"+Inf\"") == std::string::npos) {
-        family.hist_max_bucket[key] = labels;  // last finite bucket wins
+      double le = 0.0;
+      if (!ParseLe(labels, &le)) {
+        std::fprintf(stderr,
+                     "ltc_metrics_dump: line %zu: bucket without le: %s\n",
+                     lineno, line.c_str());
+        return 1;
+      }
+      try {
+        family.hist_buckets[key][le] = std::stod(value);
+      } catch (...) {
+        std::fprintf(stderr, "ltc_metrics_dump: line %zu: bad count: %s\n",
+                     lineno, line.c_str());
+        return 1;
       }
     } else if (ChopSuffix(name, "_sum", &stem) &&
                families.find(stem) != families.end()) {
@@ -143,22 +219,22 @@ int DumpStream(std::istream& in) {
     if (family.type == "histogram") {
       for (const auto& [labels, count] : family.hist_count) {
         const auto sum = family.hist_sum.find(labels);
-        const auto max_bucket = family.hist_max_bucket.find(labels);
         double avg = 0.0;
         const double n = count.empty() ? 0.0 : std::stod(count);
         if (n > 0 && sum != family.hist_sum.end()) {
           avg = std::stod(sum->second) / n;
         }
-        std::printf("  %-28s count=%s sum=%s avg=%.1f%s%s\n",
+        const auto buckets = family.hist_buckets.find(labels);
+        static const std::map<double, double> kEmpty;
+        const auto& series =
+            buckets != family.hist_buckets.end() ? buckets->second : kEmpty;
+        std::printf("  %-28s count=%s sum=%s avg=%.1f %s %s %s\n",
                     labels.empty() ? "(no labels)" : labels.c_str(),
                     count.c_str(),
                     sum != family.hist_sum.end() ? sum->second.c_str() : "?",
-                    avg,
-                    max_bucket != family.hist_max_bucket.end() ? " max "
-                                                               : "",
-                    max_bucket != family.hist_max_bucket.end()
-                        ? max_bucket->second.c_str()
-                        : "");
+                    avg, FormatQuantile("p50", Quantile(series, 0.50)).c_str(),
+                    FormatQuantile("p90", Quantile(series, 0.90)).c_str(),
+                    FormatQuantile("p99", Quantile(series, 0.99)).c_str());
       }
     } else {
       for (const Sample& sample : family.samples) {

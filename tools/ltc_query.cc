@@ -12,6 +12,14 @@
 //   pers KEY        estimated persistency of KEY
 //   stats           service stats (snapshot seq, records, memory, shards,
 //                   aggregation node rows when the server aggregates)
+//   trace           the server's flight-recorder dump as Chrome
+//                   trace-event JSON (requires the server to run with
+//                   --trace-out; open the output in Perfetto)
+//
+// --trace appends the v3 trace-context extension to every request, so
+// the server-side spans join one client-chosen trace (its trace_id is
+// printed to stderr for grepping the server's dump). Only send it to
+// v3 servers — older ones answer extended frames with kErrMalformed.
 //
 // Every socket step (connect, send, each response read) runs under
 // --timeout-ms (default 5000, 0 = wait forever), so a hung or half-open
@@ -47,8 +55,9 @@ namespace {
 
 struct PendingRequest {
   Opcode opcode;
-  std::string frame;  // framed request bytes, ready to send
-  std::string label;  // "topk 5", "sig alpha", ... for output headers
+  std::string payload;  // request payload (framed at send time, after
+                        // the optional --trace extension is appended)
+  std::string label;    // "topk 5", "sig alpha", ... for output headers
 };
 
 /// Set by any expired deadline so Main can exit 5 instead of 4.
@@ -57,9 +66,12 @@ bool g_timed_out = false;
 int Usage(const char* message) {
   if (message != nullptr) std::fprintf(stderr, "ltc_query: %s\n", message);
   std::fputs(
-      "usage: ltc_query --port P [--host H] [--timeout-ms N] <verb> [arg] "
-      "[...]\n"
-      "verbs: ping | topk K | sig KEY | freq KEY | pers KEY | stats\n",
+      "usage: ltc_query --port P [--host H] [--timeout-ms N] [--trace] "
+      "<verb> [arg] [...]\n"
+      "verbs: ping | topk K | sig KEY | freq KEY | pers KEY | stats | "
+      "trace\n"
+      "--trace tags every request with a fresh trace context (v3 "
+      "servers only); the trace_id is printed to stderr\n",
       stderr);
   return 2;
 }
@@ -69,6 +81,16 @@ uint64_t NowMicros() {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// SplitMix64 finalizer over a seed mixed with the clock — good enough
+/// for a client-chosen trace id that must not collide with server ids.
+uint64_t MixId(uint64_t seed) {
+  uint64_t z = (seed << 32) ^ NowMicros();
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
 
 /// Polls `fd` for `events` until the absolute deadline (0 = forever).
@@ -249,6 +271,13 @@ void PrintResponse(const PendingRequest& request,
                   static_cast<unsigned long long>(response.push_epoch),
                   response.push_applied ? 1 : 0);
       return;
+    case Opcode::kDumpTrace:
+      // Chrome trace-event JSON verbatim — pipe to a file and open it
+      // in Perfetto. A trailing newline keeps shells happy.
+      std::fwrite(response.trace_json.data(), 1, response.trace_json.size(),
+                  stdout);
+      std::fputc('\n', stdout);
+      return;
   }
 }
 
@@ -256,6 +285,7 @@ int Main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int32_t port = -1;
   uint64_t timeout_usec = 5'000'000;
+  bool with_trace = false;
   std::vector<PendingRequest> requests;
 
   for (int i = 1; i < argc; ++i) {
@@ -292,10 +322,15 @@ int Main(int argc, char** argv) {
         return Usage("bad --timeout-ms (milliseconds, 0 = no timeout)");
       }
       timeout_usec = static_cast<uint64_t>(parsed) * 1'000;
+    } else if (arg == "--trace") {
+      with_trace = true;
     } else if (arg == "ping") {
-      requests.push_back({Opcode::kPing, EncodeFrame(EncodePingRequest()), "ping"});
+      requests.push_back({Opcode::kPing, EncodePingRequest(), "ping"});
     } else if (arg == "stats") {
-      requests.push_back({Opcode::kStats, EncodeFrame(EncodeStatsRequest()), "stats"});
+      requests.push_back({Opcode::kStats, EncodeStatsRequest(), "stats"});
+    } else if (arg == "trace") {
+      requests.push_back(
+          {Opcode::kDumpTrace, EncodeDumpTraceRequest(), "trace"});
     } else if (arg == "topk") {
       const char* value = next("topk");
       if (value == nullptr) return 2;
@@ -304,19 +339,17 @@ int Main(int argc, char** argv) {
       if (end == value || *end != '\0' || k == 0 || k > kMaxTopK) {
         return Usage("bad topk K");
       }
-      requests.push_back(
-          {Opcode::kTopK,
-           EncodeFrame(EncodeTopKRequest(static_cast<uint32_t>(k))),
-           "topk " + std::string(value)});
+      requests.push_back({Opcode::kTopK,
+                          EncodeTopKRequest(static_cast<uint32_t>(k)),
+                          "topk " + std::string(value)});
     } else if (arg == "sig" || arg == "freq" || arg == "pers") {
       const char* value = next(arg.c_str());
       if (value == nullptr) return 2;
       const Opcode opcode = arg == "sig"    ? Opcode::kEstimateSignificance
                             : arg == "freq" ? Opcode::kEstimateFrequency
                                             : Opcode::kEstimatePersistency;
-      requests.push_back({opcode,
-                          EncodeFrame(EncodeEstimateRequest(opcode, value)),
-                          arg + " " + value});
+      requests.push_back(
+          {opcode, EncodeEstimateRequest(opcode, value), arg + " " + value});
     } else {
       return Usage(("unknown argument '" + arg + "'").c_str());
     }
@@ -332,9 +365,23 @@ int Main(int argc, char** argv) {
     return g_timed_out ? 5 : 4;
   }
 
+  // One trace covers the whole invocation: every verb becomes a child
+  // span of this client-side id at the server, so a multi-verb run
+  // reads as one tree in the dump.
+  TraceContextExt trace_ext{};
+  if (with_trace) {
+    trace_ext.trace_id = MixId(static_cast<uint64_t>(::getpid()));
+    trace_ext.span_id = MixId(trace_ext.trace_id);
+    std::fprintf(stderr, "ltc_query: trace_id=0x%016llx\n",
+                 static_cast<unsigned long long>(trace_ext.trace_id));
+  }
+
   // Pipeline every request, then read the responses back in order.
   std::string outgoing;
-  for (const PendingRequest& request : requests) outgoing += request.frame;
+  for (PendingRequest& request : requests) {
+    if (with_trace) AppendTraceExt(&request.payload, trace_ext);
+    outgoing += EncodeFrame(request.payload);
+  }
   if (!SendAll(fd, outgoing, timeout_usec, &error)) {
     std::fprintf(stderr, "ltc_query: %s\n", error.c_str());
     ::close(fd);

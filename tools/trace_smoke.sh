@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# End-to-end proof of the tracing pipeline (docs/TELEMETRY.md "Tracing
+# & flight recorder"): one `ltc_cli --aggregate` process and one
+# `ltc_cli --push-to` node, both running with --trace-out, over real
+# sockets. Asserts the observability contract:
+#   * SIGUSR1 dumps the aggregator's flight recorder mid-run without
+#     disturbing service,
+#   * both processes write schema-valid Chrome trace-event JSON on
+#     exit, and at least one trace_id appears in BOTH dumps — the
+#     pusher's delivery span and the aggregator's merge of that very
+#     push share one trace (propagated via the v3 trace-context
+#     extension),
+#   * `ltc_query --trace` stamps its requests with a client-chosen
+#     trace_id that shows up in the server's dump, and `ltc_query
+#     trace` pulls that dump over the wire (DUMP_TRACE),
+#   * the exposition carries ltc_build_info and the
+#     ltc_trace_exemplar_duration_usec linkage gauges.
+#
+# usage: trace_smoke.sh <ltc_gen> <ltc_cli> <ltc_query> <work_dir>
+#
+# Companion to aggregation_e2e.sh (fault tolerance) — this script is
+# about whether you can SEE what that pipeline did.
+set -u
+
+fail() { echo "trace_smoke: FAIL: $*" >&2; exit 1; }
+
+GEN="$(readlink -f "$1")" || fail "cannot resolve $1"
+CLI="$(readlink -f "$2")" || fail "cannot resolve $2"
+QUERY="$(readlink -f "$3")" || fail "cannot resolve $3"
+WORK="$4"
+TOOLS_DIR="$(cd "$(dirname "$0")" && pwd)"
+
+mkdir -p "$WORK" || fail "cannot create $WORK"
+cd "$WORK" || fail "cannot cd $WORK"
+rm -f node.txt agg.err push.err agg_trace.json push_trace.json \
+  agg_metrics.prom wire_trace.json query.err query.out
+
+MEMORY=16K
+
+"$GEN" --dataset zipf --records 100000 --distinct 1000 --gamma 1.1 \
+  --periods 20 --seed 7 node.txt || fail "ltc_gen"
+
+# --- 1. Aggregator with the flight recorder installed. ----------------
+"$CLI" --memory "$MEMORY" --aggregate --serve 0 \
+  --trace-out agg_trace.json --metrics-out agg_metrics.prom \
+  > /dev/null 2> agg.err &
+agg_pid=$!
+port=""
+for _ in $(seq 100); do
+  port=$(grep -oE 'serving on port [0-9]+' agg.err 2> /dev/null \
+           | grep -oE '[0-9]+$' || true)
+  [ -n "$port" ] && break
+  kill -0 "$agg_pid" 2> /dev/null || fail "aggregator died: $(cat agg.err)"
+  sleep 0.1
+done
+[ -n "$port" ] || fail "aggregator never announced its port: $(cat agg.err)"
+
+# --- 2. SIGUSR1 mid-run: dump-now without stopping service. -----------
+"$QUERY" --port "$port" ping > /dev/null 2> query.err \
+  || fail "pre-dump ping failed: $(cat query.err)"
+kill -USR1 "$agg_pid" || fail "cannot signal the aggregator"
+dumped=""
+for _ in $(seq 100); do
+  if grep -q "trace (SIGUSR1) written" agg.err 2> /dev/null; then
+    dumped=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$dumped" ] || fail "no SIGUSR1 dump notice: $(cat agg.err)"
+[ -s agg_trace.json ] || fail "SIGUSR1 produced no dump file"
+python3 "$TOOLS_DIR/validate_trace_json.py" agg_trace.json \
+  || fail "SIGUSR1 dump is not valid trace JSON"
+"$QUERY" --port "$port" ping > /dev/null 2> query.err \
+  || fail "post-dump ping failed (service disturbed): $(cat query.err)"
+echo "trace_smoke: SIGUSR1 dump validated mid-run"
+
+# --- 3. A traced pusher: its deliveries must join the aggregator's ----
+# spans through the propagated trace context.
+"$CLI" --memory "$MEMORY" --push-to "127.0.0.1:$port" --node-id 1 \
+  --push-every 5000 --trace-out push_trace.json node.txt \
+  > /dev/null 2> push.err || fail "pusher run failed: $(cat push.err)"
+grep -q "trace (final) written" push.err \
+  || fail "no final pusher dump notice: $(cat push.err)"
+[ -s push_trace.json ] || fail "pusher wrote no trace"
+
+# --- 4. ltc_query --trace: a client-chosen trace_id, server-side. -----
+"$QUERY" --port "$port" --trace ping topk 3 stats > query.out 2> query.err \
+  || fail "--trace query failed: $(cat query.err)"
+client_trace=$(grep -oE 'trace_id=0x[0-9a-f]+' query.err \
+                 | grep -oE '0x[0-9a-f]+' || true)
+[ -n "$client_trace" ] || fail "--trace printed no trace_id: $(cat query.err)"
+
+# DUMP_TRACE over the wire: the dump must already contain the client's
+# trace (the requests above were served before this one).
+"$QUERY" --port "$port" trace > wire_trace.json 2> query.err \
+  || fail "ltc_query trace failed: $(cat query.err)"
+python3 "$TOOLS_DIR/validate_trace_json.py" wire_trace.json \
+  || fail "wire dump is not valid trace JSON"
+grep -q "$client_trace" wire_trace.json \
+  || fail "client trace_id $client_trace missing from the wire dump"
+echo "trace_smoke: client trace $client_trace found in the server dump"
+
+# --- 5. Drain; final dumps + exemplar/build-info gauges. --------------
+kill -TERM "$agg_pid" 2> /dev/null
+wait "$agg_pid"
+status=$?
+[ "$status" -eq 143 ] \
+  || fail "expected aggregator exit 143, got $status: $(cat agg.err)"
+grep -q "trace (final) written" agg.err \
+  || fail "no final aggregator dump notice: $(cat agg.err)"
+
+# The headline assertion: one trace_id in BOTH processes' dumps.
+python3 "$TOOLS_DIR/validate_trace_json.py" --require-cross-process \
+  push_trace.json agg_trace.json \
+  || fail "no trace_id links the pusher and aggregator dumps"
+
+grep -q '^ltc_build_info{' agg_metrics.prom \
+  || fail "exposition missing ltc_build_info"
+grep -q '^ltc_trace_exemplar_duration_usec{' agg_metrics.prom \
+  || fail "exposition missing ltc_trace_exemplar_duration_usec"
+grep -q 'span="server.request"' agg_metrics.prom \
+  || fail "no server.request exemplar in the exposition"
+
+echo "trace_smoke: PASS"

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validates Chrome trace-event JSON dumped by the LTC flight recorder
+(docs/TELEMETRY.md "Tracing & flight recorder").
+
+Usage: validate_trace_json.py [--require-cross-process] FILE [FILE...]
+
+Checks the schema every dump must satisfy — complete-event ("ph":"X")
+records with microsecond ts/dur, pid/tid, and hex trace/span/parent ids
+under "args" — plus the otherData envelope. With
+--require-cross-process, additionally asserts that at least one
+trace_id appears under two or more distinct pids ACROSS the given
+files: the end-to-end proof that trace-context propagation stitched a
+pusher's delivery into the aggregator's merge. Exits non-zero on the
+first violation; the CI trace-smoke step runs it on real dumps.
+"""
+
+import json
+import re
+import sys
+
+HEX_ID_RE = re.compile(r"^0x[0-9a-f]{16}$")
+# Span names are compile-time literals of the instrumented seams, so a
+# dump full of garbage names means torn reads, not new instrumentation.
+NAME_RE = re.compile(r"^[a-z_][a-z0-9_.]*$")
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(event, path, index):
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        fail(path, f"{where} is not an object")
+    name = event.get("name")
+    if not isinstance(name, str) or not NAME_RE.match(name):
+        fail(path, f"{where} has a bad name: {name!r}")
+    if event.get("cat") != "ltc":
+        fail(path, f"{where} cat != 'ltc'")
+    if event.get("ph") != "X":
+        fail(path, f"{where} ph != 'X' (complete events only)")
+    for field in ("ts", "dur", "pid", "tid"):
+        value = event.get(field)
+        if not isinstance(value, int) or value < 0:
+            fail(path, f"{where} field '{field}' is not a non-negative int")
+    args = event.get("args")
+    if not isinstance(args, dict):
+        fail(path, f"{where} has no args object")
+    for field in ("trace_id", "span_id", "parent_id"):
+        value = args.get(field)
+        if not isinstance(value, str) or not HEX_ID_RE.match(value):
+            fail(path, f"{where} args.{field} is not a 0x%016x id: {value!r}")
+    if args["trace_id"] == "0x" + "0" * 16:
+        fail(path, f"{where} has a zero trace_id")
+    if args["span_id"] == "0x" + "0" * 16:
+        fail(path, f"{where} has a zero span_id")
+    for key, value in args.items():
+        if key in ("trace_id", "span_id", "parent_id"):
+            continue
+        if not isinstance(value, int):
+            fail(path, f"{where} attr '{key}' is not an integer")
+    return name, args["trace_id"], event["pid"]
+
+
+def check_file(path, trace_pids):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(path, f"unreadable or invalid JSON: {err}")
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "missing traceEvents array")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail(path, "missing otherData envelope")
+    for field in ("pid", "dropped_spans"):
+        if not isinstance(other.get(field), int):
+            fail(path, f"otherData.{field} is not an int")
+    if not isinstance(other.get("truncated"), bool):
+        fail(path, "otherData.truncated is not a bool")
+    names = set()
+    for index, event in enumerate(events):
+        name, trace_id, pid = check_event(event, path, index)
+        names.add(name)
+        trace_pids.setdefault(trace_id, set()).add(pid)
+    print(f"{path}: ok ({len(events)} events, {len(names)} span names, "
+          f"dropped={other['dropped_spans']}, truncated={other['truncated']})")
+    return len(events)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--require-cross-process"]
+    require_cross = len(args) != len(argv) - 1
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    trace_pids = {}
+    total = 0
+    for path in args:
+        total += check_file(path, trace_pids)
+    if require_cross:
+        linked = {t: pids for t, pids in trace_pids.items() if len(pids) >= 2}
+        if not linked:
+            print("no trace_id spans more than one pid — trace-context "
+                  "propagation is broken", file=sys.stderr)
+            return 1
+        for trace_id, pids in sorted(linked.items()):
+            print(f"cross-process trace {trace_id} spans pids "
+                  f"{sorted(pids)}")
+    if total == 0:
+        print("no events in any file", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
