@@ -1,6 +1,8 @@
 // Ingestion-throughput benchmark for the parallel pipeline: single-table
 // batch insertion vs sequential ShardedLtc vs IngestPipeline at 1/2/4/8
-// shards on a Zipf speed workload. Emits one versioned JSON document
+// shards on a Zipf speed workload, plus the incremental-vs-monolithic
+// checkpoint comparison (SketchStore::CheckpointDirty vs a full
+// SnapshotStore image each cadence). Emits one versioned JSON document
 // (header schema in bench_common.h, reading guide in docs/PERF.md) on
 // stdout so CI and scripts can consume the numbers directly; set
 // LTC_BENCH_JSON_OUT=<path> to also write it to a file (CI commits it
@@ -13,13 +15,19 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/serial.h"
 #include "core/sharded_ltc.h"
 #include "ingest/ingest_pipeline.h"
+#include "snapshot/fs.h"
+#include "snapshot/snapshot_store.h"
+#include "store/sketch_store.h"
 #include "telemetry/exposition.h"
 #include "telemetry/ltc_collectors.h"
 #include "telemetry/metrics.h"
@@ -44,6 +52,110 @@ struct Row {
   uint32_t shards;
   double mops;
 };
+
+// One row of the incremental-vs-monolithic checkpoint comparison
+// (docs/DURABILITY.md "Paged store, WAL, and incremental
+// checkpoints"): total durability bytes and wall time for the same
+// feed-then-checkpoint workload.
+struct CheckpointRow {
+  std::string mode;
+  uint64_t checkpoints = 0;
+  uint64_t bytes_written = 0;
+  uint64_t wall_usec = 0;
+};
+
+// The multi-tenant checkpoint workload the paged store targets: N
+// tenant sketches, of which only ONE takes writes per checkpoint
+// interval (round-robin), and the whole multi-tenant state must be
+// durable after every interval. Only the checkpoint work is measured
+// (the insert cost is identical across modes). The monolithic path
+// re-serializes ALL tenants into one SnapshotStore image each time —
+// O(total state) bytes per checkpoint no matter how small the delta.
+// The paged store Puts only the tenant that changed (logging only its
+// changed pages) and CheckpointDirty writes back only dirty frames —
+// O(delta).
+std::vector<CheckpointRow> BenchCheckpoints(const Stream& stream,
+                                            const LtcConfig& config,
+                                            uint64_t checkpoints,
+                                            uint64_t tenants) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "bench_ingest_checkpoints";
+  fs::remove_all(root);
+  fs::create_directories(root / "paged");
+  std::vector<CheckpointRow> rows;
+  const std::span<const Record> records(stream.records());
+  const size_t chunk = records.size() / checkpoints;
+
+  {
+    CheckpointRow row;
+    row.mode = "monolithic_snapshot";
+    SnapshotStore snapshots((root / "mono.snap").string());
+    std::vector<Ltc> tables(tenants, Ltc(config));
+    std::chrono::steady_clock::duration spent{0};
+    std::string error;
+    for (uint64_t c = 0; c < checkpoints; ++c) {
+      tables[c % tenants].InsertBatch(records.subspan(c * chunk, chunk));
+      const auto start = std::chrono::steady_clock::now();
+      BinaryWriter writer;
+      for (const Ltc& table : tables) table.Serialize(writer);
+      if (!snapshots.Save(writer.data(), &error)) {
+        std::fprintf(stderr, "bench_ingest: snapshot save failed: %s\n",
+                     error.c_str());
+        break;
+      }
+      spent += std::chrono::steady_clock::now() - start;
+      row.bytes_written += writer.data().size();
+      ++row.checkpoints;
+    }
+    row.wall_usec = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(spent)
+            .count());
+    rows.push_back(row);
+  }
+
+  {
+    CheckpointRow row;
+    row.mode = "paged_incremental";
+    std::string error;
+    auto store = ltc::store::SketchStore::Open(
+        SystemFs(), (root / "paged").string(), ltc::store::SketchStoreOptions{},
+        &error);
+    if (store == nullptr) {
+      std::fprintf(stderr, "bench_ingest: store open failed: %s\n",
+                   error.c_str());
+      return rows;
+    }
+    std::vector<Ltc> tables(tenants, Ltc(config));
+    std::chrono::steady_clock::duration spent{0};
+    for (uint64_t c = 0; c < checkpoints; ++c) {
+      const uint64_t t = c % tenants;
+      tables[t].InsertBatch(records.subspan(c * chunk, chunk));
+      const auto start = std::chrono::steady_clock::now();
+      if (!store->Put(t, tables[t], &error) ||
+          !store->CheckpointDirty(&error)) {
+        std::fprintf(stderr, "bench_ingest: store checkpoint failed: %s\n",
+                     error.c_str());
+        break;
+      }
+      spent += std::chrono::steady_clock::now() - start;
+      ++row.checkpoints;
+    }
+    // Durability bytes = WAL appends + page-file write-backs (page
+    // payloads; the per-page frame header is noise at this scale).
+    row.bytes_written =
+        store->stats().wal_bytes +
+        store->pool().stats().pages_stored *
+            ltc::store::SketchStoreOptions{}.page_bytes;
+    row.wall_usec = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(spent)
+            .count());
+    rows.push_back(row);
+  }
+
+  fs::remove_all(root);
+  return rows;
+}
 
 template <typename Feed>
 double BestMops(const Stream& stream, const Feed& feed) {
@@ -127,6 +239,13 @@ int Main() {
 #endif
   }
 
+  // Incremental vs monolithic checkpoints (ROADMAP item 4): the same
+  // multi-tenant feed-then-checkpoint workload through the
+  // SnapshotStore rotation (O(total state) bytes every time) and the
+  // paged SketchStore (O(delta)).
+  const std::vector<CheckpointRow> ckpt_rows =
+      BenchCheckpoints(stream, config, /*checkpoints=*/32, /*tenants=*/8);
+
   // The versioned header (schema_version, git sha, hardware_threads,
   // timestamp, build flags, probe backend) leads the document so every
   // committed BENCH_ingest.json is comparable across re-anchors.
@@ -153,6 +272,25 @@ int Main() {
                   "\"speedup_vs_single\": %.3f}%s\n",
                   row.mode.c_str(), row.shards, row.mops, speedup,
                   i + 1 < rows.size() ? "," : "");
+    json += line;
+  }
+  json += "  ],\n";
+  json += "  \"checkpoint\": [\n";
+  for (size_t i = 0; i < ckpt_rows.size(); ++i) {
+    const CheckpointRow& row = ckpt_rows[i];
+    const double per_ckpt =
+        row.checkpoints > 0
+            ? static_cast<double>(row.bytes_written) / row.checkpoints
+            : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "    {\"mode\": \"%s\", \"checkpoints\": %llu, "
+                  "\"bytes_written\": %llu, \"wall_usec\": %llu, "
+                  "\"bytes_per_checkpoint\": %.0f}%s\n",
+                  row.mode.c_str(),
+                  static_cast<unsigned long long>(row.checkpoints),
+                  static_cast<unsigned long long>(row.bytes_written),
+                  static_cast<unsigned long long>(row.wall_usec), per_ckpt,
+                  i + 1 < ckpt_rows.size() ? "," : "");
     json += line;
   }
   json += "  ]\n}\n";

@@ -9,11 +9,20 @@ ClockCache::ClockCache(size_t capacity) : frames_(capacity) {
   index_.reserve(capacity * 2);
 }
 
-size_t ClockCache::EvictAndAdvance() {
+size_t ClockCache::EvictAndAdvance(Evicted* evicted) {
   // Sweep: give referenced frames a second chance, evict the first
-  // unreferenced one. Terminates within two revolutions.
-  while (true) {
+  // unreferenced unpinned one. Pinned frames are invisible to the hand
+  // (their reference bits are left alone), so the sweep terminates
+  // within two revolutions over the evictable frames — or reports
+  // failure when there are none.
+  size_t steps = 0;
+  const size_t limit = 2 * frames_.size();
+  while (steps++ < limit) {
     Frame& frame = frames_[hand_];
+    if (frame.occupied && frame.pins > 0) {
+      hand_ = (hand_ + 1) % frames_.size();
+      continue;
+    }
     if (frame.occupied && frame.referenced) {
       frame.referenced = false;
       hand_ = (hand_ + 1) % frames_.size();
@@ -21,23 +30,84 @@ size_t ClockCache::EvictAndAdvance() {
     }
     size_t victim = hand_;
     hand_ = (hand_ + 1) % frames_.size();
-    if (frames_[victim].occupied) index_.erase(frames_[victim].key);
+    if (frames_[victim].occupied) {
+      if (evicted != nullptr) {
+        evicted->happened = true;
+        evicted->key = frames_[victim].key;
+        evicted->dirty = frames_[victim].dirty;
+      }
+      index_.erase(frames_[victim].key);
+    }
     return victim;
   }
+  return frames_.size();  // every frame is pinned
 }
 
-bool ClockCache::Access(uint64_t key) {
+ClockCache::Admit ClockCache::AccessEx(uint64_t key, Evicted* evicted) {
   auto it = index_.find(key);
   if (it != index_.end()) {
     frames_[it->second].referenced = true;
     ++hits_;
-    return true;
+    return Admit::kHit;
   }
   ++misses_;
-  size_t slot = EvictAndAdvance();
-  frames_[slot] = {key, false, true};
+  size_t slot = EvictAndAdvance(evicted);
+  if (slot == frames_.size()) return Admit::kNoFrame;
+  frames_[slot] = {key, false, true, false, 0};
   index_[key] = slot;
-  return false;
+  return Admit::kAdmitted;
+}
+
+bool ClockCache::Pin(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  Frame& frame = frames_[it->second];
+  if (frame.pins == 0) ++pinned_;
+  ++frame.pins;
+  return true;
+}
+
+bool ClockCache::Unpin(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  Frame& frame = frames_[it->second];
+  if (frame.pins == 0) return false;
+  if (--frame.pins == 0) --pinned_;
+  return true;
+}
+
+bool ClockCache::MarkDirty(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  frames_[it->second].dirty = true;
+  return true;
+}
+
+bool ClockCache::ClearDirty(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  frames_[it->second].dirty = false;
+  return true;
+}
+
+bool ClockCache::Erase(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  Frame& frame = frames_[it->second];
+  if (frame.pins > 0) return false;
+  frame = Frame{};
+  index_.erase(it);
+  return true;
+}
+
+bool ClockCache::IsPinned(uint64_t key) const {
+  auto it = index_.find(key);
+  return it != index_.end() && frames_[it->second].pins > 0;
+}
+
+bool ClockCache::IsDirty(uint64_t key) const {
+  auto it = index_.find(key);
+  return it != index_.end() && frames_[it->second].dirty;
 }
 
 }  // namespace ltc

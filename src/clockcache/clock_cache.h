@@ -6,6 +6,13 @@
 // second-chance FIFO approximation of LRU — kept as a reference substrate
 // with its own tests so the borrowed mechanism is pinned down in isolation
 // before core/ reuses the sweep-a-flag idea for period counting.
+//
+// The buffer-pool extensions (pin counts, dirty bits, eviction
+// reporting) generalize the same sweep for src/store: a pinned frame is
+// skipped by the hand no matter its reference bit, and evicting a dirty
+// frame reports the victim so the owner can write it back first. The
+// original Access(key) semantics are unchanged when no frame is ever
+// pinned.
 
 #ifndef LTC_CLOCKCACHE_CLOCK_CACHE_H_
 #define LTC_CLOCKCACHE_CLOCK_CACHE_H_
@@ -19,17 +26,54 @@ namespace ltc {
 
 class ClockCache {
  public:
+  /// What Access did for the key.
+  enum class Admit {
+    kHit,       // already resident; reference bit set
+    kAdmitted,  // was absent; admitted (possibly evicting a victim)
+    kNoFrame,   // was absent and every frame is pinned: not admitted
+  };
+
+  /// The frame Access evicted to make room, if any.
+  struct Evicted {
+    bool happened = false;
+    uint64_t key = 0;
+    bool dirty = false;  // the owner must write this frame back
+  };
+
   explicit ClockCache(size_t capacity);
 
   /// Touches `key`: on hit sets its reference bit and returns true; on
   /// miss admits it (evicting via the clock hand if full) and returns
   /// false.
-  bool Access(uint64_t key);
+  bool Access(uint64_t key) { return AccessEx(key) == Admit::kHit; }
+
+  /// Access with buffer-pool semantics: reports the victim through
+  /// `evicted` (optional) and fails with kNoFrame instead of looping
+  /// when every frame is pinned. New frames are admitted unpinned and
+  /// clean.
+  Admit AccessEx(uint64_t key, Evicted* evicted = nullptr);
+
+  /// Pins `key` against eviction (counted: N pins need N unpins).
+  /// Returns false when `key` is not resident.
+  bool Pin(uint64_t key);
+  bool Unpin(uint64_t key);
+
+  /// Dirty bit: set when the owner mutated the cached entry and a
+  /// write-back is owed. Returns false when `key` is not resident.
+  bool MarkDirty(uint64_t key);
+  bool ClearDirty(uint64_t key);
+
+  /// Drops `key` without a sweep (the owner already wrote it back or
+  /// discarded it). Returns false when absent or pinned.
+  bool Erase(uint64_t key);
 
   bool Contains(uint64_t key) const { return index_.count(key) > 0; }
+  bool IsPinned(uint64_t key) const;
+  bool IsDirty(uint64_t key) const;
 
   size_t size() const { return index_.size(); }
   size_t capacity() const { return frames_.size(); }
+  size_t pinned() const { return pinned_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   double HitRate() const {
@@ -45,13 +89,18 @@ class ClockCache {
     uint64_t key = 0;
     bool referenced = false;
     bool occupied = false;
+    bool dirty = false;
+    uint32_t pins = 0;
   };
 
-  size_t EvictAndAdvance();
+  /// Finds a victim slot, skipping pinned frames; `frames_.size()`
+  /// when every frame is pinned.
+  size_t EvictAndAdvance(Evicted* evicted);
 
   std::vector<Frame> frames_;
   std::unordered_map<uint64_t, size_t> index_;
   size_t hand_ = 0;
+  size_t pinned_ = 0;  // frames with pins > 0
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

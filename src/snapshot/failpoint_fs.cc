@@ -25,6 +25,7 @@ bool FailpointFs::Fires(OpKind op) {
     case Failure::kShortWrite:
     case Failure::kWriteError:
     case Failure::kFlipByteInWrite:
+    case Failure::kTornWriteCrash:
       applies = op == OpKind::kWrite;
       break;
     case Failure::kSyncError:
@@ -40,8 +41,45 @@ bool FailpointFs::Fires(OpKind op) {
   if (!applies) return false;
   fired_ = true;
   --burst_left_;
-  if (failure_ == Failure::kCrash) crashed_ = true;
+  if (failure_ == Failure::kCrash || failure_ == Failure::kTornWriteCrash) {
+    crashed_ = true;
+  }
   return true;
+}
+
+bool FailpointFs::FailingWrite(const std::string& path, std::string_view data,
+                               bool append) {
+  auto write = [&](std::string_view bytes) {
+    return append ? base_.AppendAll(path, bytes) : base_.WriteAll(path, bytes);
+  };
+  switch (failure_) {
+    case Failure::kCrash:
+    case Failure::kShortWrite: {
+      // Persist a deterministic prefix: the torn write.
+      const size_t keep =
+          data.empty() ? 0 : static_cast<size_t>(seed_ % (data.size() + 1));
+      write(data.substr(0, keep));
+      return false;
+    }
+    case Failure::kTornWriteCrash: {
+      // A strict prefix: non-empty writes are always cut mid-record.
+      const size_t keep =
+          data.empty() ? 0 : static_cast<size_t>(seed_ % data.size());
+      write(data.substr(0, keep));
+      return false;
+    }
+    case Failure::kFlipByteInWrite: {
+      std::string corrupted(data);
+      if (!corrupted.empty()) {
+        corrupted[static_cast<size_t>(seed_ % corrupted.size())] ^= 0x40;
+      }
+      write(corrupted);
+      return true;  // silent corruption: the write reports success
+    }
+    case Failure::kWriteError:
+    default:
+      return false;
+  }
 }
 
 bool FailpointFs::WriteAll(const std::string& path, std::string_view data) {
@@ -50,27 +88,16 @@ bool FailpointFs::WriteAll(const std::string& path, std::string_view data) {
     return false;
   }
   if (!Fires(OpKind::kWrite)) return base_.WriteAll(path, data);
-  switch (failure_) {
-    case Failure::kCrash:
-    case Failure::kShortWrite: {
-      // Persist a deterministic prefix: the torn write.
-      const size_t keep =
-          data.empty() ? 0 : static_cast<size_t>(seed_ % (data.size() + 1));
-      base_.WriteAll(path, data.substr(0, keep));
-      return false;
-    }
-    case Failure::kFlipByteInWrite: {
-      std::string corrupted(data);
-      if (!corrupted.empty()) {
-        corrupted[static_cast<size_t>(seed_ % corrupted.size())] ^= 0x40;
-      }
-      base_.WriteAll(path, corrupted);
-      return true;  // silent corruption: the write reports success
-    }
-    case Failure::kWriteError:
-    default:
-      return false;
+  return FailingWrite(path, data, /*append=*/false);
+}
+
+bool FailpointFs::AppendAll(const std::string& path, std::string_view data) {
+  if (crashed_) {
+    ++ops_;
+    return false;
   }
+  if (!Fires(OpKind::kWrite)) return base_.AppendAll(path, data);
+  return FailingWrite(path, data, /*append=*/true);
 }
 
 std::optional<std::string> FailpointFs::ReadAll(const std::string& path) {

@@ -1,8 +1,8 @@
 // FailpointFs — deterministic fault injection for the snapshot I/O
 // path (docs/DURABILITY.md "Failpoint catalog").
 //
-// Wraps any Fs and counts its *mutating* operations (WriteAll, Sync,
-// SyncDir, Rename, Remove) in call order. Arm() schedules exactly one
+// Wraps any Fs and counts its *mutating* operations (WriteAll,
+// AppendAll, Sync, SyncDir, Rename, Remove) in call order. Arm() schedules exactly one
 // failure at a chosen operation index, which makes crash-consistency
 // sweeps trivial: run a clean save once to learn its operation count,
 // then re-run it once per index with a crash armed there
@@ -26,6 +26,15 @@
 //   kFlipByteInWrite     one WriteAll silently flips a single byte at
 //                        a seeded offset and reports success — the
 //                        corruption only the CRC can catch.
+//   kTornWriteCrash      the "torn sector": one WriteAll/AppendAll
+//                        persists a *strict* prefix (seed % size bytes,
+//                        so a non-empty write is always cut mid-record)
+//                        and then the process is dead, like kCrash.
+//                        Unlike kCrash — whose prefix is seed % (size+1)
+//                        and may keep the whole write — this guarantees
+//                        the tail record is torn, which pins the
+//                        reader-side contract: a torn tail is clean
+//                        end-of-log, never an error (src/store/wal.h).
 //
 // All choices (prefix lengths, flip offsets) derive from the seed, so
 // every injected disaster is reproducible.
@@ -50,6 +59,7 @@ class FailpointFs final : public Fs {
     kRenameError,
     kTruncateAfterRename,
     kFlipByteInWrite,
+    kTornWriteCrash,
   };
 
   /// `base` must outlive this wrapper.
@@ -74,6 +84,7 @@ class FailpointFs final : public Fs {
   bool fired() const { return fired_; }
 
   bool WriteAll(const std::string& path, std::string_view data) override;
+  bool AppendAll(const std::string& path, std::string_view data) override;
   std::optional<std::string> ReadAll(const std::string& path) override;
   bool Sync(const std::string& path) override;
   bool SyncDir(const std::string& path) override;
@@ -88,6 +99,10 @@ class FailpointFs final : public Fs {
 
   /// Accounts one mutating op; true iff the armed failure fires on it.
   bool Fires(OpKind op);
+
+  /// Applies the armed write failure to one WriteAll/AppendAll.
+  bool FailingWrite(const std::string& path, std::string_view data,
+                    bool append);
 
   Fs& base_;
   Failure failure_ = Failure::kNone;

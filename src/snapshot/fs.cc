@@ -35,6 +35,27 @@ class PosixFs final : public Fs {
     return ok;
   }
 
+  bool AppendAll(const std::string& path, std::string_view data) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0) return false;
+    const char* p = data.data();
+    size_t remaining = data.size();
+    bool ok = true;
+    while (remaining > 0) {
+      const ssize_t n = ::write(fd, p, remaining);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ok = false;
+        break;
+      }
+      p += n;
+      remaining -= static_cast<size_t>(n);
+    }
+    ok = (::close(fd) == 0) && ok;
+    return ok;
+  }
+
   std::optional<std::string> ReadAll(const std::string& path) override {
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) return std::nullopt;

@@ -30,6 +30,12 @@ class Fs {
   /// Creates/truncates `path` and writes all of `data` (no fsync).
   virtual bool WriteAll(const std::string& path, std::string_view data) = 0;
 
+  /// Appends all of `data` to `path`, creating it if missing (no
+  /// fsync). The write-ahead log's only mutation: a crash mid-append
+  /// leaves a prefix of `data` at the tail, which the log reader must
+  /// treat as clean end-of-log (see src/store/wal.h).
+  virtual bool AppendAll(const std::string& path, std::string_view data) = 0;
+
   /// Whole-file read; nullopt when missing or unreadable.
   virtual std::optional<std::string> ReadAll(const std::string& path) = 0;
 

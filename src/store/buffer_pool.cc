@@ -1,0 +1,193 @@
+#include "store/buffer_pool.h"
+
+#include <utility>
+
+namespace ltc {
+namespace store {
+
+BufferPool::BufferPool(size_t capacity, PageIo* io)
+    : capacity_(capacity < 1 ? 1 : capacity), io_(io),
+      cache_(capacity < 1 ? 1 : capacity) {}
+
+uint64_t BufferPool::HandleOf(uint64_t tenant, uint32_t page) {
+  const auto key = std::make_pair(tenant, page);
+  auto it = handle_of_.find(key);
+  if (it != handle_of_.end()) return it->second;
+  const uint64_t handle = next_handle_++;
+  handle_of_.emplace(key, handle);
+  return handle;
+}
+
+bool BufferPool::CompleteEviction(const ClockCache::Evicted& evicted,
+                                  std::string* error) {
+  auto it = frames_.find(evicted.key);
+  if (it == frames_.end()) return true;  // already gone (defensive)
+  Frame& victim = it->second;
+  if (evicted.dirty) {
+    if (!io_->Store(victim.tenant, victim.page, victim.lsn, victim.payload,
+                    error)) {
+      return false;
+    }
+    ++stats_.pages_stored;
+    ++stats_.evictions_dirty;
+  } else {
+    ++stats_.evictions_clean;
+  }
+  handle_of_.erase(std::make_pair(victim.tenant, victim.page));
+  frames_.erase(it);
+  return true;
+}
+
+BufferPool::Frame* BufferPool::Fetch(uint64_t tenant, uint32_t page,
+                                     bool create_if_absent,
+                                     std::string* error) {
+  if (Poisoned(error)) return nullptr;
+  const uint64_t handle = HandleOf(tenant, page);
+  ClockCache::Evicted evicted;
+  const ClockCache::Admit admit = cache_.AccessEx(handle, &evicted);
+  if (admit == ClockCache::Admit::kHit) {
+    ++stats_.hits;
+    cache_.Pin(handle);
+    return &frames_[handle];
+  }
+  if (admit == ClockCache::Admit::kNoFrame) {
+    handle_of_.erase(std::make_pair(tenant, page));
+    if (error != nullptr) {
+      *error = "buffer pool exhausted: every frame is pinned";
+    }
+    return nullptr;
+  }
+  ++stats_.misses;
+  // Undoes the admission after a failure below. The victim of a
+  // *successful* eviction needs no undo — it was written back and
+  // dropped like any other eviction.
+  auto rollback = [&]() {
+    cache_.Erase(handle);
+    handle_of_.erase(std::make_pair(tenant, page));
+  };
+  if (evicted.happened && !CompleteEviction(evicted, error)) {
+    // The victim's write-back failed: its newest bytes now live only
+    // in this pool (and, if dirty, in the WAL). Serving more traffic
+    // could return stale disk images, so the pool fails closed; a
+    // reopen replays the WAL over the page files and starts clean.
+    rollback();
+    poisoned_ = true;
+    return nullptr;
+  }
+  std::optional<PageIo::Loaded> loaded = io_->Load(tenant, page, error);
+  if (!loaded.has_value()) {
+    rollback();
+    return nullptr;
+  }
+  if (!loaded->found && !create_if_absent) {
+    rollback();
+    if (error != nullptr) {
+      *error = "page t" + std::to_string(tenant) + ".p" +
+               std::to_string(page) + " does not exist";
+    }
+    return nullptr;
+  }
+  if (loaded->found) ++stats_.pages_loaded;
+  Frame& frame = frames_[handle];
+  frame.tenant = tenant;
+  frame.page = page;
+  frame.lsn = loaded->lsn;
+  frame.dirty = false;
+  frame.payload = std::move(loaded->payload);
+  cache_.Pin(handle);
+  return &frame;
+}
+
+void BufferPool::Unpin(Frame* frame, bool mark_dirty) {
+  if (frame == nullptr) return;
+  auto it = handle_of_.find(std::make_pair(frame->tenant, frame->page));
+  if (it == handle_of_.end()) return;
+  if (mark_dirty) {
+    frame->dirty = true;
+    cache_.MarkDirty(it->second);
+  }
+  cache_.Unpin(it->second);
+}
+
+bool BufferPool::Poisoned(std::string* error) const {
+  if (!poisoned_) return false;
+  if (error != nullptr) {
+    *error = "buffer pool poisoned by a failed eviction write-back; "
+             "reopen the store to recover from the WAL";
+  }
+  return true;
+}
+
+bool BufferPool::FlushDirty(std::string* error) {
+  if (Poisoned(error)) return false;
+  for (auto& [handle, frame] : frames_) {
+    if (!frame.dirty) continue;
+    if (!io_->Store(frame.tenant, frame.page, frame.lsn, frame.payload,
+                    error)) {
+      return false;
+    }
+    ++stats_.pages_stored;
+    frame.dirty = false;
+    cache_.ClearDirty(handle);
+  }
+  return true;
+}
+
+bool BufferPool::DropTenant(uint64_t tenant, std::string* error) {
+  if (Poisoned(error)) return false;
+  std::vector<uint64_t> handles;
+  for (const auto& [handle, frame] : frames_) {
+    if (frame.tenant != tenant) continue;
+    if (cache_.IsPinned(handle)) {
+      if (error != nullptr) {
+        *error = "cannot drop tenant " + std::to_string(tenant) +
+                 ": page p" + std::to_string(frame.page) + " is pinned";
+      }
+      return false;
+    }
+    handles.push_back(handle);
+  }
+  for (uint64_t handle : handles) {
+    Frame& frame = frames_[handle];
+    if (frame.dirty) {
+      if (!io_->Store(frame.tenant, frame.page, frame.lsn, frame.payload,
+                      error)) {
+        return false;
+      }
+      ++stats_.pages_stored;
+      frame.dirty = false;
+      cache_.ClearDirty(handle);
+    }
+    cache_.Erase(handle);
+    handle_of_.erase(std::make_pair(frame.tenant, frame.page));
+    frames_.erase(handle);
+  }
+  return true;
+}
+
+std::vector<std::pair<uint64_t, uint32_t>> BufferPool::DirtyPages() const {
+  std::vector<std::pair<uint64_t, uint32_t>> dirty;
+  for (const auto& [handle, frame] : frames_) {
+    if (frame.dirty) dirty.emplace_back(frame.tenant, frame.page);
+  }
+  return dirty;
+}
+
+const BufferPool::Frame* BufferPool::Peek(uint64_t tenant,
+                                          uint32_t page) const {
+  auto it = handle_of_.find(std::make_pair(tenant, page));
+  if (it == handle_of_.end()) return nullptr;
+  auto frame = frames_.find(it->second);
+  return frame == frames_.end() ? nullptr : &frame->second;
+}
+
+size_t BufferPool::dirty_count() const {
+  size_t count = 0;
+  for (const auto& [handle, frame] : frames_) {
+    if (frame.dirty) ++count;
+  }
+  return count;
+}
+
+}  // namespace store
+}  // namespace ltc

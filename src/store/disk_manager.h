@@ -1,0 +1,58 @@
+// Page-file I/O for the paged sketch store.
+//
+// One directory holds everything: per-page files named
+// `t<tenant>.p<page>.pg` plus the write-ahead log `wal.log`. Every
+// page write goes through AtomicWriteFile on the Fs seam — a page
+// file is always either its old image or its new image, never a mix —
+// so the only way a page can tear is media corruption, which the page
+// frame's CRCs turn into a typed error (store/page.h).
+
+#ifndef LTC_STORE_DISK_MANAGER_H_
+#define LTC_STORE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "snapshot/fs.h"
+#include "store/buffer_pool.h"
+
+namespace ltc {
+namespace store {
+
+class DiskManager final : public PageIo {
+ public:
+  /// `fs` must outlive this manager; `dir` must already exist.
+  DiskManager(Fs& fs, std::string dir);
+
+  std::optional<Loaded> Load(uint64_t tenant, uint32_t page,
+                             std::string* error) override;
+  bool Store(uint64_t tenant, uint32_t page, uint64_t lsn,
+             std::string_view payload, std::string* error) override;
+
+  bool RemovePage(uint64_t tenant, uint32_t page);
+
+  /// Page ids present on disk, per tenant (from a directory scan).
+  std::optional<std::map<uint64_t, std::vector<uint32_t>>> ListPages(
+      std::string* error);
+
+  std::string PagePath(uint64_t tenant, uint32_t page) const;
+  std::string WalPath() const;
+  const std::string& dir() const { return dir_; }
+  Fs& fs() { return fs_; }
+
+  /// Parses a `t<tenant>.p<page>.pg` file name.
+  static bool ParsePageName(const std::string& name, uint64_t* tenant,
+                            uint32_t* page);
+
+ private:
+  Fs& fs_;
+  std::string dir_;
+};
+
+}  // namespace store
+}  // namespace ltc
+
+#endif  // LTC_STORE_DISK_MANAGER_H_

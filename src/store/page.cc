@@ -1,0 +1,134 @@
+#include "store/page.h"
+
+#include "common/crc32.h"
+#include "common/serial.h"
+
+namespace ltc {
+namespace store {
+namespace {
+
+constexpr uint32_t kPageMagic = 0x4c504147;  // "LPAG"
+constexpr uint32_t kPageFormatVersion = 1;
+
+// The four SoA lanes of the v3 snapshot payload, in serialization
+// order: element width in bytes (core/ltc.cc Serialize).
+constexpr size_t kLaneWidths[] = {8, 4, 4, 1};  // ids, freqs, counters, flags
+
+size_t SlicesOf(size_t bytes, size_t page_bytes) {
+  return (bytes + page_bytes - 1) / page_bytes;
+}
+
+}  // namespace
+
+std::string EncodePage(uint32_t page_id, uint64_t lsn,
+                       std::string_view payload) {
+  BinaryWriter header;
+  header.PutU32(kPageMagic);
+  header.PutU32(kPageFormatVersion);
+  header.PutU32(page_id);
+  header.PutU64(lsn);
+  header.PutU64(payload.size());
+  header.PutU32(Crc32(payload));
+  header.PutU32(Crc32(header.data()));
+  std::string image = header.data();
+  image.append(payload.data(), payload.size());
+  return image;
+}
+
+PageDecodeResult DecodePage(std::string_view image) {
+  PageDecodeResult result;
+  if (image.size() < kPageFrameHeaderSize) {
+    result.error = SnapshotError::kTooShort;
+    return result;
+  }
+  BinaryReader reader(image.substr(0, kPageFrameHeaderSize));
+  const uint32_t magic = reader.GetU32();
+  const uint32_t version = reader.GetU32();
+  const uint32_t page_id = reader.GetU32();
+  const uint64_t lsn = reader.GetU64();
+  const uint64_t payload_len = reader.GetU64();
+  const uint32_t payload_crc = reader.GetU32();
+  const uint32_t header_crc = reader.GetU32();
+  // Header CRC first: with a corrupted header no other field (magic
+  // included) can be trusted — but magic/version are checked before it
+  // so a non-page blob reports "not a page" rather than "bad CRC".
+  if (magic != kPageMagic) {
+    result.error = SnapshotError::kBadMagic;
+    return result;
+  }
+  if (version != kPageFormatVersion) {
+    result.error = SnapshotError::kBadVersion;
+    return result;
+  }
+  if (header_crc != Crc32(image.substr(0, kPageFrameHeaderSize - 4))) {
+    result.error = SnapshotError::kBadHeaderCrc;
+    return result;
+  }
+  if (image.size() - kPageFrameHeaderSize != payload_len) {
+    result.error = SnapshotError::kLengthMismatch;
+    return result;
+  }
+  std::string_view payload = image.substr(kPageFrameHeaderSize);
+  if (payload_crc != Crc32(payload)) {
+    result.error = SnapshotError::kBadPayloadCrc;
+    return result;
+  }
+  result.page_id = page_id;
+  result.lsn = lsn;
+  result.payload = payload;
+  return result;
+}
+
+size_t PageCodec::PageCount(size_t num_cells, size_t page_bytes) {
+  size_t pages = 1;  // the config/header page
+  for (size_t width : kLaneWidths) pages += SlicesOf(num_cells * width, page_bytes);
+  return pages;
+}
+
+std::vector<std::string> PageCodec::SplitPayload(std::string_view payload,
+                                                 size_t num_cells,
+                                                 size_t page_bytes,
+                                                 std::string* error) {
+  std::vector<std::string> pages;
+  if (page_bytes == 0) {
+    if (error != nullptr) *error = "page_bytes must be > 0";
+    return pages;
+  }
+  size_t lane_bytes = 0;
+  for (size_t width : kLaneWidths) lane_bytes += num_cells * width;
+  if (payload.size() < lane_bytes || payload.size() == lane_bytes) {
+    // The header region (config + dynamic state + cell count) is never
+    // empty for a well-formed v3 payload.
+    if (error != nullptr) {
+      *error = "payload too short for " + std::to_string(num_cells) +
+               " cells (" + std::to_string(payload.size()) + " bytes)";
+    }
+    return pages;
+  }
+  const size_t header_bytes = payload.size() - lane_bytes;
+  pages.reserve(PageCount(num_cells, page_bytes));
+  pages.emplace_back(payload.substr(0, header_bytes));
+  size_t offset = header_bytes;
+  for (size_t width : kLaneWidths) {
+    size_t remaining = num_cells * width;
+    while (remaining > 0) {
+      const size_t take = remaining < page_bytes ? remaining : page_bytes;
+      pages.emplace_back(payload.substr(offset, take));
+      offset += take;
+      remaining -= take;
+    }
+  }
+  return pages;
+}
+
+std::string PageCodec::AssemblePayload(const std::vector<std::string>& pages) {
+  size_t total = 0;
+  for (const std::string& page : pages) total += page.size();
+  std::string payload;
+  payload.reserve(total);
+  for (const std::string& page : pages) payload += page;
+  return payload;
+}
+
+}  // namespace store
+}  // namespace ltc

@@ -1,0 +1,93 @@
+// The page format of the paged sketch store (docs/DURABILITY.md "Paged
+// store, WAL, and incremental checkpoints").
+//
+// A sketch's v3 snapshot payload (core/ltc.cc Serialize: a fixed-size
+// config/state header followed by the four SoA lanes — ids, freqs,
+// counters, flags) is split into fixed-size page images:
+//
+//   page 0        the config/header region (everything before the lanes)
+//   pages 1..k    lane-granular slices: each lane is cut into
+//                 `page_bytes` chunks independently, so no page ever
+//                 straddles a lane boundary and a single-cell update
+//                 dirties at most one page per lane
+//
+// Concatenating the page payloads in page-id order reproduces the v3
+// payload byte-identically (pinned by tests/store_test.cc), so the
+// paged form and the monolithic snapshot are the same bytes in
+// different envelopes.
+//
+// Each page travels in its own checksummed frame:
+//
+//   offset  size  field
+//   0       4     page magic "LPAG"
+//   4       4     page format version (currently 1)
+//   8       4     page id
+//   12      8     page LSN (the WAL sequence number of the last
+//                 mutation this image contains; 0 = never logged)
+//   20      8     payload length in bytes
+//   28      4     CRC-32 of the payload
+//   32      4     CRC-32 of the 32 header bytes above
+//   36      —     payload
+//
+// All integers little-endian. Decoding reuses the SnapshotError
+// taxonomy: a torn or flipped page is a typed, testable rejection
+// (tests/snapshot_corruption_test.cc sweeps every offset), never a
+// crash or a silently-accepted blob.
+
+#ifndef LTC_STORE_PAGE_H_
+#define LTC_STORE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "snapshot/frame.h"
+
+namespace ltc {
+namespace store {
+
+constexpr size_t kPageFrameHeaderSize = 36;
+
+/// Wraps one page payload in a checksummed, versioned frame.
+std::string EncodePage(uint32_t page_id, uint64_t lsn,
+                       std::string_view payload);
+
+struct PageDecodeResult {
+  uint32_t page_id = 0;
+  uint64_t lsn = 0;
+  /// A view into the input image; valid only while it lives.
+  std::string_view payload;
+  SnapshotError error = SnapshotError::kNone;
+  bool ok() const { return error == SnapshotError::kNone; }
+};
+
+/// Validates magic, version, both CRCs and the length before exposing
+/// the payload.
+PageDecodeResult DecodePage(std::string_view image);
+
+/// Splits a v3 snapshot payload into page payloads / reassembles them.
+class PageCodec {
+ public:
+  /// Number of pages a sketch with `num_cells` cells occupies
+  /// (header page + per-lane slices).
+  static size_t PageCount(size_t num_cells, size_t page_bytes);
+
+  /// Splits `payload` (the Serialize() bytes of a sketch with
+  /// `num_cells` cells) into page payloads, index == page id. Empty +
+  /// `error` when the payload cannot hold `num_cells` lanes.
+  static std::vector<std::string> SplitPayload(std::string_view payload,
+                                               size_t num_cells,
+                                               size_t page_bytes,
+                                               std::string* error = nullptr);
+
+  /// Concatenates page payloads (in page-id order) back into the
+  /// original snapshot payload.
+  static std::string AssemblePayload(const std::vector<std::string>& pages);
+};
+
+}  // namespace store
+}  // namespace ltc
+
+#endif  // LTC_STORE_PAGE_H_

@@ -1,0 +1,69 @@
+// Crash recovery for the paged sketch store (docs/DURABILITY.md
+// "Paged store, WAL, and incremental checkpoints").
+//
+// Redo-only, in the minisql recovery-manager shape: replay the WAL
+// over the newest page images. The walk:
+//
+//   1. Scan the store directory; decode every page file's frame header
+//      (a corrupt file counts as LSN 0, so any logged delta heals it).
+//   2. Read wal.log and parse records front to back, truncating at the
+//      first bad frame — a torn tail is a clean end-of-log, exactly
+//      what a crash mid-append leaves behind.
+//   3. For each record's page deltas (records are whole-Put atomic):
+//      apply the delta when record LSN > the page file's LSN, skip it
+//      as stale otherwise. Applications go through AtomicWriteFile, so
+//      a crash *during replay* just replays again on the next open.
+//   4. Only after every application is durable, delete wal.log and
+//      fsync the directory. A crash between 3 and 4 re-applies
+//      already-applied records; the LSN test makes that a no-op.
+//
+// Run() is idempotent: any prefix of it, killed at any operation, can
+// be re-run to the same final state (tests/store_crash_test.cc sweeps
+// exactly this).
+
+#ifndef LTC_STORE_RECOVERY_H_
+#define LTC_STORE_RECOVERY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "snapshot/fs.h"
+#include "store/disk_manager.h"
+
+namespace ltc {
+namespace store {
+
+struct RecoveryReport {
+  bool wal_found = false;
+  bool torn_tail = false;      // trailing garbage was truncated
+  uint64_t wal_bytes = 0;      // log size before truncation
+  uint64_t records = 0;        // intact records replayed
+  uint64_t deltas_applied = 0; // page images rewritten from the log
+  uint64_t deltas_stale = 0;   // deltas already reflected on disk
+  uint64_t corrupt_pages = 0;  // page files that failed frame checks
+  uint64_t max_lsn = 0;        // highest LSN on disk or in the log
+  /// Pages per tenant after replay (page-id-contiguity NOT yet
+  /// checked; SketchStore::Open validates geometry).
+  std::map<uint64_t, std::vector<uint32_t>> tenant_pages;
+};
+
+class RecoveryManager {
+ public:
+  /// `disk` must outlive this manager.
+  explicit RecoveryManager(DiskManager& disk) : disk_(disk) {}
+
+  /// Replays the WAL over the page files (see file comment). False +
+  /// `error` only on I/O failure — torn tails and stale records are
+  /// normal outcomes, reported through `report`.
+  bool Run(RecoveryReport* report, std::string* error);
+
+ private:
+  DiskManager& disk_;
+};
+
+}  // namespace store
+}  // namespace ltc
+
+#endif  // LTC_STORE_RECOVERY_H_

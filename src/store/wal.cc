@@ -1,0 +1,112 @@
+#include "store/wal.h"
+
+#include "common/crc32.h"
+#include "common/serial.h"
+
+namespace ltc {
+namespace store {
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4c57414c;  // "LWAL"
+constexpr uint32_t kWalFormatVersion = 1;
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  BinaryWriter body;
+  body.PutU32(static_cast<uint32_t>(record.pages.size()));
+  for (const WalPageDelta& delta : record.pages) {
+    body.PutU32(delta.page_id);
+    body.PutString(delta.payload);
+  }
+  BinaryWriter header;
+  header.PutU32(kWalMagic);
+  header.PutU32(kWalFormatVersion);
+  header.PutU64(record.lsn);
+  header.PutU64(record.tenant);
+  header.PutU64(body.size());
+  header.PutU32(Crc32(body.data()));
+  header.PutU32(Crc32(header.data()));
+  std::string bytes = header.data();
+  bytes += body.data();
+  return bytes;
+}
+
+WalDecodeResult DecodeWalRecord(std::string_view bytes) {
+  WalDecodeResult result;
+  if (bytes.size() < kWalRecordHeaderSize) {
+    result.error = SnapshotError::kTooShort;
+    return result;
+  }
+  BinaryReader reader(bytes.substr(0, kWalRecordHeaderSize));
+  const uint32_t magic = reader.GetU32();
+  const uint32_t version = reader.GetU32();
+  const uint64_t lsn = reader.GetU64();
+  const uint64_t tenant = reader.GetU64();
+  const uint64_t body_len = reader.GetU64();
+  const uint32_t body_crc = reader.GetU32();
+  const uint32_t header_crc = reader.GetU32();
+  if (magic != kWalMagic) {
+    result.error = SnapshotError::kBadMagic;
+    return result;
+  }
+  if (version != kWalFormatVersion) {
+    result.error = SnapshotError::kBadVersion;
+    return result;
+  }
+  if (header_crc != Crc32(bytes.substr(0, kWalRecordHeaderSize - 4))) {
+    result.error = SnapshotError::kBadHeaderCrc;
+    return result;
+  }
+  if (bytes.size() - kWalRecordHeaderSize < body_len) {
+    result.error = SnapshotError::kLengthMismatch;
+    return result;
+  }
+  std::string_view body = bytes.substr(kWalRecordHeaderSize, body_len);
+  if (body_crc != Crc32(body)) {
+    result.error = SnapshotError::kBadPayloadCrc;
+    return result;
+  }
+  BinaryReader body_reader(body);
+  const uint32_t num_pages = body_reader.GetU32();
+  WalRecord record;
+  record.lsn = lsn;
+  record.tenant = tenant;
+  record.pages.reserve(num_pages);
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    WalPageDelta delta;
+    delta.page_id = body_reader.GetU32();
+    delta.payload = body_reader.GetString();
+    if (body_reader.failed()) break;
+    record.pages.push_back(std::move(delta));
+  }
+  if (!body_reader.AtEnd()) {
+    // CRC-intact body that does not parse exactly: an encoder this
+    // build does not speak. Reject rather than guess.
+    result.error = SnapshotError::kPayloadRejected;
+    return result;
+  }
+  result.record = std::move(record);
+  result.consumed = kWalRecordHeaderSize + body_len;
+  return result;
+}
+
+WalReadResult ReadWalRecords(std::string_view log) {
+  WalReadResult result;
+  size_t offset = 0;
+  while (offset < log.size()) {
+    WalDecodeResult decoded = DecodeWalRecord(log.substr(offset));
+    if (!decoded.ok()) {
+      result.torn = true;
+      result.tail_error = decoded.error;
+      break;
+    }
+    result.records.push_back(std::move(decoded.record));
+    offset += decoded.consumed;
+  }
+  result.valid_bytes = offset;
+  return result;
+}
+
+}  // namespace store
+}  // namespace ltc

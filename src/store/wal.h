@@ -1,0 +1,93 @@
+// The write-ahead redo log of the paged sketch store
+// (docs/DURABILITY.md "Paged store, WAL, and incremental checkpoints").
+//
+// Every Put() that changes pages appends exactly ONE record carrying
+// all of that Put's dirty page images, then fsyncs — so a tenant
+// update is atomic at the log level: after a crash the record is
+// either wholly present (the Put is redone) or torn off the tail (the
+// Put never happened). There is no state in between, which is what
+// lets the kill-at-every-op sweep demand recovery be bit-identical to
+// either the pre-Put or the post-Put sketch.
+//
+// Record layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     record magic "LWAL"
+//   4       4     record format version (currently 1)
+//   8       8     LSN
+//   16      8     tenant id
+//   24      8     body length in bytes
+//   32      4     CRC-32 of the body
+//   36      4     CRC-32 of the 36 header bytes above
+//   40      —     body: u32 page-delta count, then per delta
+//                 u32 page id + u64 payload length + payload bytes
+//
+// The reader walks records front to back and stops at the first frame
+// that fails any check — short header, bad magic/version/CRC, short
+// body. A torn tail is CLEAN END-OF-LOG, not an error: it is exactly
+// what a crash mid-append (or FailpointFs::kTornWriteCrash) leaves
+// behind, and recovery simply truncates there. A flipped byte anywhere
+// in a record makes one of the CRCs fail, so corruption can hide
+// records but never invent or alter one
+// (tests/snapshot_corruption_test.cc sweeps every offset).
+
+#ifndef LTC_STORE_WAL_H_
+#define LTC_STORE_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "snapshot/frame.h"
+
+namespace ltc {
+namespace store {
+
+constexpr size_t kWalRecordHeaderSize = 40;
+
+/// One page's new image inside a record.
+struct WalPageDelta {
+  uint32_t page_id = 0;
+  std::string payload;
+};
+
+/// One atomic tenant update: all pages a single Put changed.
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint64_t tenant = 0;
+  std::vector<WalPageDelta> pages;
+};
+
+/// Serializes one record (header + body, both checksummed).
+std::string EncodeWalRecord(const WalRecord& record);
+
+struct WalDecodeResult {
+  WalRecord record;
+  /// Bytes the record occupied, when ok().
+  size_t consumed = 0;
+  SnapshotError error = SnapshotError::kNone;
+  bool ok() const { return error == SnapshotError::kNone; }
+};
+
+/// Decodes the record at the front of `bytes`.
+WalDecodeResult DecodeWalRecord(std::string_view bytes);
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Bytes of intact records; everything past this is the torn tail.
+  size_t valid_bytes = 0;
+  /// True when trailing bytes were dropped (torn tail); the error that
+  /// ended the walk is in `tail_error` for diagnostics.
+  bool torn = false;
+  SnapshotError tail_error = SnapshotError::kNone;
+};
+
+/// Walks the whole log, returning every intact record in append order.
+WalReadResult ReadWalRecords(std::string_view log);
+
+}  // namespace store
+}  // namespace ltc
+
+#endif  // LTC_STORE_WAL_H_

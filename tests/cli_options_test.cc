@@ -296,6 +296,85 @@ TEST(CliOptions, AggregationRoleRejections) {
   EXPECT_EQ(zero_cadence->push_every, 0u);
 }
 
+TEST(CliOptions, StoreFlagsParsedWithDefaults) {
+  auto options = Parse({"trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_TRUE(options->store_dir.empty());
+  EXPECT_EQ(options->tenants, 1u);
+  EXPECT_EQ(options->mem_budget_bytes, size_t{64} << 20);
+
+  options = Parse({"--store", "/var/ltc/store", "--tenants", "16",
+                   "--mem-budget", "8M", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->store_dir, "/var/ltc/store");
+  EXPECT_EQ(options->tenants, 16u);
+  EXPECT_EQ(options->mem_budget_bytes, 8u * 1024 * 1024);
+}
+
+TEST(CliOptions, StoreComposesWithCheckpointCadenceWithoutSave) {
+  // In store mode --checkpoint-every sets the incremental-checkpoint
+  // cadence; the store directory is the anchor, no --save needed.
+  auto options =
+      Parse({"--store", "dir", "--checkpoint-every", "5000", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->checkpoint_every, 5000u);
+
+  options = Parse({"--store", "dir", "--metrics-out", "m.prom",
+                   "--stats-every", "100", "--csv", "trace.csv"});
+  ASSERT_TRUE(options.has_value());
+}
+
+// The store-mode role rules: --store is a batch feed against a local
+// durable directory — no serving, pushing, sharding, or snapshot
+// flags — and its knobs are meaningless outside it.
+TEST(CliOptions, StoreRejections) {
+  std::string error;
+  EXPECT_FALSE(Parse({"--store", "", "t"}, &error).has_value());
+  EXPECT_NE(error.find("--store"), std::string::npos);
+  EXPECT_FALSE(Parse({"--store"}, &error).has_value());
+  EXPECT_NE(error.find("needs a value"), std::string::npos);
+  // Store mode still takes a trace.
+  EXPECT_FALSE(Parse({"--store", "dir"}, &error).has_value());
+  EXPECT_NE(error.find("no trace"), std::string::npos);
+  // Tenant fan-out bounds.
+  EXPECT_FALSE(Parse({"--store", "dir", "--tenants", "0", "t"}, &error)
+                   .has_value());
+  EXPECT_NE(error.find("--tenants"), std::string::npos);
+  EXPECT_FALSE(
+      Parse({"--store", "dir", "--tenants", "65537", "t"}, &error)
+          .has_value());
+  EXPECT_FALSE(
+      Parse({"--store", "dir", "--tenants", "potato", "t"}, &error)
+          .has_value());
+  EXPECT_FALSE(
+      Parse({"--store", "dir", "--mem-budget", "0", "t"}, &error)
+          .has_value());
+  EXPECT_NE(error.find("--mem-budget"), std::string::npos);
+  // The store knobs require store mode.
+  EXPECT_FALSE(Parse({"--tenants", "4", "t"}, &error).has_value());
+  EXPECT_NE(error.find("requires --store"), std::string::npos);
+  EXPECT_FALSE(Parse({"--mem-budget", "8M", "t"}, &error).has_value());
+  EXPECT_NE(error.find("requires --store"), std::string::npos);
+  // One process, one role / one durability mechanism.
+  EXPECT_FALSE(
+      Parse({"--store", "dir", "--serve", "0", "t"}, &error).has_value());
+  EXPECT_NE(error.find("--serve"), std::string::npos);
+  EXPECT_FALSE(Parse({"--store", "dir", "--push-to", "h:1", "--node-id",
+                      "1", "t"}, &error)
+                   .has_value());
+  EXPECT_FALSE(Parse({"--store", "dir", "--aggregate", "--serve", "0"},
+                     &error)
+                   .has_value());
+  EXPECT_FALSE(
+      Parse({"--store", "dir", "--threads", "4", "t"}, &error).has_value());
+  EXPECT_NE(error.find("--threads"), std::string::npos);
+  EXPECT_FALSE(
+      Parse({"--store", "dir", "--save", "ck.bin", "t"}, &error).has_value());
+  EXPECT_NE(error.find("--save"), std::string::npos);
+  EXPECT_FALSE(
+      Parse({"--store", "dir", "--load", "ck.bin", "t"}, &error).has_value());
+}
+
 TEST(CliOptions, ToLtcConfigReflectsFlags) {
   auto options = Parse({"--memory", "10K", "--alpha", "2", "--beta", "3",
                         "--d", "4", "--no-ltr", "t.csv"});

@@ -106,5 +106,124 @@ TEST(ClockCache, HandAdvancesWithinBounds) {
   }
 }
 
+// ---------------- buffer-pool extensions: pins, dirty bits, eviction
+
+TEST(ClockCache, PinnedFrameIsNeverEvicted) {
+  ClockCache cache(2);
+  cache.Access(1);
+  cache.Access(2);
+  ASSERT_TRUE(cache.Pin(1));
+  // 1 is pinned: every later admission must victimize 2's slot.
+  for (uint64_t key = 3; key < 10; ++key) {
+    ClockCache::Evicted evicted;
+    EXPECT_EQ(cache.AccessEx(key, &evicted), ClockCache::Admit::kAdmitted);
+    EXPECT_TRUE(evicted.happened);
+    EXPECT_NE(evicted.key, 1u);
+    EXPECT_TRUE(cache.Contains(1));
+  }
+  EXPECT_TRUE(cache.Unpin(1));
+  cache.Access(50);
+  cache.Access(51);
+  EXPECT_FALSE(cache.Contains(1));  // unpinned: evictable again
+}
+
+TEST(ClockCache, AllPinnedReportsNoFrame) {
+  ClockCache cache(2);
+  cache.Access(1);
+  cache.Access(2);
+  ASSERT_TRUE(cache.Pin(1));
+  ASSERT_TRUE(cache.Pin(2));
+  EXPECT_EQ(cache.pinned(), 2u);
+  ClockCache::Evicted evicted;
+  EXPECT_EQ(cache.AccessEx(3, &evicted), ClockCache::Admit::kNoFrame);
+  EXPECT_FALSE(evicted.happened);
+  EXPECT_FALSE(cache.Contains(3));
+  EXPECT_EQ(cache.size(), 2u);
+  // A hit on a pinned frame still works (and is still a hit).
+  EXPECT_EQ(cache.AccessEx(1), ClockCache::Admit::kHit);
+}
+
+TEST(ClockCache, PinsAreCounted) {
+  ClockCache cache(1);
+  cache.Access(1);
+  ASSERT_TRUE(cache.Pin(1));
+  ASSERT_TRUE(cache.Pin(1));
+  EXPECT_EQ(cache.pinned(), 1u);  // one frame, however many pins
+  EXPECT_TRUE(cache.Unpin(1));
+  EXPECT_TRUE(cache.IsPinned(1));  // one pin still outstanding
+  EXPECT_EQ(cache.AccessEx(2), ClockCache::Admit::kNoFrame);
+  EXPECT_TRUE(cache.Unpin(1));
+  EXPECT_FALSE(cache.IsPinned(1));
+  EXPECT_FALSE(cache.Unpin(1));  // no pins left to release
+  EXPECT_EQ(cache.AccessEx(2), ClockCache::Admit::kAdmitted);
+}
+
+TEST(ClockCache, PinMissingKeyFails) {
+  ClockCache cache(2);
+  EXPECT_FALSE(cache.Pin(7));
+  EXPECT_FALSE(cache.Unpin(7));
+  EXPECT_FALSE(cache.MarkDirty(7));
+  EXPECT_FALSE(cache.IsPinned(7));
+  EXPECT_FALSE(cache.IsDirty(7));
+}
+
+TEST(ClockCache, EvictingDirtyFrameReportsItForWriteBack) {
+  ClockCache cache(1);
+  cache.Access(1);
+  ASSERT_TRUE(cache.MarkDirty(1));
+  EXPECT_TRUE(cache.IsDirty(1));
+  ClockCache::Evicted evicted;
+  EXPECT_EQ(cache.AccessEx(2, &evicted), ClockCache::Admit::kAdmitted);
+  EXPECT_TRUE(evicted.happened);
+  EXPECT_EQ(evicted.key, 1u);
+  EXPECT_TRUE(evicted.dirty);  // the owner owes a write-back
+  // The new frame starts clean.
+  EXPECT_FALSE(cache.IsDirty(2));
+}
+
+TEST(ClockCache, ClearDirtyMakesEvictionClean) {
+  ClockCache cache(1);
+  cache.Access(1);
+  ASSERT_TRUE(cache.MarkDirty(1));
+  ASSERT_TRUE(cache.ClearDirty(1));
+  ClockCache::Evicted evicted;
+  cache.AccessEx(2, &evicted);
+  EXPECT_TRUE(evicted.happened);
+  EXPECT_FALSE(evicted.dirty);
+}
+
+TEST(ClockCache, EraseDropsUnpinnedRefusesPinned) {
+  ClockCache cache(2);
+  cache.Access(1);
+  cache.Access(2);
+  ASSERT_TRUE(cache.Pin(1));
+  EXPECT_FALSE(cache.Erase(1));  // pinned: the owner still holds it
+  EXPECT_TRUE(cache.Erase(2));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_FALSE(cache.Erase(2));  // already gone
+  ASSERT_TRUE(cache.Unpin(1));
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_EQ(cache.size(), 0u);
+  // Freed slots admit again without eviction.
+  ClockCache::Evicted evicted;
+  EXPECT_EQ(cache.AccessEx(3, &evicted), ClockCache::Admit::kAdmitted);
+  EXPECT_FALSE(evicted.happened);
+}
+
+TEST(ClockCache, PlainAccessSemanticsUnchangedByExtensions) {
+  // The original second-chance behavior must be identical when no
+  // frame is ever pinned or dirtied — AccessEx is Access.
+  ClockCache cache(3);
+  cache.Access(1);
+  cache.Access(2);
+  cache.Access(3);
+  cache.Access(1);
+  ClockCache::Evicted evicted;
+  EXPECT_EQ(cache.AccessEx(4, &evicted), ClockCache::Admit::kAdmitted);
+  EXPECT_TRUE(evicted.happened);
+  EXPECT_EQ(evicted.key, 2u);  // 1 got its second chance
+  EXPECT_FALSE(evicted.dirty);
+}
+
 }  // namespace
 }  // namespace ltc

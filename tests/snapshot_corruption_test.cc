@@ -21,6 +21,8 @@
 #include "sketch/count_min.h"
 #include "snapshot/frame.h"
 #include "snapshot/sketch_snapshot.h"
+#include "store/page.h"
+#include "store/wal.h"
 #include "legacy_ltc_image.h"
 
 namespace ltc {
@@ -161,6 +163,45 @@ TEST(SnapshotCorruption, RawShardedPayloadNeverCrashes) {
   BinaryWriter writer;
   table.Serialize(writer);
   SweepRawPayload<ShardedLtc>(writer.data());
+}
+
+// The paged store's on-disk envelopes get the identical sweep: a page
+// image or a WAL record with any byte flipped or any tail cut off must
+// be a typed rejection. For the WAL this is THE crash-safety contract —
+// the log reader truncates at the first frame this decoder rejects, so
+// "every corruption is caught" is what makes a torn tail indistinguishable
+// from clean end-of-log (src/store/wal.h).
+
+TEST(SnapshotCorruption, StorePageImage) {
+  Ltc table(SmallConfig());
+  for (uint64_t i = 0; i < 1000; ++i) table.Insert(i % 53 + 1, 0.01 * i);
+  BinaryWriter writer;
+  table.Serialize(writer);
+  const auto pages = store::PageCodec::SplitPayload(
+      writer.data(), table.num_cells(), /*page_bytes=*/4096);
+  ASSERT_FALSE(pages.empty());
+  SweepFrame(store::EncodePage(/*page_id=*/3, /*lsn=*/12, pages[0]),
+             [](const std::string& bytes, SnapshotError* error) {
+               const store::PageDecodeResult decoded =
+                   store::DecodePage(bytes);
+               *error = decoded.error;
+               return decoded.ok();
+             });
+}
+
+TEST(SnapshotCorruption, StoreWalRecord) {
+  store::WalRecord record;
+  record.lsn = 41;
+  record.tenant = 6;
+  record.pages.push_back({0, std::string(96, '\x2a')});
+  record.pages.push_back({3, "short lane slice"});
+  SweepFrame(store::EncodeWalRecord(record),
+             [](const std::string& bytes, SnapshotError* error) {
+               const store::WalDecodeResult decoded =
+                   store::DecodeWalRecord(bytes);
+               *error = decoded.error;
+               return decoded.ok();
+             });
 }
 
 }  // namespace

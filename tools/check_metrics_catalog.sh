@@ -53,6 +53,22 @@ ltc_snapshot_save_duration_usec
 ltc_snapshot_recovery_walkback_depth
 ltc_snapshot_load_errors_total
 ltc_trace_exemplar_duration_usec
+ltc_store_pages_in_total
+ltc_store_pages_out_total
+ltc_store_page_hits_total
+ltc_store_page_misses_total
+ltc_store_evictions_total
+ltc_store_wal_records_total
+ltc_store_wal_bytes_total
+ltc_store_checkpoints_total
+ltc_store_replay_deltas_total
+ltc_store_replay_torn_tails_total
+ltc_store_corrupt_pages_total
+ltc_store_tenants
+ltc_store_frames_resident
+ltc_store_frames_dirty
+ltc_store_checkpoint_duration_usec
+ltc_store_checkpoint_dirty_pages
 "
 
 # --- documented families: backticked ltc_* tokens in catalog rows. ----

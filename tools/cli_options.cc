@@ -117,6 +117,23 @@ options:
   --agg-stale-after SEC
                     seconds without a push before a node's STATS row is
                     flagged stale [60]
+  --store DIR       paged multi-tenant store mode (docs/DURABILITY.md
+                    "Paged store, WAL, and incremental checkpoints"):
+                    records shard to --tenants sketches by item id, each
+                    hosted crash-safely in DIR behind a buffer pool of
+                    --mem-budget bytes. Every chunk is Put through the
+                    write-ahead log; --checkpoint-every N takes an
+                    incremental checkpoint every N records (no --save
+                    needed); reopening with the same DIR recovers every
+                    tenant, WAL replay included. The report lists the
+                    top-k per tenant. Conflicts with --serve, --push-to,
+                    --aggregate, --threads, --save and --load [off]
+  --tenants N       tenant sketches in --store mode; each record feeds
+                    the tenant a mixed hash of its item id picks [1]
+  --mem-budget SIZE buffer-pool budget for --store mode, e.g. 512K, 8M;
+                    may be far smaller than total sketch bytes (cold
+                    tenants' pages spill to DIR and page back in on
+                    demand) [64M]
   --help            this text
 )";
 }
@@ -128,6 +145,12 @@ std::optional<CliOptions> ParseCliOptions(
     if (error != nullptr) *error = message;
     return std::nullopt;
   };
+
+  // Whether the store-only knobs were given explicitly (their defaults
+  // are meaningful only in --store mode, so a bare --tenants/--mem-budget
+  // is a usage error we want to catch).
+  bool tenants_set = false;
+  bool mem_budget_set = false;
 
   size_t i = 0;
   auto next_value = [&](const std::string& flag,
@@ -225,6 +248,24 @@ std::optional<CliOptions> ParseCliOptions(
         options.node_id = parsed;
       }
       if (arg == "--agg-stale-after") options.agg_stale_after = parsed;
+    } else if (arg == "--store") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      if (value.empty()) return fail("bad --store '' (need a directory)");
+      options.store_dir = value;
+    } else if (arg == "--tenants") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      uint64_t parsed;
+      if (!ParseU64Arg(value, &parsed) || parsed == 0 || parsed > 65536) {
+        return fail("bad --tenants '" + value + "' (need 1..65536)");
+      }
+      options.tenants = parsed;
+      tenants_set = true;
+    } else if (arg == "--mem-budget") {
+      if (!next_value(arg, &value)) return std::nullopt;
+      auto parsed = ParseMemorySize(value);
+      if (!parsed) return fail("bad --mem-budget '" + value + "'");
+      options.mem_budget_bytes = *parsed;
+      mem_budget_set = true;
     } else if (arg == "--aggregate") {
       options.aggregate = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -267,12 +308,46 @@ std::optional<CliOptions> ParseCliOptions(
   if (options.push_every > 0 && options.push_to.empty()) {
     return fail("--push-every requires --push-to (it sets the push cadence)");
   }
+  if (!options.store_dir.empty()) {
+    if (options.aggregate) {
+      return fail("--store and --aggregate are different roles; run one "
+                  "process per role");
+    }
+    if (options.serve_port >= 0) {
+      return fail("--store does not compose with --serve (store mode is a "
+                  "batch feed; serve from a --load'ed table instead)");
+    }
+    if (!options.push_to.empty()) {
+      return fail("--store does not compose with --push-to (store tenants "
+                  "are durable locally, not pushed)");
+    }
+    if (options.threads != 1) {
+      return fail("--store requires --threads 1 (tenants shard the stream "
+                  "already; the store's Put is a quiescent barrier)");
+    }
+    if (!options.save_path.empty() || !options.load_path.empty()) {
+      return fail("--store does not compose with --save/--load (the store "
+                  "directory IS the durable state; reopen with the same "
+                  "--store DIR to restore)");
+    }
+  } else {
+    if (tenants_set) {
+      return fail("--tenants requires --store (it sets the store's tenant "
+                  "fan-out)");
+    }
+    if (mem_budget_set) {
+      return fail("--mem-budget requires --store (it sizes the store's "
+                  "buffer pool)");
+    }
+  }
   if (options.alpha == 0.0 && options.beta == 0.0) {
     return fail("alpha and beta cannot both be 0");
   }
-  if (options.checkpoint_every > 0 && options.save_path.empty()) {
+  if (options.checkpoint_every > 0 && options.save_path.empty() &&
+      options.store_dir.empty()) {
     return fail("--checkpoint-every requires --save (it anchors the "
-                "snapshot rotation at the save path)");
+                "snapshot rotation at the save path) or --store (where it "
+                "sets the incremental-checkpoint cadence)");
   }
   if (options.stats_every > 0 && options.metrics_out.empty()) {
     return fail("--stats-every requires --metrics-out (it sets where the "

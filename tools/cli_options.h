@@ -52,6 +52,15 @@ struct CliOptions {
                               // (requires --serve)
   uint64_t agg_stale_after = 60;  // seconds without a push before a
                                   // node's STATS row is flagged stale
+  std::string store_dir;      // non-empty = paged multi-tenant store
+                              // mode: records shard to --tenants
+                              // sketches hosted in the crash-safe
+                              // SketchStore at this directory
+  uint64_t tenants = 1;       // tenant sketches in --store mode
+                              // (record -> tenant by item-id hash)
+  size_t mem_budget_bytes = size_t{64} << 20;  // buffer-pool budget in
+                              // --store mode; may be far smaller than
+                              // total sketch bytes
   bool show_help = false;
 
   /// The LtcConfig these options describe (period pacing filled by the

@@ -8,8 +8,9 @@
 # sweep in tests/snapshot_store_test.cc (deterministic, every op
 # index); this script is the belt-and-braces real-process variant: an
 # actual kill -9 at several points in wall-clock time, against the
-# real filesystem, across both the single-table and the --threads
-# ingestion paths.
+# real filesystem, across the single-table and --threads ingestion
+# paths and the --store paged-store mode (whose unit-level sweep is
+# tests/store_crash_test.cc).
 set -u
 
 fail() { echo "crash_recovery: FAIL: $*" >&2; exit 1; }
@@ -82,6 +83,58 @@ run_one() {
 for delay in 0.05 0.15 0.3; do
   run_one ""           "$delay" "single-t${delay}"
   run_one "--threads 2" "$delay" "sharded-t${delay}"
+done
+
+# ---- Paged store mode (docs/DURABILITY.md "Paged store, WAL, and
+# incremental checkpoints"). The unit-level version of this proof is
+# the kill-at-EVERY-op FailpointFs sweep in tests/store_crash_test.cc;
+# here the same contract is exercised with real SIGKILLs: once
+# mid-feed (landing in WAL appends and, thanks to a pool budget far
+# below total sketch bytes, in budget-pressure eviction write-backs),
+# once immediately after a reopen so the kill lands during WAL replay
+# itself, then a clean reopen must recover and finish the job.
+store_one() {
+  local kill_after="$1" label="$2"
+  rm -rf store store_out.csv store_recover.err
+  local flags="--store store --tenants 4 --mem-budget 16K"
+
+  # shellcheck disable=SC2086
+  "$CLI" $flags --csv trace.txt > /dev/null 2> /dev/null &
+  local pid=$!
+  sleep "$kill_after"
+  if kill -9 "$pid" 2> /dev/null; then
+    wait "$pid" 2> /dev/null
+    echo "crash_recovery: [$label] killed store feed pid $pid" \
+         "after ${kill_after}s"
+  else
+    wait "$pid" 2> /dev/null
+    echo "crash_recovery: [$label] store run finished before the kill"
+  fi
+
+  # Second kill, almost at t=0: if the first kill left a WAL behind,
+  # this process dies during (or right after) its replay. Recovery is
+  # redo-only and LSN-gated, so an interrupted replay must simply
+  # replay again on the next open.
+  # shellcheck disable=SC2086
+  "$CLI" $flags --csv trace.txt > /dev/null 2> /dev/null &
+  pid=$!
+  sleep 0.02
+  kill -9 "$pid" 2> /dev/null
+  wait "$pid" 2> /dev/null
+
+  # The clean reopen: replay whatever is left, restore the surviving
+  # tenants, feed the whole trace again on top, report per tenant.
+  # shellcheck disable=SC2086
+  "$CLI" $flags --csv trace.txt > store_out.csv 2> store_recover.err \
+    || fail "[$label] store recovery run failed: $(cat store_recover.err)"
+  [ -s store_out.csv ] || fail "[$label] store recovery produced no output"
+  head -1 store_out.csv | grep -q "tenant,item" \
+    || fail "[$label] store recovery output malformed"
+  echo "crash_recovery: [$label] store recovered OK"
+}
+
+for delay in 0.05 0.15 0.3; do
+  store_one "$delay" "store-t${delay}"
 done
 
 # Determinism anchor: an uninterrupted run and a run restored from its

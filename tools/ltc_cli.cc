@@ -16,6 +16,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <span>
@@ -41,6 +42,7 @@
 #include "snapshot/frame.h"
 #include "snapshot/fs.h"
 #include "snapshot/snapshot_store.h"
+#include "store/sketch_store.h"
 #include "stream/trace_io.h"
 #include "telemetry/build_info.h"
 #include "telemetry/exposition.h"
@@ -261,6 +263,225 @@ int RunAggregator(const CliOptions& options) {
     WriteMetricsFile(registry, options.metrics_out);
   }
   return 128 + static_cast<int>(g_caught_signal);
+}
+
+// --store: the paged multi-tenant store mode (docs/DURABILITY.md
+// "Paged store, WAL, and incremental checkpoints"). Records shard to
+// --tenants sketches by item id; each tenant lives in the crash-safe
+// SketchStore at --store DIR behind a buffer pool of --mem-budget
+// bytes, so total sketch bytes may exceed RAM. Every chunk boundary is
+// a Put through the WAL; --checkpoint-every N adds an incremental
+// checkpoint (write back dirty pages, truncate the log) every N
+// records. Reopening with the same DIR recovers every tenant — WAL
+// replay included — and resumes feeding on top of the restored state.
+int RunStore(const CliOptions& options) {
+  TraceSession trace_session(options.trace_out);
+
+  // 1. Load the trace (file or stdin), exactly like the plain run.
+  std::string error;
+  std::optional<TraceReadResult> trace;
+  if (options.trace_path == "-") {
+    std::string text((std::istreambuf_iterator<char>(std::cin)),
+                     std::istreambuf_iterator<char>());
+    trace = ReadTraceFromString(text, options.periods, options.duration,
+                                &error);
+  } else {
+    trace = ReadTrace(options.trace_path, options.periods, options.duration,
+                      &error);
+  }
+  if (!trace) {
+    std::fprintf(stderr, "ltc_cli: %s\n", error.c_str());
+    return 1;
+  }
+  const Stream& stream = trace->stream;
+
+  LtcConfig config = options.ToLtcConfig();
+  config.period_seconds = stream.duration() / stream.num_periods();
+
+  // 2. Open (and crash-recover) the store. The directory is created on
+  // first use; an existing one restores its tenants below.
+  std::error_code ec;
+  std::filesystem::create_directories(options.store_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "ltc_cli: cannot create store '%s': %s\n",
+                 options.store_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  store::SketchStoreOptions store_options;
+  store_options.mem_budget_bytes = options.mem_budget_bytes;
+  auto store = store::SketchStore::Open(SystemFs(), options.store_dir,
+                                        store_options, &error);
+  if (store == nullptr) {
+    std::fprintf(stderr, "ltc_cli: cannot open store '%s': %s\n",
+                 options.store_dir.c_str(), error.c_str());
+    return 1;
+  }
+  const store::RecoveryReport& recovery = store->recovery();
+  if (recovery.wal_found) {
+    std::fprintf(stderr,
+                 "ltc_cli: store recovery: replayed %llu WAL record(s) "
+                 "(%llu delta(s) applied, %llu stale%s)\n",
+                 static_cast<unsigned long long>(recovery.records),
+                 static_cast<unsigned long long>(recovery.deltas_applied),
+                 static_cast<unsigned long long>(recovery.deltas_stale),
+                 recovery.torn_tail ? ", torn tail truncated" : "");
+  }
+
+  const bool metrics_enabled = !options.metrics_out.empty();
+  telemetry::MetricsRegistry registry;
+  if (metrics_enabled) {
+    telemetry::RegisterBuildInfo(registry,
+                                 ProbeBackendName(ActiveProbeBackend()));
+    store->AttachMetrics(&registry);
+  }
+  auto write_metrics = [&] {
+    if (!metrics_enabled) return;
+    PublishTraceExemplars(registry, trace_session.recorder());
+    WriteMetricsFile(registry, options.metrics_out);
+  };
+
+  // 3. Build or restore the tenant tables. A restored tenant keeps its
+  // own geometry; mismatched flags surface as the store's typed
+  // geometry error on the first Put.
+  const uint64_t tenants = options.tenants;
+  std::vector<Ltc> tables;
+  tables.reserve(tenants);
+  uint64_t restored = 0;
+  for (uint64_t t = 0; t < tenants; ++t) {
+    if (store->Contains(t)) {
+      auto loaded = store->Get(t, &error);
+      if (!loaded.has_value()) {
+        std::fprintf(stderr, "ltc_cli: cannot restore tenant %llu: %s\n",
+                     static_cast<unsigned long long>(t), error.c_str());
+        return 1;
+      }
+      tables.push_back(std::move(*loaded));
+      ++restored;
+    } else {
+      tables.emplace_back(config);
+    }
+  }
+  if (restored > 0) {
+    std::fprintf(stderr, "ltc_cli: restored %llu of %llu tenant(s) from "
+                 "'%s'\n",
+                 static_cast<unsigned long long>(restored),
+                 static_cast<unsigned long long>(tenants),
+                 options.store_dir.c_str());
+  }
+
+  // 4. Feed: each chunk boundary is a quiescent barrier — the touched
+  // tenants are Put through the WAL, so a kill at any moment loses at
+  // most the current chunk.
+  const std::span<const Record> records(stream.records());
+  size_t chunk = std::min<size_t>(std::max<size_t>(records.size(), 1), 65536);
+  if (options.checkpoint_every > 0) {
+    chunk = std::min<size_t>(chunk, options.checkpoint_every);
+  }
+  if (options.stats_every > 0) {
+    chunk = std::min<size_t>(chunk, options.stats_every);
+  }
+  uint64_t since_ckpt = 0;
+  uint64_t since_stats = 0;
+  // Record -> tenant via a multiplicative mix, not a bare modulus:
+  // real item ids often share low-bit structure (hashed tokens, even
+  // ids), which would starve whole tenants.
+  auto tenant_of = [tenants](ItemId item) -> uint64_t {
+    return (static_cast<uint64_t>(item) * uint64_t{0x9E3779B97F4A7C15} >>
+            32) % tenants;
+  };
+  std::vector<std::vector<Record>> shards(tenants);
+  for (size_t i = 0; i < records.size(); i += chunk) {
+    if (g_caught_signal != 0) break;
+    trace_session.PollDumpSignal();
+    const size_t n = std::min(chunk, records.size() - i);
+    telemetry::Span chunk_span("ingest.chunk");
+    chunk_span.AddAttr("records", n);
+    for (auto& shard : shards) shard.clear();
+    for (const Record& record : records.subspan(i, n)) {
+      shards[tenant_of(record.item)].push_back(record);
+    }
+    for (uint64_t t = 0; t < tenants; ++t) {
+      if (shards[t].empty()) continue;
+      tables[t].InsertBatch(std::span<const Record>(shards[t]));
+      if (!store->Put(t, tables[t], &error)) {
+        std::fprintf(stderr, "ltc_cli: store put (tenant %llu) failed: %s\n",
+                     static_cast<unsigned long long>(t), error.c_str());
+        return 1;
+      }
+    }
+    since_ckpt += n;
+    since_stats += n;
+    if (options.checkpoint_every > 0 &&
+        since_ckpt >= options.checkpoint_every) {
+      since_ckpt = 0;
+      if (!store->CheckpointDirty(&error)) {
+        std::fprintf(stderr, "ltc_cli: warning: store checkpoint failed: "
+                     "%s\n", error.c_str());
+      }
+    }
+    if (options.stats_every > 0 && since_stats >= options.stats_every) {
+      since_stats = 0;
+      write_metrics();
+    }
+  }
+
+  // 5. Final incremental checkpoint: everything acked is already in
+  // the WAL, so this only writes back dirty pages and truncates the
+  // log — interrupted runs included (the signal means stop feeding,
+  // not stop being durable).
+  if (!store->CheckpointDirty(&error)) {
+    std::fprintf(stderr, "ltc_cli: warning: final store checkpoint "
+                 "failed: %s\n", error.c_str());
+  }
+  const store::SketchStore::Stats& stats = store->stats();
+  std::fprintf(stderr,
+               "ltc_cli: store: %llu put(s) (%llu clean), %llu WAL "
+               "record(s), %llu checkpoint(s), %zu frame(s) resident "
+               "across %zu tenant(s)\n",
+               static_cast<unsigned long long>(stats.puts),
+               static_cast<unsigned long long>(stats.clean_puts),
+               static_cast<unsigned long long>(stats.wal_records),
+               static_cast<unsigned long long>(stats.checkpoints),
+               store->pool().resident(), store->Tenants().size());
+  if (g_caught_signal != 0) {
+    write_metrics();
+    std::fprintf(stderr,
+                 "ltc_cli: interrupted by signal %d; store checkpointed\n",
+                 static_cast<int>(g_caught_signal));
+    return 128 + static_cast<int>(g_caught_signal);
+  }
+
+  // 6. Report: top-k per tenant, on clones so Finalize never touches
+  // the durable tables (a reopened run resumes from un-finalized
+  // state, same as the snapshot paths).
+  write_metrics();
+  auto name_of = [&](ItemId item) -> std::string {
+    if (trace->used_interner) return trace->interner.Name(item);
+    return std::to_string(item);
+  };
+  TextTable report(
+      {"tenant", "item", "frequency", "persistency", "significance"});
+  for (uint64_t t = 0; t < tenants; ++t) {
+    Ltc finalized = tables[t].CloneAtBarrier();
+    finalized.Finalize();
+    for (const auto& r : finalized.TopK(options.k)) {
+      report.AddRow({std::to_string(t), name_of(r.item),
+                     std::to_string(r.frequency),
+                     std::to_string(r.persistency),
+                     FormatMetric(r.significance)});
+    }
+  }
+  if (options.csv) {
+    report.PrintCsv(std::cout);
+  } else {
+    std::printf(
+        "# %zu records, %u periods, %llu tenant(s) in '%s', %s budget\n",
+        stream.size(), stream.num_periods(),
+        static_cast<unsigned long long>(tenants), options.store_dir.c_str(),
+        FormatMemory(options.mem_budget_bytes).c_str());
+    report.Print(std::cout);
+  }
+  return 0;
 }
 
 int Run(const CliOptions& options) {
@@ -724,5 +945,6 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (options->aggregate) return ltc::RunAggregator(*options);
+  if (!options->store_dir.empty()) return ltc::RunStore(*options);
   return ltc::Run(*options);
 }

@@ -92,6 +92,27 @@ def check_bench_ingest(doc, path):
     for mode in ("single_ltc_batch", "sharded_sequential", "pipeline"):
         if mode not in modes:
             fail(path, f"results lack mode '{mode}'")
+    # The incremental-vs-monolithic checkpoint section is optional
+    # (older trajectory files predate it) but, when present, must carry
+    # both modes with numeric byte/time fields.
+    if "checkpoint" in doc:
+        rows = doc["checkpoint"]
+        if not isinstance(rows, list) or not rows:
+            fail(path, "'checkpoint' is not a non-empty list")
+        ckpt_modes = set()
+        for entry in rows:
+            if not isinstance(entry, dict):
+                fail(path, "checkpoint entry is not an object")
+            if not isinstance(entry.get("mode"), str):
+                fail(path, "checkpoint entry missing str 'mode'")
+            for field in ("checkpoints", "bytes_written", "wall_usec",
+                          "bytes_per_checkpoint"):
+                if not isinstance(entry.get(field), (int, float)):
+                    fail(path, f"checkpoint entry missing numeric '{field}'")
+            ckpt_modes.add(entry["mode"])
+        for mode in ("monolithic_snapshot", "paged_incremental"):
+            if mode not in ckpt_modes:
+                fail(path, f"checkpoint section lacks mode '{mode}'")
 
 
 CHECKS = {
